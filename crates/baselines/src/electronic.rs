@@ -1,0 +1,204 @@
+//! Analytical models of the electronic edge accelerators of Fig. 10 and the
+//! GPU baseline of Table 1.
+//!
+//! Each design is reduced to the parameters that determine its end-to-end
+//! execution time on a CNN: sustained MAC throughput (peak × utilisation) and
+//! a fixed per-layer scheduling overhead. The constants are representative of
+//! the published designs (Eyeriss JSSC'17, YodaNN TCAD'18, AppCiP JETCAS'23,
+//! ENVISION ISSCC'17, NVIDIA RTX 3060 Ti) and are documented per constructor.
+
+use lightator_nn::spec::NetworkSpec;
+use lightator_photonics::units::{Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// An analytical model of a digital electronic accelerator (or GPU).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElectronicBaseline {
+    name: String,
+    /// Peak MAC throughput in giga-MACs per second.
+    peak_gmacs: f64,
+    /// Average fraction of the peak sustained across CNN layers.
+    utilization: f64,
+    /// Fixed scheduling / reconfiguration overhead per layer, in µs.
+    per_layer_overhead_us: f64,
+    /// Board / chip power in watts.
+    power_w: f64,
+}
+
+impl ElectronicBaseline {
+    /// Creates a baseline from its parameters.
+    #[must_use]
+    pub fn new(name: &str, peak_gmacs: f64, utilization: f64, per_layer_overhead_us: f64, power_w: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            peak_gmacs,
+            utilization,
+            per_layer_overhead_us,
+            power_w,
+        }
+    }
+
+    /// Eyeriss: 168-PE row-stationary spatial array at 200 MHz (~34 GMAC/s
+    /// peak) with high utilisation on convolutional layers.
+    #[must_use]
+    pub fn eyeriss() -> Self {
+        Self::new("Eyeriss", 67.2, 0.78, 25.0, 0.278)
+    }
+
+    /// YodaNN: binary-weight ASIC; high nominal throughput but its
+    /// binary-weight dataflow sustains a lower fraction on large kernels (the
+    /// paper substitutes VGG13 results for VGG16).
+    #[must_use]
+    pub fn yodann() -> Self {
+        Self::new("YodaNN", 55.0, 0.52, 18.0, 0.153)
+    }
+
+    /// AppCiP: analog convolution-in-pixel with quinary weights; fast on the
+    /// first layers but limited by its in-sensor array for deeper stacks.
+    #[must_use]
+    pub fn appcip() -> Self {
+        Self::new("AppCiP", 58.0, 0.58, 22.0, 0.406)
+    }
+
+    /// ENVISION: subword-parallel DVAFS processor (0.26–10 TOPS/W range);
+    /// the fastest of the four electronic designs.
+    #[must_use]
+    pub fn envision() -> Self {
+        Self::new("ENVISION", 102.0, 0.74, 15.0, 0.30)
+    }
+
+    /// NVIDIA GeForce RTX 3060 Ti, the paper's GPU baseline: ~16.2 TFLOPS
+    /// FP32 (8.1 TMAC/s) at a 200 W board power.
+    #[must_use]
+    pub fn gpu_rtx3060ti() -> Self {
+        Self::new("RTX 3060 Ti", 8_100.0, 0.45, 60.0, 200.0)
+    }
+
+    /// The four electronic accelerators of Fig. 10, in the figure's order.
+    #[must_use]
+    pub fn fig10_designs() -> Vec<Self> {
+        vec![Self::eyeriss(), Self::envision(), Self::appcip(), Self::yodann()]
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Board / chip power.
+    #[must_use]
+    pub fn power(&self) -> Power {
+        Power::from_watts(self.power_w)
+    }
+
+    /// Sustained MAC throughput in giga-MACs per second.
+    #[must_use]
+    pub fn sustained_gmacs(&self) -> f64 {
+        self.peak_gmacs * self.utilization
+    }
+
+    /// End-to-end execution time of one inference of `network`.
+    #[must_use]
+    pub fn execution_time(&self, network: &NetworkSpec) -> Time {
+        let macs = network.total_macs() as f64;
+        let compute_s = macs / (self.sustained_gmacs() * 1e9);
+        let overhead_s = network.layer_count() as f64 * self.per_layer_overhead_us * 1e-6;
+        Time::from_seconds(compute_s + overhead_s)
+    }
+
+    /// Frames per second on `network`.
+    #[must_use]
+    pub fn fps(&self, network: &NetworkSpec) -> f64 {
+        1.0 / self.execution_time(network).seconds()
+    }
+
+    /// Kilo-FPS per watt on `network`.
+    #[must_use]
+    pub fn kfps_per_watt(&self, network: &NetworkSpec) -> f64 {
+        self.fps(network) / 1e3 / self.power().watts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_designs_are_four_and_ordered() {
+        let designs = ElectronicBaseline::fig10_designs();
+        assert_eq!(designs.len(), 4);
+        assert_eq!(designs[0].name(), "Eyeriss");
+        assert_eq!(designs[3].name(), "YodaNN");
+    }
+
+    #[test]
+    fn execution_times_are_milliseconds_on_imagenet_scale_models() {
+        // Fig. 10 plots execution times between roughly 1 ms and 1 s.
+        for design in ElectronicBaseline::fig10_designs() {
+            for net in [NetworkSpec::alexnet(), NetworkSpec::vgg16()] {
+                let t = design.execution_time(&net);
+                assert!(
+                    t.ms() > 1.0 && t.ms() < 2_000.0,
+                    "{} on {}: {} ms",
+                    design.name(),
+                    net.name(),
+                    t.ms()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envision_is_the_fastest_electronic_design() {
+        let alexnet = NetworkSpec::alexnet();
+        let envision = ElectronicBaseline::envision().execution_time(&alexnet).ms();
+        for other in [
+            ElectronicBaseline::eyeriss(),
+            ElectronicBaseline::yodann(),
+            ElectronicBaseline::appcip(),
+        ] {
+            assert!(
+                other.execution_time(&alexnet).ms() > envision,
+                "{} should be slower than ENVISION",
+                other.name()
+            );
+        }
+    }
+
+    #[test]
+    fn yodann_is_the_slowest_electronic_design() {
+        // Fig. 10: Lightator's speed-up is largest over YodaNN (20.4x on
+        // AlexNet), i.e. YodaNN has the longest execution time.
+        let alexnet = NetworkSpec::alexnet();
+        let yodann = ElectronicBaseline::yodann().execution_time(&alexnet).ms();
+        for other in [
+            ElectronicBaseline::eyeriss(),
+            ElectronicBaseline::envision(),
+            ElectronicBaseline::appcip(),
+        ] {
+            assert!(other.execution_time(&alexnet).ms() < yodann);
+        }
+    }
+
+    #[test]
+    fn vgg16_takes_longer_than_alexnet_everywhere() {
+        for design in ElectronicBaseline::fig10_designs() {
+            assert!(
+                design.execution_time(&NetworkSpec::vgg16()).ms()
+                    > design.execution_time(&NetworkSpec::alexnet()).ms()
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_is_fast_but_power_hungry() {
+        let gpu = ElectronicBaseline::gpu_rtx3060ti();
+        assert_eq!(gpu.power().watts(), 200.0);
+        let t = gpu.execution_time(&NetworkSpec::vgg16());
+        assert!(t.ms() < 20.0, "GPU VGG16 time {} ms", t.ms());
+        // Its efficiency (KFPS/W) on LeNet is far below what Lightator
+        // reports, which is the basis of the ~73x claim.
+        assert!(gpu.kfps_per_watt(&NetworkSpec::lenet()) < 10.0);
+    }
+}

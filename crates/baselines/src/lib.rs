@@ -1,0 +1,30 @@
+//! Baseline accelerator models for the Lightator reproduction.
+//!
+//! Two families of baselines appear in the paper's evaluation:
+//!
+//! * [`optical`] — the five MR-based photonic accelerators of Table 1
+//!   (LightBulb, HolyLight, HQNNA, Robin, CrossLight), modelled analytically
+//!   from their component counts under the paper's common area constraint;
+//! * [`electronic`] — the four digital edge accelerators of Fig. 10
+//!   (Eyeriss, YodaNN, AppCiP, ENVISION) and the RTX 3060 Ti GPU baseline,
+//!   modelled by sustained throughput and per-layer overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use lightator_baselines::electronic::ElectronicBaseline;
+//! use lightator_nn::spec::NetworkSpec;
+//!
+//! let eyeriss = ElectronicBaseline::eyeriss();
+//! let t = eyeriss.execution_time(&NetworkSpec::alexnet());
+//! println!("Eyeriss runs AlexNet in {:.1} ms", t.ms());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod electronic;
+pub mod optical;
+
+pub use electronic::ElectronicBaseline;
+pub use optical::{OpticalBaseline, OpticalComponentCounts, OpticalDeviceCosts};

@@ -1,0 +1,61 @@
+//! Ablation: compressive acquisition on/off and pooling-window sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightator_core::ca::{CaConfig, CompressiveAcquisitor};
+use lightator_core::config::LightatorConfig;
+use lightator_core::sim::ArchitectureSimulator;
+use lightator_nn::quant::{Precision, PrecisionSchedule};
+use lightator_nn::spec::NetworkSpec;
+use lightator_sensor::frame::RgbFrame;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_frame(size: usize) -> RgbFrame {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let data: Vec<f64> = (0..size * size * 3).map(|_| rng.gen::<f64>()).collect();
+    RgbFrame::new(size, size, data).expect("valid frame")
+}
+
+fn bench_ca(c: &mut Criterion) {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("valid");
+    let schedule = PrecisionSchedule::Uniform(Precision::w3a4());
+    let network = NetworkSpec::vgg9(10);
+
+    println!("Ablation — compressive acquisition");
+    let baseline = sim.simulate(&network, schedule).expect("ok");
+    println!(
+        "CA off: first-layer energy {:.3e} J, frame latency {:.3} us",
+        baseline.layers[0].energy.joules(),
+        baseline.frame_latency.us()
+    );
+    for window in [2usize, 4] {
+        let (report, saving) = sim.simulate_with_ca(&network, schedule, window).expect("ok");
+        println!(
+            "CA {window}x{window}: first-layer energy {:.3e} J, frame latency {:.3} us, saving {:.1}%",
+            report.layers[0].energy.joules(),
+            report.frame_latency.us(),
+            saving * 100.0
+        );
+    }
+
+    let frame = random_frame(64);
+    let mut group = c.benchmark_group("ablation_ca");
+    group.sample_size(20);
+    for window in [1usize, 2, 4] {
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: window,
+            rgb_to_grayscale: true,
+        })
+        .expect("valid");
+        group.bench_with_input(BenchmarkId::new("acquire_64x64", window), &window, |b, _| {
+            b.iter(|| ca.acquire(&frame).expect("ok"));
+        });
+    }
+    group.bench_function("simulate_vgg9_with_ca", |b| {
+        b.iter(|| sim.simulate_with_ca(&network, schedule, 2).expect("ok"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ca);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: optical-core geometry sweep (bank count, arms per bank) versus
+//! latency, power and efficiency — the design-space the paper fixes at
+//! 96 banks × 6 arms × 9 MRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightator_core::config::{LightatorConfig, OcGeometry};
+use lightator_core::sim::ArchitectureSimulator;
+use lightator_nn::quant::{Precision, PrecisionSchedule};
+use lightator_nn::spec::NetworkSpec;
+
+fn geometry(bank_rows: usize, arms_per_bank: usize) -> OcGeometry {
+    OcGeometry {
+        mrs_per_arm: 9,
+        arms_per_bank,
+        bank_columns: 8,
+        bank_rows,
+        ca_banks: 8,
+    }
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+    let network = NetworkSpec::vgg9(10);
+
+    println!("Ablation — optical-core geometry sweep (VGG9, [4:4])");
+    println!(
+        "{:<20} {:>8} {:>14} {:>14} {:>10}",
+        "geometry", "MRs", "latency (us)", "max power (W)", "KFPS/W"
+    );
+    for (rows, arms) in [(6usize, 6usize), (12, 6), (24, 6), (12, 4), (12, 8)] {
+        let g = geometry(rows, arms);
+        let config = LightatorConfig {
+            geometry: g,
+            ..LightatorConfig::paper()
+        };
+        let sim = ArchitectureSimulator::new(config).expect("valid");
+        let report = sim.simulate(&network, schedule).expect("ok");
+        println!(
+            "{:<20} {:>8} {:>14.2} {:>14.2} {:>10.2}",
+            format!("8x{rows} banks, {arms} arms"),
+            g.mrs(),
+            report.frame_latency.us(),
+            report.max_power.watts(),
+            report.kfps_per_watt()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_geometry");
+    group.sample_size(10);
+    for rows in [6usize, 12, 24] {
+        let config = LightatorConfig {
+            geometry: geometry(rows, 6),
+            ..LightatorConfig::paper()
+        };
+        let sim = ArchitectureSimulator::new(config).expect("valid");
+        group.bench_with_input(BenchmarkId::new("simulate_vgg9", rows), &rows, |b, _| {
+            b.iter(|| sim.simulate(&network, schedule).expect("ok"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geometry);
+criterion_main!(benches);

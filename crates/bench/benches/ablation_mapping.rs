@@ -1,0 +1,53 @@
+//! Ablation: hardware-mapping efficiency across kernel sizes (paper §4,
+//! Fig. 6) — strides per bank, wasted MRs and mapping throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightator_core::config::OcGeometry;
+use lightator_core::mapping::HardwareMapper;
+use lightator_nn::spec::{ConvSpec, LayerSpec};
+
+fn layer(kernel: usize) -> LayerSpec {
+    LayerSpec::Conv(ConvSpec {
+        in_channels: 16,
+        out_channels: 32,
+        kernel,
+        stride: 1,
+        padding: kernel / 2,
+        in_height: 32,
+        in_width: 32,
+    })
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let geometry = OcGeometry::paper();
+    let mapper = HardwareMapper::new(geometry).expect("paper geometry is valid");
+
+    println!("Ablation — kernel-size mapping efficiency (paper Fig. 6)");
+    println!(
+        "{:<8} {:>15} {:>16} {:>18} {:>14}",
+        "kernel", "arms/stride", "strides/bank", "unused MRs/stride", "MR utilisation"
+    );
+    for kernel in [1, 3, 5, 7] {
+        let m = mapper.map_layer(&layer(kernel)).expect("mappable");
+        println!(
+            "{:<8} {:>15} {:>16} {:>18} {:>13.1}%",
+            format!("{k}x{k}", k = kernel),
+            m.arms_per_stride,
+            m.strides_per_bank,
+            m.unused_mrs_per_stride,
+            m.mr_utilization(&geometry) * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_mapping");
+    group.sample_size(20);
+    for kernel in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("map_layer", kernel), &kernel, |b, &k| {
+            b.iter(|| mapper.map_layer(&layer(k)).expect("mappable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig. 10 (execution time vs electronic
+//! accelerators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightator_bench::fig10;
+
+fn bench_fig10(c: &mut Criterion) {
+    let data = fig10::generate().expect("fig10 harness must succeed");
+    println!("{}", fig10::render(&data));
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("execution_time_comparison", |b| {
+        b.iter(|| fig10::generate().expect("fig10 harness must succeed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

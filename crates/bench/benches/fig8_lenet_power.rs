@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Fig. 8 (LeNet layer-wise power breakdown).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightator_bench::fig8;
+
+fn bench_fig8(c: &mut Criterion) {
+    // Print the regenerated figure once so the bench log doubles as the
+    // experiment record.
+    let rows = fig8::generate().expect("fig8 harness must succeed");
+    println!("{}", fig8::render(&rows));
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("lenet_power_breakdown", |b| {
+        b.iter(|| fig8::generate().expect("fig8 harness must succeed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench regenerating Fig. 9 (VGG9 layer-wise power breakdown).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightator_bench::fig9;
+
+fn bench_fig9(c: &mut Criterion) {
+    let data = fig9::generate().expect("fig9 harness must succeed");
+    println!("{}", fig9::render(&data));
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("vgg9_power_breakdown", |b| {
+        b.iter(|| fig9::generate().expect("fig9 harness must succeed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench regenerating Table 1 (performance columns plus a reduced
+//! accuracy pass).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightator_bench::table1::{self, AccuracyConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let rows = table1::performance_rows().expect("table1 harness must succeed");
+    println!("{}", table1::render_performance(&rows));
+    let workloads =
+        table1::accuracy_rows(&AccuracyConfig::fast()).expect("accuracy pass must succeed");
+    println!("{}", table1::render_accuracy(&workloads));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("performance_rows", |b| {
+        b.iter(|| table1::performance_rows().expect("table1 harness must succeed"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

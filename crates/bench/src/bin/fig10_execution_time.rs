@@ -1,0 +1,14 @@
+//! Regenerates Fig. 10: execution time of electronic accelerators vs
+//! Lightator on VGG16 and AlexNet.
+
+use lightator_bench::fig10;
+
+fn main() {
+    match fig10::generate() {
+        Ok(data) => print!("{}", fig10::render(&data)),
+        Err(err) => {
+            eprintln!("fig10 harness failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

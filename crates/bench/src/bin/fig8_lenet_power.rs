@@ -1,0 +1,19 @@
+//! Regenerates Fig. 8: LeNet layer-wise power breakdown on Lightator.
+
+use lightator_bench::fig8;
+
+fn main() {
+    match fig8::generate() {
+        Ok(rows) => {
+            print!("{}", fig8::render(&rows));
+            println!(
+                "\naverage efficiency gain [4:4] -> [2:4]: {:.2}x (paper reports ~2.4x on average)",
+                fig8::average_efficiency_gain(&rows)
+            );
+        }
+        Err(err) => {
+            eprintln!("fig8 harness failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 9: VGG9 layer-wise power breakdown on Lightator [3:4].
+
+use lightator_bench::fig9;
+
+fn main() {
+    match fig9::generate() {
+        Ok(data) => print!("{}", fig9::render(&data)),
+        Err(err) => {
+            eprintln!("fig9 harness failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

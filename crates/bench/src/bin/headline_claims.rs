@@ -1,0 +1,13 @@
+//! Recomputes the paper's headline claims (abstract / §5 observations).
+
+use lightator_bench::headline;
+
+fn main() {
+    match headline::compute() {
+        Ok(claims) => print!("{}", headline::render(&claims)),
+        Err(err) => {
+            eprintln!("headline harness failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 1: comparison with optical accelerator baselines.
+//!
+//! The performance columns (node, max power, KFPS/W) are always printed.
+//! Pass `--accuracy` to additionally train the workloads on the synthetic
+//! datasets and evaluate every design's inference accuracy (slower; pass
+//! `--fast` to use the reduced settings).
+
+use lightator_bench::table1::{self, AccuracyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let with_accuracy = args.iter().any(|a| a == "--accuracy");
+    let fast = args.iter().any(|a| a == "--fast");
+
+    match table1::performance_rows() {
+        Ok(rows) => print!("{}", table1::render_performance(&rows)),
+        Err(err) => {
+            eprintln!("table1 harness failed: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    if with_accuracy {
+        let config = if fast { AccuracyConfig::fast() } else { AccuracyConfig::full() };
+        match table1::accuracy_rows(&config) {
+            Ok(workloads) => print!("\n{}", table1::render_accuracy(&workloads)),
+            Err(err) => {
+                eprintln!("table1 accuracy pass failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("\n(run with --accuracy [--fast] to also regenerate the accuracy columns)");
+    }
+}

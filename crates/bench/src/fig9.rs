@@ -1,0 +1,162 @@
+//! Figure 9: layer-wise power breakdown of VGG9 on the [3:4] configuration,
+//! the DAC-dominance pie chart for layer L8, and the first-layer saving from
+//! compressive acquisition.
+
+use crate::harness::simulator;
+use lightator_core::CoreError;
+use lightator_nn::quant::{Precision, PrecisionSchedule};
+use lightator_nn::spec::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Fig. 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Layer label (`L1`..`L12`).
+    pub layer: String,
+    /// Layer kind (`conv`, `pool`, `fc`).
+    pub kind: String,
+    /// Per-component power in watts (ADCs, DACs, DMVA, TUN, BPD, Misc.).
+    pub components_w: [f64; 6],
+    /// Total layer power in watts.
+    pub total_w: f64,
+    /// DAC share of the layer's power.
+    pub dac_share: f64,
+}
+
+/// The complete Fig. 9 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Data {
+    /// Per-layer rows (12 for VGG9).
+    pub rows: Vec<Fig9Row>,
+    /// Component shares of layer L8 (the pie chart), summing to 1.
+    pub l8_shares: [f64; 6],
+    /// Relative first-layer energy reduction provided by the CA compression
+    /// pass (the paper reports 42.2 %).
+    pub ca_first_layer_saving: f64,
+}
+
+/// Generates the Fig. 9 dataset.
+///
+/// # Errors
+///
+/// Propagates simulator configuration errors.
+pub fn generate() -> Result<Fig9Data, CoreError> {
+    let sim = simulator()?;
+    let network = NetworkSpec::vgg9(10);
+    let schedule = PrecisionSchedule::Uniform(Precision::w3a4());
+    let report = sim.simulate(&network, schedule)?;
+    let rows: Vec<Fig9Row> = report
+        .layers
+        .iter()
+        .map(|layer| {
+            let values = layer.power.values();
+            let mut components_w = [0.0; 6];
+            for (slot, value) in components_w.iter_mut().zip(values.iter()) {
+                *slot = value.watts();
+            }
+            Fig9Row {
+                layer: format!("L{}", layer.index + 1),
+                kind: layer.kind.clone(),
+                components_w,
+                total_w: layer.power.total().watts(),
+                dac_share: layer.power.dac_share(),
+            }
+        })
+        .collect();
+
+    let l8 = &rows[7.min(rows.len() - 1)];
+    let mut l8_shares = [0.0; 6];
+    for (share, value) in l8_shares.iter_mut().zip(l8.components_w.iter()) {
+        *share = if l8.total_w > 0.0 { value / l8.total_w } else { 0.0 };
+    }
+
+    let (_, ca_first_layer_saving) = sim.simulate_with_ca(&network, schedule, 2)?;
+
+    Ok(Fig9Data {
+        rows,
+        l8_shares,
+        ca_first_layer_saving,
+    })
+}
+
+/// Renders the dataset as the text table printed by the harness binary.
+#[must_use]
+pub fn render(data: &Fig9Data) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 9 — VGG9 layer-wise power breakdown on Lightator [3:4] (W)\n");
+    out.push_str(&format!(
+        "{:<5} {:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}\n",
+        "layer", "kind", "ADCs", "DACs", "DMVA", "TUN", "BPD", "Misc.", "total", "DAC %"
+    ));
+    for row in &data.rows {
+        out.push_str(&format!(
+            "{:<5} {:<6} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>7.1}%\n",
+            row.layer,
+            row.kind,
+            row.components_w[0],
+            row.components_w[1],
+            row.components_w[2],
+            row.components_w[3],
+            row.components_w[4],
+            row.components_w[5],
+            row.total_w,
+            row.dac_share * 100.0,
+        ));
+    }
+    out.push_str(&format!(
+        "\nL8 component shares (pie chart): ADCs {:.1}%, DACs {:.1}%, DMVA {:.1}%, TUN {:.1}%, BPD {:.1}%, Misc. {:.1}%\n",
+        data.l8_shares[0] * 100.0,
+        data.l8_shares[1] * 100.0,
+        data.l8_shares[2] * 100.0,
+        data.l8_shares[3] * 100.0,
+        data.l8_shares[4] * 100.0,
+        data.l8_shares[5] * 100.0,
+    ));
+    out.push_str(&format!(
+        "CA compression reduces the first layer's energy by {:.1}% (paper: 42.2%)\n",
+        data.ca_first_layer_saving * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg9_has_twelve_layers() {
+        let data = generate().expect("ok");
+        assert_eq!(data.rows.len(), 12);
+        assert_eq!(data.rows[0].layer, "L1");
+        assert_eq!(data.rows[11].layer, "L12");
+    }
+
+    #[test]
+    fn dacs_dominate_the_conv_layers() {
+        let data = generate().expect("ok");
+        for row in data.rows.iter().filter(|r| r.kind == "conv") {
+            assert!(row.dac_share > 0.5, "{} has DAC share {}", row.layer, row.dac_share);
+        }
+    }
+
+    #[test]
+    fn l8_shares_sum_to_one() {
+        let data = generate().expect("ok");
+        let sum: f64 = data.l8_shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // DACs are the dominant slice of the pie.
+        assert!(data.l8_shares[1] > 0.5);
+    }
+
+    #[test]
+    fn ca_saving_is_meaningful() {
+        let data = generate().expect("ok");
+        assert!(data.ca_first_layer_saving > 0.15 && data.ca_first_layer_saving < 0.95);
+    }
+
+    #[test]
+    fn render_mentions_the_ca_saving() {
+        let data = generate().expect("ok");
+        assert!(render(&data).contains("42.2%"));
+    }
+}

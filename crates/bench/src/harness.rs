@@ -1,0 +1,65 @@
+//! Shared helpers for the experiment harness.
+
+use lightator_core::config::LightatorConfig;
+use lightator_core::sim::ArchitectureSimulator;
+use lightator_core::CoreError;
+use lightator_nn::quant::{Precision, PrecisionSchedule};
+
+/// The three uniform precisions evaluated throughout the paper.
+pub const PRECISIONS: [Precision; 3] = [
+    Precision { weight_bits: 4, activation_bits: 4 },
+    Precision { weight_bits: 3, activation_bits: 4 },
+    Precision { weight_bits: 2, activation_bits: 4 },
+];
+
+/// The five Lightator variants of Table 1 (three uniform, two mixed).
+#[must_use]
+pub fn lightator_variants() -> Vec<(String, PrecisionSchedule)> {
+    let uniform = PRECISIONS
+        .iter()
+        .map(|&p| (format!("Lightator {p}"), PrecisionSchedule::Uniform(p)));
+    let mixed = [
+        (
+            "Lightator-MX [4:4][3:4]".to_string(),
+            PrecisionSchedule::Mixed {
+                first: Precision { weight_bits: 4, activation_bits: 4 },
+                rest: Precision { weight_bits: 3, activation_bits: 4 },
+            },
+        ),
+        (
+            "Lightator-MX [4:4][2:4]".to_string(),
+            PrecisionSchedule::Mixed {
+                first: Precision { weight_bits: 4, activation_bits: 4 },
+                rest: Precision { weight_bits: 2, activation_bits: 4 },
+            },
+        ),
+    ];
+    uniform.chain(mixed).collect()
+}
+
+/// Builds the paper-default architecture simulator.
+///
+/// # Errors
+///
+/// Propagates configuration errors (cannot occur for the paper defaults).
+pub fn simulator() -> Result<ArchitectureSimulator, CoreError> {
+    ArchitectureSimulator::new(LightatorConfig::paper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_lightator_variants_match_table_one() {
+        let variants = lightator_variants();
+        assert_eq!(variants.len(), 5);
+        assert_eq!(variants[0].0, "Lightator [4:4]");
+        assert_eq!(variants[3].0, "Lightator-MX [4:4][3:4]");
+    }
+
+    #[test]
+    fn simulator_builds() {
+        assert!(simulator().is_ok());
+    }
+}

@@ -1,0 +1,123 @@
+//! Headline claims of the paper, recomputed from the harness:
+//! 84.4 KFPS/W for Lightator-MX [4:4][3:4], ~24× lower power than the
+//! photonic baselines, ~73× lower than the GPU, ~2.4× efficiency from
+//! bit-width reduction, and the CA's first-layer saving.
+
+use crate::fig8;
+use crate::fig9;
+use crate::table1;
+use lightator_core::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The recomputed headline numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeadlineClaims {
+    /// KFPS/W of the Lightator-MX [4:4][3:4] variant (paper: 84.4).
+    pub mx_kfps_per_watt: f64,
+    /// Average photonic-baseline power divided by average Lightator power
+    /// (paper: ~24×).
+    pub photonic_power_reduction: f64,
+    /// GPU power divided by average Lightator power (paper: ~73×).
+    pub gpu_power_reduction: f64,
+    /// Average efficiency gain from weight bit-width reduction on LeNet
+    /// (paper: ~2.4×).
+    pub bit_width_efficiency_gain: f64,
+    /// First-layer saving from compressive acquisition (paper: 42.2 %).
+    pub ca_first_layer_saving: f64,
+}
+
+/// Recomputes every headline claim.
+///
+/// # Errors
+///
+/// Propagates harness errors.
+pub fn compute() -> Result<HeadlineClaims, CoreError> {
+    let rows = table1::performance_rows()?;
+
+    let lightator_powers: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.design.starts_with("Lightator"))
+        .filter_map(|r| r.max_power_w)
+        .collect();
+    let lightator_avg = lightator_powers.iter().sum::<f64>() / lightator_powers.len().max(1) as f64;
+
+    let baseline_powers: Vec<f64> = rows
+        .iter()
+        .filter(|r| !r.design.starts_with("Lightator") && !r.design.contains("GPU"))
+        .filter_map(|r| r.max_power_w)
+        .collect();
+    let baseline_avg = baseline_powers.iter().sum::<f64>() / baseline_powers.len().max(1) as f64;
+
+    let gpu_power = rows
+        .iter()
+        .find(|r| r.design.contains("GPU"))
+        .and_then(|r| r.max_power_w)
+        .unwrap_or(200.0);
+
+    let mx_kfps_per_watt = rows
+        .iter()
+        .find(|r| r.design == "Lightator-MX [4:4][3:4]")
+        .and_then(|r| r.kfps_per_watt)
+        .unwrap_or(0.0);
+
+    let fig8_rows = fig8::generate()?;
+    let fig9_data = fig9::generate()?;
+
+    Ok(HeadlineClaims {
+        mx_kfps_per_watt,
+        photonic_power_reduction: baseline_avg / lightator_avg.max(1e-9),
+        gpu_power_reduction: gpu_power / lightator_avg.max(1e-9),
+        bit_width_efficiency_gain: fig8::average_efficiency_gain(&fig8_rows),
+        ca_first_layer_saving: fig9_data.ca_first_layer_saving,
+    })
+}
+
+/// Renders the claims alongside the paper's reported values.
+#[must_use]
+pub fn render(claims: &HeadlineClaims) -> String {
+    format!(
+        "Headline claims (measured vs paper)\n\
+         Lightator-MX [4:4][3:4] efficiency : {:8.1} KFPS/W   (paper:  84.4)\n\
+         power vs photonic baselines        : {:8.1}x lower   (paper: ~24x)\n\
+         power vs GPU baseline              : {:8.1}x lower   (paper: ~73x)\n\
+         bit-width reduction efficiency     : {:8.1}x          (paper: ~2.4x)\n\
+         CA first-layer saving              : {:8.1}%          (paper: 42.2%)\n",
+        claims.mx_kfps_per_watt,
+        claims.photonic_power_reduction,
+        claims.gpu_power_reduction,
+        claims.bit_width_efficiency_gain,
+        claims.ca_first_layer_saving * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_reproduce_the_papers_direction() {
+        let claims = compute().expect("ok");
+        // Efficiency of the MX variant is tens to a few hundred KFPS/W.
+        assert!(
+            claims.mx_kfps_per_watt > 20.0 && claims.mx_kfps_per_watt < 2_000.0,
+            "MX KFPS/W {}",
+            claims.mx_kfps_per_watt
+        );
+        // An order of magnitude (or more) less power than photonic baselines.
+        assert!(claims.photonic_power_reduction > 8.0);
+        // Dozens of times less power than the GPU.
+        assert!(claims.gpu_power_reduction > 20.0);
+        // Meaningful efficiency gain from precision scaling.
+        assert!(claims.bit_width_efficiency_gain > 1.5);
+        // A visible CA saving.
+        assert!(claims.ca_first_layer_saving > 0.15);
+    }
+
+    #[test]
+    fn render_mentions_the_paper_numbers() {
+        let claims = compute().expect("ok");
+        let text = render(&claims);
+        assert!(text.contains("84.4"));
+        assert!(text.contains("42.2"));
+    }
+}

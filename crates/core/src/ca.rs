@@ -1,0 +1,304 @@
+//! Compressive Acquisitor (CA).
+//!
+//! The CA banks fuse RGB-to-grayscale conversion and configurable average
+//! pooling into a single optical weighted sum (paper §3.2, Eq. 1): the fused
+//! weight of pixel *i*, channel *j* is `(1/window²) · w_j` where `w_j` is the
+//! BT.601 luma coefficient. The CA is optional — it can be bypassed when the
+//! workload needs the full-resolution frame.
+
+use crate::error::{CoreError, Result};
+use lightator_sensor::frame::{Channel, GrayFrame, RgbFrame};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the compressive acquisitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaConfig {
+    /// Square pooling window applied during acquisition (1 disables pooling).
+    pub pooling_window: usize,
+    /// Whether RGB frames are collapsed to grayscale during acquisition.
+    pub rgb_to_grayscale: bool,
+}
+
+impl Default for CaConfig {
+    fn default() -> Self {
+        Self {
+            pooling_window: 2,
+            rgb_to_grayscale: true,
+        }
+    }
+}
+
+impl CaConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero pooling window.
+    pub fn validate(&self) -> Result<()> {
+        if self.pooling_window == 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "pooling_window",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Compression ratio in number of values: input values per output value.
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        let spatial = (self.pooling_window * self.pooling_window) as f64;
+        let chroma = if self.rgb_to_grayscale { 3.0 } else { 1.0 };
+        spatial * chroma
+    }
+}
+
+/// One output coefficient of the fused CA weighted sum (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaWeight {
+    /// Pixel row offset inside the pooling window.
+    pub row_offset: usize,
+    /// Pixel column offset inside the pooling window.
+    pub col_offset: usize,
+    /// Colour channel the coefficient applies to.
+    pub channel: Channel,
+    /// The fused coefficient value.
+    pub value: f64,
+}
+
+/// The compressive acquisitor.
+///
+/// ```
+/// use lightator_core::ca::{CaConfig, CompressiveAcquisitor};
+/// use lightator_sensor::frame::RgbFrame;
+///
+/// # fn main() -> Result<(), lightator_core::CoreError> {
+/// let ca = CompressiveAcquisitor::new(CaConfig::default())?;
+/// let frame = RgbFrame::filled(8, 8, [0.5, 0.5, 0.5])?;
+/// let compressed = ca.acquire(&frame)?;
+/// assert_eq!(compressed.height(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressiveAcquisitor {
+    config: CaConfig,
+}
+
+impl CompressiveAcquisitor {
+    /// Creates a compressive acquisitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid configuration.
+    pub fn new(config: CaConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CaConfig {
+        &self.config
+    }
+
+    /// The fused weight coefficients mapped onto the CA bank's MRs for one
+    /// output value (paper Eq. 1). Their sum is exactly 1 when grayscale
+    /// conversion is enabled, and 1 per channel otherwise.
+    #[must_use]
+    pub fn weights(&self) -> Vec<CaWeight> {
+        let window = self.config.pooling_window;
+        let pool_coeff = 1.0 / (window * window) as f64;
+        let mut weights = Vec::new();
+        for row_offset in 0..window {
+            for col_offset in 0..window {
+                if self.config.rgb_to_grayscale {
+                    for channel in Channel::ALL {
+                        weights.push(CaWeight {
+                            row_offset,
+                            col_offset,
+                            channel,
+                            value: pool_coeff * channel.grayscale_weight(),
+                        });
+                    }
+                } else {
+                    weights.push(CaWeight {
+                        row_offset,
+                        col_offset,
+                        channel: Channel::Green,
+                        value: pool_coeff,
+                    });
+                }
+            }
+        }
+        weights
+    }
+
+    /// Number of MRs one output value occupies in a CA bank.
+    #[must_use]
+    pub fn mrs_per_output(&self) -> usize {
+        self.weights().len()
+    }
+
+    /// Acquires (compresses) an RGB frame into the reduced grayscale frame in
+    /// a single weighted-sum pass, exactly as the CA banks would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the frame is not divisible by
+    /// the pooling window.
+    pub fn acquire(&self, frame: &RgbFrame) -> Result<GrayFrame> {
+        let window = self.config.pooling_window;
+        if frame.height() % window != 0 || frame.width() % window != 0 {
+            return Err(CoreError::InvalidConfig {
+                name: "pooling_window",
+                value: window as f64,
+            });
+        }
+        let oh = frame.height() / window;
+        let ow = frame.width() / window;
+        let weights = self.weights();
+        let mut data = vec![0.0f64; oh * ow];
+        for orow in 0..oh {
+            for ocol in 0..ow {
+                let mut acc = 0.0;
+                for w in &weights {
+                    let row = orow * window + w.row_offset;
+                    let col = ocol * window + w.col_offset;
+                    let rgb = frame.pixel(row, col)?;
+                    let value = if self.config.rgb_to_grayscale {
+                        rgb[w.channel.index()]
+                    } else {
+                        // Without grayscale conversion the CA still pools; use
+                        // the luminance-free mean of the three channels so the
+                        // output remains a single plane.
+                        (rgb[0] + rgb[1] + rgb[2]) / 3.0
+                    };
+                    acc += value * w.value;
+                }
+                data[orow * ow + ocol] = acc.clamp(0.0, 1.0);
+            }
+        }
+        Ok(GrayFrame::new(oh, ow, data)?)
+    }
+
+    /// Reference (non-fused) result: grayscale conversion followed by average
+    /// pooling. Used to verify that the single-pass fused weights of Eq. 1
+    /// are exactly equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`CompressiveAcquisitor::acquire`].
+    pub fn reference(&self, frame: &RgbFrame) -> Result<GrayFrame> {
+        let gray = if self.config.rgb_to_grayscale {
+            frame.to_grayscale()
+        } else {
+            let data = frame
+                .data()
+                .chunks_exact(3)
+                .map(|px| (px[0] + px[1] + px[2]) / 3.0)
+                .collect();
+            GrayFrame::new(frame.height(), frame.width(), data)?
+        };
+        Ok(gray.average_pool(self.config.pooling_window)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_frame(height: usize, width: usize, seed: u64) -> RgbFrame {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..height * width * 3).map(|_| rng.gen::<f64>()).collect();
+        RgbFrame::new(height, width, data).expect("valid")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CaConfig { pooling_window: 0, rgb_to_grayscale: true }.validate().is_err());
+        assert!(CaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn fused_weights_sum_to_one_with_grayscale() {
+        let ca = CompressiveAcquisitor::new(CaConfig::default()).expect("ok");
+        let total: f64 = ca.weights().iter().map(|w| w.value).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // 2x2 pooling over 3 channels -> 12 MRs per output (Eq. 1 has 12 terms).
+        assert_eq!(ca.mrs_per_output(), 12);
+    }
+
+    #[test]
+    fn fused_pass_matches_reference_pipeline() {
+        for window in [1, 2, 4] {
+            let ca = CompressiveAcquisitor::new(CaConfig {
+                pooling_window: window,
+                rgb_to_grayscale: true,
+            })
+            .expect("ok");
+            let frame = random_frame(8, 8, 42 + window as u64);
+            let fused = ca.acquire(&frame).expect("ok");
+            let reference = ca.reference(&frame).expect("ok");
+            assert_eq!(fused.height(), reference.height());
+            for (a, b) in fused.data().iter().zip(reference.data()) {
+                assert!((a - b).abs() < 1e-9, "fused {a} vs reference {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_only_mode_matches_reference() {
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: 2,
+            rgb_to_grayscale: false,
+        })
+        .expect("ok");
+        let frame = random_frame(6, 6, 7);
+        let fused = ca.acquire(&frame).expect("ok");
+        let reference = ca.reference(&frame).expect("ok");
+        for (a, b) in fused.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compression_ratio_counts_space_and_chroma() {
+        let ca = CaConfig::default();
+        assert!((ca.compression_ratio() - 12.0).abs() < 1e-12);
+        let no_gray = CaConfig { rgb_to_grayscale: false, ..ca };
+        assert!((no_gray.compression_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acquire_rejects_non_divisible_frames() {
+        let ca = CompressiveAcquisitor::new(CaConfig::default()).expect("ok");
+        let frame = random_frame(7, 8, 3);
+        assert!(ca.acquire(&frame).is_err());
+    }
+
+    #[test]
+    fn output_dimensions_shrink_by_the_window() {
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: 4,
+            rgb_to_grayscale: true,
+        })
+        .expect("ok");
+        let frame = random_frame(16, 8, 5);
+        let out = ca.acquire(&frame).expect("ok");
+        assert_eq!(out.height(), 4);
+        assert_eq!(out.width(), 2);
+    }
+
+    #[test]
+    fn uniform_gray_frame_is_preserved() {
+        let ca = CompressiveAcquisitor::new(CaConfig::default()).expect("ok");
+        let frame = RgbFrame::filled(4, 4, [0.6, 0.6, 0.6]).expect("valid");
+        let out = ca.acquire(&frame).expect("ok");
+        for &v in out.data() {
+            assert!((v - 0.6).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the Lightator core.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the Lightator optical core, mapper and simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A layer cannot be mapped onto the optical core.
+    UnmappableLayer {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A model and its description disagree (e.g. a non-classifier network).
+    ModelMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An error bubbled up from the photonic device models.
+    Photonics(lightator_photonics::PhotonicsError),
+    /// An error bubbled up from the sensor models.
+    Sensor(lightator_sensor::SensorError),
+    /// An error bubbled up from the DNN stack.
+    Nn(lightator_nn::NnError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { name, value } => {
+                write!(f, "invalid value {value} for configuration parameter `{name}`")
+            }
+            Self::UnmappableLayer { reason } => write!(f, "layer cannot be mapped: {reason}"),
+            Self::ModelMismatch { reason } => write!(f, "model mismatch: {reason}"),
+            Self::Photonics(err) => write!(f, "photonic device error: {err}"),
+            Self::Sensor(err) => write!(f, "sensor error: {err}"),
+            Self::Nn(err) => write!(f, "dnn error: {err}"),
+        }
+    }
+}
+
+impl StdError for CoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Self::Photonics(err) => Some(err),
+            Self::Sensor(err) => Some(err),
+            Self::Nn(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<lightator_photonics::PhotonicsError> for CoreError {
+    fn from(err: lightator_photonics::PhotonicsError) -> Self {
+        Self::Photonics(err)
+    }
+}
+
+impl From<lightator_sensor::SensorError> for CoreError {
+    fn from(err: lightator_sensor::SensorError) -> Self {
+        Self::Sensor(err)
+    }
+}
+
+impl From<lightator_nn::NnError> for CoreError {
+    fn from(err: lightator_nn::NnError) -> Self {
+        Self::Nn(err)
+    }
+}
+
+/// Convenience result alias for core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let err: CoreError = lightator_nn::NnError::BackwardBeforeForward.into();
+        assert!(err.to_string().contains("dnn"));
+        assert!(err.source().is_some());
+        let err = CoreError::UnmappableLayer { reason: "too wide".into() };
+        assert!(err.to_string().contains("too wide"));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

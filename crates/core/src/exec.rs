@@ -1,0 +1,371 @@
+//! Functional photonic execution of trained models.
+//!
+//! The All-in-One Convolver evaluates every weighted layer as optical dot
+//! products: weights sit in MR transmissions, activations arrive as VCSEL
+//! intensities, and partial sums are combined by the balanced detectors and
+//! the summation tree. This module runs a trained
+//! [`Sequential`](lightator_nn::model::Sequential) model through that analog
+//! datapath — including quantization to the `[W:A]` configuration and the
+//! analog non-idealities — so the inference accuracy of Table 1 can be
+//! measured.
+
+use crate::error::{CoreError, Result};
+use crate::oc::PhotonicMacUnit;
+use lightator_nn::datasets::Dataset;
+use lightator_nn::layers::LayerNode;
+use lightator_nn::model::Sequential;
+use lightator_nn::quant::{quantize_symmetric, quantize_unsigned, PrecisionSchedule};
+use lightator_nn::tensor::Tensor;
+use lightator_photonics::noise::NoiseConfig;
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating a model photonically on a dataset split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhotonicAccuracy {
+    /// Top-1 accuracy through the photonic datapath.
+    pub photonic: f64,
+    /// Top-1 accuracy of the same (quantized) model evaluated digitally.
+    pub digital: f64,
+    /// Number of test samples evaluated.
+    pub samples: usize,
+}
+
+impl PhotonicAccuracy {
+    /// Accuracy lost by moving from the digital to the analog datapath.
+    #[must_use]
+    pub fn analog_degradation(&self) -> f64 {
+        self.digital - self.photonic
+    }
+}
+
+/// Executes trained models on the photonic datapath.
+#[derive(Debug, Clone)]
+pub struct PhotonicExecutor {
+    mac_unit: PhotonicMacUnit,
+    schedule: PrecisionSchedule,
+}
+
+impl PhotonicExecutor {
+    /// Creates an executor with the given precision schedule and analog
+    /// noise configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Photonics`] if the arm configuration is invalid.
+    pub fn new(schedule: PrecisionSchedule, noise: NoiseConfig, seed: u64) -> Result<Self> {
+        Ok(Self {
+            mac_unit: PhotonicMacUnit::new(noise, seed)?,
+            schedule,
+        })
+    }
+
+    /// The precision schedule in use.
+    #[must_use]
+    pub fn schedule(&self) -> PrecisionSchedule {
+        self.schedule
+    }
+
+    /// Runs one input through the model with every weighted layer executed on
+    /// the photonic MAC unit.
+    ///
+    /// Activations are clamped to the non-negative range before being encoded
+    /// as light intensities (Lightator encodes activations as unsigned VCSEL
+    /// drive codes; ReLU networks satisfy this naturally).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the model and photonic errors from the
+    /// MAC unit.
+    pub fn forward(&mut self, model: &mut Sequential, input: &Tensor) -> Result<Tensor> {
+        if input.shape() != model.input_shape() {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "input shape {:?} does not match the model's {:?}",
+                    input.shape(),
+                    model.input_shape()
+                ),
+            });
+        }
+        let mut value = input.clone();
+        let mut weighted_index = 0usize;
+        for layer_index in 0..model.layers().len() {
+            let is_weighted = model.layers()[layer_index].is_weighted();
+            if is_weighted {
+                let precision = self.schedule.for_layer(weighted_index);
+                value = match &model.layers()[layer_index] {
+                    LayerNode::Conv2d(conv) => self.conv_forward(conv, &value, precision)?,
+                    LayerNode::Linear(linear) => self.linear_forward(linear, &value, precision)?,
+                    _ => unreachable!("is_weighted covers exactly conv and linear"),
+                };
+                weighted_index += 1;
+            } else {
+                value = model.layers_mut()[layer_index].forward(&value)?;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Predicted class through the photonic datapath.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhotonicExecutor::forward`].
+    pub fn predict(&mut self, model: &mut Sequential, input: &Tensor) -> Result<usize> {
+        let logits = self.forward(model, input)?;
+        logits.argmax().ok_or(CoreError::ModelMismatch {
+            reason: "model produced an empty logit vector".to_string(),
+        })
+    }
+
+    fn photonic_dot(
+        &mut self,
+        weights: &[f32],
+        activations: &[f32],
+        weight_scale: f32,
+        activation_scale: f32,
+        weight_bits: u8,
+        activation_bits: u8,
+    ) -> Result<f64> {
+        debug_assert_eq!(weights.len(), activations.len());
+        let w_norm: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                let q = quantize_symmetric(w, weight_scale, weight_bits);
+                if weight_scale == 0.0 {
+                    0.0
+                } else {
+                    f64::from(q / weight_scale).clamp(-1.0, 1.0)
+                }
+            })
+            .collect();
+        let a_norm: Vec<f64> = activations
+            .iter()
+            .map(|&a| {
+                let clamped = a.max(0.0);
+                let q = quantize_unsigned(clamped, activation_scale, activation_bits);
+                if activation_scale == 0.0 {
+                    0.0
+                } else {
+                    f64::from(q / activation_scale).clamp(0.0, 1.0)
+                }
+            })
+            .collect();
+        let normalized = self.mac_unit.dot(&w_norm, &a_norm)?;
+        Ok(normalized * f64::from(weight_scale) * f64::from(activation_scale))
+    }
+
+    fn conv_forward(
+        &mut self,
+        conv: &lightator_nn::layers::Conv2d,
+        input: &Tensor,
+        precision: lightator_nn::quant::Precision,
+    ) -> Result<Tensor> {
+        let out_shape = conv.output_shape(input.shape())?;
+        let (oc_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let (in_c, in_h, in_w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let k = conv.kernel();
+        let weight_scale = conv.weight().max_abs();
+        let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
+        let mut out = Tensor::zeros(&out_shape);
+        let patch_len = in_c * k * k;
+        let mut patch = vec![0.0f32; patch_len];
+        let mut kernel = vec![0.0f32; patch_len];
+        for oc in 0..oc_n {
+            // Gather this output channel's kernel once.
+            for ic in 0..in_c {
+                for kh in 0..k {
+                    for kw in 0..k {
+                        kernel[(ic * k + kh) * k + kw] =
+                            conv.weight().data()[((oc * in_c + ic) * k + kh) * k + kw];
+                    }
+                }
+            }
+            let bias = conv.bias().data()[oc];
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    for ic in 0..in_c {
+                        for kh in 0..k {
+                            for kw in 0..k {
+                                let ih = (oh * conv.stride() + kh) as isize - conv.padding() as isize;
+                                let iw = (ow * conv.stride() + kw) as isize - conv.padding() as isize;
+                                patch[(ic * k + kh) * k + kw] = if ih < 0
+                                    || iw < 0
+                                    || ih as usize >= in_h
+                                    || iw as usize >= in_w
+                                {
+                                    0.0
+                                } else {
+                                    input.data()[(ic * in_h + ih as usize) * in_w + iw as usize]
+                                };
+                            }
+                        }
+                    }
+                    let value = self.photonic_dot(
+                        &kernel,
+                        &patch,
+                        weight_scale,
+                        activation_scale,
+                        precision.weight_bits,
+                        precision.activation_bits,
+                    )?;
+                    out.data_mut()[(oc * oh_n + oh) * ow_n + ow] = value as f32 + bias;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn linear_forward(
+        &mut self,
+        linear: &lightator_nn::layers::Linear,
+        input: &Tensor,
+        precision: lightator_nn::quant::Precision,
+    ) -> Result<Tensor> {
+        linear.output_shape(input.shape())?;
+        let weight_scale = linear.weight().max_abs();
+        let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
+        let mut out = Tensor::zeros(&[linear.out_features()]);
+        for o in 0..linear.out_features() {
+            let row = &linear.weight().data()[o * linear.in_features()..(o + 1) * linear.in_features()];
+            let value = self.photonic_dot(
+                row,
+                input.data(),
+                weight_scale,
+                activation_scale,
+                precision.weight_bits,
+                precision.activation_bits,
+            )?;
+            out.data_mut()[o] = value as f32 + linear.bias().data()[o];
+        }
+        Ok(out)
+    }
+
+    /// Evaluates top-1 accuracy through the photonic datapath on at most
+    /// `limit` test samples, alongside the digital accuracy of the same
+    /// model for reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/photonic errors.
+    pub fn evaluate(
+        &mut self,
+        model: &mut Sequential,
+        dataset: &Dataset,
+        limit: usize,
+    ) -> Result<PhotonicAccuracy> {
+        let mut total = 0usize;
+        let mut photonic_correct = 0usize;
+        let mut digital_correct = 0usize;
+        for sample in dataset.test().iter().take(limit.max(1)) {
+            total += 1;
+            if self.predict(model, &sample.input)? == sample.label {
+                photonic_correct += 1;
+            }
+            if model.predict(&sample.input)? == sample.label {
+                digital_correct += 1;
+            }
+        }
+        Ok(PhotonicAccuracy {
+            photonic: photonic_correct as f64 / total.max(1) as f64,
+            digital: digital_correct as f64 / total.max(1) as f64,
+            samples: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightator_nn::datasets::{generate, SyntheticConfig};
+    use lightator_nn::models::build_mlp;
+    use lightator_nn::quant::{quantize_model_weights, Precision};
+    use lightator_nn::train::{evaluate, train, TrainConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn trained_setup() -> (Sequential, lightator_nn::datasets::Dataset) {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let dataset = generate("tiny", SyntheticConfig::tiny(3), &mut rng).expect("ok");
+        let mut model = build_mlp(&dataset.input_shape(), 3, 24, &mut rng).expect("ok");
+        train(
+            &mut model,
+            &dataset,
+            TrainConfig {
+                epochs: 8,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("ok");
+        (model, dataset)
+    }
+
+    #[test]
+    fn photonic_forward_matches_digital_argmax_for_ideal_optics() {
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::ideal(), 1).expect("ok");
+        let mut agree = 0usize;
+        let n = 6;
+        for sample in dataset.test().iter().take(n) {
+            let photonic = executor.predict(&mut model, &sample.input).expect("ok");
+            let digital = model.predict(&sample.input).expect("ok");
+            if photonic == digital {
+                agree += 1;
+            }
+        }
+        assert!(agree >= n - 1, "photonic and digital agreed on only {agree}/{n}");
+    }
+
+    #[test]
+    fn photonic_accuracy_close_to_digital_accuracy() {
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let digital = evaluate(&mut model, &dataset).expect("ok");
+        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 3).expect("ok");
+        let result = executor.evaluate(&mut model, &dataset, 8).expect("ok");
+        assert!(result.samples == 8);
+        assert!(result.photonic >= digital - 0.4, "photonic {} vs digital {digital}", result.photonic);
+        assert!(result.analog_degradation().abs() <= 1.0);
+    }
+
+    #[test]
+    fn executor_rejects_mismatched_input() {
+        let (mut model, _) = trained_setup();
+        let mut executor = PhotonicExecutor::new(
+            PrecisionSchedule::Uniform(Precision::w4a4()),
+            NoiseConfig::ideal(),
+            1,
+        )
+        .expect("ok");
+        let bad = Tensor::zeros(&[1, 3, 3]);
+        assert!(executor.forward(&mut model, &bad).is_err());
+    }
+
+    #[test]
+    fn lower_weight_precision_does_not_increase_fidelity() {
+        // Quantizing harder can only keep or reduce the agreement with the
+        // full-precision digital model.
+        let (mut model, dataset) = trained_setup();
+        let sample = &dataset.test()[0];
+        let digital = model.forward(&sample.input).expect("ok");
+        let mut deltas = Vec::new();
+        for precision in [Precision::w4a4(), Precision::w2a4()] {
+            let schedule = PrecisionSchedule::Uniform(precision);
+            let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::ideal(), 5).expect("ok");
+            let photonic = executor.forward(&mut model, &sample.input).expect("ok");
+            let delta: f32 = digital
+                .data()
+                .iter()
+                .zip(photonic.data())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            deltas.push(delta);
+        }
+        assert!(
+            deltas[1] >= deltas[0] * 0.5,
+            "2-bit execution should not be dramatically more faithful than 4-bit"
+        );
+    }
+}

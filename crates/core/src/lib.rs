@@ -1,0 +1,62 @@
+//! Lightator: an optical near-sensor accelerator with compressive
+//! acquisition (DAC 2024) — architecture-level reproduction.
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! photonic, sensor and DNN substrates:
+//!
+//! * [`config`] — optical-core geometry (96 banks × 6 arms × 9 MRs) and
+//!   platform parameters;
+//! * [`oc`] — MVM banks, the summation tree and the photonic MAC unit;
+//! * [`mapping`] — the §4 hardware-mapping methodology (3×3/5×5/7×7 kernels,
+//!   FC segmentation, CA banks);
+//! * [`ca`] — the Compressive Acquisitor fusing RGB→grayscale conversion and
+//!   average pooling into one optical pass (Eq. 1);
+//! * [`energy`] — the component power model behind Figs. 8 and 9;
+//! * [`sim`] — the architecture simulator producing latency, power and
+//!   KFPS/W (Table 1);
+//! * [`exec`] — functional photonic inference for accuracy measurements;
+//! * [`pipeline`] — the end-to-end node: sensor → CA → optical core.
+//!
+//! # Example
+//!
+//! Simulate LeNet on the paper's platform and read off the figure of merit:
+//!
+//! ```
+//! use lightator_core::config::LightatorConfig;
+//! use lightator_core::sim::ArchitectureSimulator;
+//! use lightator_nn::quant::{Precision, PrecisionSchedule};
+//! use lightator_nn::spec::NetworkSpec;
+//!
+//! # fn main() -> Result<(), lightator_core::CoreError> {
+//! let simulator = ArchitectureSimulator::new(LightatorConfig::paper())?;
+//! let report = simulator.simulate(
+//!     &NetworkSpec::lenet(),
+//!     PrecisionSchedule::Uniform(Precision::w4a4()),
+//! )?;
+//! println!("{:.1} KFPS/W at {:.2} W", report.kfps_per_watt(), report.max_power.watts());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ca;
+pub mod config;
+pub mod energy;
+pub mod error;
+pub mod exec;
+pub mod mapping;
+pub mod oc;
+pub mod pipeline;
+pub mod sim;
+
+pub use ca::{CaConfig, CompressiveAcquisitor};
+pub use config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
+pub use energy::{ComponentPower, EnergyModel, SramModel};
+pub use error::{CoreError, Result};
+pub use exec::{PhotonicAccuracy, PhotonicExecutor};
+pub use mapping::{HardwareMapper, LayerMapping, SummationUsage};
+pub use oc::{MvmBank, OpticalCore, PhotonicMacUnit};
+pub use pipeline::{FrameResult, LightatorNode};
+pub use sim::{ArchitectureSimulator, LayerReport, SimulationReport};

@@ -1,0 +1,211 @@
+//! End-to-end near-sensor pipeline: scene → sensor → CA → photonic inference.
+//!
+//! Ties the whole Lightator node together (paper Fig. 2): a scene is captured
+//! by the ADC-less sensor, optionally compressed by the CA banks, and the
+//! resulting activations are pushed through the optical core layer by layer,
+//! with the DMVA feeding each layer's output back as the next layer's input.
+
+use crate::ca::{CaConfig, CompressiveAcquisitor};
+use crate::error::{CoreError, Result};
+use crate::exec::PhotonicExecutor;
+use lightator_nn::model::Sequential;
+use lightator_nn::quant::PrecisionSchedule;
+use lightator_nn::tensor::Tensor;
+use lightator_photonics::noise::NoiseConfig;
+use lightator_sensor::array::{SensorArray, SensorArrayConfig};
+use lightator_sensor::frame::RgbFrame;
+use serde::{Deserialize, Serialize};
+
+/// Result of processing one frame end to end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameResult {
+    /// Predicted class.
+    pub class: usize,
+    /// Logit vector produced by the final layer.
+    pub logits: Vec<f32>,
+    /// Spatial dimensions of the tensor actually fed to the first DNN layer
+    /// (after optional compressive acquisition).
+    pub dnn_input_shape: Vec<usize>,
+}
+
+/// The complete Lightator node.
+#[derive(Debug, Clone)]
+pub struct LightatorNode {
+    sensor: SensorArray,
+    acquisitor: Option<CompressiveAcquisitor>,
+    executor: PhotonicExecutor,
+}
+
+impl LightatorNode {
+    /// Builds a node from a sensor configuration, an optional CA
+    /// configuration and the photonic execution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the sensor, CA or executor.
+    pub fn new(
+        sensor: SensorArrayConfig,
+        ca: Option<CaConfig>,
+        schedule: PrecisionSchedule,
+        noise: NoiseConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        Ok(Self {
+            sensor: SensorArray::new(sensor)?,
+            acquisitor: ca.map(CompressiveAcquisitor::new).transpose()?,
+            executor: PhotonicExecutor::new(schedule, noise, seed)?,
+        })
+    }
+
+    /// The sensor array.
+    #[must_use]
+    pub fn sensor(&self) -> &SensorArray {
+        &self.sensor
+    }
+
+    /// Whether compressive acquisition is enabled.
+    #[must_use]
+    pub fn uses_compressive_acquisition(&self) -> bool {
+        self.acquisitor.is_some()
+    }
+
+    /// Acquires a scene into the tensor fed to the first DNN layer.
+    ///
+    /// With CA enabled the result is a single-channel compressed map; without
+    /// it the raw 4-bit codes are normalised per photosite (one channel,
+    /// Bayer-patterned), matching the ADC-less acquisition path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor and CA errors.
+    pub fn acquire(&self, scene: &RgbFrame) -> Result<Tensor> {
+        match &self.acquisitor {
+            Some(ca) => {
+                let compressed = ca.acquire(scene)?;
+                let data: Vec<f32> = compressed.data().iter().map(|&v| v as f32).collect();
+                Ok(Tensor::from_vec(
+                    data,
+                    &[1, compressed.height(), compressed.width()],
+                )?)
+            }
+            None => {
+                let digital = self.sensor.capture(scene)?;
+                let data: Vec<f32> = digital.normalized().iter().map(|&v| v as f32).collect();
+                Ok(Tensor::from_vec(
+                    data,
+                    &[1, digital.height(), digital.width()],
+                )?)
+            }
+        }
+    }
+
+    /// Processes one frame end to end through a trained model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelMismatch`] if the acquired tensor does not
+    /// match the model's input shape, and propagates sensor/photonic errors.
+    pub fn process_frame(&mut self, scene: &RgbFrame, model: &mut Sequential) -> Result<FrameResult> {
+        let input = self.acquire(scene)?;
+        if input.shape() != model.input_shape() {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "acquired tensor {:?} does not match the model input {:?}; \
+                     choose a sensor resolution and CA window that produce the model's input",
+                    input.shape(),
+                    model.input_shape()
+                ),
+            });
+        }
+        let logits = self.executor.forward(model, &input)?;
+        let class = logits.argmax().ok_or(CoreError::ModelMismatch {
+            reason: "model produced an empty logit vector".to_string(),
+        })?;
+        Ok(FrameResult {
+            class,
+            logits: logits.data().to_vec(),
+            dnn_input_shape: input.shape().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightator_nn::layers::{Activation, Flatten, Linear};
+    use lightator_nn::quant::Precision;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(input: [usize; 3], classes: usize) -> Sequential {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model = Sequential::new(&input);
+        model.push(Flatten::new());
+        model.push(Linear::new(input.iter().product(), 12, &mut rng).expect("ok"));
+        model.push(Activation::relu());
+        model.push(Linear::new(12, classes, &mut rng).expect("ok"));
+        model
+    }
+
+    fn node(with_ca: bool, resolution: usize) -> LightatorNode {
+        LightatorNode::new(
+            SensorArrayConfig::with_resolution(resolution, resolution).expect("ok"),
+            with_ca.then(CaConfig::default),
+            PrecisionSchedule::Uniform(Precision::w4a4()),
+            NoiseConfig::ideal(),
+            7,
+        )
+        .expect("ok")
+    }
+
+    #[test]
+    fn acquisition_with_ca_halves_each_dimension() {
+        let node = node(true, 8);
+        let scene = RgbFrame::filled(8, 8, [0.4, 0.6, 0.2]).expect("ok");
+        let tensor = node.acquire(&scene).expect("ok");
+        assert_eq!(tensor.shape(), &[1, 4, 4]);
+        assert!(node.uses_compressive_acquisition());
+    }
+
+    #[test]
+    fn acquisition_without_ca_keeps_resolution() {
+        let node = node(false, 8);
+        let scene = RgbFrame::filled(8, 8, [0.4, 0.6, 0.2]).expect("ok");
+        let tensor = node.acquire(&scene).expect("ok");
+        assert_eq!(tensor.shape(), &[1, 8, 8]);
+    }
+
+    #[test]
+    fn end_to_end_frame_processing_classifies() {
+        let mut node = node(true, 8);
+        let mut model = tiny_model([1, 4, 4], 3);
+        let scene = RgbFrame::filled(8, 8, [0.9, 0.2, 0.1]).expect("ok");
+        let result = node.process_frame(&scene, &mut model).expect("ok");
+        assert!(result.class < 3);
+        assert_eq!(result.logits.len(), 3);
+        assert_eq!(result.dnn_input_shape, vec![1, 4, 4]);
+    }
+
+    #[test]
+    fn mismatched_model_is_reported() {
+        let mut node = node(true, 8);
+        let mut model = tiny_model([1, 8, 8], 3);
+        let scene = RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("ok");
+        assert!(matches!(
+            node.process_frame(&scene, &mut model),
+            Err(CoreError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn brighter_scenes_change_the_acquired_tensor() {
+        let node = node(true, 8);
+        let dark = node
+            .acquire(&RgbFrame::filled(8, 8, [0.1, 0.1, 0.1]).expect("ok"))
+            .expect("ok");
+        let bright = node
+            .acquire(&RgbFrame::filled(8, 8, [0.9, 0.9, 0.9]).expect("ok"))
+            .expect("ok");
+        assert!(bright.sum() > dark.sum());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the Lightator core.
+
+use lightator_core::ca::{CaConfig, CompressiveAcquisitor};
+use lightator_core::config::{LightatorConfig, OcGeometry};
+use lightator_core::energy::EnergyModel;
+use lightator_core::mapping::HardwareMapper;
+use lightator_core::oc::PhotonicMacUnit;
+use lightator_nn::quant::Precision;
+use lightator_nn::spec::{ConvSpec, LayerSpec, LinearSpec};
+use lightator_photonics::noise::NoiseConfig;
+use lightator_sensor::frame::RgbFrame;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every kernel size that fits a bank follows the Fig. 6 arithmetic:
+    /// arms_per_stride = ceil(k² / 9) and strides_per_bank = 6 / arms.
+    #[test]
+    fn kernel_mapping_arithmetic(kernel in 1usize..8) {
+        let mapper = HardwareMapper::new(OcGeometry::paper()).unwrap();
+        let layer = LayerSpec::Conv(ConvSpec {
+            in_channels: 4,
+            out_channels: 8,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+            in_height: 16,
+            in_width: 16,
+        });
+        let m = mapper.map_layer(&layer).unwrap();
+        let expected_arms = kernel * kernel / 9 + usize::from(kernel * kernel % 9 != 0);
+        prop_assert_eq!(m.arms_per_stride, expected_arms.max(1));
+        if expected_arms <= 6 {
+            prop_assert_eq!(m.strides_per_bank, 6 / expected_arms.max(1));
+        }
+        prop_assert!(m.compute_cycles * m.strides_per_cycle >= m.total_strides);
+        prop_assert!(m.active_mrs <= OcGeometry::paper().mrs());
+    }
+
+    /// Fully connected layers of any size map with the 9-MAC segmentation
+    /// and never claim more MRs than the core has.
+    #[test]
+    fn fc_mapping_bounded(in_features in 1usize..4096, out_features in 1usize..512) {
+        let mapper = HardwareMapper::new(OcGeometry::paper()).unwrap();
+        let layer = LayerSpec::Linear(LinearSpec { in_features, out_features });
+        let m = mapper.map_layer(&layer).unwrap();
+        let segments = in_features.div_ceil(9);
+        prop_assert_eq!(m.total_strides, segments * out_features);
+        prop_assert!(m.active_mrs <= OcGeometry::paper().mrs());
+        prop_assert!(m.weight_reloads >= 1);
+    }
+
+    /// Layer power decreases (weakly) as the weight bit-width shrinks, for
+    /// any mapped layer.
+    #[test]
+    fn power_monotone_in_weight_bits(out_channels in 1usize..64, spatial in 4usize..32) {
+        let mapper = HardwareMapper::new(OcGeometry::paper()).unwrap();
+        let energy = EnergyModel::new(LightatorConfig::paper()).unwrap();
+        let layer = LayerSpec::Conv(ConvSpec {
+            in_channels: 3,
+            out_channels,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            in_height: spatial,
+            in_width: spatial,
+        });
+        let mapping = mapper.map_layer(&layer).unwrap();
+        let p4 = energy.layer_power(&mapping, Precision::w4a4(), false).total().mw();
+        let p3 = energy.layer_power(&mapping, Precision::w3a4(), false).total().mw();
+        let p2 = energy.layer_power(&mapping, Precision::w2a4(), false).total().mw();
+        prop_assert!(p4 >= p3);
+        prop_assert!(p3 >= p2);
+        prop_assert!(p2 > 0.0);
+    }
+
+    /// The fused CA weighted sum equals grayscale conversion followed by
+    /// average pooling for arbitrary frames.
+    #[test]
+    fn ca_equivalence(values in proptest::collection::vec(0.0f64..1.0, 48)) {
+        let frame = RgbFrame::new(4, 4, values).unwrap();
+        let ca = CompressiveAcquisitor::new(CaConfig::default()).unwrap();
+        let fused = ca.acquire(&frame).unwrap();
+        let reference = ca.reference(&frame).unwrap();
+        for (a, b) in fused.data().iter().zip(reference.data()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The photonic MAC unit stays within a bounded error of the exact dot
+    /// product for ideal optics, regardless of vector length.
+    #[test]
+    fn photonic_dot_bounded_error(
+        pairs in proptest::collection::vec((-1.0f64..1.0, 0.0f64..1.0), 1..40),
+        seed in 0u64..500,
+    ) {
+        let weights: Vec<f64> = pairs.iter().map(|(w, _)| *w).collect();
+        let activations: Vec<f64> = pairs.iter().map(|(_, a)| *a).collect();
+        let mut unit = PhotonicMacUnit::new(NoiseConfig::ideal(), seed).unwrap();
+        let value = unit.dot(&weights, &activations).unwrap();
+        let exact: f64 = weights.iter().zip(&activations).map(|(w, a)| w * a).sum();
+        // Finite extinction ratio costs at most ~2% per product term.
+        let bound = 0.03 * weights.len() as f64 + 1e-6;
+        prop_assert!((value - exact).abs() <= bound, "error {} bound {}", (value - exact).abs(), bound);
+    }
+
+    /// Geometry arithmetic is self-consistent for arbitrary configurations.
+    #[test]
+    fn geometry_consistency(
+        mrs in 1usize..16,
+        arms in 1usize..12,
+        cols in 1usize..12,
+        rows in 1usize..16,
+    ) {
+        let g = OcGeometry {
+            mrs_per_arm: mrs,
+            arms_per_bank: arms,
+            bank_columns: cols,
+            bank_rows: rows,
+            ca_banks: 0,
+        };
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.mrs(), mrs * arms * cols * rows);
+        prop_assert_eq!(g.macs_per_cycle(), g.mrs());
+        prop_assert_eq!(g.arms(), arms * cols * rows);
+    }
+}

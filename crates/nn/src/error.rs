@@ -1,0 +1,100 @@
+//! Error type for the quantized DNN stack.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by tensors, layers, models and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor was constructed with inconsistent shape and data.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+    /// Two tensors (or a tensor and a layer) have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// The offending shape.
+        actual: Vec<usize>,
+    },
+    /// An index outside the tensor was accessed.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A dataset request could not be satisfied (e.g. zero classes).
+    InvalidDataset {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// `backward` was called before `forward` on a layer that caches its
+    /// input.
+    BackwardBeforeForward,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape/data mismatch: shape implies {expected} elements but {actual} were provided"
+            ),
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual:?}")
+            }
+            Self::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} is out of bounds for a tensor of {len} elements")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter `{name}`")
+            }
+            Self::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+            Self::BackwardBeforeForward => {
+                write!(f, "backward called before forward on a caching layer")
+            }
+        }
+    }
+}
+
+impl StdError for NnError {}
+
+/// Convenience result alias for the DNN stack.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let errs = vec![
+            NnError::ShapeDataMismatch { expected: 4, actual: 3 },
+            NnError::ShapeMismatch { expected: "[3, 32, 32]".into(), actual: vec![1, 28, 28] },
+            NnError::IndexOutOfBounds { index: 10, len: 4 },
+            NnError::InvalidParameter { name: "stride", value: 0.0 },
+            NnError::InvalidDataset { reason: "zero classes".into() },
+            NnError::BackwardBeforeForward,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

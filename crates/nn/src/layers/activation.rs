@@ -1,0 +1,218 @@
+//! Activation layers.
+//!
+//! Lightator implements `Sign`, `ReLU` and `tanh` in its electronic periphery
+//! (paper §3, "Optical Core"); the same three are provided here so trained
+//! models map one-to-one onto the accelerator.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The activation functions supported by the Lightator periphery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Sign function (±1), trained with a straight-through estimator.
+    Sign,
+}
+
+impl ActivationKind {
+    /// Applies the activation to a scalar.
+    #[must_use]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Sign => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+        }
+    }
+
+    /// Derivative with respect to the pre-activation `x` (for `Sign` the
+    /// straight-through estimator `1_{|x| <= 1}` is used).
+    #[must_use]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            ActivationKind::Sign => {
+                if x.abs() <= 1.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// An element-wise activation layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activation {
+    kind: ActivationKind,
+    cached_input: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    #[must_use]
+    pub fn new(kind: ActivationKind) -> Self {
+        Self {
+            kind,
+            cached_input: None,
+        }
+    }
+
+    /// Shorthand for a ReLU layer.
+    #[must_use]
+    pub fn relu() -> Self {
+        Self::new(ActivationKind::Relu)
+    }
+
+    /// Shorthand for a tanh layer.
+    #[must_use]
+    pub fn tanh() -> Self {
+        Self::new(ActivationKind::Tanh)
+    }
+
+    /// Shorthand for a sign layer.
+    #[must_use]
+    pub fn sign() -> Self {
+        Self::new(ActivationKind::Sign)
+    }
+
+    /// The activation kind.
+    #[must_use]
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+
+    /// Output shape (identical to the input shape).
+    #[must_use]
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    /// Forward pass; caches the pre-activation for `backward`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        input.map(|x| self.kind.apply(x))
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if `forward` has not been
+    /// called or [`NnError::ShapeMismatch`] for a wrong gradient shape.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        if grad_output.shape() != input.shape() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{:?}", input.shape()),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad = Tensor::zeros(input.shape());
+        for ((g, &go), &x) in grad
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(input.data())
+        {
+            *g = go * self.kind.derivative(x);
+        }
+        Ok(grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut act = Activation::relu();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).expect("ok");
+        assert_eq!(act.forward(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn tanh_is_bounded() {
+        let mut act = Activation::tanh();
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]).expect("ok");
+        let y = act.forward(&x);
+        assert!(y.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert_eq!(y.data()[1], 0.0);
+    }
+
+    #[test]
+    fn sign_produces_plus_minus_one() {
+        let mut act = Activation::sign();
+        let x = Tensor::from_vec(vec![-0.5, 0.0, 0.5], &[3]).expect("ok");
+        assert_eq!(act.forward(&x).data(), &[-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_negative_inputs() {
+        let mut act = Activation::relu();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]).expect("ok");
+        act.forward(&x);
+        let g = act
+            .backward(&Tensor::from_vec(vec![5.0, 5.0], &[2]).expect("ok"))
+            .expect("ok");
+        assert_eq!(g.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_backward_matches_analytic_derivative() {
+        let mut act = Activation::tanh();
+        let x = Tensor::from_vec(vec![0.3], &[1]).expect("ok");
+        act.forward(&x);
+        let g = act
+            .backward(&Tensor::from_vec(vec![1.0], &[1]).expect("ok"))
+            .expect("ok");
+        let expected = 1.0 - 0.3f32.tanh().powi(2);
+        assert!((g.data()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sign_backward_uses_straight_through_estimator() {
+        let mut act = Activation::sign();
+        let x = Tensor::from_vec(vec![-0.5, 3.0], &[2]).expect("ok");
+        act.forward(&x);
+        let g = act
+            .backward(&Tensor::from_vec(vec![1.0, 1.0], &[2]).expect("ok"))
+            .expect("ok");
+        assert_eq!(g.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward_and_matching_shape() {
+        let mut act = Activation::relu();
+        assert!(act.backward(&Tensor::zeros(&[2])).is_err());
+        let x = Tensor::zeros(&[2]);
+        act.forward(&x);
+        assert!(act.backward(&Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! 2-D convolution layer.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution over `[C, H, W]` inputs with square kernels.
+///
+/// Weights are stored as `[out_channels, in_channels, kernel, kernel]` and a
+/// per-output-channel bias. The layer caches its input on `forward` so that
+/// `backward` can compute weight gradients (plain SGD training).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if a structural parameter is
+    /// zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        for (name, value) in [
+            ("in_channels", in_channels),
+            ("out_channels", out_channels),
+            ("kernel", kernel),
+            ("stride", stride),
+        ] {
+            if value == 0 {
+                return Err(NnError::InvalidParameter {
+                    name,
+                    value: value as f64,
+                });
+            }
+        }
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let weight_shape = [out_channels, in_channels, kernel, kernel];
+        let weight_data: Vec<f32> = (0..weight_shape.iter().product())
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight: Tensor::from_vec(weight_data, &weight_shape)?,
+            bias: Tensor::zeros(&[out_channels]),
+            grad_weight: Tensor::zeros(&weight_shape),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        })
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels (filters).
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel size.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each border.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// The weight tensor `[out, in, k, k]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the weights (used by quantization passes).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector `[out]`.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Output shape for a `[C, H, W]` input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the input is not 3-D with the
+    /// right channel count, or too small for the kernel.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        if input_shape.len() != 3 || input_shape[0] != self.in_channels {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{}, H, W]", self.in_channels),
+                actual: input_shape.to_vec(),
+            });
+        }
+        let h = input_shape[1] + 2 * self.padding;
+        let w = input_shape[2] + 2 * self.padding;
+        if h < self.kernel || w < self.kernel {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("spatial size of at least {}x{}", self.kernel, self.kernel),
+                actual: input_shape.to_vec(),
+            });
+        }
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        Ok(vec![self.out_channels, oh, ow])
+    }
+
+    fn input_at(&self, input: &Tensor, c: usize, ih: isize, iw: isize) -> f32 {
+        let shape = input.shape();
+        if ih < 0 || iw < 0 || ih as usize >= shape[1] || iw as usize >= shape[2] {
+            return 0.0;
+        }
+        input.data()[(c * shape[1] + ih as usize) * shape[2] + iw as usize]
+    }
+
+    /// Forward pass; caches the input for the subsequent backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for an incompatible input.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (oc_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let mut out = Tensor::zeros(&out_shape);
+        let w = self.weight.data();
+        let k = self.kernel;
+        for oc in 0..oc_n {
+            let bias = self.bias.data()[oc];
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    let mut acc = bias;
+                    for ic in 0..self.in_channels {
+                        for kh in 0..k {
+                            for kw in 0..k {
+                                let ih = (oh * self.stride + kh) as isize - self.padding as isize;
+                                let iw = (ow * self.stride + kw) as isize - self.padding as isize;
+                                let x = self.input_at(input, ic, ih, iw);
+                                if x != 0.0 {
+                                    acc += x * w[((oc * self.in_channels + ic) * k + kh) * k + kw];
+                                }
+                            }
+                        }
+                    }
+                    out.data_mut()[(oc * oh_n + oh) * ow_n + ow] = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if `forward` has not been
+    /// called, or [`NnError::ShapeMismatch`] if `grad_output` has the wrong
+    /// shape.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?
+            .clone();
+        let out_shape = self.output_shape(input.shape())?;
+        if grad_output.shape() != out_shape.as_slice() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{out_shape:?}"),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let (oc_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
+        let k = self.kernel;
+        let mut grad_input = Tensor::zeros(input.shape());
+        for oc in 0..oc_n {
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    let g = grad_output.data()[(oc * oh_n + oh) * ow_n + ow];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_bias.data_mut()[oc] += g;
+                    for ic in 0..self.in_channels {
+                        for kh in 0..k {
+                            for kw in 0..k {
+                                let ih = (oh * self.stride + kh) as isize - self.padding as isize;
+                                let iw = (ow * self.stride + kw) as isize - self.padding as isize;
+                                if ih < 0 || iw < 0 || ih as usize >= in_h || iw as usize >= in_w {
+                                    continue;
+                                }
+                                let (ih, iw) = (ih as usize, iw as usize);
+                                let x = input.data()[(ic * in_h + ih) * in_w + iw];
+                                let w_idx = ((oc * self.in_channels + ic) * k + kh) * k + kw;
+                                self.grad_weight.data_mut()[w_idx] += g * x;
+                                grad_input.data_mut()[(ic * in_h + ih) * in_w + iw] +=
+                                    g * self.weight.data()[w_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    /// Applies the accumulated gradients with a plain SGD step and clears
+    /// them.
+    pub fn apply_gradients(&mut self, learning_rate: f32) {
+        let lr = learning_rate;
+        for (w, g) in self.weight.data_mut().iter_mut().zip(self.grad_weight.data()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.data_mut().iter_mut().zip(self.grad_bias.data()) {
+            *b -= lr * g;
+        }
+        self.zero_gradients();
+    }
+
+    /// Clears the accumulated gradients.
+    pub fn zero_gradients(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Number of multiply-accumulate operations for one `[C, H, W]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for an incompatible input shape.
+    pub fn mac_count(&self, input_shape: &[usize]) -> Result<usize> {
+        let out = self.output_shape(input_shape)?;
+        Ok(out[0] * out[1] * out[2] * self.in_channels * self.kernel * self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(Conv2d::new(0, 1, 3, 1, 0, &mut rng()).is_err());
+        assert!(Conv2d::new(1, 1, 0, 1, 0, &mut rng()).is_err());
+        assert!(Conv2d::new(1, 1, 3, 0, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn output_shape_matches_formula() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng()).expect("ok");
+        assert_eq!(conv.output_shape(&[3, 32, 32]).expect("ok"), vec![8, 32, 32]);
+        let conv = Conv2d::new(1, 6, 5, 1, 0, &mut rng()).expect("ok");
+        assert_eq!(conv.output_shape(&[1, 28, 28]).expect("ok"), vec![6, 24, 24]);
+        let conv = Conv2d::new(1, 1, 3, 2, 0, &mut rng()).expect("ok");
+        assert_eq!(conv.output_shape(&[1, 7, 7]).expect("ok"), vec![1, 3, 3]);
+        assert!(conv.output_shape(&[2, 7, 7]).is_err());
+        assert!(conv.output_shape(&[1, 2, 2]).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng()).expect("ok");
+        conv.weight_mut().data_mut()[0] = 1.0;
+        conv.bias_mut().data_mut()[0] = 0.0;
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).expect("ok");
+        let out = conv.forward(&input).expect("ok");
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 2x2 input, 2x2 all-ones kernel, no padding: output = sum of input.
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng()).expect("ok");
+        conv.weight_mut().data_mut().fill(1.0);
+        conv.bias_mut().data_mut()[0] = 0.5;
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).expect("ok");
+        let out = conv.forward(&input).expect("ok");
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert!((out.data()[0] - 10.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng()).expect("ok");
+        let input = Tensor::full(&[1, 5, 5], 1.0);
+        let out = conv.forward(&input).expect("ok");
+        assert_eq!(out.shape(), &[2, 5, 5]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng()).expect("ok");
+        let g = Tensor::zeros(&[1, 5, 5]);
+        assert!(matches!(conv.backward(&g), Err(NnError::BackwardBeforeForward)));
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_difference() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng()).expect("ok");
+        let input = Tensor::from_vec(vec![0.5, -0.25, 0.75, 1.0], &[1, 2, 2]).expect("ok");
+        // Loss = output value itself (single output element), so dL/dw = x.
+        let out = conv.forward(&input).expect("ok");
+        assert_eq!(out.len(), 1);
+        let grad_out = Tensor::full(&[1, 1, 1], 1.0);
+        let grad_in = conv.backward(&grad_out).expect("ok");
+        // dL/dinput = w
+        for (gi, w) in grad_in.data().iter().zip(conv.weight().data()) {
+            assert!((gi - w).abs() < 1e-6);
+        }
+        // dL/dw = input
+        assert!((conv.grad_weight.data()[0] - 0.5).abs() < 1e-6);
+        assert!((conv.grad_bias.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        // Fit a 1x1 conv to multiply by 2.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng()).expect("ok");
+        let input = Tensor::from_vec(vec![1.0], &[1, 1, 1]).expect("ok");
+        let target = 2.0f32;
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..50 {
+            let out = conv.forward(&input).expect("ok");
+            let diff = out.data()[0] - target;
+            let loss = diff * diff;
+            let grad = Tensor::from_vec(vec![2.0 * diff], &[1, 1, 1]).expect("ok");
+            conv.backward(&grad).expect("ok");
+            conv.apply_gradients(0.1);
+            assert!(loss <= last_loss + 1e-4);
+            last_loss = loss;
+        }
+        assert!(last_loss < 1e-3);
+    }
+
+    #[test]
+    fn mac_count_matches_formula() {
+        let conv = Conv2d::new(3, 16, 3, 1, 1, &mut rng()).expect("ok");
+        // 16 * 32 * 32 output elements, each needing 3*3*3 MACs.
+        assert_eq!(conv.mac_count(&[3, 32, 32]).expect("ok"), 16 * 32 * 32 * 27);
+    }
+
+    #[test]
+    fn parameter_count_includes_bias() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng()).expect("ok");
+        assert_eq!(conv.parameter_count(), 8 * 3 * 3 * 3 + 8);
+    }
+}

@@ -1,0 +1,79 @@
+//! Flatten layer bridging convolutional and fully-connected stages.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Flattens any input tensor into a 1-D vector, remembering the original
+/// shape so gradients can be folded back.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Output shape for any input shape.
+    #[must_use]
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for uniformity with the other layers.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.cached_shape = Some(input.shape().to_vec());
+        input.reshaped(&[input.len()])
+    }
+
+    /// Backward pass: reshapes the gradient back to the cached input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if `forward` has not run or
+    /// a shape error if the gradient length differs.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?
+            .clone();
+        grad_output.reshaped(&shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut flat = Flatten::new();
+        let x = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 2, 2]).expect("ok");
+        let y = flat.forward(&x).expect("ok");
+        assert_eq!(y.shape(), &[12]);
+        let g = flat.backward(&y).expect("ok");
+        assert_eq!(g.shape(), &[3, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut flat = Flatten::new();
+        assert!(flat.backward(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn output_shape_is_product() {
+        let flat = Flatten::new();
+        assert_eq!(flat.output_shape(&[16, 5, 5]), vec![400]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fully-connected (linear) layer.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = W·x + b` over flat `[N]` inputs.
+///
+/// Weights are stored as `[out_features, in_features]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Result<Self> {
+        if in_features == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "in_features",
+                value: 0.0,
+            });
+        }
+        if out_features == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "out_features",
+                value: 0.0,
+            });
+        }
+        let scale = (2.0 / in_features as f32).sqrt();
+        let data: Vec<f32> = (0..in_features * out_features)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Ok(Self {
+            in_features,
+            out_features,
+            weight: Tensor::from_vec(data, &[out_features, in_features])?,
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        })
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix `[out, in]`.
+    #[must_use]
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the weights (used by quantization passes).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector `[out]`.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Output shape for a flat input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless the input is `[in_features]`.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        if input_shape.len() != 1 || input_shape[0] != self.in_features {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{}]", self.in_features),
+                actual: input_shape.to_vec(),
+            });
+        }
+        Ok(vec![self.out_features])
+    }
+
+    /// Forward pass; caches the input for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for an incompatible input.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.output_shape(input.shape())?;
+        let mut out = Tensor::zeros(&[self.out_features]);
+        for o in 0..self.out_features {
+            let row = &self.weight.data()[o * self.in_features..(o + 1) * self.in_features];
+            let acc: f32 = row.iter().zip(input.data()).map(|(w, x)| w * x).sum();
+            out.data_mut()[o] = acc + self.bias.data()[o];
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates gradients and returns the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if `forward` has not been
+    /// called or [`NnError::ShapeMismatch`] for a wrong `grad_output` shape.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?
+            .clone();
+        if grad_output.shape() != [self.out_features] {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("[{}]", self.out_features),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(&[self.in_features]);
+        for o in 0..self.out_features {
+            let g = grad_output.data()[o];
+            if g == 0.0 {
+                continue;
+            }
+            self.grad_bias.data_mut()[o] += g;
+            for i in 0..self.in_features {
+                self.grad_weight.data_mut()[o * self.in_features + i] += g * input.data()[i];
+                grad_input.data_mut()[i] += g * self.weight.data()[o * self.in_features + i];
+            }
+        }
+        Ok(grad_input)
+    }
+
+    /// Applies the accumulated gradients with a plain SGD step and clears
+    /// them.
+    pub fn apply_gradients(&mut self, learning_rate: f32) {
+        for (w, g) in self.weight.data_mut().iter_mut().zip(self.grad_weight.data()) {
+            *w -= learning_rate * g;
+        }
+        for (b, g) in self.bias.data_mut().iter_mut().zip(self.grad_bias.data()) {
+            *b -= learning_rate * g;
+        }
+        self.zero_gradients();
+    }
+
+    /// Clears the accumulated gradients.
+    pub fn zero_gradients(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Number of multiply-accumulate operations per inference.
+    #[must_use]
+    pub fn mac_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn rejects_zero_features() {
+        assert!(Linear::new(0, 4, &mut rng()).is_err());
+        assert!(Linear::new(4, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut lin = Linear::new(2, 2, &mut rng()).expect("ok");
+        lin.weight_mut().data_mut().copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
+        lin.bias_mut().data_mut().copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[2]).expect("ok");
+        let y = lin.forward(&x).expect("ok");
+        assert!((y.data()[0] - (1.0 * 3.0 + 2.0 * 4.0 + 0.5)).abs() < 1e-6);
+        assert!((y.data()[1] - (-1.0 * 3.0 + 0.5 * 4.0 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut lin = Linear::new(3, 2, &mut rng()).expect("ok");
+        assert!(lin.forward(&Tensor::zeros(&[4])).is_err());
+        assert!(lin.forward(&Tensor::zeros(&[3, 1])).is_err());
+        assert_eq!(lin.output_shape(&[3]).expect("ok"), vec![2]);
+    }
+
+    #[test]
+    fn backward_gradients_are_exact() {
+        let mut lin = Linear::new(2, 1, &mut rng()).expect("ok");
+        lin.weight_mut().data_mut().copy_from_slice(&[2.0, -3.0]);
+        lin.bias_mut().data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(vec![0.5, 1.5], &[2]).expect("ok");
+        lin.forward(&x).expect("ok");
+        let grad_in = lin.backward(&Tensor::from_vec(vec![1.0], &[1]).expect("ok")).expect("ok");
+        assert_eq!(grad_in.data(), &[2.0, -3.0]);
+        assert_eq!(lin.grad_weight.data(), &[0.5, 1.5]);
+        assert_eq!(lin.grad_bias.data(), &[1.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut lin = Linear::new(2, 1, &mut rng()).expect("ok");
+        assert!(matches!(
+            lin.backward(&Tensor::zeros(&[1])),
+            Err(NnError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn sgd_fits_linear_target() {
+        let mut lin = Linear::new(1, 1, &mut rng()).expect("ok");
+        // Fit y = 3x.
+        let mut loss = f32::INFINITY;
+        for step in 0..200 {
+            let x = Tensor::from_vec(vec![(step % 5) as f32 / 5.0 + 0.1], &[1]).expect("ok");
+            let target = 3.0 * x.data()[0];
+            let y = lin.forward(&x).expect("ok");
+            let diff = y.data()[0] - target;
+            loss = diff * diff;
+            lin.backward(&Tensor::from_vec(vec![2.0 * diff], &[1]).expect("ok")).expect("ok");
+            lin.apply_gradients(0.2);
+        }
+        assert!(loss < 1e-3, "final loss {loss}");
+        assert!((lin.weight().data()[0] - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn counts() {
+        let lin = Linear::new(10, 4, &mut rng()).expect("ok");
+        assert_eq!(lin.parameter_count(), 44);
+        assert_eq!(lin.mac_count(), 40);
+    }
+}

@@ -1,0 +1,260 @@
+//! Neural-network layers.
+//!
+//! Layers are gathered into the [`LayerNode`] enum rather than trait objects
+//! so that downstream crates (the Lightator mapper, the baseline models) can
+//! pattern-match on the concrete layer types when assigning weights to MVM
+//! banks or counting MAC operations.
+
+pub mod activation;
+pub mod conv;
+pub mod flatten;
+pub mod linear;
+pub mod pool;
+
+pub use activation::{Activation, ActivationKind};
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One layer of a [`Sequential`](crate::model::Sequential) model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerNode {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Fully connected layer.
+    Linear(Linear),
+    /// Element-wise activation.
+    Activation(Activation),
+    /// Non-overlapping max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Non-overlapping average pooling.
+    AvgPool2d(AvgPool2d),
+    /// Flatten to a vector.
+    Flatten(Flatten),
+}
+
+impl LayerNode {
+    /// Human-readable layer name used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerNode::Conv2d(_) => "conv2d",
+            LayerNode::Linear(_) => "linear",
+            LayerNode::Activation(a) => match a.kind() {
+                ActivationKind::Relu => "relu",
+                ActivationKind::Tanh => "tanh",
+                ActivationKind::Sign => "sign",
+            },
+            LayerNode::MaxPool2d(_) => "maxpool2d",
+            LayerNode::AvgPool2d(_) => "avgpool2d",
+            LayerNode::Flatten(_) => "flatten",
+        }
+    }
+
+    /// Whether the layer carries trainable weights (and therefore occupies
+    /// MVM banks when mapped onto the optical core).
+    #[must_use]
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, LayerNode::Conv2d(_) | LayerNode::Linear(_))
+    }
+
+    /// The layer's weight tensor, if it has one.
+    #[must_use]
+    pub fn weight(&self) -> Option<&Tensor> {
+        match self {
+            LayerNode::Conv2d(c) => Some(c.weight()),
+            LayerNode::Linear(l) => Some(l.weight()),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the layer's weight tensor, if it has one.
+    pub fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        match self {
+            LayerNode::Conv2d(c) => Some(c.weight_mut()),
+            LayerNode::Linear(l) => Some(l.weight_mut()),
+            _ => None,
+        }
+    }
+
+    /// The layer's bias tensor, if it has one.
+    #[must_use]
+    pub fn bias(&self) -> Option<&Tensor> {
+        match self {
+            LayerNode::Conv2d(c) => Some(c.bias()),
+            LayerNode::Linear(l) => Some(l.bias()),
+            _ => None,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying layer's shape errors.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        match self {
+            LayerNode::Conv2d(c) => c.output_shape(input_shape),
+            LayerNode::Linear(l) => l.output_shape(input_shape),
+            LayerNode::Activation(a) => Ok(a.output_shape(input_shape)),
+            LayerNode::MaxPool2d(p) => p.output_shape(input_shape),
+            LayerNode::AvgPool2d(p) => p.output_shape(input_shape),
+            LayerNode::Flatten(f) => Ok(f.output_shape(input_shape)),
+        }
+    }
+
+    /// Forward pass (caches whatever the layer needs for `backward`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying layer's errors.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        match self {
+            LayerNode::Conv2d(c) => c.forward(input),
+            LayerNode::Linear(l) => l.forward(input),
+            LayerNode::Activation(a) => Ok(a.forward(input)),
+            LayerNode::MaxPool2d(p) => p.forward(input),
+            LayerNode::AvgPool2d(p) => p.forward(input),
+            LayerNode::Flatten(f) => f.forward(input),
+        }
+    }
+
+    /// Backward pass; accumulates parameter gradients where applicable and
+    /// returns the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying layer's errors.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match self {
+            LayerNode::Conv2d(c) => c.backward(grad_output),
+            LayerNode::Linear(l) => l.backward(grad_output),
+            LayerNode::Activation(a) => a.backward(grad_output),
+            LayerNode::MaxPool2d(p) => p.backward(grad_output),
+            LayerNode::AvgPool2d(p) => p.backward(grad_output),
+            LayerNode::Flatten(f) => f.backward(grad_output),
+        }
+    }
+
+    /// Applies accumulated gradients with an SGD step (no-op for stateless
+    /// layers).
+    pub fn apply_gradients(&mut self, learning_rate: f32) {
+        match self {
+            LayerNode::Conv2d(c) => c.apply_gradients(learning_rate),
+            LayerNode::Linear(l) => l.apply_gradients(learning_rate),
+            _ => {}
+        }
+    }
+
+    /// Clears accumulated gradients (no-op for stateless layers).
+    pub fn zero_gradients(&mut self) {
+        match self {
+            LayerNode::Conv2d(c) => c.zero_gradients(),
+            LayerNode::Linear(l) => l.zero_gradients(),
+            _ => {}
+        }
+    }
+
+    /// Number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            LayerNode::Conv2d(c) => c.parameter_count(),
+            LayerNode::Linear(l) => l.parameter_count(),
+            _ => 0,
+        }
+    }
+
+    /// Number of MAC operations executed for one input of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying layer.
+    pub fn mac_count(&self, input_shape: &[usize]) -> Result<usize> {
+        match self {
+            LayerNode::Conv2d(c) => c.mac_count(input_shape),
+            LayerNode::Linear(l) => Ok(l.mac_count()),
+            _ => Ok(0),
+        }
+    }
+}
+
+impl From<Conv2d> for LayerNode {
+    fn from(layer: Conv2d) -> Self {
+        LayerNode::Conv2d(layer)
+    }
+}
+
+impl From<Linear> for LayerNode {
+    fn from(layer: Linear) -> Self {
+        LayerNode::Linear(layer)
+    }
+}
+
+impl From<Activation> for LayerNode {
+    fn from(layer: Activation) -> Self {
+        LayerNode::Activation(layer)
+    }
+}
+
+impl From<MaxPool2d> for LayerNode {
+    fn from(layer: MaxPool2d) -> Self {
+        LayerNode::MaxPool2d(layer)
+    }
+}
+
+impl From<AvgPool2d> for LayerNode {
+    fn from(layer: AvgPool2d) -> Self {
+        LayerNode::AvgPool2d(layer)
+    }
+}
+
+impl From<Flatten> for LayerNode {
+    fn from(layer: Flatten) -> Self {
+        LayerNode::Flatten(layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_and_weight_presence() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let conv: LayerNode = Conv2d::new(1, 2, 3, 1, 1, &mut rng).expect("ok").into();
+        let relu: LayerNode = Activation::relu().into();
+        assert_eq!(conv.name(), "conv2d");
+        assert_eq!(relu.name(), "relu");
+        assert!(conv.is_weighted());
+        assert!(conv.weight().is_some());
+        assert!(conv.bias().is_some());
+        assert!(!relu.is_weighted());
+        assert!(relu.weight().is_none());
+    }
+
+    #[test]
+    fn dispatch_forwards_through_enum() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut node: LayerNode = Linear::new(4, 2, &mut rng).expect("ok").into();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).expect("ok");
+        let y = node.forward(&x).expect("ok");
+        assert_eq!(y.shape(), &[2]);
+        assert_eq!(node.output_shape(&[4]).expect("ok"), vec![2]);
+        assert!(node.mac_count(&[4]).expect("ok") > 0);
+    }
+
+    #[test]
+    fn stateless_layers_report_zero_parameters() {
+        let pool: LayerNode = MaxPool2d::new(2).expect("ok").into();
+        assert_eq!(pool.parameter_count(), 0);
+        assert_eq!(pool.mac_count(&[1, 4, 4]).expect("ok"), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Pooling layers.
+//!
+//! Average pooling is first-class in Lightator: the compressive acquisitor
+//! realises it optically as a weighted sum (paper Eq. 1), and the simulator's
+//! CA banks take over pooling layers wholesale. Max pooling is provided for
+//! the LeNet/VGG baselines trained in the electronic domain.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+fn pooled_shape(input_shape: &[usize], window: usize) -> Result<Vec<usize>> {
+    if input_shape.len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            expected: "[C, H, W]".to_string(),
+            actual: input_shape.to_vec(),
+        });
+    }
+    if window == 0 || input_shape[1] % window != 0 || input_shape[2] % window != 0 {
+        return Err(NnError::InvalidParameter {
+            name: "window",
+            value: window as f64,
+        });
+    }
+    Ok(vec![input_shape[0], input_shape[1] / window, input_shape[2] / window])
+}
+
+/// Non-overlapping 2-D max pooling (stride = window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    window: usize,
+    cached_input: Option<Tensor>,
+    cached_argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with a square window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if `window` is zero.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            window,
+            cached_input: None,
+            cached_argmax: Vec::new(),
+        })
+    }
+
+    /// The pooling window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Output shape for a `[C, H, W]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] / [`NnError::InvalidParameter`] for
+    /// incompatible shapes.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        pooled_shape(input_shape, self.window)
+    }
+
+    /// Forward pass; records the argmax locations for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for incompatible inputs.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (c_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(&out_shape);
+        self.cached_argmax = vec![0; out.len()];
+        for c in 0..c_n {
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dr in 0..self.window {
+                        for dc in 0..self.window {
+                            let idx = (c * in_h + oh * self.window + dr) * in_w + ow * self.window + dc;
+                            let v = input.data()[idx];
+                            if v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let out_idx = (c * oh_n + oh) * ow_n + ow;
+                    out.data_mut()[out_idx] = best;
+                    self.cached_argmax[out_idx] = best_idx;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    /// Backward pass: routes each gradient to the input element that won the
+    /// max.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if `forward` has not run or
+    /// a shape error for a wrong `grad_output`.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        let out_shape = self.output_shape(input.shape())?;
+        if grad_output.shape() != out_shape.as_slice() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{out_shape:?}"),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let mut grad_input = Tensor::zeros(input.shape());
+        for (out_idx, &g) in grad_output.data().iter().enumerate() {
+            grad_input.data_mut()[self.cached_argmax[out_idx]] += g;
+        }
+        Ok(grad_input)
+    }
+}
+
+/// Non-overlapping 2-D average pooling (stride = window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    window: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with a square window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if `window` is zero.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "window",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            window,
+            cached_shape: None,
+        })
+    }
+
+    /// The pooling window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Output shape for a `[C, H, W]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for incompatible inputs.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        pooled_shape(input_shape, self.window)
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for incompatible inputs.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let out_shape = self.output_shape(input.shape())?;
+        let (c_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let (in_h, in_w) = (input.shape()[1], input.shape()[2]);
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut out = Tensor::zeros(&out_shape);
+        for c in 0..c_n {
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    let mut acc = 0.0;
+                    for dr in 0..self.window {
+                        for dc in 0..self.window {
+                            acc += input.data()
+                                [(c * in_h + oh * self.window + dr) * in_w + ow * self.window + dc];
+                        }
+                    }
+                    out.data_mut()[(c * oh_n + oh) * ow_n + ow] = acc * norm;
+                }
+            }
+        }
+        self.cached_shape = Some(input.shape().to_vec());
+        Ok(out)
+    }
+
+    /// Backward pass: spreads each gradient uniformly over its window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if `forward` has not run or
+    /// a shape error for a wrong `grad_output`.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let in_shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?
+            .clone();
+        let out_shape = self.output_shape(&in_shape)?;
+        if grad_output.shape() != out_shape.as_slice() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{out_shape:?}"),
+                actual: grad_output.shape().to_vec(),
+            });
+        }
+        let (c_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let (in_h, in_w) = (in_shape[1], in_shape[2]);
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut grad_input = Tensor::zeros(&in_shape);
+        for c in 0..c_n {
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    let g = grad_output.data()[(c * oh_n + oh) * ow_n + ow] * norm;
+                    for dr in 0..self.window {
+                        for dc in 0..self.window {
+                            grad_input.data_mut()
+                                [(c * in_h + oh * self.window + dr) * in_w + ow * self.window + dc] += g;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(MaxPool2d::new(0).is_err());
+        assert!(AvgPool2d::new(0).is_err());
+    }
+
+    #[test]
+    fn shapes_require_divisible_extents() {
+        let pool = MaxPool2d::new(2).expect("ok");
+        assert_eq!(pool.output_shape(&[3, 4, 4]).expect("ok"), vec![3, 2, 2]);
+        assert!(pool.output_shape(&[3, 5, 4]).is_err());
+        assert!(pool.output_shape(&[4, 4]).is_err());
+    }
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let mut pool = MaxPool2d::new(2).expect("ok");
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).expect("ok");
+        let out = pool.forward(&input).expect("ok");
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let mut pool = AvgPool2d::new(2).expect("ok");
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).expect("ok");
+        let out = pool.forward(&input).expect("ok");
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2).expect("ok");
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).expect("ok");
+        pool.forward(&input).expect("ok");
+        let grad = pool
+            .backward(&Tensor::from_vec(vec![1.0], &[1, 1, 1]).expect("ok"))
+            .expect("ok");
+        assert_eq!(grad.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let mut pool = AvgPool2d::new(2).expect("ok");
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).expect("ok");
+        pool.forward(&input).expect("ok");
+        let grad = pool
+            .backward(&Tensor::from_vec(vec![1.0], &[1, 1, 1]).expect("ok"))
+            .expect("ok");
+        assert!(grad.data().iter().all(|&g| (g - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut max = MaxPool2d::new(2).expect("ok");
+        assert!(max.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+        let mut avg = AvgPool2d::new(2).expect("ok");
+        assert!(avg.backward(&Tensor::zeros(&[1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn multi_channel_pooling_is_independent_per_channel() {
+        let mut pool = MaxPool2d::new(2).expect("ok");
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
+            &[2, 2, 2],
+        )
+        .expect("ok");
+        let out = pool.forward(&input).expect("ok");
+        assert_eq!(out.data(), &[4.0, -1.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the quantized DNN stack.
+
+use lightator_nn::layers::{Activation, ActivationKind, AvgPool2d, Conv2d, Linear};
+use lightator_nn::quant::{
+    quantization_rmse, quantize_symmetric, quantize_tensor_symmetric, quantize_unsigned, Precision,
+    PrecisionSchedule,
+};
+use lightator_nn::spec::NetworkSpec;
+use lightator_nn::tensor::Tensor;
+use lightator_nn::train::softmax;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Symmetric quantization never increases magnitude beyond the scale and
+    /// is idempotent (quantizing twice equals quantizing once).
+    #[test]
+    fn symmetric_quantization_idempotent(value in -10.0f32..10.0, bits in 2u8..8) {
+        let scale = 5.0;
+        let q1 = quantize_symmetric(value, scale, bits);
+        let q2 = quantize_symmetric(q1, scale, bits);
+        prop_assert!(q1.abs() <= scale + 1e-6);
+        prop_assert!((q1 - q2).abs() < 1e-6);
+    }
+
+    /// Quantization error is bounded by half a step of the quantization grid.
+    #[test]
+    fn quantization_error_bounded(value in -1.0f32..1.0, bits in 2u8..8) {
+        let scale = 1.0;
+        let q = quantize_symmetric(value, scale, bits);
+        let q_max = ((1u32 << (bits - 1)) - 1) as f32;
+        let step = scale / q_max;
+        prop_assert!((q - value).abs() <= step / 2.0 + 1e-6);
+    }
+
+    /// Unsigned quantization stays within [0, scale].
+    #[test]
+    fn unsigned_quantization_bounded(value in -2.0f32..4.0, bits in 1u8..8) {
+        let q = quantize_unsigned(value, 2.0, bits);
+        prop_assert!((0.0..=2.0 + 1e-6).contains(&q));
+    }
+
+    /// Per-tensor RMSE is bounded by half the quantization step at every
+    /// bit-width (strict per-bit monotonicity does not hold in general
+    /// because individual values may land exactly on a coarser grid).
+    #[test]
+    fn rmse_bounded_by_half_step(values in proptest::collection::vec(-1.0f32..1.0, 8..64)) {
+        let t = Tensor::from_vec(values.clone(), &[values.len()]).unwrap();
+        let scale = f64::from(t.max_abs());
+        for bits in 2u8..=6 {
+            let e = quantization_rmse(&t, bits);
+            let step = scale / f64::from((1u32 << (bits - 1)) - 1);
+            prop_assert!(e <= step / 2.0 + 1e-9, "bits {bits}: rmse {e} step {step}");
+        }
+        // The coarsest and finest grids still order correctly.
+        prop_assert!(quantization_rmse(&t, 6) <= quantization_rmse(&t, 2) + 1e-9);
+    }
+
+    /// Tensor quantization preserves signs.
+    #[test]
+    fn quantization_preserves_sign(values in proptest::collection::vec(-1.0f32..1.0, 4..32)) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let (q, _) = quantize_tensor_symmetric(&t, 4);
+        for (&orig, &quant) in t.data().iter().zip(q.data()) {
+            if quant != 0.0 {
+                prop_assert!(orig.signum() == quant.signum());
+            }
+        }
+    }
+
+    /// Softmax always produces a probability distribution.
+    #[test]
+    fn softmax_distribution(values in proptest::collection::vec(-20.0f32..20.0, 2..16)) {
+        let t = Tensor::from_vec(values.clone(), &[values.len()]).unwrap();
+        let p = softmax(&t);
+        prop_assert!((p.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(p.data().iter().all(|&x| x >= 0.0));
+        // Softmax preserves the argmax.
+        prop_assert_eq!(p.argmax(), t.argmax());
+    }
+
+    /// ReLU/Tanh/Sign keep their mathematical ranges for any input.
+    #[test]
+    fn activation_ranges(x in -50.0f32..50.0) {
+        prop_assert!(ActivationKind::Relu.apply(x) >= 0.0);
+        prop_assert!(ActivationKind::Tanh.apply(x).abs() <= 1.0);
+        let s = ActivationKind::Sign.apply(x);
+        prop_assert!(s == 1.0 || s == -1.0);
+    }
+
+    /// Convolution MAC counts scale linearly with the number of filters.
+    #[test]
+    fn conv_macs_scale_with_filters(filters in 1usize..16) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let one = Conv2d::new(2, 1, 3, 1, 1, &mut rng).unwrap();
+        let many = Conv2d::new(2, filters, 3, 1, 1, &mut rng).unwrap();
+        let base = one.mac_count(&[2, 8, 8]).unwrap();
+        prop_assert_eq!(many.mac_count(&[2, 8, 8]).unwrap(), base * filters);
+    }
+
+    /// A mixed-precision schedule never assigns more weight bits to later
+    /// layers than the uniform schedule it degrades to.
+    #[test]
+    fn mixed_schedule_consistent(layer in 0usize..12) {
+        let mx = PrecisionSchedule::Mixed { first: Precision::w4a4(), rest: Precision::w2a4() };
+        let p = mx.for_layer(layer);
+        if layer == 0 {
+            prop_assert_eq!(p.weight_bits, 4);
+        } else {
+            prop_assert_eq!(p.weight_bits, 2);
+        }
+        prop_assert_eq!(p.activation_bits, 4);
+    }
+
+    /// Average pooling of a constant feature map returns the same constant.
+    #[test]
+    fn avg_pool_constant_invariant(value in 0.0f32..1.0) {
+        let mut pool = AvgPool2d::new(2).unwrap();
+        let x = Tensor::full(&[2, 4, 4], value);
+        let y = pool.forward(&x).unwrap();
+        prop_assert!(y.data().iter().all(|&v| (v - value).abs() < 1e-6));
+    }
+
+    /// Linear layers are, in fact, linear: f(ax) = a f(x) when the bias is
+    /// zero.
+    #[test]
+    fn linear_layer_homogeneous(alpha in 0.1f32..3.0) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut layer = Linear::new(6, 4, &mut rng).unwrap();
+        layer.bias_mut().data_mut().fill(0.0);
+        let x = Tensor::from_vec((0..6).map(|i| i as f32 / 6.0).collect(), &[6]).unwrap();
+        let y1 = layer.forward(&x).unwrap();
+        let y2 = layer.forward(&x.scaled(alpha)).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-4);
+        }
+    }
+
+    /// Activation layers never change tensor shapes.
+    #[test]
+    fn activations_preserve_shape(len in 1usize..64) {
+        let mut act = Activation::relu();
+        let x = Tensor::zeros(&[len]);
+        let y = act.forward(&x);
+        prop_assert_eq!(y.shape(), &[len]);
+    }
+}
+
+#[test]
+fn network_specs_macs_are_strictly_ordered_by_size() {
+    // Structural sanity across the topology zoo: LeNet < VGG9 < AlexNet < VGG16.
+    let lenet = NetworkSpec::lenet().total_macs();
+    let vgg9 = NetworkSpec::vgg9(10).total_macs();
+    let alexnet = NetworkSpec::alexnet().total_macs();
+    let vgg16 = NetworkSpec::vgg16().total_macs();
+    assert!(lenet < vgg9);
+    assert!(vgg9 < alexnet);
+    assert!(alexnet < vgg16);
+}

@@ -1,0 +1,388 @@
+//! Optical multiply-and-accumulate arm.
+//!
+//! An arm is the fundamental compute primitive of the Lightator optical core
+//! (paper Fig. 5): a bus waveguide carrying one WDM channel per activation,
+//! a micro-ring per channel holding a weight, and a balanced photodetector
+//! that sums the weighted channels. One arm therefore evaluates one dot
+//! product of up to `channels` elements per optical cycle.
+//!
+//! Signed weights are realised the standard way for incoherent photonics: the
+//! magnitude is programmed into the MR and the drop port of negatively
+//! weighted channels is routed to the negative diode of the balanced
+//! detector, so the electrical output is `Σ aᵢ·wᵢ` with `wᵢ ∈ [−1, 1]`.
+
+use crate::error::{PhotonicsError, Result};
+use crate::microring::{MicroringConfig, MicroringResonator};
+use crate::noise::{NoiseConfig, NoiseInjector};
+use crate::units::Power;
+use crate::wdm::{CrosstalkModel, WdmGrid};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an optical MAC arm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmConfig {
+    /// Number of MRs (and hence WDM channels / MAC elements) in the arm.
+    /// Lightator uses 9 to natively fit a 3×3 kernel stride.
+    pub channels: usize,
+    /// Ring design shared by all MRs of the arm.
+    pub ring: MicroringConfig,
+    /// Noise / non-ideality configuration.
+    pub noise: NoiseConfig,
+}
+
+impl Default for ArmConfig {
+    fn default() -> Self {
+        Self {
+            channels: 9,
+            ring: MicroringConfig::default(),
+            noise: NoiseConfig::default(),
+        }
+    }
+}
+
+/// The result of evaluating one dot product on an arm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmOutput {
+    /// The analog MAC value, `Σ aᵢ·wᵢ`, after non-idealities.
+    pub value: f64,
+    /// The ideal (noise-free, crosstalk-free) MAC value for the same inputs.
+    pub ideal: f64,
+}
+
+impl ArmOutput {
+    /// Absolute analog error introduced by the photonic datapath.
+    #[must_use]
+    pub fn error(&self) -> f64 {
+        (self.value - self.ideal).abs()
+    }
+}
+
+/// An optical MAC arm: per-channel MRs plus a balanced photodetector.
+///
+/// ```
+/// use lightator_photonics::arm::{ArmConfig, OpticalArm};
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// # fn main() -> Result<(), lightator_photonics::PhotonicsError> {
+/// let mut arm = OpticalArm::new(ArmConfig::default())?;
+/// arm.load_weights(&[0.5, -0.25, 0.0, 1.0, -1.0, 0.125, 0.75, -0.5, 0.25])?;
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let out = arm.mac(&[1.0, 0.5, 0.25, 0.0, 1.0, 0.5, 0.25, 0.0, 1.0], &mut rng)?;
+/// assert!(out.error() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpticalArm {
+    config: ArmConfig,
+    grid: WdmGrid,
+    rings: Vec<MicroringResonator>,
+    weights: Vec<f64>,
+    crosstalk: CrosstalkModel,
+    injector: NoiseInjector,
+}
+
+impl OpticalArm {
+    /// Creates an arm with all weights initialised to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration is
+    /// invalid (zero channels or a bad ring design).
+    pub fn new(config: ArmConfig) -> Result<Self> {
+        if config.channels == 0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "channels",
+                value: 0.0,
+            });
+        }
+        config.ring.validate()?;
+        let grid = WdmGrid::lightator_arm(config.channels)?;
+        let mut rings = Vec::with_capacity(config.channels);
+        for i in 0..config.channels {
+            rings.push(MicroringResonator::new(config.ring, grid.wavelength(i)?)?);
+        }
+        let crosstalk = if config.noise.apply_crosstalk {
+            CrosstalkModel::new(grid.clone(), config.ring)
+        } else {
+            CrosstalkModel::ideal(grid.clone(), config.ring)
+        };
+        let injector = NoiseInjector::new(config.noise);
+        let channels = config.channels;
+        Ok(Self {
+            config,
+            grid,
+            rings,
+            weights: vec![0.0; channels],
+            crosstalk,
+            injector,
+        })
+    }
+
+    /// The arm configuration.
+    #[must_use]
+    pub fn config(&self) -> &ArmConfig {
+        &self.config
+    }
+
+    /// Number of MAC elements the arm evaluates per cycle.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.config.channels
+    }
+
+    /// The WDM grid assigned to this arm.
+    #[must_use]
+    pub fn grid(&self) -> &WdmGrid {
+        &self.grid
+    }
+
+    /// The currently loaded signed weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Loads a vector of signed weights in `[-1, 1]` onto the arm's MRs.
+    ///
+    /// Shorter vectors leave the remaining rings parked (weight 0, no tuning
+    /// power), matching how partially filled arms behave for 5×5 / 7×7
+    /// kernels (paper Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// * [`PhotonicsError::LengthMismatch`] if more weights than channels are
+    ///   supplied.
+    /// * [`PhotonicsError::WeightOutOfRange`] if a weight is outside
+    ///   `[-1, 1]` or not finite.
+    pub fn load_weights(&mut self, weights: &[f64]) -> Result<()> {
+        if weights.len() > self.config.channels {
+            return Err(PhotonicsError::LengthMismatch {
+                expected: self.config.channels,
+                actual: weights.len(),
+            });
+        }
+        for &w in weights {
+            if !w.is_finite() || !(-1.0..=1.0).contains(&w) {
+                return Err(PhotonicsError::WeightOutOfRange { weight: w });
+            }
+        }
+        for (i, ring) in self.rings.iter_mut().enumerate() {
+            let w = weights.get(i).copied().unwrap_or(0.0);
+            self.weights[i] = w;
+            if w == 0.0 {
+                ring.park();
+            } else {
+                // The MR holds the magnitude; the sign selects the BPD rail.
+                // Weight 1.0 maps to the maximum representable transmission.
+                let magnitude = w.abs().min(ring.config().maximum_transmission());
+                ring.set_weight(magnitude)?;
+            }
+        }
+        for w in self.weights.iter_mut().skip(weights.len()) {
+            *w = 0.0;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one MAC: `Σ aᵢ·wᵢ` for activations `a ∈ [0, 1]`.
+    ///
+    /// The activation vector may be shorter than the arm; missing channels
+    /// contribute nothing. Non-idealities (VCSEL noise, crosstalk, weight
+    /// error, detection noise) are applied according to the arm's
+    /// [`NoiseConfig`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PhotonicsError::LengthMismatch`] if more activations than channels
+    ///   are supplied.
+    /// * [`PhotonicsError::WeightOutOfRange`] if an activation is outside
+    ///   `[0, 1]` or not finite (activations are unsigned light intensities).
+    pub fn mac<R: Rng + ?Sized>(&mut self, activations: &[f64], rng: &mut R) -> Result<ArmOutput> {
+        if activations.len() > self.config.channels {
+            return Err(PhotonicsError::LengthMismatch {
+                expected: self.config.channels,
+                actual: activations.len(),
+            });
+        }
+        for &a in activations {
+            if !a.is_finite() || !(0.0..=1.0).contains(&a) {
+                return Err(PhotonicsError::WeightOutOfRange { weight: a });
+            }
+        }
+
+        let mut intensities: Vec<f64> = (0..self.config.channels)
+            .map(|i| activations.get(i).copied().unwrap_or(0.0))
+            .collect();
+        let ideal: f64 = intensities
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, w)| a * w)
+            .sum();
+
+        // 1. VCSEL amplitude noise.
+        for value in &mut intensities {
+            *value = self.injector.perturb_intensity(rng, *value);
+        }
+        // 2. Inter-channel crosstalk along the shared bus.
+        self.crosstalk.apply(&mut intensities)?;
+        // 3. Weighting by the realised (noisy) MR transmissions, routed to the
+        //    positive or negative BPD rail according to the weight sign.
+        let mut positive = 0.0;
+        let mut negative = 0.0;
+        for (i, &a) in intensities.iter().enumerate() {
+            let w = self.weights[i];
+            if w == 0.0 {
+                continue;
+            }
+            let realised = self.rings[i].channel_transmission();
+            let realised = self.injector.perturb_weight(rng, realised);
+            let product = a * realised;
+            if w >= 0.0 {
+                positive += product;
+            } else {
+                negative += product;
+            }
+        }
+        // 4. Balanced detection plus detector-referred noise.
+        let detected = self.injector.perturb_detection(rng, positive - negative);
+        Ok(ArmOutput {
+            value: detected,
+            ideal,
+        })
+    }
+
+    /// Total MR tuning power currently drawn by the arm.
+    #[must_use]
+    pub fn tuning_power(&self) -> Power {
+        self.rings.iter().map(MicroringResonator::tuning_power).sum()
+    }
+
+    /// Number of rings currently holding a non-zero weight.
+    #[must_use]
+    pub fn active_rings(&self) -> usize {
+        self.weights.iter().filter(|w| **w != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ideal_arm() -> OpticalArm {
+        OpticalArm::new(ArmConfig {
+            noise: NoiseConfig::ideal(),
+            ..ArmConfig::default()
+        })
+        .expect("valid")
+    }
+
+    #[test]
+    fn rejects_zero_channels() {
+        let cfg = ArmConfig {
+            channels: 0,
+            ..ArmConfig::default()
+        };
+        assert!(OpticalArm::new(cfg).is_err());
+    }
+
+    #[test]
+    fn ideal_mac_matches_dot_product() {
+        let mut arm = ideal_arm();
+        let weights = [0.5, -0.25, 0.0, 0.9, -0.9, 0.125, 0.75, -0.5, 0.25];
+        let activations = [1.0, 0.5, 0.25, 0.0, 1.0, 0.5, 0.25, 0.0, 1.0];
+        arm.load_weights(&weights).expect("ok");
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = arm.mac(&activations, &mut rng).expect("ok");
+        let exact: f64 = weights.iter().zip(activations).map(|(w, a)| w * a).sum();
+        assert!((out.ideal - exact).abs() < 1e-12);
+        // The only residual error in the ideal configuration comes from the
+        // finite MR extinction ratio (weights cannot be realised exactly).
+        assert!(
+            (out.value - exact).abs() < 0.05,
+            "value {} vs exact {exact}",
+            out.value
+        );
+    }
+
+    #[test]
+    fn noisy_mac_stays_close_to_ideal() {
+        let mut arm = OpticalArm::new(ArmConfig::default()).expect("valid");
+        let weights = [0.3, -0.7, 0.2, 0.0, 0.5, -0.1, 0.9, -0.4, 0.6];
+        arm.load_weights(&weights).expect("ok");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let activations = [0.2, 0.4, 0.6, 0.8, 1.0, 0.1, 0.3, 0.5, 0.7];
+        let out = arm.mac(&activations, &mut rng).expect("ok");
+        assert!(out.error() < 0.15, "error {}", out.error());
+    }
+
+    #[test]
+    fn short_vectors_pad_with_zero() {
+        let mut arm = ideal_arm();
+        arm.load_weights(&[1.0, 1.0]).expect("ok");
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = arm.mac(&[0.5], &mut rng).expect("ok");
+        assert!((out.ideal - 0.5).abs() < 1e-12);
+        assert_eq!(arm.active_rings(), 2);
+    }
+
+    #[test]
+    fn rejects_oversized_inputs() {
+        let mut arm = ideal_arm();
+        assert!(arm.load_weights(&[0.0; 10]).is_err());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let too_many = [0.1; 10];
+        assert!(arm.mac(&too_many, &mut rng).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let mut arm = ideal_arm();
+        assert!(arm.load_weights(&[1.5]).is_err());
+        assert!(arm.load_weights(&[f64::NAN]).is_err());
+        arm.load_weights(&[0.5]).expect("ok");
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(arm.mac(&[-0.1], &mut rng).is_err());
+        assert!(arm.mac(&[1.1], &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_weights_draw_no_tuning_power() {
+        let mut arm = ideal_arm();
+        arm.load_weights(&[0.0; 9]).expect("ok");
+        assert_eq!(arm.tuning_power(), Power::zero());
+        assert_eq!(arm.active_rings(), 0);
+    }
+
+    #[test]
+    fn tuning_power_increases_with_active_rings() {
+        let mut arm = ideal_arm();
+        arm.load_weights(&[0.5, 0.5]).expect("ok");
+        let two = arm.tuning_power();
+        arm.load_weights(&[0.5; 9]).expect("ok");
+        let nine = arm.tuning_power();
+        assert!(nine.mw() > two.mw());
+    }
+
+    #[test]
+    fn negative_weights_produce_negative_outputs() {
+        let mut arm = ideal_arm();
+        arm.load_weights(&[-0.8]).expect("ok");
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = arm.mac(&[1.0], &mut rng).expect("ok");
+        assert!(out.value < -0.6);
+    }
+
+    #[test]
+    fn reloading_weights_overwrites_previous_state() {
+        let mut arm = ideal_arm();
+        arm.load_weights(&[0.5; 9]).expect("ok");
+        arm.load_weights(&[0.25]).expect("ok");
+        assert_eq!(arm.active_rings(), 1);
+        assert_eq!(arm.weights()[1], 0.0);
+    }
+}

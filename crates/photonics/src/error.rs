@@ -1,0 +1,117 @@
+//! Error type shared by the photonic device models.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the photonic device models.
+///
+/// ```
+/// use lightator_photonics::PhotonicsError;
+/// let err = PhotonicsError::WeightOutOfRange { weight: 1.5 };
+/// assert!(err.to_string().contains("1.5"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhotonicsError {
+    /// A weight outside the representable transmission range was requested.
+    WeightOutOfRange {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// A requested detuning exceeds the tunable range of the device.
+    DetuningOutOfRange {
+        /// Requested detuning in nanometres.
+        requested_nm: f64,
+        /// Maximum supported detuning in nanometres.
+        max_nm: f64,
+    },
+    /// A drive level beyond the supported number of levels was requested.
+    DriveLevelOutOfRange {
+        /// Requested level.
+        level: u16,
+        /// Number of supported levels.
+        levels: u16,
+    },
+    /// A configuration parameter was invalid (non-positive, NaN, ...).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+    },
+    /// Vector lengths passed to a multi-element operation disagree.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// More WDM channels were requested than the grid supports.
+    ChannelOutOfRange {
+        /// Requested channel index.
+        channel: usize,
+        /// Number of channels in the grid.
+        channels: usize,
+    },
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WeightOutOfRange { weight } => {
+                write!(f, "weight {weight} is outside the representable range [0, 1]")
+            }
+            Self::DetuningOutOfRange { requested_nm, max_nm } => write!(
+                f,
+                "requested detuning of {requested_nm} nm exceeds the tunable range of {max_nm} nm"
+            ),
+            Self::DriveLevelOutOfRange { level, levels } => write!(
+                f,
+                "drive level {level} is outside the supported range of {levels} levels"
+            ),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter `{name}`")
+            }
+            Self::LengthMismatch { expected, actual } => write!(
+                f,
+                "length mismatch: expected {expected} elements, got {actual}"
+            ),
+            Self::ChannelOutOfRange { channel, channels } => write!(
+                f,
+                "channel index {channel} is outside the WDM grid of {channels} channels"
+            ),
+        }
+    }
+}
+
+impl StdError for PhotonicsError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, PhotonicsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<PhotonicsError> = vec![
+            PhotonicsError::WeightOutOfRange { weight: 2.0 },
+            PhotonicsError::DetuningOutOfRange { requested_nm: 5.0, max_nm: 2.0 },
+            PhotonicsError::DriveLevelOutOfRange { level: 99, levels: 16 },
+            PhotonicsError::InvalidParameter { name: "q_factor", value: -1.0 },
+            PhotonicsError::LengthMismatch { expected: 9, actual: 3 },
+            PhotonicsError::ChannelOutOfRange { channel: 12, channels: 9 },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhotonicsError>();
+    }
+}

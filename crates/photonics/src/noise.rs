@@ -1,0 +1,251 @@
+//! Analog noise and non-ideality injection.
+//!
+//! The functional accuracy experiments (paper Table 1) run quantized DNNs
+//! through the photonic MAC datapath. This module centralises the stochastic
+//! error sources applied to analog quantities: relative amplitude noise on
+//! VCSEL outputs, detector-referred additive noise, and the finite resolution
+//! of MR tuning DACs.
+//!
+//! Gaussian samples are generated with a Box–Muller transform on top of the
+//! `rand` uniform generator so no extra dependency is required.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the analog non-idealities applied to the photonic MAC.
+///
+/// All noise magnitudes are expressed relative to the full-scale signal so
+/// the same configuration applies regardless of the absolute laser power
+/// chosen for a link budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Relative RMS amplitude noise of each modulated VCSEL (RIN + driver).
+    pub vcsel_relative_sigma: f64,
+    /// Detector-referred additive RMS noise relative to full scale
+    /// (shot + thermal, folded into one knob for architecture studies).
+    pub detector_relative_sigma: f64,
+    /// RMS error of the realised MR weight caused by finite tuning-DAC
+    /// resolution and thermal drift, in absolute weight units.
+    pub weight_sigma: f64,
+    /// Whether inter-channel crosstalk should be applied by arm simulations.
+    pub apply_crosstalk: bool,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            vcsel_relative_sigma: 0.004,
+            detector_relative_sigma: 0.003,
+            weight_sigma: 0.004,
+            apply_crosstalk: true,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A perfectly ideal (noise-free, crosstalk-free) configuration.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            vcsel_relative_sigma: 0.0,
+            detector_relative_sigma: 0.0,
+            weight_sigma: 0.0,
+            apply_crosstalk: false,
+        }
+    }
+
+    /// Returns `true` when every stochastic term is zero.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.vcsel_relative_sigma == 0.0
+            && self.detector_relative_sigma == 0.0
+            && self.weight_sigma == 0.0
+            && !self.apply_crosstalk
+    }
+
+    /// Scales every stochastic term by `factor` (useful for sensitivity
+    /// sweeps / the noise ablation bench).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            vcsel_relative_sigma: self.vcsel_relative_sigma * factor,
+            detector_relative_sigma: self.detector_relative_sigma * factor,
+            weight_sigma: self.weight_sigma * factor,
+            apply_crosstalk: self.apply_crosstalk,
+        }
+    }
+}
+
+/// A reusable Gaussian sampler built on the Box–Muller transform.
+///
+/// ```
+/// use lightator_photonics::noise::GaussianSampler;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut sampler = GaussianSampler::new();
+/// let x = sampler.sample(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    cached: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one sample from `N(mean, sigma²)`.
+    ///
+    /// A `sigma` of zero returns `mean` exactly without consuming entropy.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return mean;
+        }
+        let standard = if let Some(z) = self.cached.take() {
+            z
+        } else {
+            // Box–Muller: generate two independent standard normals and cache one.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let radius = (-2.0 * u1.ln()).sqrt();
+            let angle = 2.0 * std::f64::consts::PI * u2;
+            self.cached = Some(radius * angle.sin());
+            radius * angle.cos()
+        };
+        mean + sigma * standard
+    }
+}
+
+/// Applies the configured non-idealities to analog quantities.
+#[derive(Debug, Clone)]
+pub struct NoiseInjector {
+    config: NoiseConfig,
+    sampler: GaussianSampler,
+}
+
+impl NoiseInjector {
+    /// Creates an injector for a configuration.
+    #[must_use]
+    pub fn new(config: NoiseConfig) -> Self {
+        Self {
+            config,
+            sampler: GaussianSampler::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Perturbs a normalised VCSEL intensity (full scale = 1.0). The result
+    /// is clamped to `[0, 1]` because intensity cannot be negative nor exceed
+    /// the saturated laser output.
+    pub fn perturb_intensity<R: Rng + ?Sized>(&mut self, rng: &mut R, intensity: f64) -> f64 {
+        let noisy = self
+            .sampler
+            .sample(rng, intensity, self.config.vcsel_relative_sigma);
+        noisy.clamp(0.0, 1.0)
+    }
+
+    /// Perturbs a realised MR weight (transmission in `[0, 1]`).
+    pub fn perturb_weight<R: Rng + ?Sized>(&mut self, rng: &mut R, weight: f64) -> f64 {
+        let noisy = self.sampler.sample(rng, weight, self.config.weight_sigma);
+        noisy.clamp(0.0, 1.0)
+    }
+
+    /// Adds detector-referred noise to a normalised MAC result (full scale
+    /// = 1.0 per accumulated term; the caller passes the already-summed
+    /// value so the noise is applied once per detection event, as in
+    /// hardware).
+    pub fn perturb_detection<R: Rng + ?Sized>(&mut self, rng: &mut R, value: f64) -> f64 {
+        self.sampler
+            .sample(rng, value, self.config.detector_relative_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_config_reports_ideal() {
+        assert!(NoiseConfig::ideal().is_ideal());
+        assert!(!NoiseConfig::default().is_ideal());
+    }
+
+    #[test]
+    fn scaled_config_scales_all_terms() {
+        let doubled = NoiseConfig::default().scaled(2.0);
+        let base = NoiseConfig::default();
+        assert!((doubled.vcsel_relative_sigma - 2.0 * base.vcsel_relative_sigma).abs() < 1e-15);
+        assert!((doubled.detector_relative_sigma - 2.0 * base.detector_relative_sigma).abs() < 1e-15);
+        assert!((doubled.weight_sigma - 2.0 * base.weight_sigma).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gaussian_sampler_zero_sigma_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sampler = GaussianSampler::new();
+        assert_eq!(sampler.sample(&mut rng, 0.7, 0.0), 0.7);
+    }
+
+    #[test]
+    fn gaussian_sampler_statistics_are_reasonable() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut sampler = GaussianSampler::new();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng, 1.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "sample mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sample sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn perturbed_values_stay_in_physical_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut injector = NoiseInjector::new(NoiseConfig::default().scaled(20.0));
+        for _ in 0..1_000 {
+            let i = injector.perturb_intensity(&mut rng, 0.98);
+            assert!((0.0..=1.0).contains(&i));
+            let w = injector.perturb_weight(&mut rng, 0.02);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn ideal_injector_is_transparent() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut injector = NoiseInjector::new(NoiseConfig::ideal());
+        assert_eq!(injector.perturb_intensity(&mut rng, 0.33), 0.33);
+        assert_eq!(injector.perturb_weight(&mut rng, 0.66), 0.66);
+        assert_eq!(injector.perturb_detection(&mut rng, -0.4), -0.4);
+    }
+
+    #[test]
+    fn detection_noise_can_be_negative() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut injector = NoiseInjector::new(NoiseConfig {
+            detector_relative_sigma: 0.5,
+            ..NoiseConfig::default()
+        });
+        let mut saw_below = false;
+        for _ in 0..200 {
+            if injector.perturb_detection(&mut rng, 0.0) < 0.0 {
+                saw_below = true;
+                break;
+            }
+        }
+        assert!(saw_below, "detector noise must be able to push values negative");
+    }
+}

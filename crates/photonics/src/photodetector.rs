@@ -1,0 +1,342 @@
+//! Photodetector and balanced photodetector (BPD) models.
+//!
+//! At the end of every MVM-bank arm, a balanced photodetector accumulates the
+//! weighted wavelengths and converts the optical sum into a photocurrent
+//! (paper §3, "All-in-One Convolver"). Using a *balanced* pair lets the core
+//! represent signed weights: positive products are routed to the upper diode
+//! and negative products to the lower diode, and the output current is the
+//! difference.
+
+use crate::error::{PhotonicsError, Result};
+use crate::units::{Current, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// Elementary charge in coulombs.
+const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+/// Boltzmann constant in J/K.
+const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Static parameters of a PIN photodiode plus its transimpedance front end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhotodetectorConfig {
+    /// Responsivity in A/W (mA/mW).
+    pub responsivity_a_per_w: f64,
+    /// Dark current in µA.
+    pub dark_current_ua: f64,
+    /// Detection bandwidth in GHz.
+    pub bandwidth_ghz: f64,
+    /// Equivalent load resistance of the TIA in ohms (for thermal noise).
+    pub load_resistance_ohm: f64,
+    /// Operating temperature in kelvin.
+    pub temperature_k: f64,
+    /// Static electrical power of the detector + TIA in mW.
+    pub static_power_mw: f64,
+}
+
+impl Default for PhotodetectorConfig {
+    fn default() -> Self {
+        Self {
+            responsivity_a_per_w: 1.0,
+            dark_current_ua: 0.01,
+            bandwidth_ghz: 20.0,
+            load_resistance_ohm: 5_000.0,
+            temperature_k: 300.0,
+            static_power_mw: 0.12,
+        }
+    }
+}
+
+impl PhotodetectorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] naming the first
+    /// non-finite or non-positive parameter.
+    pub fn validate(&self) -> Result<()> {
+        let strictly_positive = [
+            ("responsivity_a_per_w", self.responsivity_a_per_w),
+            ("bandwidth_ghz", self.bandwidth_ghz),
+            ("load_resistance_ohm", self.load_resistance_ohm),
+            ("temperature_k", self.temperature_k),
+        ];
+        for (name, value) in strictly_positive {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(PhotonicsError::InvalidParameter { name, value });
+            }
+        }
+        let non_negative = [
+            ("dark_current_ua", self.dark_current_ua),
+            ("static_power_mw", self.static_power_mw),
+        ];
+        for (name, value) in non_negative {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PhotonicsError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Minimum integration time imposed by the bandwidth.
+    #[must_use]
+    pub fn response_time(&self) -> Time {
+        Time::from_ns(1.0 / self.bandwidth_ghz)
+    }
+}
+
+/// A single photodiode.
+///
+/// ```
+/// use lightator_photonics::photodetector::{Photodetector, PhotodetectorConfig};
+/// use lightator_photonics::units::Power;
+///
+/// # fn main() -> Result<(), lightator_photonics::PhotonicsError> {
+/// let pd = Photodetector::new(PhotodetectorConfig::default())?;
+/// let i = pd.photocurrent(Power::from_mw(1.0));
+/// assert!((i.ma() - 1.0).abs() < 0.05); // ~1 A/W responsivity
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Photodetector {
+    config: PhotodetectorConfig,
+}
+
+impl Photodetector {
+    /// Creates a photodetector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration is
+    /// invalid.
+    pub fn new(config: PhotodetectorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &PhotodetectorConfig {
+        &self.config
+    }
+
+    /// Photocurrent produced by an incident optical power (including dark
+    /// current).
+    #[must_use]
+    pub fn photocurrent(&self, incident: Power) -> Current {
+        let signal_ma = incident.mw() * self.config.responsivity_a_per_w;
+        Current::from_ma(signal_ma + self.config.dark_current_ua / 1e3)
+    }
+
+    /// Root-mean-square shot-noise current for a given average photocurrent,
+    /// `σ_shot = sqrt(2 q I B)`.
+    #[must_use]
+    pub fn shot_noise_rms(&self, average: Current) -> Current {
+        let bandwidth_hz = self.config.bandwidth_ghz * 1e9;
+        let variance = 2.0 * ELEMENTARY_CHARGE * average.amps().abs() * bandwidth_hz;
+        Current::from_ma(variance.sqrt() * 1e3)
+    }
+
+    /// Root-mean-square thermal (Johnson) noise current of the load,
+    /// `σ_th = sqrt(4 k T B / R)`.
+    #[must_use]
+    pub fn thermal_noise_rms(&self) -> Current {
+        let bandwidth_hz = self.config.bandwidth_ghz * 1e9;
+        let variance =
+            4.0 * BOLTZMANN * self.config.temperature_k * bandwidth_hz / self.config.load_resistance_ohm;
+        Current::from_ma(variance.sqrt() * 1e3)
+    }
+
+    /// Total RMS noise current (shot + thermal added in quadrature).
+    #[must_use]
+    pub fn total_noise_rms(&self, average: Current) -> Current {
+        let shot = self.shot_noise_rms(average).ma();
+        let thermal = self.thermal_noise_rms().ma();
+        Current::from_ma((shot * shot + thermal * thermal).sqrt())
+    }
+
+    /// Signal-to-noise ratio (linear) for an incident optical power.
+    #[must_use]
+    pub fn snr(&self, incident: Power) -> f64 {
+        let signal = self.photocurrent(incident);
+        let noise = self.total_noise_rms(signal);
+        if noise.ma() == 0.0 {
+            return f64::INFINITY;
+        }
+        signal.ma() / noise.ma()
+    }
+
+    /// Static electrical power of the detector front end.
+    #[must_use]
+    pub fn static_power(&self) -> Power {
+        Power::from_mw(self.config.static_power_mw)
+    }
+}
+
+/// A balanced photodetector: two matched photodiodes whose photocurrents are
+/// subtracted, yielding a signed output proportional to the difference of the
+/// optical powers on its two inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalancedPhotodetector {
+    positive: Photodetector,
+    negative: Photodetector,
+}
+
+impl BalancedPhotodetector {
+    /// Creates a balanced pair from a single shared configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration is
+    /// invalid.
+    pub fn new(config: PhotodetectorConfig) -> Result<Self> {
+        Ok(Self {
+            positive: Photodetector::new(config)?,
+            negative: Photodetector::new(config)?,
+        })
+    }
+
+    /// The configuration shared by both diodes.
+    #[must_use]
+    pub fn config(&self) -> &PhotodetectorConfig {
+        self.positive.config()
+    }
+
+    /// Differential output current for optical powers on the positive and
+    /// negative inputs. Dark currents cancel by construction.
+    #[must_use]
+    pub fn differential_current(&self, positive: Power, negative: Power) -> Current {
+        let ip = self.positive.photocurrent(positive);
+        let in_ = self.negative.photocurrent(negative);
+        Current::from_ma(ip.ma() - in_.ma())
+    }
+
+    /// Normalised signed output in `[-1, 1]` given a full-scale optical power
+    /// (the power that corresponds to an output of ±1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if `full_scale` is zero
+    /// or negative.
+    pub fn normalized_output(&self, positive: Power, negative: Power, full_scale: Power) -> Result<f64> {
+        if full_scale.mw() <= 0.0 || !full_scale.mw().is_finite() {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "full_scale",
+                value: full_scale.mw(),
+            });
+        }
+        let full = self.positive.photocurrent(full_scale).ma()
+            - self.positive.config().dark_current_ua / 1e3;
+        let diff = self.differential_current(positive, negative).ma();
+        Ok((diff / full).clamp(-1.0, 1.0))
+    }
+
+    /// Total RMS noise of the balanced pair for the given pair of inputs
+    /// (both diodes contribute, added in quadrature).
+    #[must_use]
+    pub fn total_noise_rms(&self, positive: Power, negative: Power) -> Current {
+        let np = self.positive.total_noise_rms(self.positive.photocurrent(positive)).ma();
+        let nn = self.negative.total_noise_rms(self.negative.photocurrent(negative)).ma();
+        Current::from_ma((np * np + nn * nn).sqrt())
+    }
+
+    /// Static electrical power of the pair (both diodes + shared TIA counted
+    /// once, matching the per-arm BPD budget used in the paper's breakdown).
+    #[must_use]
+    pub fn static_power(&self) -> Power {
+        self.positive.static_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pd() -> Photodetector {
+        Photodetector::new(PhotodetectorConfig::default()).expect("valid")
+    }
+
+    #[test]
+    fn photocurrent_tracks_responsivity() {
+        let pd = pd();
+        let i = pd.photocurrent(Power::from_mw(2.0));
+        assert!((i.ma() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn dark_current_present_with_no_light() {
+        let pd = pd();
+        let i = pd.photocurrent(Power::zero());
+        assert!(i.ma() > 0.0 && i.ma() < 0.001);
+    }
+
+    #[test]
+    fn shot_noise_grows_with_signal() {
+        let pd = pd();
+        let small = pd.shot_noise_rms(Current::from_ma(0.1));
+        let large = pd.shot_noise_rms(Current::from_ma(1.0));
+        assert!(large.ma() > small.ma());
+    }
+
+    #[test]
+    fn thermal_noise_is_positive_and_signal_independent() {
+        let pd = pd();
+        assert!(pd.thermal_noise_rms().ma() > 0.0);
+    }
+
+    #[test]
+    fn snr_improves_with_power() {
+        let pd = pd();
+        assert!(pd.snr(Power::from_mw(1.0)) > pd.snr(Power::from_uw(1.0)));
+        // A healthy 1 mW signal should have a very comfortable SNR.
+        assert!(pd.snr(Power::from_mw(1.0)) > 100.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = PhotodetectorConfig::default();
+        cfg.responsivity_a_per_w = 0.0;
+        assert!(Photodetector::new(cfg).is_err());
+        let mut cfg = PhotodetectorConfig::default();
+        cfg.dark_current_ua = -1.0;
+        assert!(Photodetector::new(cfg).is_err());
+    }
+
+    #[test]
+    fn balanced_output_is_signed_difference() {
+        let bpd = BalancedPhotodetector::new(PhotodetectorConfig::default()).expect("valid");
+        let pos = bpd.differential_current(Power::from_mw(1.0), Power::from_mw(0.25));
+        let neg = bpd.differential_current(Power::from_mw(0.25), Power::from_mw(1.0));
+        assert!(pos.ma() > 0.0);
+        assert!(neg.ma() < 0.0);
+        assert!((pos.ma() + neg.ma()).abs() < 1e-12, "symmetric inputs must cancel");
+    }
+
+    #[test]
+    fn balanced_normalized_output_bounded() {
+        let bpd = BalancedPhotodetector::new(PhotodetectorConfig::default()).expect("valid");
+        let full = Power::from_mw(1.0);
+        let out = bpd
+            .normalized_output(Power::from_mw(0.75), Power::from_mw(0.25), full)
+            .expect("ok");
+        assert!((out - 0.5).abs() < 0.01);
+        let clipped = bpd
+            .normalized_output(Power::from_mw(10.0), Power::zero(), full)
+            .expect("ok");
+        assert!((clipped - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_normalized_output_rejects_bad_full_scale() {
+        let bpd = BalancedPhotodetector::new(PhotodetectorConfig::default()).expect("valid");
+        assert!(bpd
+            .normalized_output(Power::from_mw(1.0), Power::zero(), Power::zero())
+            .is_err());
+    }
+
+    #[test]
+    fn response_time_matches_bandwidth() {
+        let cfg = PhotodetectorConfig::default();
+        assert!((cfg.response_time().ns() - 0.05).abs() < 1e-12);
+    }
+}

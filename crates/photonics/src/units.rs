@@ -1,0 +1,515 @@
+//! Physical unit newtypes used throughout the photonic device models.
+//!
+//! The simulator mixes optical, electrical and thermal quantities; wrapping
+//! them in dedicated newtypes keeps call sites self-documenting and prevents
+//! a wavelength from being accidentally passed where a power is expected
+//! (C-NEWTYPE).
+//!
+//! All newtypes are thin wrappers over `f64`, are `Copy`, and expose their
+//! canonical unit through an accessor named after the unit (`nm()`, `mw()`,
+//! `ma()`, ...). Conversions to secondary units (`dbm()`, `um()`, ...) are
+//! provided where they are commonly needed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $accessor:ident, $ctor:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            #[doc = concat!("Creates a value expressed in ", $unit, ".")]
+            #[must_use]
+            pub const fn $ctor(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the value in ", $unit, ".")]
+            #[must_use]
+            pub const fn $accessor(&self) -> f64 {
+                self.0
+            }
+
+            /// Returns the zero value.
+            #[must_use]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns `true` if the value is exactly zero.
+            #[must_use]
+            pub fn is_zero(&self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(&self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Optical wavelength, canonically expressed in nanometres.
+    ///
+    /// ```
+    /// use lightator_photonics::units::Wavelength;
+    /// let c_band = Wavelength::from_nm(1550.0);
+    /// assert!((c_band.um() - 1.55).abs() < 1e-12);
+    /// ```
+    Wavelength, "nm", nm, from_nm
+);
+
+impl Wavelength {
+    /// Returns the wavelength in micrometres.
+    #[must_use]
+    pub fn um(&self) -> f64 {
+        self.nm() / 1e3
+    }
+
+    /// Returns the wavelength in metres.
+    #[must_use]
+    pub fn meters(&self) -> f64 {
+        self.nm() * 1e-9
+    }
+
+    /// Creates a wavelength from micrometres.
+    #[must_use]
+    pub fn from_um(um: f64) -> Self {
+        Self::from_nm(um * 1e3)
+    }
+}
+
+unit_newtype!(
+    /// Optical or electrical power, canonically expressed in milliwatts.
+    ///
+    /// ```
+    /// use lightator_photonics::units::Power;
+    /// let p = Power::from_mw(1.0);
+    /// assert!((p.dbm() - 0.0).abs() < 1e-12);
+    /// ```
+    Power, "mW", mw, from_mw
+);
+
+impl Power {
+    /// Creates a power value from watts.
+    #[must_use]
+    pub fn from_watts(watts: f64) -> Self {
+        Self::from_mw(watts * 1e3)
+    }
+
+    /// Returns the power in watts.
+    #[must_use]
+    pub fn watts(&self) -> f64 {
+        self.mw() / 1e3
+    }
+
+    /// Returns the power in microwatts.
+    #[must_use]
+    pub fn uw(&self) -> f64 {
+        self.mw() * 1e3
+    }
+
+    /// Creates a power value from microwatts.
+    #[must_use]
+    pub fn from_uw(uw: f64) -> Self {
+        Self::from_mw(uw / 1e3)
+    }
+
+    /// Returns the power in dBm.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; non-positive powers map to negative infinity, matching
+    /// the convention that 0 mW has no finite dBm representation.
+    #[must_use]
+    pub fn dbm(&self) -> f64 {
+        10.0 * (self.mw()).log10()
+    }
+
+    /// Creates a power value from dBm.
+    #[must_use]
+    pub fn from_dbm(dbm: f64) -> Self {
+        Self::from_mw(10f64.powf(dbm / 10.0))
+    }
+
+    /// Multiplies this power by a linear (not dB) transmission factor.
+    #[must_use]
+    pub fn attenuated_by(self, linear_factor: f64) -> Self {
+        Self::from_mw(self.mw() * linear_factor)
+    }
+
+    /// Multiplies this power by a loss expressed in dB (positive = loss).
+    #[must_use]
+    pub fn after_loss_db(self, loss_db: f64) -> Self {
+        self.attenuated_by(db_to_linear(-loss_db))
+    }
+}
+
+unit_newtype!(
+    /// Electrical current, canonically expressed in milliamps.
+    Current, "mA", ma, from_ma
+);
+
+impl Current {
+    /// Creates a current from microamps.
+    #[must_use]
+    pub fn from_ua(ua: f64) -> Self {
+        Self::from_ma(ua / 1e3)
+    }
+
+    /// Returns the current in microamps.
+    #[must_use]
+    pub fn ua(&self) -> f64 {
+        self.ma() * 1e3
+    }
+
+    /// Returns the current in amps.
+    #[must_use]
+    pub fn amps(&self) -> f64 {
+        self.ma() / 1e3
+    }
+}
+
+unit_newtype!(
+    /// Electrical voltage, canonically expressed in volts.
+    Voltage, "V", volts, from_volts
+);
+
+impl Voltage {
+    /// Returns the voltage in millivolts.
+    #[must_use]
+    pub fn mv(&self) -> f64 {
+        self.volts() * 1e3
+    }
+
+    /// Creates a voltage from millivolts.
+    #[must_use]
+    pub fn from_mv(mv: f64) -> Self {
+        Self::from_volts(mv / 1e3)
+    }
+}
+
+unit_newtype!(
+    /// Energy, canonically expressed in picojoules.
+    Energy, "pJ", pj, from_pj
+);
+
+impl Energy {
+    /// Creates an energy from femtojoules.
+    #[must_use]
+    pub fn from_fj(fj: f64) -> Self {
+        Self::from_pj(fj / 1e3)
+    }
+
+    /// Returns the energy in femtojoules.
+    #[must_use]
+    pub fn fj(&self) -> f64 {
+        self.pj() * 1e3
+    }
+
+    /// Returns the energy in nanojoules.
+    #[must_use]
+    pub fn nj(&self) -> f64 {
+        self.pj() / 1e3
+    }
+
+    /// Returns the energy in joules.
+    #[must_use]
+    pub fn joules(&self) -> f64 {
+        self.pj() * 1e-12
+    }
+
+    /// Average power dissipated when this energy is spent over `duration`.
+    #[must_use]
+    pub fn over(&self, duration: Time) -> Power {
+        if duration.is_zero() {
+            return Power::zero();
+        }
+        Power::from_watts(self.joules() / duration.seconds())
+    }
+}
+
+unit_newtype!(
+    /// Time duration, canonically expressed in nanoseconds.
+    Time, "ns", ns, from_ns
+);
+
+impl Time {
+    /// Creates a time from picoseconds.
+    #[must_use]
+    pub fn from_ps(ps: f64) -> Self {
+        Self::from_ns(ps / 1e3)
+    }
+
+    /// Creates a time from microseconds.
+    #[must_use]
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1e3)
+    }
+
+    /// Creates a time from milliseconds.
+    #[must_use]
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_ns(ms * 1e6)
+    }
+
+    /// Creates a time from seconds.
+    #[must_use]
+    pub fn from_seconds(s: f64) -> Self {
+        Self::from_ns(s * 1e9)
+    }
+
+    /// Returns the time in picoseconds.
+    #[must_use]
+    pub fn ps(&self) -> f64 {
+        self.ns() * 1e3
+    }
+
+    /// Returns the time in microseconds.
+    #[must_use]
+    pub fn us(&self) -> f64 {
+        self.ns() / 1e3
+    }
+
+    /// Returns the time in milliseconds.
+    #[must_use]
+    pub fn ms(&self) -> f64 {
+        self.ns() / 1e6
+    }
+
+    /// Returns the time in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.ns() * 1e-9
+    }
+}
+
+unit_newtype!(
+    /// Silicon area, canonically expressed in square millimetres.
+    Area, "mm^2", mm2, from_mm2
+);
+
+impl Area {
+    /// Creates an area from square micrometres.
+    #[must_use]
+    pub fn from_um2(um2: f64) -> Self {
+        Self::from_mm2(um2 / 1e6)
+    }
+
+    /// Returns the area in square micrometres.
+    #[must_use]
+    pub fn um2(&self) -> f64 {
+        self.mm2() * 1e6
+    }
+}
+
+unit_newtype!(
+    /// Temperature difference, canonically expressed in kelvin.
+    TemperatureDelta, "K", kelvin, from_kelvin
+);
+
+/// Converts a ratio expressed in decibels to a linear factor.
+///
+/// ```
+/// use lightator_photonics::units::db_to_linear;
+/// assert!((db_to_linear(3.0103) - 2.0).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear factor to decibels.
+///
+/// ```
+/// use lightator_photonics::units::linear_to_db;
+/// assert!((linear_to_db(2.0) - 3.0103).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Multiplies `power` by `energy-per-op × ops/s` style products; convenience
+/// for converting a per-operation energy plus an operating rate to power.
+#[must_use]
+pub fn energy_rate_to_power(energy_per_op: Energy, ops_per_second: f64) -> Power {
+    Power::from_watts(energy_per_op.joules() * ops_per_second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_unit_conversions() {
+        let w = Wavelength::from_nm(1550.0);
+        assert!((w.um() - 1.55).abs() < 1e-12);
+        assert!((w.meters() - 1.55e-6).abs() < 1e-18);
+        assert_eq!(Wavelength::from_um(1.55), w);
+    }
+
+    #[test]
+    fn power_dbm_round_trip() {
+        for dbm in [-30.0, -10.0, 0.0, 3.0, 10.0] {
+            let p = Power::from_dbm(dbm);
+            assert!((p.dbm() - dbm).abs() < 1e-9, "round trip failed at {dbm}");
+        }
+    }
+
+    #[test]
+    fn power_loss_application() {
+        let p = Power::from_mw(2.0);
+        let after = p.after_loss_db(3.0103);
+        assert!((after.mw() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_power_dbm_is_negative_infinity() {
+        assert!(Power::zero().dbm().is_infinite());
+        assert!(Power::zero().dbm() < 0.0);
+    }
+
+    #[test]
+    fn energy_over_time_gives_power() {
+        let e = Energy::from_pj(1000.0); // 1 nJ
+        let t = Time::from_ns(1.0);
+        // 1 nJ over 1 ns = 1 W
+        assert!((e.over(t).watts() - 1.0).abs() < 1e-12);
+        assert_eq!(e.over(Time::zero()), Power::zero());
+    }
+
+    #[test]
+    fn time_conversions_consistent() {
+        let t = Time::from_ms(2.0);
+        assert!((t.us() - 2000.0).abs() < 1e-9);
+        assert!((t.seconds() - 0.002).abs() < 1e-15);
+        assert!((Time::from_seconds(0.002).ns() - t.ns()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_operators_behave() {
+        let a = Power::from_mw(1.5);
+        let b = Power::from_mw(0.5);
+        assert_eq!((a + b).mw(), 2.0);
+        assert_eq!((a - b).mw(), 1.0);
+        assert_eq!((a * 2.0).mw(), 3.0);
+        assert_eq!((a / 3.0).mw(), 0.5);
+        assert_eq!(a / b, 3.0);
+        let total: Power = [a, b, b].into_iter().sum();
+        assert_eq!(total.mw(), 2.5);
+    }
+
+    #[test]
+    fn db_linear_round_trip() {
+        for db in [-20.0, -3.0, 0.0, 3.0, 10.0, 30.0] {
+            let lin = db_to_linear(db);
+            assert!((linear_to_db(lin) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Wavelength::from_nm(1550.0)), "1550 nm");
+        assert_eq!(format!("{}", Power::from_mw(2.0)), "2 mW");
+    }
+
+    #[test]
+    fn energy_rate_to_power_matches_manual() {
+        // 1 pJ per op at 1 GHz = 1 mW
+        let p = energy_rate_to_power(Energy::from_pj(1.0), 1e9);
+        assert!((p.mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_conversions() {
+        let a = Area::from_um2(1e6);
+        assert!((a.mm2() - 1.0).abs() < 1e-12);
+        assert!((a.um2() - 1e6).abs() < 1e-3);
+    }
+}

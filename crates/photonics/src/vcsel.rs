@@ -1,0 +1,386 @@
+//! Vertical-cavity surface-emitting laser (VCSEL) model.
+//!
+//! In Lightator, activations are never mapped onto MRs. Instead each
+//! activation is encoded in the optical intensity of a directly-modulated
+//! VCSEL: the 4-bit digital activation selects how many of the 16 parallel
+//! driving transistors are on, which sets the laser drive current and hence
+//! the emitted power (paper §3, Fig. 4(c)).
+//!
+//! The model uses the standard piecewise-linear L–I characteristic: no output
+//! below the threshold current, then a linear slope-efficiency region up to a
+//! saturation power.
+
+use crate::error::{PhotonicsError, Result};
+use crate::units::{Current, Power, Time, Wavelength};
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a directly modulated VCSEL.
+///
+/// The defaults describe a 10 GHz-class 850 nm–C-band VCSEL with a 0.8 mA
+/// threshold and 0.3 mW/mA slope efficiency, representative of the devices
+/// assumed by edge photonic accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcselConfig {
+    /// Threshold current below which no light is emitted.
+    pub threshold_ma: f64,
+    /// Slope efficiency in mW of optical power per mA of drive current.
+    pub slope_efficiency_mw_per_ma: f64,
+    /// Maximum (saturation) optical output power in mW.
+    pub max_output_mw: f64,
+    /// Forward voltage of the laser diode, used for electrical power.
+    pub forward_voltage_v: f64,
+    /// Wall-plug driver overhead: electrical power consumed by the driver per
+    /// mA of drive current, in mW/mA (bias network, pre-driver).
+    pub driver_overhead_mw_per_ma: f64,
+    /// Maximum direct-modulation rate in GHz.
+    pub modulation_bandwidth_ghz: f64,
+}
+
+impl Default for VcselConfig {
+    fn default() -> Self {
+        Self {
+            threshold_ma: 0.8,
+            slope_efficiency_mw_per_ma: 0.3,
+            max_output_mw: 2.0,
+            forward_voltage_v: 1.8,
+            driver_overhead_mw_per_ma: 0.25,
+            modulation_bandwidth_ghz: 10.0,
+        }
+    }
+}
+
+impl VcselConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] naming the first
+    /// non-finite or non-positive parameter.
+    pub fn validate(&self) -> Result<()> {
+        let params = [
+            ("threshold_ma", self.threshold_ma),
+            ("slope_efficiency_mw_per_ma", self.slope_efficiency_mw_per_ma),
+            ("max_output_mw", self.max_output_mw),
+            ("forward_voltage_v", self.forward_voltage_v),
+            ("modulation_bandwidth_ghz", self.modulation_bandwidth_ghz),
+        ];
+        for (name, value) in params {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(PhotonicsError::InvalidParameter { name, value });
+            }
+        }
+        if !self.driver_overhead_mw_per_ma.is_finite() || self.driver_overhead_mw_per_ma < 0.0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "driver_overhead_mw_per_ma",
+                value: self.driver_overhead_mw_per_ma,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drive current needed to reach the saturation output power.
+    #[must_use]
+    pub fn saturation_current(&self) -> Current {
+        Current::from_ma(self.threshold_ma + self.max_output_mw / self.slope_efficiency_mw_per_ma)
+    }
+
+    /// Minimum time of one modulation symbol given the bandwidth.
+    #[must_use]
+    pub fn symbol_time(&self) -> Time {
+        Time::from_ns(1.0 / self.modulation_bandwidth_ghz)
+    }
+}
+
+/// A directly modulated VCSEL emitting on a fixed WDM channel.
+///
+/// ```
+/// use lightator_photonics::vcsel::{Vcsel, VcselConfig};
+/// use lightator_photonics::units::{Current, Wavelength};
+///
+/// # fn main() -> Result<(), lightator_photonics::PhotonicsError> {
+/// let vcsel = Vcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0))?;
+/// let p = vcsel.output_power(Current::from_ma(2.0));
+/// assert!(p.mw() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vcsel {
+    config: VcselConfig,
+    wavelength: Wavelength,
+}
+
+impl Vcsel {
+    /// Creates a VCSEL emitting at `wavelength`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration is
+    /// invalid.
+    pub fn new(config: VcselConfig, wavelength: Wavelength) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config, wavelength })
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &VcselConfig {
+        &self.config
+    }
+
+    /// The emission wavelength (set by the cavity structure, not the drive).
+    #[must_use]
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// Optical output power for a given drive current (piecewise-linear L–I
+    /// curve clamped at the saturation power).
+    #[must_use]
+    pub fn output_power(&self, drive: Current) -> Power {
+        let above = drive.ma() - self.config.threshold_ma;
+        if above <= 0.0 {
+            return Power::zero();
+        }
+        Power::from_mw((above * self.config.slope_efficiency_mw_per_ma).min(self.config.max_output_mw))
+    }
+
+    /// Electrical power drawn from the supply for a given drive current,
+    /// including the driver overhead.
+    #[must_use]
+    pub fn electrical_power(&self, drive: Current) -> Power {
+        let laser = drive.ma() * self.config.forward_voltage_v;
+        let driver = drive.ma() * self.config.driver_overhead_mw_per_ma;
+        Power::from_mw(laser + driver)
+    }
+
+    /// Wall-plug efficiency (optical out / electrical in) at a drive current.
+    /// Returns zero when no electrical power is drawn.
+    #[must_use]
+    pub fn wall_plug_efficiency(&self, drive: Current) -> f64 {
+        let elec = self.electrical_power(drive);
+        if elec.is_zero() {
+            return 0.0;
+        }
+        self.output_power(drive) / elec
+    }
+}
+
+/// Maps a digital activation level onto a VCSEL drive current.
+///
+/// This mirrors the Lightator VCSEL driver of Fig. 4(c): `levels` parallel
+/// transistors each contribute one unit of current on top of the bias that
+/// keeps the laser just above threshold, so the optical intensity is linear
+/// in the digital code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModulatedVcsel {
+    vcsel: Vcsel,
+    levels: u16,
+    bias: Current,
+    unit_current: Current,
+}
+
+impl ModulatedVcsel {
+    /// Creates a modulated VCSEL with `levels` drive levels (e.g. 16 for a
+    /// 4-bit activation).
+    ///
+    /// The bias current is set to the laser threshold and the unit current is
+    /// chosen so that the top code reaches the saturation output power,
+    /// giving the full linear dynamic range to the activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if `levels` is zero or
+    /// the VCSEL configuration is invalid.
+    pub fn new(config: VcselConfig, wavelength: Wavelength, levels: u16) -> Result<Self> {
+        if levels == 0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "levels",
+                value: 0.0,
+            });
+        }
+        let vcsel = Vcsel::new(config, wavelength)?;
+        let bias = Current::from_ma(config.threshold_ma);
+        let full_swing = config.saturation_current().ma() - config.threshold_ma;
+        let unit_current = Current::from_ma(full_swing / f64::from(levels));
+        Ok(Self {
+            vcsel,
+            levels,
+            bias,
+            unit_current,
+        })
+    }
+
+    /// The underlying laser.
+    #[must_use]
+    pub fn vcsel(&self) -> &Vcsel {
+        &self.vcsel
+    }
+
+    /// Number of digital drive levels.
+    #[must_use]
+    pub fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// Drive current for a digital level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::DriveLevelOutOfRange`] when `level` is not
+    /// in `0..levels`.
+    pub fn drive_current(&self, level: u16) -> Result<Current> {
+        if level >= self.levels {
+            return Err(PhotonicsError::DriveLevelOutOfRange {
+                level,
+                levels: self.levels,
+            });
+        }
+        Ok(Current::from_ma(
+            self.bias.ma() + self.unit_current.ma() * f64::from(level),
+        ))
+    }
+
+    /// Optical output power for a digital level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::DriveLevelOutOfRange`] when `level` is not
+    /// in `0..levels`.
+    pub fn output_power(&self, level: u16) -> Result<Power> {
+        Ok(self.vcsel.output_power(self.drive_current(level)?))
+    }
+
+    /// Normalised optical intensity in `[0, 1]` for a digital level, i.e. the
+    /// activation value actually presented to the optical core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::DriveLevelOutOfRange`] when `level` is not
+    /// in `0..levels`.
+    pub fn normalized_intensity(&self, level: u16) -> Result<f64> {
+        let top = self
+            .vcsel
+            .output_power(Current::from_ma(self.bias.ma() + self.unit_current.ma() * f64::from(self.levels)));
+        if top.is_zero() {
+            return Ok(0.0);
+        }
+        Ok(self.output_power(level)? / top)
+    }
+
+    /// Electrical power drawn when emitting a digital level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::DriveLevelOutOfRange`] when `level` is not
+    /// in `0..levels`.
+    pub fn electrical_power(&self, level: u16) -> Result<Power> {
+        Ok(self.vcsel.electrical_power(self.drive_current(level)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vcsel() -> Vcsel {
+        Vcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0)).expect("valid")
+    }
+
+    #[test]
+    fn no_light_below_threshold() {
+        let v = vcsel();
+        assert_eq!(v.output_power(Current::from_ma(0.0)), Power::zero());
+        assert_eq!(v.output_power(Current::from_ma(0.79)), Power::zero());
+    }
+
+    #[test]
+    fn li_curve_is_linear_above_threshold() {
+        let v = vcsel();
+        let p1 = v.output_power(Current::from_ma(1.8)); // 1 mA above threshold
+        let p2 = v.output_power(Current::from_ma(2.8)); // 2 mA above threshold
+        assert!((p1.mw() - 0.3).abs() < 1e-12);
+        assert!((p2.mw() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_saturates_at_max_power() {
+        let v = vcsel();
+        let huge = v.output_power(Current::from_ma(1000.0));
+        assert!((huge.mw() - v.config().max_output_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electrical_power_grows_with_current() {
+        let v = vcsel();
+        assert!(v.electrical_power(Current::from_ma(2.0)).mw() > v.electrical_power(Current::from_ma(1.0)).mw());
+    }
+
+    #[test]
+    fn wall_plug_efficiency_bounded() {
+        let v = vcsel();
+        for ma in [0.0, 1.0, 2.0, 5.0] {
+            let eff = v.wall_plug_efficiency(Current::from_ma(ma));
+            assert!((0.0..=1.0).contains(&eff), "efficiency {eff} at {ma} mA");
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = VcselConfig::default();
+        cfg.slope_efficiency_mw_per_ma = 0.0;
+        assert!(Vcsel::new(cfg, Wavelength::from_nm(1550.0)).is_err());
+    }
+
+    #[test]
+    fn modulated_vcsel_levels_are_monotonic() {
+        let m = ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 16)
+            .expect("valid");
+        let mut last = -1.0;
+        for level in 0..16 {
+            let p = m.output_power(level).expect("level in range").mw();
+            assert!(p >= last, "power must not decrease with level");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn modulated_vcsel_zero_level_is_dark() {
+        let m = ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 16)
+            .expect("valid");
+        assert_eq!(m.output_power(0).expect("ok"), Power::zero());
+        assert_eq!(m.normalized_intensity(0).expect("ok"), 0.0);
+    }
+
+    #[test]
+    fn modulated_vcsel_normalized_intensity_is_linear_in_code() {
+        let m = ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 16)
+            .expect("valid");
+        for level in 0..16u16 {
+            let i = m.normalized_intensity(level).expect("ok");
+            let ideal = f64::from(level) / 16.0;
+            assert!((i - ideal).abs() < 1e-9, "level {level}: {i} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn modulated_vcsel_rejects_out_of_range_level() {
+        let m = ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 16)
+            .expect("valid");
+        assert!(matches!(
+            m.output_power(16),
+            Err(PhotonicsError::DriveLevelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn modulated_vcsel_requires_at_least_one_level() {
+        assert!(ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 0).is_err());
+    }
+
+    #[test]
+    fn symbol_time_matches_bandwidth() {
+        let cfg = VcselConfig::default();
+        assert!((cfg.symbol_time().ns() - 0.1).abs() < 1e-12);
+    }
+}

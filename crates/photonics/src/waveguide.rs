@@ -1,0 +1,247 @@
+//! Waveguide, coupler and splitter loss models.
+//!
+//! These passive elements determine the optical link budget between the
+//! DMVA's VCSELs and the balanced photodetectors at the end of every MVM-bank
+//! arm. The losses do not change the *value* computed by a photonic MAC (it
+//! is a common factor across wavelengths) but they determine how much laser
+//! power must be injected to keep the detector SNR acceptable, which is where
+//! optical accelerators pay their power bill.
+
+use crate::error::{PhotonicsError, Result};
+use crate::units::{db_to_linear, Power};
+use serde::{Deserialize, Serialize};
+
+/// Loss parameters of the passive optical path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveguideConfig {
+    /// Propagation loss in dB/cm.
+    pub propagation_loss_db_per_cm: f64,
+    /// Loss of each fibre/chip or laser/chip coupler in dB.
+    pub coupler_loss_db: f64,
+    /// Excess loss of each Y-branch / MMI splitter stage in dB.
+    pub splitter_loss_db: f64,
+    /// Per-MR through-port insertion loss already accounted in the MR model;
+    /// kept here for link budgets that bypass the MR objects, in dB.
+    pub per_ring_through_loss_db: f64,
+}
+
+impl Default for WaveguideConfig {
+    fn default() -> Self {
+        Self {
+            propagation_loss_db_per_cm: 1.5,
+            coupler_loss_db: 1.0,
+            splitter_loss_db: 0.2,
+            per_ring_through_loss_db: 0.05,
+        }
+    }
+}
+
+impl WaveguideConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] naming the first negative
+    /// or non-finite loss.
+    pub fn validate(&self) -> Result<()> {
+        let params = [
+            ("propagation_loss_db_per_cm", self.propagation_loss_db_per_cm),
+            ("coupler_loss_db", self.coupler_loss_db),
+            ("splitter_loss_db", self.splitter_loss_db),
+            ("per_ring_through_loss_db", self.per_ring_through_loss_db),
+        ];
+        for (name, value) in params {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PhotonicsError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A point-to-point optical link budget.
+///
+/// ```
+/// use lightator_photonics::waveguide::{LinkBudget, WaveguideConfig};
+///
+/// # fn main() -> Result<(), lightator_photonics::PhotonicsError> {
+/// let link = LinkBudget::new(WaveguideConfig::default())
+///     .with_length_mm(5.0)
+///     .with_couplers(2)
+///     .with_splitter_stages(3)
+///     .with_rings_passed(9);
+/// let loss = link.total_loss_db()?;
+/// assert!(loss > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    config: WaveguideConfig,
+    length_mm: f64,
+    couplers: u32,
+    splitter_stages: u32,
+    rings_passed: u32,
+}
+
+impl LinkBudget {
+    /// Creates an empty link budget (zero length, no discrete elements).
+    #[must_use]
+    pub fn new(config: WaveguideConfig) -> Self {
+        Self {
+            config,
+            length_mm: 0.0,
+            couplers: 0,
+            splitter_stages: 0,
+            rings_passed: 0,
+        }
+    }
+
+    /// Sets the propagation length in millimetres.
+    #[must_use]
+    pub fn with_length_mm(mut self, length_mm: f64) -> Self {
+        self.length_mm = length_mm;
+        self
+    }
+
+    /// Sets the number of chip couplers traversed.
+    #[must_use]
+    pub fn with_couplers(mut self, couplers: u32) -> Self {
+        self.couplers = couplers;
+        self
+    }
+
+    /// Sets the number of 1×2 splitter stages traversed.
+    #[must_use]
+    pub fn with_splitter_stages(mut self, stages: u32) -> Self {
+        self.splitter_stages = stages;
+        self
+    }
+
+    /// Sets the number of (off-resonance) rings the signal passes.
+    #[must_use]
+    pub fn with_rings_passed(mut self, rings: u32) -> Self {
+        self.rings_passed = rings;
+        self
+    }
+
+    /// The waveguide configuration used by this budget.
+    #[must_use]
+    pub fn config(&self) -> &WaveguideConfig {
+        &self.config
+    }
+
+    /// Total excess loss in dB (not counting the intentional 1/2^stages
+    /// splitting ratio, which is reported separately by
+    /// [`splitting_ratio_linear`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration or
+    /// the length is invalid.
+    ///
+    /// [`splitting_ratio_linear`]: LinkBudget::splitting_ratio_linear
+    pub fn total_loss_db(&self) -> Result<f64> {
+        self.config.validate()?;
+        if !self.length_mm.is_finite() || self.length_mm < 0.0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "length_mm",
+                value: self.length_mm,
+            });
+        }
+        let propagation = self.config.propagation_loss_db_per_cm * self.length_mm / 10.0;
+        let couplers = self.config.coupler_loss_db * f64::from(self.couplers);
+        let splitters = self.config.splitter_loss_db * f64::from(self.splitter_stages);
+        let rings = self.config.per_ring_through_loss_db * f64::from(self.rings_passed);
+        Ok(propagation + couplers + splitters + rings)
+    }
+
+    /// Intentional power-splitting ratio, `1 / 2^stages`.
+    #[must_use]
+    pub fn splitting_ratio_linear(&self) -> f64 {
+        0.5f64.powi(self.splitter_stages as i32)
+    }
+
+    /// Optical power arriving at the end of the link for a given launch
+    /// power, including both excess loss and the splitting ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration or
+    /// the length is invalid.
+    pub fn delivered_power(&self, launch: Power) -> Result<Power> {
+        let loss_db = self.total_loss_db()?;
+        Ok(launch
+            .attenuated_by(db_to_linear(-loss_db))
+            .attenuated_by(self.splitting_ratio_linear()))
+    }
+
+    /// Required launch power to deliver `target` at the end of the link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] if the configuration or
+    /// the length is invalid.
+    pub fn required_launch_power(&self, target: Power) -> Result<Power> {
+        let loss_db = self.total_loss_db()?;
+        Ok(target
+            .attenuated_by(db_to_linear(loss_db))
+            .attenuated_by(1.0 / self.splitting_ratio_linear()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_link_is_lossless() {
+        let link = LinkBudget::new(WaveguideConfig::default());
+        assert_eq!(link.total_loss_db().expect("valid"), 0.0);
+        let delivered = link.delivered_power(Power::from_mw(1.0)).expect("valid");
+        assert!((delivered.mw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_components_add_up() {
+        let cfg = WaveguideConfig::default();
+        let link = LinkBudget::new(cfg)
+            .with_length_mm(10.0)
+            .with_couplers(2)
+            .with_splitter_stages(1)
+            .with_rings_passed(9);
+        let expected = cfg.propagation_loss_db_per_cm * 1.0
+            + 2.0 * cfg.coupler_loss_db
+            + cfg.splitter_loss_db
+            + 9.0 * cfg.per_ring_through_loss_db;
+        assert!((link.total_loss_db().expect("valid") - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitting_ratio_halves_per_stage() {
+        let link = LinkBudget::new(WaveguideConfig::default()).with_splitter_stages(3);
+        assert!((link.splitting_ratio_linear() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launch_and_delivered_power_are_inverses() {
+        let link = LinkBudget::new(WaveguideConfig::default())
+            .with_length_mm(7.0)
+            .with_couplers(1)
+            .with_splitter_stages(2)
+            .with_rings_passed(5);
+        let target = Power::from_mw(0.3);
+        let launch = link.required_launch_power(target).expect("valid");
+        let delivered = link.delivered_power(launch).expect("valid");
+        assert!((delivered.mw() - target.mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_losses_are_rejected() {
+        let mut cfg = WaveguideConfig::default();
+        cfg.coupler_loss_db = -1.0;
+        assert!(cfg.validate().is_err());
+        let link = LinkBudget::new(WaveguideConfig::default()).with_length_mm(-5.0);
+        assert!(link.total_loss_db().is_err());
+    }
+}

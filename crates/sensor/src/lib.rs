@@ -1,0 +1,50 @@
+//! ADC-less CMOS image sensor models for the Lightator reproduction.
+//!
+//! This crate models the sensing front end of the Lightator optical
+//! near-sensor accelerator (DAC 2024):
+//!
+//! * [`frame`] — normalised RGB / grayscale frame containers;
+//! * [`bayer`] — the Bayer colour-filter mosaic of the RGB imager;
+//! * [`pixel`] — photodiode pixels with global-shutter exposure;
+//! * [`crc`] — the Comparator-based pixel Reading Circuit that replaces
+//!   column ADCs with a 15-comparator ladder (4-bit codes);
+//! * [`dmva`] — the Directly-Modulated VCSEL Array: selector and
+//!   16-transistor VCSEL drivers turning digital activations into light;
+//! * [`array`] — the complete 256×256 global-shutter sensor.
+//!
+//! # Example
+//!
+//! Capture a scene and inspect the 4-bit codes that drive the optical core:
+//!
+//! ```
+//! use lightator_sensor::array::{SensorArray, SensorArrayConfig};
+//! use lightator_sensor::frame::RgbFrame;
+//!
+//! # fn main() -> Result<(), lightator_sensor::SensorError> {
+//! let sensor = SensorArray::new(SensorArrayConfig::with_resolution(16, 16)?)?;
+//! let scene = RgbFrame::filled(16, 16, [0.7, 0.5, 0.3])?;
+//! let digital = sensor.capture(&scene)?;
+//! println!("mean code = {:.1}",
+//!     digital.codes().iter().map(|&c| f64::from(c)).sum::<f64>() / 256.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod array;
+pub mod bayer;
+pub mod crc;
+pub mod dmva;
+pub mod error;
+pub mod frame;
+pub mod pixel;
+
+pub use array::{DigitalFrame, SensorArray, SensorArrayConfig, DEFAULT_RESOLUTION};
+pub use bayer::{BayerMosaic, BayerPattern};
+pub use crc::{ComparatorReadCircuit, CrcConfig, CrcReading, CRC_COMPARATORS};
+pub use dmva::{ActivationSource, DmvaLane, Selector, VcselDriver, VcselDriverConfig, DRIVER_TRANSISTORS};
+pub use error::{Result, SensorError};
+pub use frame::{Channel, GrayFrame, RgbFrame};
+pub use pixel::{Pixel, PixelConfig};

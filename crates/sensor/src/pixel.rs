@@ -1,0 +1,252 @@
+//! Photodiode pixel model.
+//!
+//! Each pixel of the Lightator imager integrates photo-current during the
+//! global-shutter exposure; the accumulated charge discharges the pixel node
+//! from its reset voltage, so brighter light produces a larger voltage drop
+//! `V_PD` (paper §3, "ADC-Less Imager"). The comparator read circuit then
+//! digitises that drop with 15 reference levels.
+
+use crate::error::{Result, SensorError};
+use lightator_photonics::units::{Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a pixel's photodiode and source follower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PixelConfig {
+    /// Reset (dark) output voltage of the pixel.
+    pub reset_voltage_v: f64,
+    /// Minimum output voltage reached at full-well illumination.
+    pub saturation_voltage_v: f64,
+    /// Photocurrent at unit (full-scale) illumination, in nA.
+    pub full_scale_photocurrent_na: f64,
+    /// Integration capacitance of the sense node, in fF.
+    pub node_capacitance_ff: f64,
+    /// Exposure (integration) time.
+    pub exposure: Time,
+    /// Dark current in pA (adds a small offset even with no light).
+    pub dark_current_pa: f64,
+}
+
+impl Default for PixelConfig {
+    fn default() -> Self {
+        Self {
+            reset_voltage_v: 1.0,
+            saturation_voltage_v: 0.2,
+            full_scale_photocurrent_na: 2.88,
+            node_capacitance_ff: 4.0,
+            exposure: Time::from_us(1.0),
+            dark_current_pa: 2.0,
+        }
+    }
+}
+
+impl PixelConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidParameter`] naming the first invalid
+    /// field (non-finite, non-positive, or an inverted voltage range).
+    pub fn validate(&self) -> Result<()> {
+        let strictly_positive = [
+            ("reset_voltage_v", self.reset_voltage_v),
+            ("full_scale_photocurrent_na", self.full_scale_photocurrent_na),
+            ("node_capacitance_ff", self.node_capacitance_ff),
+            ("exposure_ns", self.exposure.ns()),
+        ];
+        for (name, value) in strictly_positive {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SensorError::InvalidParameter { name, value });
+            }
+        }
+        if !self.saturation_voltage_v.is_finite()
+            || self.saturation_voltage_v < 0.0
+            || self.saturation_voltage_v >= self.reset_voltage_v
+        {
+            return Err(SensorError::InvalidParameter {
+                name: "saturation_voltage_v",
+                value: self.saturation_voltage_v,
+            });
+        }
+        if !self.dark_current_pa.is_finite() || self.dark_current_pa < 0.0 {
+            return Err(SensorError::InvalidParameter {
+                name: "dark_current_pa",
+                value: self.dark_current_pa,
+            });
+        }
+        Ok(())
+    }
+
+    /// The full output swing available between reset and saturation.
+    #[must_use]
+    pub fn voltage_swing(&self) -> Voltage {
+        Voltage::from_volts(self.reset_voltage_v - self.saturation_voltage_v)
+    }
+}
+
+/// A single photodiode pixel.
+///
+/// ```
+/// use lightator_sensor::pixel::{Pixel, PixelConfig};
+///
+/// # fn main() -> Result<(), lightator_sensor::SensorError> {
+/// let pixel = Pixel::new(PixelConfig::default())?;
+/// let dark = pixel.output_voltage(0.0)?;
+/// let bright = pixel.output_voltage(1.0)?;
+/// assert!(dark.volts() > bright.volts());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pixel {
+    config: PixelConfig,
+}
+
+impl Pixel {
+    /// Creates a pixel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidParameter`] if the configuration is
+    /// invalid.
+    pub fn new(config: PixelConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The pixel configuration.
+    #[must_use]
+    pub fn config(&self) -> &PixelConfig {
+        &self.config
+    }
+
+    /// Charge-domain voltage drop produced by a normalised illumination in
+    /// `[0, 1]` over the configured exposure, before clamping to the
+    /// saturation voltage.
+    fn ideal_drop_volts(&self, illumination: f64) -> f64 {
+        let photo_a = illumination * self.config.full_scale_photocurrent_na * 1e-9
+            + self.config.dark_current_pa * 1e-12;
+        let charge_c = photo_a * self.config.exposure.seconds();
+        charge_c / (self.config.node_capacitance_ff * 1e-15)
+    }
+
+    /// Output voltage of the pixel after exposure to a normalised
+    /// illumination in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::IntensityOutOfRange`] if `illumination` is not
+    /// inside `[0, 1]`.
+    pub fn output_voltage(&self, illumination: f64) -> Result<Voltage> {
+        if !illumination.is_finite() || !(0.0..=1.0).contains(&illumination) {
+            return Err(SensorError::IntensityOutOfRange { value: illumination });
+        }
+        let drop = self.ideal_drop_volts(illumination);
+        let v = (self.config.reset_voltage_v - drop).max(self.config.saturation_voltage_v);
+        Ok(Voltage::from_volts(v))
+    }
+
+    /// Voltage *drop* relative to reset, normalised to the full swing — the
+    /// quantity the comparator ladder digitises. Returns a value in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::IntensityOutOfRange`] if `illumination` is not
+    /// inside `[0, 1]`.
+    pub fn normalized_drop(&self, illumination: f64) -> Result<f64> {
+        let v = self.output_voltage(illumination)?;
+        let swing = self.config.voltage_swing().volts();
+        Ok(((self.config.reset_voltage_v - v.volts()) / swing).clamp(0.0, 1.0))
+    }
+
+    /// Illumination at which the pixel saturates (reaches its minimum output
+    /// voltage). Values above this are clipped by the sensor.
+    #[must_use]
+    pub fn saturation_illumination(&self) -> f64 {
+        // Solve ideal_drop(illum) == swing for illum, ignoring dark current.
+        let swing = self.config.voltage_swing().volts();
+        let full_drop = self.ideal_drop_volts(1.0);
+        if full_drop <= 0.0 {
+            return f64::INFINITY;
+        }
+        swing / full_drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pixel() -> Pixel {
+        Pixel::new(PixelConfig::default()).expect("valid")
+    }
+
+    #[test]
+    fn dark_pixel_stays_near_reset() {
+        let p = pixel();
+        let v = p.output_voltage(0.0).expect("ok");
+        assert!((v.volts() - p.config().reset_voltage_v).abs() < 0.05);
+    }
+
+    #[test]
+    fn brighter_light_drops_more_voltage() {
+        let p = pixel();
+        let v_dim = p.output_voltage(0.2).expect("ok");
+        let v_bright = p.output_voltage(0.8).expect("ok");
+        assert!(v_bright.volts() < v_dim.volts());
+    }
+
+    #[test]
+    fn output_never_falls_below_saturation() {
+        let p = pixel();
+        let v = p.output_voltage(1.0).expect("ok");
+        assert!(v.volts() >= p.config().saturation_voltage_v - 1e-12);
+    }
+
+    #[test]
+    fn normalized_drop_is_monotone_and_bounded() {
+        let p = pixel();
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let illum = f64::from(i) / 10.0;
+            let d = p.normalized_drop(illum).expect("ok");
+            assert!((0.0..=1.0).contains(&d));
+            assert!(d >= last);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_illumination() {
+        let p = pixel();
+        assert!(p.output_voltage(-0.1).is_err());
+        assert!(p.output_voltage(1.1).is_err());
+        assert!(p.output_voltage(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = PixelConfig::default();
+        cfg.saturation_voltage_v = 2.0; // above reset voltage
+        assert!(Pixel::new(cfg).is_err());
+        let mut cfg = PixelConfig::default();
+        cfg.node_capacitance_ff = 0.0;
+        assert!(Pixel::new(cfg).is_err());
+    }
+
+    #[test]
+    fn saturation_illumination_is_positive() {
+        let p = pixel();
+        assert!(p.saturation_illumination() > 0.0);
+    }
+
+    #[test]
+    fn default_exposure_uses_most_of_the_swing() {
+        // The default configuration should be able to reach a large portion
+        // of the available swing at full illumination so the CRC has dynamic
+        // range to digitise.
+        let p = pixel();
+        let d = p.normalized_drop(1.0).expect("ok");
+        assert!(d > 0.8, "full-scale drop {d} uses too little of the swing");
+    }
+}

@@ -1,0 +1,122 @@
+//! Capture scenarios: the ADC-less read-out chain under structured scenes,
+//! exercising the sensor the way the Lightator node uses it.
+
+use lightator_sensor::array::{SensorArray, SensorArrayConfig};
+use lightator_sensor::bayer::BayerPattern;
+use lightator_sensor::dmva::{ActivationSource, DmvaLane};
+use lightator_sensor::frame::{Channel, RgbFrame};
+use lightator_sensor::pixel::{Pixel, PixelConfig};
+use lightator_photonics::units::Wavelength;
+
+fn gradient_scene(size: usize) -> RgbFrame {
+    let mut data = Vec::with_capacity(size * size * 3);
+    for row in 0..size {
+        for col in 0..size {
+            data.push(row as f64 / (size - 1) as f64);
+            data.push(col as f64 / (size - 1) as f64);
+            data.push(((row + col) as f64 / (2 * (size - 1)) as f64).clamp(0.0, 1.0));
+        }
+    }
+    RgbFrame::new(size, size, data).expect("frame")
+}
+
+/// A horizontal red gradient produces monotonically non-decreasing codes down
+/// the red photosite columns — the 4-bit read-out preserves scene structure.
+#[test]
+fn codes_follow_scene_gradients() {
+    let sensor = SensorArray::new(SensorArrayConfig::with_resolution(16, 16).expect("config"))
+        .expect("sensor");
+    let frame = sensor.capture(&gradient_scene(16)).expect("capture");
+    // Red sites live at even rows/even cols for RGGB; walk one column of them.
+    let mut last = 0u8;
+    for row in (0..16).step_by(2) {
+        let code = frame.code(row, 0).expect("code");
+        assert_eq!(frame.channel_at(row, 0), Channel::Red);
+        assert!(code >= last, "red gradient must not decrease: {code} < {last}");
+        last = code;
+    }
+}
+
+/// All four Bayer layouts capture the same uniform scene to the same code
+/// statistics — the pattern changes which site sees which channel, not the
+/// overall response.
+#[test]
+fn bayer_patterns_agree_on_uniform_scenes() {
+    let scene = RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("scene");
+    let mut sums = Vec::new();
+    for pattern in [
+        BayerPattern::Rggb,
+        BayerPattern::Bggr,
+        BayerPattern::Grbg,
+        BayerPattern::Gbrg,
+    ] {
+        let mut config = SensorArrayConfig::with_resolution(8, 8).expect("config");
+        config.pattern = pattern;
+        let sensor = SensorArray::new(config).expect("sensor");
+        let frame = sensor.capture(&scene).expect("capture");
+        sums.push(frame.codes().iter().map(|&c| u32::from(c)).sum::<u32>());
+    }
+    assert!(sums.windows(2).all(|w| w[0] == w[1]), "sums {sums:?} differ across patterns");
+}
+
+/// The DMVA lane reproduces the paper's layer-by-layer reuse: the same lane
+/// serves the pixel path for the first layer and the feedback path for every
+/// later layer, with consistent intensity scaling.
+#[test]
+fn dmva_lane_switches_between_layers() {
+    let mut lane = DmvaLane::with_defaults(Wavelength::from_nm(1550.0)).expect("lane");
+    let pixel = Pixel::new(PixelConfig::default()).expect("pixel");
+
+    // Layer 1: driven by the pixel voltage.
+    assert_eq!(lane.source(), ActivationSource::PixelArray);
+    let v_bright = pixel.output_voltage(0.9).expect("voltage");
+    let first_layer = lane.activate(v_bright, 0).expect("activate");
+    assert!(first_layer > 0.5);
+
+    // Later layers: driven by the previous layer's 4-bit output.
+    lane.select(ActivationSource::PreviousLayer);
+    let later = lane.activate(v_bright, 3).expect("activate");
+    let later_strong = lane.activate(v_bright, 14).expect("activate");
+    assert!(later < first_layer, "code 3 must be dimmer than the bright pixel");
+    assert!(later_strong > later);
+}
+
+/// Full-well scenes never overflow the 4-bit range, and the darkest scene
+/// produces all-zero codes: the CRC ladder covers exactly the pixel swing.
+#[test]
+fn code_range_is_exactly_four_bits() {
+    let sensor = SensorArray::new(SensorArrayConfig::with_resolution(8, 8).expect("config"))
+        .expect("sensor");
+    let white = sensor
+        .capture(&RgbFrame::filled(8, 8, [1.0, 1.0, 1.0]).expect("scene"))
+        .expect("capture");
+    assert!(white.codes().iter().all(|&c| c <= 15));
+    assert!(white.codes().iter().any(|&c| c >= 13));
+    let black = sensor
+        .capture(&RgbFrame::black(8, 8).expect("scene"))
+        .expect("capture");
+    assert!(black.codes().iter().all(|&c| c == 0));
+}
+
+/// Normalised codes and the raw mosaic stay ordered the same way: the
+/// ADC-less path is a monotone (if coarse) transform of the analog scene.
+#[test]
+fn normalized_codes_track_mosaic_intensities() {
+    let sensor = SensorArray::new(SensorArrayConfig::with_resolution(16, 16).expect("config"))
+        .expect("sensor");
+    let scene = gradient_scene(16);
+    let mosaic = sensor.capture_mosaic(&scene).expect("mosaic");
+    let digital = sensor.capture(&scene).expect("capture");
+    let normalized = digital.normalized();
+    for row in 0..16 {
+        for col in 0..15 {
+            let a_analog = mosaic.intensity(row, col).expect("analog");
+            let b_analog = mosaic.intensity(row, col + 1).expect("analog");
+            let a_code = normalized[row * 16 + col];
+            let b_code = normalized[row * 16 + col + 1];
+            if a_analog + 0.12 < b_analog {
+                assert!(a_code <= b_code, "codes must follow clear analog ordering");
+            }
+        }
+    }
+}

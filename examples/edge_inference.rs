@@ -1,0 +1,67 @@
+//! Edge inference demo: train a small classifier on the synthetic dataset,
+//! quantize it the way Lightator maps weights onto MRs, and compare digital
+//! inference against the photonic datapath (with analog noise) end to end.
+//!
+//! ```text
+//! cargo run --release --example edge_inference
+//! ```
+
+use lightator_suite::core::exec::PhotonicExecutor;
+use lightator_suite::core::CoreError;
+use lightator_suite::nn::datasets::{generate, SyntheticConfig};
+use lightator_suite::nn::models::build_mlp;
+use lightator_suite::nn::quant::{quantize_model_weights, Precision, PrecisionSchedule};
+use lightator_suite::nn::train::{evaluate, train, TrainConfig};
+use lightator_suite::photonics::noise::NoiseConfig;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CoreError> {
+    let mut rng = SmallRng::seed_from_u64(2024);
+
+    // A small class-structured dataset standing in for MNIST (see DESIGN.md).
+    let dataset = generate(
+        "edge-demo",
+        SyntheticConfig {
+            classes: 4,
+            channels: 1,
+            height: 16,
+            width: 16,
+            train_per_class: 30,
+            test_per_class: 10,
+            noise: 0.06,
+            max_shift: 1,
+        },
+        &mut rng,
+    )?;
+
+    let mut model = build_mlp(&dataset.input_shape(), dataset.classes(), 32, &mut rng)?;
+    println!("training a {}-parameter classifier on {} samples ...", model.parameter_count(), dataset.train().len());
+    train(&mut model, &dataset, TrainConfig { epochs: 10, ..TrainConfig::default() })?;
+    let float_accuracy = evaluate(&mut model, &dataset)?;
+    println!("float32 accuracy: {:.1}%", float_accuracy * 100.0);
+
+    println!(
+        "\n{:<12} {:>16} {:>18}",
+        "config", "digital acc (%)", "photonic acc (%)"
+    );
+    for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
+        let schedule = PrecisionSchedule::Uniform(precision);
+        let mut quantized = model.clone();
+        quantize_model_weights(&mut quantized, schedule);
+        let digital = evaluate(&mut quantized, &dataset)?;
+        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 7)?;
+        let result = executor.evaluate(&mut quantized, &dataset, 20)?;
+        println!(
+            "{:<12} {:>16.1} {:>18.1}",
+            precision.to_string(),
+            digital * 100.0,
+            result.photonic * 100.0
+        );
+    }
+
+    println!("\nAccuracy degrades gracefully as the weight bit-width shrinks, and the analog");
+    println!("photonic datapath tracks the digital quantized model closely — the trade-off");
+    println!("Table 1 of the paper explores across [4:4], [3:4] and [2:4].");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate the Lightator platform on LeNet and print its key
+//! figures of merit for the three precision configurations of the paper.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lightator_suite::core::config::LightatorConfig;
+use lightator_suite::core::sim::ArchitectureSimulator;
+use lightator_suite::core::CoreError;
+use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
+use lightator_suite::nn::spec::NetworkSpec;
+
+fn main() -> Result<(), CoreError> {
+    let config = LightatorConfig::paper();
+    println!(
+        "Lightator optical core: {} banks x {} arms x {} MRs = {} MACs/cycle",
+        config.geometry.banks(),
+        config.geometry.arms_per_bank,
+        config.geometry.mrs_per_arm,
+        config.geometry.macs_per_cycle()
+    );
+
+    let simulator = ArchitectureSimulator::new(config)?;
+    let network = NetworkSpec::lenet();
+    println!(
+        "\nWorkload: {} ({} layers, {:.1} MMAC per frame)\n",
+        network.name(),
+        network.layer_count(),
+        network.total_macs() as f64 / 1e6
+    );
+
+    println!(
+        "{:<10} {:>14} {:>16} {:>12} {:>10}",
+        "config", "latency (us)", "max power (W)", "frames/s", "KFPS/W"
+    );
+    for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
+        let report = simulator.simulate(&network, PrecisionSchedule::Uniform(precision))?;
+        println!(
+            "{:<10} {:>14.3} {:>16.2} {:>12.0} {:>10.1}",
+            precision.to_string(),
+            report.frame_latency.us(),
+            report.max_power.watts(),
+            report.fps(),
+            report.kfps_per_watt()
+        );
+    }
+
+    println!("\nLower weight precision gates DAC slices, cutting power roughly in half per bit —");
+    println!("the mechanism behind the paper's 2.4x average efficiency gain (Fig. 8).");
+    Ok(())
+}

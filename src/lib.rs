@@ -1,0 +1,36 @@
+//! Umbrella crate for the Lightator reproduction.
+//!
+//! Re-exports every crate of the workspace so examples, integration tests and
+//! downstream users can depend on a single entry point:
+//!
+//! * [`photonics`] — micro-rings, VCSELs, detectors, WDM, noise;
+//! * [`sensor`] — the ADC-less imager and the DMVA;
+//! * [`nn`] — tensors, layers, quantization, training, topologies, datasets;
+//! * [`core`] — the Lightator optical core, mapper, energy model, simulator
+//!   and end-to-end pipeline;
+//! * [`baselines`] — photonic and electronic baseline accelerator models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lightator_suite::core::config::LightatorConfig;
+//! use lightator_suite::core::sim::ArchitectureSimulator;
+//! use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
+//! use lightator_suite::nn::spec::NetworkSpec;
+//!
+//! # fn main() -> Result<(), lightator_suite::core::CoreError> {
+//! let sim = ArchitectureSimulator::new(LightatorConfig::paper())?;
+//! let report = sim.simulate(&NetworkSpec::lenet(), PrecisionSchedule::Uniform(Precision::w4a4()))?;
+//! assert!(report.kfps_per_watt() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use lightator_baselines as baselines;
+pub use lightator_core as core;
+pub use lightator_nn as nn;
+pub use lightator_photonics as photonics;
+pub use lightator_sensor as sensor;

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: scene → sensor → CA → photonic inference,
+//! and simulator consistency across the full stack.
+
+use lightator_suite::core::ca::{CaConfig, CompressiveAcquisitor};
+use lightator_suite::core::config::LightatorConfig;
+use lightator_suite::core::exec::PhotonicExecutor;
+use lightator_suite::core::pipeline::LightatorNode;
+use lightator_suite::core::sim::ArchitectureSimulator;
+use lightator_suite::nn::datasets::{generate, SyntheticConfig};
+use lightator_suite::nn::layers::{Activation, Flatten, Linear};
+use lightator_suite::nn::model::Sequential;
+use lightator_suite::nn::models::build_mlp;
+use lightator_suite::nn::quant::{quantize_model_weights, Precision, PrecisionSchedule};
+use lightator_suite::nn::spec::NetworkSpec;
+use lightator_suite::nn::train::{evaluate, train, TrainConfig};
+use lightator_suite::photonics::noise::NoiseConfig;
+use lightator_suite::sensor::array::SensorArrayConfig;
+use lightator_suite::sensor::frame::RgbFrame;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A 16×16 scene classified end to end through sensor, CA and the optical
+/// core: the full Fig. 2 data flow.
+#[test]
+fn full_pipeline_classifies_a_scene() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    // Model matched to the CA output of a 16x16 sensor with 2x2 pooling.
+    let mut model = Sequential::new(&[1, 8, 8]);
+    model.push(Flatten::new());
+    model.push(Linear::new(64, 24, &mut rng).expect("layer"));
+    model.push(Activation::relu());
+    model.push(Linear::new(24, 4, &mut rng).expect("layer"));
+
+    let mut node = LightatorNode::new(
+        SensorArrayConfig::with_resolution(16, 16).expect("sensor config"),
+        Some(CaConfig::default()),
+        PrecisionSchedule::Uniform(Precision::w4a4()),
+        NoiseConfig::default(),
+        1,
+    )
+    .expect("node");
+
+    let scene = RgbFrame::filled(16, 16, [0.7, 0.4, 0.2]).expect("scene");
+    let result = node.process_frame(&scene, &mut model).expect("frame processed");
+    assert!(result.class < 4);
+    assert_eq!(result.dnn_input_shape, vec![1, 8, 8]);
+    assert_eq!(result.logits.len(), 4);
+}
+
+/// The compressive acquisitor's single optical pass must agree with the
+/// conventional grayscale+pool pipeline on sensor-captured data, end to end.
+#[test]
+fn ca_matches_reference_on_captured_frames() {
+    let ca = CompressiveAcquisitor::new(CaConfig::default()).expect("ca");
+    let scene = RgbFrame::filled(32, 32, [0.3, 0.8, 0.5]).expect("scene");
+    let fused = ca.acquire(&scene).expect("fused");
+    let reference = ca.reference(&scene).expect("reference");
+    assert_eq!(fused.height(), 16);
+    for (a, b) in fused.data().iter().zip(reference.data()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// Training, quantization and photonic evaluation work together across the
+/// nn and core crates; photonic accuracy tracks the digital accuracy.
+#[test]
+fn trained_model_survives_photonic_execution() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let dataset = generate("integration", SyntheticConfig::tiny(3), &mut rng).expect("dataset");
+    let mut model = build_mlp(&dataset.input_shape(), 3, 20, &mut rng).expect("model");
+    train(
+        &mut model,
+        &dataset,
+        TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("training");
+    let digital = evaluate(&mut model, &dataset).expect("digital eval");
+    assert!(digital > 0.5, "digital accuracy {digital} should beat chance");
+
+    let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+    quantize_model_weights(&mut model, schedule);
+    let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 11).expect("executor");
+    let result = executor.evaluate(&mut model, &dataset, 10).expect("photonic eval");
+    assert!(
+        result.photonic + 0.35 >= result.digital,
+        "photonic accuracy {} collapsed versus digital {}",
+        result.photonic,
+        result.digital
+    );
+}
+
+/// The architecture simulator, the topology specs and the precision schedules
+/// compose: every paper workload simulates under every precision, and the
+/// figures of merit move in the documented directions.
+#[test]
+fn simulator_covers_all_paper_workloads() {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let networks = [
+        NetworkSpec::lenet(),
+        NetworkSpec::vgg9(10),
+        NetworkSpec::vgg9(100),
+        NetworkSpec::alexnet(),
+        NetworkSpec::vgg16(),
+    ];
+    for network in &networks {
+        let mut last_power = f64::INFINITY;
+        for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
+            let report = sim
+                .simulate(network, PrecisionSchedule::Uniform(precision))
+                .expect("simulation");
+            assert_eq!(report.layers.len(), network.layer_count());
+            assert!(report.frame_latency.ns() > 0.0);
+            assert!(report.max_power.watts() > 0.0);
+            assert!(report.max_power.watts() < last_power + 1e-9);
+            last_power = report.max_power.watts();
+        }
+    }
+}
+
+/// Mixed-precision platform power sits between the two uniform extremes for
+/// the Table 1 workload.
+#[test]
+fn mixed_precision_power_is_intermediate() {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let vgg9 = NetworkSpec::vgg9(100);
+    let p44 = sim
+        .platform_max_power(&vgg9, PrecisionSchedule::Uniform(Precision::w4a4()))
+        .expect("ok")
+        .watts();
+    let p34 = sim
+        .platform_max_power(&vgg9, PrecisionSchedule::Uniform(Precision::w3a4()))
+        .expect("ok")
+        .watts();
+    let mx = sim
+        .platform_max_power(
+            &vgg9,
+            PrecisionSchedule::Mixed {
+                first: Precision::w4a4(),
+                rest: Precision::w3a4(),
+            },
+        )
+        .expect("ok")
+        .watts();
+    assert!(mx > p34 && mx < p44, "MX power {mx} outside ({p34}, {p44})");
+}

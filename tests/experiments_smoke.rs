@@ -1,0 +1,114 @@
+//! Smoke tests for the experiment harness: every table and figure of the
+//! paper regenerates and reproduces its qualitative claims.
+
+use lightator_bench_smoke::*;
+
+/// The bench crate is not a dependency of the umbrella crate (it depends on
+/// it the other way around), so the smoke checks recompute the key quantities
+/// directly from the public API.
+mod lightator_bench_smoke {
+    pub use lightator_suite::baselines::electronic::ElectronicBaseline;
+    pub use lightator_suite::baselines::optical::OpticalBaseline;
+    pub use lightator_suite::core::config::LightatorConfig;
+    pub use lightator_suite::core::sim::ArchitectureSimulator;
+    pub use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
+    pub use lightator_suite::nn::spec::NetworkSpec;
+}
+
+/// Table 1's central claims: Lightator's power is an order of magnitude below
+/// every photonic baseline and two orders below the GPU, while its efficiency
+/// beats the best baseline.
+#[test]
+fn table1_power_and_efficiency_claims() {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let lenet = NetworkSpec::lenet();
+    let vgg9 = NetworkSpec::vgg9(100);
+
+    let lightator_power = sim
+        .platform_max_power(&vgg9, PrecisionSchedule::Uniform(Precision::w3a4()))
+        .expect("power")
+        .watts();
+    let lightator_fps = sim
+        .simulate(&lenet, PrecisionSchedule::Uniform(Precision::w3a4()))
+        .expect("sim")
+        .fps();
+    let lightator_kfpsw = lightator_fps / 1e3 / lightator_power;
+
+    // Against photonic baselines.
+    let mut best_baseline_kfpsw = 0.0f64;
+    for design in OpticalBaseline::table1_designs() {
+        assert!(
+            design.max_power().watts() > 10.0 * lightator_power,
+            "{} power {} not >> Lightator {}",
+            design.name(),
+            design.max_power().watts(),
+            lightator_power
+        );
+        best_baseline_kfpsw = best_baseline_kfpsw.max(design.kfps_per_watt(&lenet));
+    }
+    assert!(
+        lightator_kfpsw > best_baseline_kfpsw,
+        "Lightator {lightator_kfpsw} KFPS/W must beat the best baseline {best_baseline_kfpsw}"
+    );
+
+    // Against the GPU (paper: ~73x lower power).
+    let gpu = ElectronicBaseline::gpu_rtx3060ti();
+    assert!(gpu.power().watts() / lightator_power > 30.0);
+}
+
+/// Fig. 10's claim: Lightator runs AlexNet and VGG16 several times faster
+/// than all four electronic edge accelerators.
+#[test]
+fn fig10_lightator_is_faster_than_electronic_designs() {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+    for network in [NetworkSpec::alexnet(), NetworkSpec::vgg16()] {
+        let lightator_ms = sim.simulate(&network, schedule).expect("sim").frame_latency.ms();
+        for design in ElectronicBaseline::fig10_designs() {
+            let other_ms = design.execution_time(&network).ms();
+            assert!(
+                other_ms / lightator_ms > 3.0,
+                "{} is only {:.1}x slower than Lightator on {}",
+                design.name(),
+                other_ms / lightator_ms,
+                network.name()
+            );
+        }
+    }
+}
+
+/// Fig. 8's claim: reducing the weight bit-width from [4:4] to [2:4] yields
+/// a ~2x-3x power saving on LeNet, layer by layer.
+#[test]
+fn fig8_bit_width_scaling_saves_power() {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let lenet = NetworkSpec::lenet();
+    let hi = sim
+        .simulate(&lenet, PrecisionSchedule::Uniform(Precision::w4a4()))
+        .expect("sim");
+    let lo = sim
+        .simulate(&lenet, PrecisionSchedule::Uniform(Precision::w2a4()))
+        .expect("sim");
+    for (layer_hi, layer_lo) in hi.layers.iter().zip(&lo.layers) {
+        assert!(layer_hi.power.total().watts() >= layer_lo.power.total().watts());
+    }
+    let gain = hi.frame_energy.joules() / lo.frame_energy.joules();
+    assert!(gain > 1.5 && gain < 5.0, "energy gain {gain}");
+}
+
+/// Fig. 9's claim: DACs dominate every weighted layer's power on VGG9.
+#[test]
+fn fig9_dacs_dominate() {
+    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let report = sim
+        .simulate(&NetworkSpec::vgg9(10), PrecisionSchedule::Uniform(Precision::w3a4()))
+        .expect("sim");
+    for layer in report.layers.iter().filter(|l| l.kind == "conv" || l.kind == "fc") {
+        assert!(
+            layer.power.dac_share() > 0.5,
+            "layer {} DAC share {:.2}",
+            layer.index,
+            layer.power.dac_share()
+        );
+    }
+}
