@@ -28,7 +28,13 @@ pub struct ElectronicBaseline {
 impl ElectronicBaseline {
     /// Creates a baseline from its parameters.
     #[must_use]
-    pub fn new(name: &str, peak_gmacs: f64, utilization: f64, per_layer_overhead_us: f64, power_w: f64) -> Self {
+    pub fn new(
+        name: &str,
+        peak_gmacs: f64,
+        utilization: f64,
+        per_layer_overhead_us: f64,
+        power_w: f64,
+    ) -> Self {
         Self {
             name: name.to_string(),
             peak_gmacs,
@@ -77,7 +83,12 @@ impl ElectronicBaseline {
     /// The four electronic accelerators of Fig. 10, in the figure's order.
     #[must_use]
     pub fn fig10_designs() -> Vec<Self> {
-        vec![Self::eyeriss(), Self::envision(), Self::appcip(), Self::yodann()]
+        vec![
+            Self::eyeriss(),
+            Self::envision(),
+            Self::appcip(),
+            Self::yodann(),
+        ]
     }
 
     /// Design name.

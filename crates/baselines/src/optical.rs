@@ -98,7 +98,10 @@ impl OpticalBaseline {
         Self::new(
             "LightBulb",
             Some(32),
-            Precision { weight_bits: 1, activation_bits: 1 },
+            Precision {
+                weight_bits: 1,
+                activation_bits: 1,
+            },
             OpticalComponentCounts {
                 weight_mrs: 8_192,
                 activation_mrs: 8_192,
@@ -117,7 +120,10 @@ impl OpticalBaseline {
         Self::new(
             "HolyLight",
             Some(32),
-            Precision { weight_bits: 4, activation_bits: 4 },
+            Precision {
+                weight_bits: 4,
+                activation_bits: 4,
+            },
             OpticalComponentCounts {
                 weight_mrs: 24_576,
                 activation_mrs: 8_192,
@@ -138,7 +144,10 @@ impl OpticalBaseline {
         Self::new(
             "HQNNA",
             Some(45),
-            Precision { weight_bits: 4, activation_bits: 4 },
+            Precision {
+                weight_bits: 4,
+                activation_bits: 4,
+            },
             OpticalComponentCounts {
                 weight_mrs: 12_288,
                 activation_mrs: 6_144,
@@ -157,7 +166,10 @@ impl OpticalBaseline {
         Self::new(
             "Robin",
             Some(45),
-            Precision { weight_bits: 1, activation_bits: 4 },
+            Precision {
+                weight_bits: 1,
+                activation_bits: 4,
+            },
             OpticalComponentCounts {
                 weight_mrs: 16_384,
                 activation_mrs: 16_384,
@@ -176,7 +188,10 @@ impl OpticalBaseline {
         Self::new(
             "CrossLight",
             None,
-            Precision { weight_bits: 4, activation_bits: 4 },
+            Precision {
+                weight_bits: 4,
+                activation_bits: 4,
+            },
             OpticalComponentCounts {
                 weight_mrs: 20_480,
                 activation_mrs: 20_480,
@@ -228,7 +243,8 @@ impl OpticalBaseline {
     /// active and the laser budget.
     #[must_use]
     pub fn max_power(&self) -> Power {
-        let mrs = (self.counts.weight_mrs + self.counts.activation_mrs) as f64 * self.costs.mr_tuning_mw;
+        let mrs =
+            (self.counts.weight_mrs + self.counts.activation_mrs) as f64 * self.costs.mr_tuning_mw;
         let adcs = self.counts.adcs as f64 * self.costs.adc_mw;
         let dacs = self.counts.dacs as f64 * self.costs.dac_mw;
         let lasers = self.counts.lasers as f64 * self.costs.laser_w * 1e3;
@@ -311,7 +327,10 @@ mod tests {
         let lightbulb = OpticalBaseline::lightbulb().kfps_per_watt(&net);
         let holylight = OpticalBaseline::holylight().kfps_per_watt(&net);
         let robin = OpticalBaseline::robin().kfps_per_watt(&net);
-        assert!(lightbulb > holylight, "LightBulb {lightbulb} vs HolyLight {holylight}");
+        assert!(
+            lightbulb > holylight,
+            "LightBulb {lightbulb} vs HolyLight {holylight}"
+        );
         assert!(robin > holylight);
     }
 

@@ -29,7 +29,9 @@ fn bench_ca(c: &mut Criterion) {
         baseline.frame_latency.us()
     );
     for window in [2usize, 4] {
-        let (report, saving) = sim.simulate_with_ca(&network, schedule, window).expect("ok");
+        let (report, saving) = sim
+            .simulate_with_ca(&network, schedule, window)
+            .expect("ok");
         println!(
             "CA {window}x{window}: first-layer energy {:.3e} J, frame latency {:.3} us, saving {:.1}%",
             report.layers[0].energy.joules(),
@@ -47,9 +49,13 @@ fn bench_ca(c: &mut Criterion) {
             rgb_to_grayscale: true,
         })
         .expect("valid");
-        group.bench_with_input(BenchmarkId::new("acquire_64x64", window), &window, |b, _| {
-            b.iter(|| ca.acquire(&frame).expect("ok"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("acquire_64x64", window),
+            &window,
+            |b, _| {
+                b.iter(|| ca.acquire(&frame).expect("ok"));
+            },
+        );
     }
     group.bench_function("simulate_vgg9_with_ca", |b| {
         b.iter(|| sim.simulate_with_ca(&network, schedule, 2).expect("ok"));

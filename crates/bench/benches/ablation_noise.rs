@@ -41,12 +41,16 @@ fn bench_noise(c: &mut Criterion) {
         } else {
             NoiseConfig::default().scaled(f64::from(scale))
         };
-        group.bench_with_input(BenchmarkId::new("photonic_dot", scale), &noise, |b, noise| {
-            let mut unit = PhotonicMacUnit::new(*noise, 3).expect("valid");
-            let weights = [0.5, -0.25, 0.75, 0.1, -0.9, 0.3, 0.0, 0.6, -0.4];
-            let activations = [0.9, 0.2, 0.4, 0.8, 0.1, 0.7, 0.3, 0.5, 0.6];
-            b.iter(|| unit.dot(&weights, &activations).expect("ok"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("photonic_dot", scale),
+            &noise,
+            |b, noise| {
+                let mut unit = PhotonicMacUnit::new(*noise, 3).expect("valid");
+                let weights = [0.5, -0.25, 0.75, 0.1, -0.9, 0.3, 0.0, 0.6, -0.4];
+                let activations = [0.9, 0.2, 0.4, 0.8, 0.1, 0.7, 0.3, 0.5, 0.6];
+                b.iter(|| unit.dot(&weights, &activations).expect("ok"));
+            },
+        );
     }
     group.finish();
 }

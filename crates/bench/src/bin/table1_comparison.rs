@@ -21,7 +21,11 @@ fn main() {
     }
 
     if with_accuracy {
-        let config = if fast { AccuracyConfig::fast() } else { AccuracyConfig::full() };
+        let config = if fast {
+            AccuracyConfig::fast()
+        } else {
+            AccuracyConfig::full()
+        };
         match table1::accuracy_rows(&config) {
             Ok(workloads) => print!("\n{}", table1::render_accuracy(&workloads)),
             Err(err) => {

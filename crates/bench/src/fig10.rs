@@ -44,7 +44,11 @@ pub fn generate() -> Result<Fig10Data, CoreError> {
     let mut rows = Vec::new();
     for design in ElectronicBaseline::fig10_designs() {
         // YodaNN's VGG16 column is substituted with VGG13, as in the paper.
-        let vgg = if design.name() == "YodaNN" { &vgg13 } else { &vgg16 };
+        let vgg = if design.name() == "YodaNN" {
+            &vgg13
+        } else {
+            &vgg16
+        };
         rows.push(Fig10Row {
             accelerator: design.name().to_string(),
             network: vgg.name().to_string(),
@@ -91,7 +95,10 @@ pub fn generate() -> Result<Fig10Data, CoreError> {
 pub fn render(data: &Fig10Data) -> String {
     let mut out = String::new();
     out.push_str("Fig. 10 — execution time (ms, log scale in the paper)\n");
-    out.push_str(&format!("{:<12} {:<8} {:>12}\n", "accelerator", "network", "time (ms)"));
+    out.push_str(&format!(
+        "{:<12} {:<8} {:>12}\n",
+        "accelerator", "network", "time (ms)"
+    ));
     for row in &data.rows {
         out.push_str(&format!(
             "{:<12} {:<8} {:>12.4}\n",
@@ -115,7 +122,10 @@ mod tests {
         // 4 electronic + Lightator = 5 accelerators x 2 networks.
         assert_eq!(data.rows.len(), 10);
         for name in ["Eyeriss", "ENVISION", "AppCiP", "YodaNN", "Lightator"] {
-            assert_eq!(data.rows.iter().filter(|r| r.accelerator == name).count(), 2);
+            assert_eq!(
+                data.rows.iter().filter(|r| r.accelerator == name).count(),
+                2
+            );
         }
     }
 
@@ -154,7 +164,11 @@ mod tests {
         };
         // All speed-ups are large (the paper reports 8.8x - 20.4x).
         for name in ["Eyeriss", "YodaNN", "AppCiP", "ENVISION"] {
-            assert!(factor(name) > 3.0, "{name} speed-up {} too small", factor(name));
+            assert!(
+                factor(name) > 3.0,
+                "{name} speed-up {} too small",
+                factor(name)
+            );
         }
         // The ordering matches the paper: largest gain over YodaNN, smallest
         // over ENVISION.

@@ -85,8 +85,12 @@ pub fn render(rows: &[Fig8Row]) -> String {
 /// [4:4] to [2:4] across the LeNet layers (the paper reports ~2.4×).
 #[must_use]
 pub fn average_efficiency_gain(rows: &[Fig8Row]) -> f64 {
-    let total =
-        |label: &str| -> f64 { rows.iter().filter(|r| r.precision == label).map(|r| r.total_w).sum() };
+    let total = |label: &str| -> f64 {
+        rows.iter()
+            .filter(|r| r.precision == label)
+            .map(|r| r.total_w)
+            .sum()
+    };
     let p44 = total("[4:4]");
     let p24 = total("[2:4]");
     if p24 == 0.0 {

@@ -67,7 +67,11 @@ pub fn generate() -> Result<Fig9Data, CoreError> {
     let l8 = &rows[7.min(rows.len() - 1)];
     let mut l8_shares = [0.0; 6];
     for (share, value) in l8_shares.iter_mut().zip(l8.components_w.iter()) {
-        *share = if l8.total_w > 0.0 { value / l8.total_w } else { 0.0 };
+        *share = if l8.total_w > 0.0 {
+            value / l8.total_w
+        } else {
+            0.0
+        };
     }
 
     let (_, ca_first_layer_saving) = sim.simulate_with_ca(&network, schedule, 2)?;
@@ -135,7 +139,12 @@ mod tests {
     fn dacs_dominate_the_conv_layers() {
         let data = generate().expect("ok");
         for row in data.rows.iter().filter(|r| r.kind == "conv") {
-            assert!(row.dac_share > 0.5, "{} has DAC share {}", row.layer, row.dac_share);
+            assert!(
+                row.dac_share > 0.5,
+                "{} has DAC share {}",
+                row.layer,
+                row.dac_share
+            );
         }
     }
 

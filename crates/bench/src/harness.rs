@@ -7,9 +7,18 @@ use lightator_nn::quant::{Precision, PrecisionSchedule};
 
 /// The three uniform precisions evaluated throughout the paper.
 pub const PRECISIONS: [Precision; 3] = [
-    Precision { weight_bits: 4, activation_bits: 4 },
-    Precision { weight_bits: 3, activation_bits: 4 },
-    Precision { weight_bits: 2, activation_bits: 4 },
+    Precision {
+        weight_bits: 4,
+        activation_bits: 4,
+    },
+    Precision {
+        weight_bits: 3,
+        activation_bits: 4,
+    },
+    Precision {
+        weight_bits: 2,
+        activation_bits: 4,
+    },
 ];
 
 /// The five Lightator variants of Table 1 (three uniform, two mixed).
@@ -22,15 +31,27 @@ pub fn lightator_variants() -> Vec<(String, PrecisionSchedule)> {
         (
             "Lightator-MX [4:4][3:4]".to_string(),
             PrecisionSchedule::Mixed {
-                first: Precision { weight_bits: 4, activation_bits: 4 },
-                rest: Precision { weight_bits: 3, activation_bits: 4 },
+                first: Precision {
+                    weight_bits: 4,
+                    activation_bits: 4,
+                },
+                rest: Precision {
+                    weight_bits: 3,
+                    activation_bits: 4,
+                },
             },
         ),
         (
             "Lightator-MX [4:4][2:4]".to_string(),
             PrecisionSchedule::Mixed {
-                first: Precision { weight_bits: 4, activation_bits: 4 },
-                rest: Precision { weight_bits: 2, activation_bits: 4 },
+                first: Precision {
+                    weight_bits: 4,
+                    activation_bits: 4,
+                },
+                rest: Precision {
+                    weight_bits: 2,
+                    activation_bits: 4,
+                },
             },
         ),
     ];

@@ -72,7 +72,12 @@ pub fn performance_rows() -> Result<Vec<Table1Row>, CoreError> {
     for design in OpticalBaseline::table1_designs() {
         let precision = design.precision();
         rows.push(Table1Row {
-            design: format!("{} [{}:{}]", design.name(), precision.weight_bits, precision.activation_bits),
+            design: format!(
+                "{} [{}:{}]",
+                design.name(),
+                precision.weight_bits,
+                precision.activation_bits
+            ),
             node_nm: design.process_node_nm(),
             max_power_w: if design.name() == "HQNNA" {
                 None // the original paper does not report HQNNA's power
@@ -172,7 +177,11 @@ fn mnist_like(config: &AccuracyConfig, rng: &mut SmallRng) -> Result<Dataset, Co
     Ok(generate_dataset("synthetic-mnist", cfg, rng)?)
 }
 
-fn cifar_like(config: &AccuracyConfig, classes: usize, rng: &mut SmallRng) -> Result<Dataset, CoreError> {
+fn cifar_like(
+    config: &AccuracyConfig,
+    classes: usize,
+    rng: &mut SmallRng,
+) -> Result<Dataset, CoreError> {
     let mut cfg = SyntheticConfig::cifar10_like();
     cfg.classes = classes;
     cfg.train_per_class = config.cifar_train_per_class;
@@ -207,11 +216,19 @@ fn evaluate_designs(
     // is the dominant accuracy effect, which preserves the table's ordering).
     for design in OpticalBaseline::table1_designs() {
         let mut quantized = model.clone();
-        quantize_model_weights(&mut quantized, PrecisionSchedule::Uniform(design.precision()));
+        quantize_model_weights(
+            &mut quantized,
+            PrecisionSchedule::Uniform(design.precision()),
+        );
         let accuracy = evaluate(&mut quantized, dataset)?;
         let p = design.precision();
         results.push((
-            format!("{} [{}:{}]", design.name(), p.weight_bits, p.activation_bits),
+            format!(
+                "{} [{}:{}]",
+                design.name(),
+                p.weight_bits,
+                p.activation_bits
+            ),
             accuracy,
         ));
     }
@@ -295,7 +312,10 @@ pub fn render_performance(rows: &[Table1Row]) -> String {
             .kfps_per_watt
             .map(|k| format!("{k:.2}"))
             .unwrap_or_else(|| "-".to_string());
-        out.push_str(&format!("{:<28} {:>6} {:>14} {:>10}\n", row.design, node, power, kfps));
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>14} {:>10}\n",
+            row.design, node, power, kfps
+        ));
     }
     out
 }
@@ -330,7 +350,10 @@ mod tests {
         assert!(rows.iter().any(|r| r.design.contains("LightBulb")));
         assert!(rows.iter().any(|r| r.design.contains("Lightator-MX")));
         // HQNNA's power is unreported, mirroring the paper.
-        let hqnna = rows.iter().find(|r| r.design.contains("HQNNA")).expect("exists");
+        let hqnna = rows
+            .iter()
+            .find(|r| r.design.contains("HQNNA"))
+            .expect("exists");
         assert!(hqnna.max_power_w.is_none());
     }
 

@@ -149,7 +149,7 @@ impl CompressiveAcquisitor {
     /// the pooling window.
     pub fn acquire(&self, frame: &RgbFrame) -> Result<GrayFrame> {
         let window = self.config.pooling_window;
-        if frame.height() % window != 0 || frame.width() % window != 0 {
+        if !frame.height().is_multiple_of(window) || !frame.width().is_multiple_of(window) {
             return Err(CoreError::InvalidConfig {
                 name: "pooling_window",
                 value: window as f64,
@@ -218,7 +218,12 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(CaConfig { pooling_window: 0, rgb_to_grayscale: true }.validate().is_err());
+        assert!(CaConfig {
+            pooling_window: 0,
+            rgb_to_grayscale: true
+        }
+        .validate()
+        .is_err());
         assert!(CaConfig::default().validate().is_ok());
     }
 
@@ -268,7 +273,10 @@ mod tests {
     fn compression_ratio_counts_space_and_chroma() {
         let ca = CaConfig::default();
         assert!((ca.compression_ratio() - 12.0).abs() < 1e-12);
-        let no_gray = CaConfig { rgb_to_grayscale: false, ..ca };
+        let no_gray = CaConfig {
+            rgb_to_grayscale: false,
+            ..ca
+        };
         assert!((no_gray.compression_ratio() - 4.0).abs() < 1e-12);
     }
 

@@ -246,11 +246,15 @@ mod tests {
 
     #[test]
     fn geometry_validation_rejects_zeros_and_bad_ca() {
-        let mut g = OcGeometry::default();
-        g.mrs_per_arm = 0;
+        let g = OcGeometry {
+            mrs_per_arm: 0,
+            ..OcGeometry::default()
+        };
         assert!(g.validate().is_err());
-        let mut g = OcGeometry::default();
-        g.ca_banks = 1000;
+        let g = OcGeometry {
+            ca_banks: 1000,
+            ..OcGeometry::default()
+        };
         assert!(g.validate().is_err());
     }
 
@@ -264,8 +268,10 @@ mod tests {
         let mut cfg = LightatorConfig::default();
         cfg.periphery.vcsels_per_arm = 0;
         assert!(cfg.validate().is_err());
-        let mut cfg = LightatorConfig::default();
-        cfg.area = Area::from_mm2(0.0);
+        let cfg = LightatorConfig {
+            area: Area::from_mm2(0.0),
+            ..LightatorConfig::default()
+        };
         assert!(cfg.validate().is_err());
         let mut cfg = LightatorConfig::default();
         cfg.timing.optical_cycles_per_wave = 0;

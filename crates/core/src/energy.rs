@@ -120,7 +120,14 @@ impl ComponentPower {
     /// The component values in label order.
     #[must_use]
     pub fn values(&self) -> [Power; 6] {
-        [self.adcs, self.dacs, self.dmva, self.tuning, self.bpd, self.misc]
+        [
+            self.adcs,
+            self.dacs,
+            self.dmva,
+            self.tuning,
+            self.bpd,
+            self.misc,
+        ]
     }
 }
 
@@ -151,7 +158,8 @@ impl EnergyModel {
     /// Number of arms engaged each cycle for a mapping.
     fn arms_active(&self, mapping: &LayerMapping) -> usize {
         let geometry = &self.config.geometry;
-        let engaged = mapping.strides_per_cycle.min(mapping.total_strides) * mapping.arms_per_stride;
+        let engaged =
+            mapping.strides_per_cycle.min(mapping.total_strides) * mapping.arms_per_stride;
         engaged.min(geometry.arms())
     }
 
@@ -174,7 +182,10 @@ impl EnergyModel {
         let arms_active = self.arms_active(mapping);
         let banks_active = arms_active.div_ceil(geometry.arms_per_bank).max(1);
         let mrs_active_per_cycle = (arms_active * geometry.mrs_per_arm)
-            .saturating_sub(mapping.unused_mrs_per_stride * mapping.strides_per_cycle.min(mapping.total_strides))
+            .saturating_sub(
+                mapping.unused_mrs_per_stride
+                    * mapping.strides_per_cycle.min(mapping.total_strides),
+            )
             .min(mapping.active_mrs.max(1));
 
         // DACs re-program the MR weights; one DAC per arm, gated by the
@@ -199,8 +210,8 @@ impl EnergyModel {
         let bpd = table.bpd_power() * arms_active as f64;
 
         // Read-out ADCs per active bank.
-        let adcs = Power::from_mw(table.adc_power_mw)
-            * (banks_active * periphery.adcs_per_bank) as f64;
+        let adcs =
+            Power::from_mw(table.adc_power_mw) * (banks_active * periphery.adcs_per_bank) as f64;
 
         // Controller plus SRAM leakage; dynamic SRAM energy is folded into
         // the simulator's energy (not power) accounting.
@@ -253,7 +264,12 @@ impl EnergyModel {
         let activation_sram =
             SramModel::new(self.config.periphery.activation_sram_kib, 8, &self.config);
         let periphery_area = Area::from_mm2(3.5);
-        mr_area + vcsel_area + bpd_area + weight_sram.area() + activation_sram.area() + periphery_area
+        mr_area
+            + vcsel_area
+            + bpd_area
+            + weight_sram.area()
+            + activation_sram.area()
+            + periphery_area
     }
 }
 

@@ -35,7 +35,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidConfig { name, value } => {
-                write!(f, "invalid value {value} for configuration parameter `{name}`")
+                write!(
+                    f,
+                    "invalid value {value} for configuration parameter `{name}`"
+                )
             }
             Self::UnmappableLayer { reason } => write!(f, "layer cannot be mapped: {reason}"),
             Self::ModelMismatch { reason } => write!(f, "model mismatch: {reason}"),
@@ -87,7 +90,9 @@ mod tests {
         let err: CoreError = lightator_nn::NnError::BackwardBeforeForward.into();
         assert!(err.to_string().contains("dnn"));
         assert!(err.source().is_some());
-        let err = CoreError::UnmappableLayer { reason: "too wide".into() };
+        let err = CoreError::UnmappableLayer {
+            reason: "too wide".into(),
+        };
         assert!(err.to_string().contains("too wide"));
         assert!(err.source().is_none());
     }

@@ -186,8 +186,10 @@ impl PhotonicExecutor {
                     for ic in 0..in_c {
                         for kh in 0..k {
                             for kw in 0..k {
-                                let ih = (oh * conv.stride() + kh) as isize - conv.padding() as isize;
-                                let iw = (ow * conv.stride() + kw) as isize - conv.padding() as isize;
+                                let ih =
+                                    (oh * conv.stride() + kh) as isize - conv.padding() as isize;
+                                let iw =
+                                    (ow * conv.stride() + kw) as isize - conv.padding() as isize;
                                 patch[(ic * k + kh) * k + kw] = if ih < 0
                                     || iw < 0
                                     || ih as usize >= in_h
@@ -226,7 +228,8 @@ impl PhotonicExecutor {
         let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
         let mut out = Tensor::zeros(&[linear.out_features()]);
         for o in 0..linear.out_features() {
-            let row = &linear.weight().data()[o * linear.in_features()..(o + 1) * linear.in_features()];
+            let row =
+                &linear.weight().data()[o * linear.in_features()..(o + 1) * linear.in_features()];
             let value = self.photonic_dot(
                 row,
                 input.data(),
@@ -314,7 +317,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree >= n - 1, "photonic and digital agreed on only {agree}/{n}");
+        assert!(
+            agree >= n - 1,
+            "photonic and digital agreed on only {agree}/{n}"
+        );
     }
 
     #[test]
@@ -326,7 +332,11 @@ mod tests {
         let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 3).expect("ok");
         let result = executor.evaluate(&mut model, &dataset, 8).expect("ok");
         assert!(result.samples == 8);
-        assert!(result.photonic >= digital - 0.4, "photonic {} vs digital {digital}", result.photonic);
+        assert!(
+            result.photonic >= digital - 0.4,
+            "photonic {} vs digital {digital}",
+            result.photonic
+        );
         assert!(result.analog_degradation().abs() <= 1.0);
     }
 
@@ -353,7 +363,8 @@ mod tests {
         let mut deltas = Vec::new();
         for precision in [Precision::w4a4(), Precision::w2a4()] {
             let schedule = PrecisionSchedule::Uniform(precision);
-            let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::ideal(), 5).expect("ok");
+            let mut executor =
+                PhotonicExecutor::new(schedule, NoiseConfig::ideal(), 5).expect("ok");
             let photonic = executor.forward(&mut model, &sample.input).expect("ok");
             let delta: f32 = digital
                 .data()

@@ -182,7 +182,8 @@ impl HardwareMapper {
                 let window_elements = pool.window * pool.window;
                 let arms_per_stride = self.arms_for_elements(window_elements);
                 let strides_per_bank = (self.geometry.arms_per_bank / arms_per_stride).max(1);
-                let unused = arms_per_stride * self.geometry.mrs_per_arm - window_elements.min(arms_per_stride * self.geometry.mrs_per_arm);
+                let unused = arms_per_stride * self.geometry.mrs_per_arm
+                    - window_elements.min(arms_per_stride * self.geometry.mrs_per_arm);
                 let [c, oh, ow] = pool.output_shape();
                 let total_strides = c * oh * ow;
                 // CA pooling coefficients are pre-set constants, so they are
@@ -265,7 +266,8 @@ impl HardwareMapper {
         for layer in layers {
             match self.map_layer(layer) {
                 Ok(mapping) => mappings.push(Some(mapping)),
-                Err(CoreError::UnmappableLayer { .. }) if matches!(layer, LayerSpec::Pool(p) if !p.average) => {
+                Err(CoreError::UnmappableLayer { .. }) if matches!(layer, LayerSpec::Pool(p) if !p.average) =>
+                {
                     mappings.push(None);
                 }
                 Err(err) => return Err(err),
@@ -434,6 +436,9 @@ mod tests {
     fn lenet_maps_completely() {
         let net = NetworkSpec::lenet();
         let mappings = mapper().map_network(net.layers()).expect("ok");
-        assert!(mappings.iter().all(Option::is_some), "LeNet uses only avg pools");
+        assert!(
+            mappings.iter().all(Option::is_some),
+            "LeNet uses only avg pools"
+        );
     }
 }

@@ -220,7 +220,10 @@ mod tests {
         let a = [0.9, 0.1, 0.4, 0.6, 0.3, 0.8, 0.2, 0.5, 0.7];
         let mut unit_a = PhotonicMacUnit::new(NoiseConfig::default(), 99).expect("ok");
         let mut unit_b = PhotonicMacUnit::new(NoiseConfig::default(), 99).expect("ok");
-        assert_eq!(unit_a.dot(&w, &a).expect("ok"), unit_b.dot(&w, &a).expect("ok"));
+        assert_eq!(
+            unit_a.dot(&w, &a).expect("ok"),
+            unit_b.dot(&w, &a).expect("ok")
+        );
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl LightatorNode {
     ///
     /// Returns [`CoreError::ModelMismatch`] if the acquired tensor does not
     /// match the model's input shape, and propagates sensor/photonic errors.
-    pub fn process_frame(&mut self, scene: &RgbFrame, model: &mut Sequential) -> Result<FrameResult> {
+    pub fn process_frame(
+        &mut self,
+        scene: &RgbFrame,
+        model: &mut Sequential,
+    ) -> Result<FrameResult> {
         let input = self.acquire(scene)?;
         if input.shape() != model.input_shape() {
             return Err(CoreError::ModelMismatch {

@@ -124,8 +124,8 @@ impl ArchitectureSimulator {
         let optical_cycle = self.config.power.optical_cycle();
         let electronic_cycle = self.config.power.electronic_cycle();
 
-        let compute = optical_cycle
-            * (mapping.compute_cycles * timing.optical_cycles_per_wave) as f64;
+        let compute =
+            optical_cycle * (mapping.compute_cycles * timing.optical_cycles_per_wave) as f64;
         // Weight reloads rewrite every occupied bank through its DACs; banks
         // reload in parallel, so the cost is per reload pass.
         let reload = electronic_cycle
@@ -164,7 +164,11 @@ impl ArchitectureSimulator {
     /// # Errors
     ///
     /// Propagates mapping errors for layers the optical core cannot execute.
-    pub fn simulate(&self, network: &NetworkSpec, schedule: PrecisionSchedule) -> Result<SimulationReport> {
+    pub fn simulate(
+        &self,
+        network: &NetworkSpec,
+        schedule: PrecisionSchedule,
+    ) -> Result<SimulationReport> {
         let mappings = self.mapper.map_network(network.layers())?;
         let mut layers = Vec::with_capacity(network.layers().len());
         let mut weighted_index = 0usize;
@@ -173,14 +177,17 @@ impl ArchitectureSimulator {
         let mut max_power = Power::zero();
 
         for (index, (layer, mapping)) in network.layers().iter().zip(&mappings).enumerate() {
-            let precision = schedule.for_layer(weighted_index.min(usize::MAX));
+            let precision = schedule.for_layer(weighted_index);
             let is_first_layer = index == 0;
             let (latency, power) = match mapping {
                 Some(mapping) => (
                     self.layer_latency(layer, mapping),
                     self.energy.layer_power(mapping, precision, is_first_layer),
                 ),
-                None => (self.electronic_layer_latency(layer), self.electronic_layer_power()),
+                None => (
+                    self.electronic_layer_latency(layer),
+                    self.electronic_layer_power(),
+                ),
             };
             if layer.is_weighted() {
                 weighted_index += 1;
@@ -321,12 +328,17 @@ fn reduce_first_layer(network: &NetworkSpec, window: usize) -> NetworkSpec {
                 first_conv_seen = true;
                 builder
                     .conv(conv.out_channels, conv.kernel, conv.stride, conv.padding)
-                    .unwrap_or_else(|_| NetworkSpecBuilder::new(network.name(), network.input_shape()))
+                    .unwrap_or_else(|_| {
+                        NetworkSpecBuilder::new(network.name(), network.input_shape())
+                    })
             }
             LayerSpec::Pool(pool) => {
                 // Pooling windows may no longer divide the reduced map; skip
                 // pools that became degenerate.
-                match builder.clone().pool_strided(pool.window, pool.stride, pool.average) {
+                match builder
+                    .clone()
+                    .pool_strided(pool.window, pool.stride, pool.average)
+                {
                     Ok(b) => b,
                     Err(_) => builder,
                 }
@@ -352,7 +364,10 @@ mod tests {
     #[test]
     fn lenet_simulation_produces_seven_layer_reports() {
         let report = simulator()
-            .simulate(&NetworkSpec::lenet(), PrecisionSchedule::Uniform(Precision::w4a4()))
+            .simulate(
+                &NetworkSpec::lenet(),
+                PrecisionSchedule::Uniform(Precision::w4a4()),
+            )
             .expect("ok");
         assert_eq!(report.layers.len(), 7);
         assert!(report.frame_latency.ns() > 0.0);
@@ -419,7 +434,10 @@ mod tests {
         // Fig. 9: "consistently across all layers, DACs contribute to more
         // than 85% of the total power consumption".
         let report = simulator()
-            .simulate(&NetworkSpec::vgg9(10), PrecisionSchedule::Uniform(Precision::w3a4()))
+            .simulate(
+                &NetworkSpec::vgg9(10),
+                PrecisionSchedule::Uniform(Precision::w3a4()),
+            )
             .expect("ok");
         let conv_layers: Vec<&LayerReport> =
             report.layers.iter().filter(|l| l.kind == "conv").collect();
@@ -463,7 +481,10 @@ mod tests {
     #[test]
     fn average_power_not_above_max_power() {
         let report = simulator()
-            .simulate(&NetworkSpec::vgg9(10), PrecisionSchedule::Uniform(Precision::w4a4()))
+            .simulate(
+                &NetworkSpec::vgg9(10),
+                PrecisionSchedule::Uniform(Precision::w4a4()),
+            )
             .expect("ok");
         assert!(report.average_power.watts() <= report.max_power.watts() + 1e-9);
     }
@@ -471,7 +492,10 @@ mod tests {
     #[test]
     fn energy_is_consistent_with_power_and_latency() {
         let report = simulator()
-            .simulate(&NetworkSpec::lenet(), PrecisionSchedule::Uniform(Precision::w4a4()))
+            .simulate(
+                &NetworkSpec::lenet(),
+                PrecisionSchedule::Uniform(Precision::w4a4()),
+            )
             .expect("ok");
         let summed: f64 = report.layers.iter().map(|l| l.energy.joules()).sum();
         assert!((summed - report.frame_energy.joules()).abs() < 1e-12);

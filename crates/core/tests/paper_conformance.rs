@@ -86,7 +86,11 @@ fn equation1_fused_coefficients() {
     })
     .expect("ca");
     let weights = ca.weights();
-    assert_eq!(weights.len(), 12, "Eq. 1 has 4 pixels x 3 channels = 12 terms");
+    assert_eq!(
+        weights.len(),
+        12,
+        "Eq. 1 has 4 pixels x 3 channels = 12 terms"
+    );
     for w in &weights {
         let expected = 0.25
             * match w.channel {
@@ -106,7 +110,10 @@ fn equation1_fused_coefficients() {
 fn figure9_dac_dominance() {
     let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("sim");
     let report = sim
-        .simulate(&NetworkSpec::vgg9(10), PrecisionSchedule::Uniform(Precision::w3a4()))
+        .simulate(
+            &NetworkSpec::vgg9(10),
+            PrecisionSchedule::Uniform(Precision::w3a4()),
+        )
         .expect("simulate");
     for layer in report.layers.iter().filter(|l| l.kind != "pool") {
         let values = layer.power.values();
@@ -140,7 +147,11 @@ fn table1_area_constraint() {
 #[test]
 fn observation3_power_reduction_with_bit_width() {
     let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("sim");
-    for network in [NetworkSpec::lenet(), NetworkSpec::vgg9(10), NetworkSpec::vgg9(100)] {
+    for network in [
+        NetworkSpec::lenet(),
+        NetworkSpec::vgg9(10),
+        NetworkSpec::vgg9(100),
+    ] {
         let p44 = sim
             .simulate(&network, PrecisionSchedule::Uniform(Precision::w4a4()))
             .expect("simulate")
@@ -153,10 +164,18 @@ fn observation3_power_reduction_with_bit_width() {
             .simulate(&network, PrecisionSchedule::Uniform(Precision::w2a4()))
             .expect("simulate")
             .max_power;
-        assert!(p44.watts() > p34.watts() && p34.watts() > p24.watts(), "{}", network.name());
+        assert!(
+            p44.watts() > p34.watts() && p34.watts() > p24.watts(),
+            "{}",
+            network.name()
+        );
         // Roughly 2x per dropped bit, as the binary-weighted DAC model implies.
         let ratio = p44.watts() / p34.watts();
-        assert!(ratio > 1.4 && ratio < 2.6, "{}: 4->3 bit ratio {ratio}", network.name());
+        assert!(
+            ratio > 1.4 && ratio < 2.6,
+            "{}: 4->3 bit ratio {ratio}",
+            network.name()
+        );
     }
 }
 

@@ -163,12 +163,16 @@ impl SyntheticConfig {
             || self.train_per_class == 0
         {
             return Err(NnError::InvalidDataset {
-                reason: "classes, channels, dimensions and train_per_class must be non-zero".to_string(),
+                reason: "classes, channels, dimensions and train_per_class must be non-zero"
+                    .to_string(),
             });
         }
         if !self.noise.is_finite() || self.noise < 0.0 {
             return Err(NnError::InvalidDataset {
-                reason: format!("noise amplitude {} must be a non-negative number", self.noise),
+                reason: format!(
+                    "noise amplitude {} must be a non-negative number",
+                    self.noise
+                ),
             });
         }
         Ok(())
@@ -181,7 +185,15 @@ impl SyntheticConfig {
 /// and phase are deterministic functions of the class, superposed with a
 /// class-positioned Gaussian blob. Channels see phase-shifted copies so RGB
 /// datasets carry colour structure.
-fn prototype_value(label: usize, classes: usize, channel: usize, row: f64, col: f64, height: f64, width: f64) -> f64 {
+fn prototype_value(
+    label: usize,
+    classes: usize,
+    channel: usize,
+    row: f64,
+    col: f64,
+    height: f64,
+    width: f64,
+) -> f64 {
     let t = label as f64 / classes.max(1) as f64;
     let angle = t * std::f64::consts::PI;
     let frequency = 2.0 + 4.0 * t;
@@ -206,7 +218,11 @@ fn prototype_value(label: usize, classes: usize, channel: usize, row: f64, col: 
 /// # Errors
 ///
 /// Returns [`NnError::InvalidDataset`] for an invalid configuration.
-pub fn generate<R: Rng + ?Sized>(name: &str, config: SyntheticConfig, rng: &mut R) -> Result<Dataset> {
+pub fn generate<R: Rng + ?Sized>(
+    name: &str,
+    config: SyntheticConfig,
+    rng: &mut R,
+) -> Result<Dataset> {
     config.validate()?;
     let mut train = Vec::with_capacity(config.classes * config.train_per_class);
     let mut test = Vec::with_capacity(config.classes * config.test_per_class);
@@ -229,7 +245,11 @@ pub fn generate<R: Rng + ?Sized>(name: &str, config: SyntheticConfig, rng: &mut 
     })
 }
 
-fn generate_sample<R: Rng + ?Sized>(label: usize, config: SyntheticConfig, rng: &mut R) -> Result<Sample> {
+fn generate_sample<R: Rng + ?Sized>(
+    label: usize,
+    config: SyntheticConfig,
+    rng: &mut R,
+) -> Result<Sample> {
     let (c_n, h_n, w_n) = (config.channels, config.height, config.width);
     let shift_r = if config.max_shift == 0 {
         0i64
@@ -247,15 +267,8 @@ fn generate_sample<R: Rng + ?Sized>(label: usize, config: SyntheticConfig, rng: 
             for col in 0..w_n {
                 let r = (row as i64 + shift_r).rem_euclid(h_n as i64) as f64;
                 let c = (col as i64 + shift_c).rem_euclid(w_n as i64) as f64;
-                let clean = prototype_value(
-                    label,
-                    config.classes,
-                    channel,
-                    r,
-                    c,
-                    h_n as f64,
-                    w_n as f64,
-                );
+                let clean =
+                    prototype_value(label, config.classes, channel, r, c, h_n as f64, w_n as f64);
                 let noise = (rng.gen::<f64>() * 2.0 - 1.0) * config.noise;
                 data.push(((clean + noise).clamp(0.0, 1.0)) as f32);
             }
@@ -349,7 +362,11 @@ mod tests {
         };
         let ds = generate("tiny", config, &mut rng).expect("ok");
         let a = &ds.train()[0];
-        let b = ds.train().iter().find(|s| s.label != a.label).expect("exists");
+        let b = ds
+            .train()
+            .iter()
+            .find(|s| s.label != a.label)
+            .expect("exists");
         let diff: f32 = a
             .input
             .data()
@@ -372,8 +389,14 @@ mod tests {
     #[test]
     fn named_generators_match_paper_shapes() {
         let mut rng = SmallRng::seed_from_u64(4);
-        assert_eq!(synthetic_mnist(&mut rng).expect("ok").input_shape(), [1, 28, 28]);
-        assert_eq!(synthetic_cifar10(&mut rng).expect("ok").input_shape(), [3, 32, 32]);
+        assert_eq!(
+            synthetic_mnist(&mut rng).expect("ok").input_shape(),
+            [1, 28, 28]
+        );
+        assert_eq!(
+            synthetic_cifar10(&mut rng).expect("ok").input_shape(),
+            [3, 32, 32]
+        );
         let c100 = synthetic_cifar100(&mut rng).expect("ok");
         assert_eq!(c100.input_shape(), [3, 32, 32]);
         assert_eq!(c100.classes(), 100);

@@ -55,7 +55,10 @@ impl fmt::Display for NnError {
                 write!(f, "shape mismatch: expected {expected}, got {actual:?}")
             }
             Self::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} is out of bounds for a tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} is out of bounds for a tensor of {len} elements"
+                )
             }
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
@@ -80,11 +83,22 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let errs = vec![
-            NnError::ShapeDataMismatch { expected: 4, actual: 3 },
-            NnError::ShapeMismatch { expected: "[3, 32, 32]".into(), actual: vec![1, 28, 28] },
+            NnError::ShapeDataMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            NnError::ShapeMismatch {
+                expected: "[3, 32, 32]".into(),
+                actual: vec![1, 28, 28],
+            },
             NnError::IndexOutOfBounds { index: 10, len: 4 },
-            NnError::InvalidParameter { name: "stride", value: 0.0 },
-            NnError::InvalidDataset { reason: "zero classes".into() },
+            NnError::InvalidParameter {
+                name: "stride",
+                value: 0.0,
+            },
+            NnError::InvalidDataset {
+                reason: "zero classes".into(),
+            },
             NnError::BackwardBeforeForward,
         ];
         for e in errs {

@@ -254,7 +254,12 @@ impl Conv2d {
     /// them.
     pub fn apply_gradients(&mut self, learning_rate: f32) {
         let lr = learning_rate;
-        for (w, g) in self.weight.data_mut().iter_mut().zip(self.grad_weight.data()) {
+        for (w, g) in self
+            .weight
+            .data_mut()
+            .iter_mut()
+            .zip(self.grad_weight.data())
+        {
             *w -= lr * g;
         }
         for (b, g) in self.bias.data_mut().iter_mut().zip(self.grad_bias.data()) {
@@ -306,9 +311,15 @@ mod tests {
     #[test]
     fn output_shape_matches_formula() {
         let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng()).expect("ok");
-        assert_eq!(conv.output_shape(&[3, 32, 32]).expect("ok"), vec![8, 32, 32]);
+        assert_eq!(
+            conv.output_shape(&[3, 32, 32]).expect("ok"),
+            vec![8, 32, 32]
+        );
         let conv = Conv2d::new(1, 6, 5, 1, 0, &mut rng()).expect("ok");
-        assert_eq!(conv.output_shape(&[1, 28, 28]).expect("ok"), vec![6, 24, 24]);
+        assert_eq!(
+            conv.output_shape(&[1, 28, 28]).expect("ok"),
+            vec![6, 24, 24]
+        );
         let conv = Conv2d::new(1, 1, 3, 2, 0, &mut rng()).expect("ok");
         assert_eq!(conv.output_shape(&[1, 7, 7]).expect("ok"), vec![1, 3, 3]);
         assert!(conv.output_shape(&[2, 7, 7]).is_err());
@@ -349,7 +360,10 @@ mod tests {
     fn backward_requires_forward() {
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng()).expect("ok");
         let g = Tensor::zeros(&[1, 5, 5]);
-        assert!(matches!(conv.backward(&g), Err(NnError::BackwardBeforeForward)));
+        assert!(matches!(
+            conv.backward(&g),
+            Err(NnError::BackwardBeforeForward)
+        ));
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl Linear {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidParameter`] if either feature count is zero.
-    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Result<Self> {
+    pub fn new<R: Rng + ?Sized>(
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
         if in_features == 0 {
             return Err(NnError::InvalidParameter {
                 name: "in_features",
@@ -155,7 +159,12 @@ impl Linear {
     /// Applies the accumulated gradients with a plain SGD step and clears
     /// them.
     pub fn apply_gradients(&mut self, learning_rate: f32) {
-        for (w, g) in self.weight.data_mut().iter_mut().zip(self.grad_weight.data()) {
+        for (w, g) in self
+            .weight
+            .data_mut()
+            .iter_mut()
+            .zip(self.grad_weight.data())
+        {
             *w -= learning_rate * g;
         }
         for (b, g) in self.bias.data_mut().iter_mut().zip(self.grad_bias.data()) {
@@ -202,12 +211,14 @@ mod tests {
     #[test]
     fn forward_computes_affine_map() {
         let mut lin = Linear::new(2, 2, &mut rng()).expect("ok");
-        lin.weight_mut().data_mut().copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
+        lin.weight_mut()
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, -1.0, 0.5]);
         lin.bias_mut().data_mut().copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::from_vec(vec![3.0, 4.0], &[2]).expect("ok");
         let y = lin.forward(&x).expect("ok");
         assert!((y.data()[0] - (1.0 * 3.0 + 2.0 * 4.0 + 0.5)).abs() < 1e-6);
-        assert!((y.data()[1] - (-1.0 * 3.0 + 0.5 * 4.0 - 0.5)).abs() < 1e-6);
+        assert!((y.data()[1] - (-3.0 + 0.5 * 4.0 - 0.5)).abs() < 1e-6);
     }
 
     #[test]
@@ -225,7 +236,9 @@ mod tests {
         lin.bias_mut().data_mut()[0] = 0.0;
         let x = Tensor::from_vec(vec![0.5, 1.5], &[2]).expect("ok");
         lin.forward(&x).expect("ok");
-        let grad_in = lin.backward(&Tensor::from_vec(vec![1.0], &[1]).expect("ok")).expect("ok");
+        let grad_in = lin
+            .backward(&Tensor::from_vec(vec![1.0], &[1]).expect("ok"))
+            .expect("ok");
         assert_eq!(grad_in.data(), &[2.0, -3.0]);
         assert_eq!(lin.grad_weight.data(), &[0.5, 1.5]);
         assert_eq!(lin.grad_bias.data(), &[1.0]);
@@ -251,7 +264,8 @@ mod tests {
             let y = lin.forward(&x).expect("ok");
             let diff = y.data()[0] - target;
             loss = diff * diff;
-            lin.backward(&Tensor::from_vec(vec![2.0 * diff], &[1]).expect("ok")).expect("ok");
+            lin.backward(&Tensor::from_vec(vec![2.0 * diff], &[1]).expect("ok"))
+                .expect("ok");
             lin.apply_gradients(0.2);
         }
         assert!(loss < 1e-3, "final loss {loss}");

@@ -16,13 +16,20 @@ fn pooled_shape(input_shape: &[usize], window: usize) -> Result<Vec<usize>> {
             actual: input_shape.to_vec(),
         });
     }
-    if window == 0 || input_shape[1] % window != 0 || input_shape[2] % window != 0 {
+    if window == 0
+        || !input_shape[1].is_multiple_of(window)
+        || !input_shape[2].is_multiple_of(window)
+    {
         return Err(NnError::InvalidParameter {
             name: "window",
             value: window as f64,
         });
     }
-    Ok(vec![input_shape[0], input_shape[1] / window, input_shape[2] / window])
+    Ok(vec![
+        input_shape[0],
+        input_shape[1] / window,
+        input_shape[2] / window,
+    ])
 }
 
 /// Non-overlapping 2-D max pooling (stride = window).
@@ -87,7 +94,8 @@ impl MaxPool2d {
                     let mut best_idx = 0;
                     for dr in 0..self.window {
                         for dc in 0..self.window {
-                            let idx = (c * in_h + oh * self.window + dr) * in_w + ow * self.window + dc;
+                            let idx =
+                                (c * in_h + oh * self.window + dr) * in_w + ow * self.window + dc;
                             let v = input.data()[idx];
                             if v > best {
                                 best = v;
@@ -231,8 +239,9 @@ impl AvgPool2d {
                     let g = grad_output.data()[(c * oh_n + oh) * ow_n + ow] * norm;
                     for dr in 0..self.window {
                         for dc in 0..self.window {
-                            grad_input.data_mut()
-                                [(c * in_h + oh * self.window + dr) * in_w + ow * self.window + dc] += g;
+                            grad_input.data_mut()[(c * in_h + oh * self.window + dr) * in_w
+                                + ow * self.window
+                                + dc] += g;
                         }
                     }
                 }
@@ -309,11 +318,8 @@ mod tests {
     #[test]
     fn multi_channel_pooling_is_independent_per_channel() {
         let mut pool = MaxPool2d::new(2).expect("ok");
-        let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
-            &[2, 2, 2],
-        )
-        .expect("ok");
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0], &[2, 2, 2])
+            .expect("ok");
         let out = pool.forward(&input).expect("ok");
         assert_eq!(out.data(), &[4.0, -1.0]);
     }

@@ -55,7 +55,9 @@ pub mod tensor;
 pub mod train;
 
 pub use error::{NnError, Result};
-pub use layers::{Activation, ActivationKind, AvgPool2d, Conv2d, Flatten, LayerNode, Linear, MaxPool2d};
+pub use layers::{
+    Activation, ActivationKind, AvgPool2d, Conv2d, Flatten, LayerNode, Linear, MaxPool2d,
+};
 pub use model::Sequential;
 pub use quant::{Precision, PrecisionSchedule};
 pub use spec::{ConvSpec, LayerSpec, LinearSpec, NetworkSpec, NetworkSpecBuilder, PoolSpec};

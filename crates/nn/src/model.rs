@@ -143,7 +143,11 @@ impl Sequential {
     /// # Errors
     ///
     /// Same as [`Sequential::forward`].
-    pub fn forward_with_activation_quant(&mut self, input: &Tensor, precision: Precision) -> Result<Tensor> {
+    pub fn forward_with_activation_quant(
+        &mut self,
+        input: &Tensor,
+        precision: Precision,
+    ) -> Result<Tensor> {
         if input.shape() != self.input_shape.as_slice() {
             return Err(NnError::ShapeMismatch {
                 expected: format!("{:?}", self.input_shape),
@@ -291,7 +295,10 @@ mod tests {
             .zip(quantized.data())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff < 1.0, "activation quantization changed logits by {diff}");
+        assert!(
+            diff < 1.0,
+            "activation quantization changed logits by {diff}"
+        );
     }
 
     impl Sequential {

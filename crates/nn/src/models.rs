@@ -77,7 +77,11 @@ pub fn build_lenet<R: Rng + ?Sized>(classes: usize, rng: &mut R) -> Result<Seque
 /// # Errors
 ///
 /// Returns [`NnError::InvalidParameter`] for zero classes or width.
-pub fn build_vgg_small<R: Rng + ?Sized>(classes: usize, width: usize, rng: &mut R) -> Result<Sequential> {
+pub fn build_vgg_small<R: Rng + ?Sized>(
+    classes: usize,
+    width: usize,
+    rng: &mut R,
+) -> Result<Sequential> {
     if classes == 0 || width == 0 {
         return Err(NnError::InvalidParameter {
             name: "classes_or_width",
@@ -129,7 +133,10 @@ mod tests {
         assert_eq!(model.weighted_layer_count(), 5);
         // Classic LeNet-5 parameter count is about 61.7k.
         let params = model.parameter_count();
-        assert!(params > 55_000 && params < 70_000, "LeNet parameters {params}");
+        assert!(
+            params > 55_000 && params < 70_000,
+            "LeNet parameters {params}"
+        );
     }
 
     #[test]

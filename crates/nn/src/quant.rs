@@ -29,7 +29,10 @@ impl Precision {
     /// Returns [`NnError::InvalidParameter`] if either bit-width is zero or
     /// larger than 8.
     pub fn new(weight_bits: u8, activation_bits: u8) -> Result<Self> {
-        for (name, bits) in [("weight_bits", weight_bits), ("activation_bits", activation_bits)] {
+        for (name, bits) in [
+            ("weight_bits", weight_bits),
+            ("activation_bits", activation_bits),
+        ] {
             if bits == 0 || bits > 8 {
                 return Err(NnError::InvalidParameter {
                     name,
@@ -46,19 +49,28 @@ impl Precision {
     /// The paper's [4:4] configuration.
     #[must_use]
     pub fn w4a4() -> Self {
-        Self { weight_bits: 4, activation_bits: 4 }
+        Self {
+            weight_bits: 4,
+            activation_bits: 4,
+        }
     }
 
     /// The paper's [3:4] configuration.
     #[must_use]
     pub fn w3a4() -> Self {
-        Self { weight_bits: 3, activation_bits: 4 }
+        Self {
+            weight_bits: 3,
+            activation_bits: 4,
+        }
     }
 
     /// The paper's [2:4] configuration.
     #[must_use]
     pub fn w2a4() -> Self {
-        Self { weight_bits: 2, activation_bits: 4 }
+        Self {
+            weight_bits: 2,
+            activation_bits: 4,
+        }
     }
 
     /// Number of representable signed weight levels.
@@ -277,7 +289,10 @@ mod tests {
     #[test]
     fn unsigned_quantization_clamps_negatives() {
         assert_eq!(quantize_unsigned(-1.0, 1.0, 4), 0.0);
-        assert_eq!(quantize_unsigned(0.5, 1.0, 4), (0.5f32 * 15.0).round() / 15.0);
+        assert_eq!(
+            quantize_unsigned(0.5, 1.0, 4),
+            (0.5f32 * 15.0).round() / 15.0
+        );
     }
 
     #[test]

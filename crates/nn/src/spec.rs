@@ -252,7 +252,13 @@ impl NetworkSpecBuilder {
     ///
     /// Returns [`NnError::InvalidParameter`] after a `linear` layer or for a
     /// kernel larger than the current feature map.
-    pub fn conv(mut self, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Result<Self> {
+    pub fn conv(
+        mut self,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
         if self.flattened {
             return Err(NnError::InvalidParameter {
                 name: "conv_after_linear",
@@ -489,7 +495,9 @@ impl NetworkSpec {
                     .conv(widths[stage], 3, 1, 1)
                     .expect("VGG topology is statically valid");
             }
-            builder = builder.pool(2, false).expect("VGG topology is statically valid");
+            builder = builder
+                .pool(2, false)
+                .expect("VGG topology is statically valid");
         }
         builder
             .linear(4096)
@@ -555,7 +563,10 @@ mod tests {
         };
         assert_eq!(spec.output_shape(), [16, 5, 5]);
         assert_eq!(spec.ca_mac_count(), 16 * 25 * 4);
-        let max = PoolSpec { average: false, ..spec };
+        let max = PoolSpec {
+            average: false,
+            ..spec
+        };
         assert_eq!(max.ca_mac_count(), 0);
         // Overlapping pooling, AlexNet style: 3x3 window, stride 2 on 55x55.
         let overlapping = PoolSpec {
@@ -590,7 +601,10 @@ mod tests {
         // Fig. 9 shows 12 mapped layers (L1..L12).
         assert_eq!(vgg9.layer_count(), 12);
         assert_eq!(vgg9.weighted_layer_count(), 9, "VGG9 has 9 weighted layers");
-        assert!(vgg9.total_macs() > 100_000_000, "VGG9 on CIFAR is >100 MMAC");
+        assert!(
+            vgg9.total_macs() > 100_000_000,
+            "VGG9 on CIFAR is >100 MMAC"
+        );
     }
 
     #[test]
@@ -600,20 +614,34 @@ mod tests {
         assert_eq!(NetworkSpec::alexnet().weighted_layer_count(), 8);
         // VGG16 is roughly 15.5 GMAC at 224x224; accept a generous band.
         let macs = NetworkSpec::vgg16().total_macs();
-        assert!(macs > 10_000_000_000 && macs < 20_000_000_000, "VGG16 MACs {macs}");
+        assert!(
+            macs > 10_000_000_000 && macs < 20_000_000_000,
+            "VGG16 MACs {macs}"
+        );
         // AlexNet is roughly 0.7 GMAC.
         let macs = NetworkSpec::alexnet().total_macs();
-        assert!(macs > 400_000_000 && macs < 1_500_000_000, "AlexNet MACs {macs}");
+        assert!(
+            macs > 400_000_000 && macs < 1_500_000_000,
+            "AlexNet MACs {macs}"
+        );
     }
 
     #[test]
     fn builder_rejects_invalid_orders() {
-        let builder = NetworkSpecBuilder::new("bad", [1, 8, 8]).linear(4).expect("ok");
+        let builder = NetworkSpecBuilder::new("bad", [1, 8, 8])
+            .linear(4)
+            .expect("ok");
         assert!(builder.conv(4, 3, 1, 1).is_err());
         let builder = NetworkSpecBuilder::new("bad", [1, 8, 8]);
-        assert!(builder.pool(3, true).is_err(), "window must divide the extent");
+        assert!(
+            builder.pool(3, true).is_err(),
+            "window must divide the extent"
+        );
         let builder = NetworkSpecBuilder::new("bad", [1, 4, 4]);
-        assert!(builder.conv(4, 7, 1, 0).is_err(), "kernel larger than input");
+        assert!(
+            builder.conv(4, 7, 1, 0).is_err(),
+            "kernel larger than input"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ use serde::{Deserialize, Serialize};
 /// Numerically stable softmax.
 #[must_use]
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let max = logits.data().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let max = logits
+        .data()
+        .iter()
+        .fold(f32::NEG_INFINITY, |m, &x| m.max(x));
     let exps: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(exps.into_iter().map(|e| e / sum).collect(), logits.shape())
@@ -90,7 +93,11 @@ pub struct EpochStats {
 /// # Errors
 ///
 /// Propagates shape errors if the model does not fit the dataset.
-pub fn train(model: &mut Sequential, dataset: &Dataset, config: TrainConfig) -> Result<Vec<EpochStats>> {
+pub fn train(
+    model: &mut Sequential,
+    dataset: &Dataset,
+    config: TrainConfig,
+) -> Result<Vec<EpochStats>> {
     let mut stats = Vec::with_capacity(config.epochs);
     let mut lr = config.learning_rate;
     let mut shuffle_rng = SmallRng::seed_from_u64(config.shuffle_seed);
@@ -233,8 +240,15 @@ mod tests {
         let dataset = generate("tiny", SyntheticConfig::tiny(3), &mut rng).expect("ok");
         let mut model = build_mlp(&dataset.input_shape(), 3, 24, &mut rng).expect("ok");
         let before = evaluate(&mut model, &dataset).expect("ok");
-        let stats = train(&mut model, &dataset, TrainConfig { epochs: 6, ..TrainConfig::default() })
-            .expect("ok");
+        let stats = train(
+            &mut model,
+            &dataset,
+            TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("ok");
         let after = evaluate(&mut model, &dataset).expect("ok");
         assert!(stats.last().expect("non-empty").mean_loss < stats[0].mean_loss * 1.05);
         assert!(
@@ -248,7 +262,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(22);
         let dataset = generate("tiny", SyntheticConfig::tiny(2), &mut rng).expect("ok");
         let mut model = build_mlp(&dataset.input_shape(), 2, 16, &mut rng).expect("ok");
-        train(&mut model, &dataset, TrainConfig { epochs: 3, ..TrainConfig::default() }).expect("ok");
+        train(
+            &mut model,
+            &dataset,
+            TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        )
+        .expect("ok");
         let schedule = PrecisionSchedule::Uniform(Precision::w2a4());
         fine_tune_quantized(&mut model, &dataset, schedule, 2, 0.01).expect("ok");
         // Every weighted layer must now hold at most 2^2 = 4 distinct
@@ -262,7 +284,11 @@ mod tests {
                     .collect();
                 values.sort_unstable();
                 values.dedup();
-                assert!(values.len() <= 7, "layer has {} distinct weight values", values.len());
+                assert!(
+                    values.len() <= 7,
+                    "layer has {} distinct weight values",
+                    values.len()
+                );
             }
         }
     }

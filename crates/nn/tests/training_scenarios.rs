@@ -31,9 +31,20 @@ fn quantization_degrades_accuracy_monotonically() {
     )
     .expect("dataset");
     let mut model = build_mlp(&dataset.input_shape(), 4, 32, &mut rng).expect("model");
-    train(&mut model, &dataset, TrainConfig { epochs: 12, ..TrainConfig::default() }).expect("train");
+    train(
+        &mut model,
+        &dataset,
+        TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("train");
     let float_acc = evaluate(&mut model, &dataset).expect("eval");
-    assert!(float_acc > 0.7, "float accuracy {float_acc} too low for the trend test");
+    assert!(
+        float_acc > 0.7,
+        "float accuracy {float_acc} too low for the trend test"
+    );
 
     let mut accuracies = Vec::new();
     for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
@@ -55,7 +66,15 @@ fn qat_recovers_low_precision_accuracy() {
     let mut rng = SmallRng::seed_from_u64(32);
     let dataset = generate("qat", SyntheticConfig::tiny(3), &mut rng).expect("dataset");
     let mut model = build_mlp(&dataset.input_shape(), 3, 24, &mut rng).expect("model");
-    train(&mut model, &dataset, TrainConfig { epochs: 10, ..TrainConfig::default() }).expect("train");
+    train(
+        &mut model,
+        &dataset,
+        TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("train");
 
     let schedule = PrecisionSchedule::Uniform(Precision::w2a4());
     let mut ptq = model.clone();
@@ -93,9 +112,20 @@ fn lenet_learns_the_synthetic_mnist_task() {
     )
     .expect("dataset");
     let mut model = build_lenet(4, &mut rng).expect("lenet");
-    train(&mut model, &dataset, TrainConfig { epochs: 4, ..TrainConfig::default() }).expect("train");
+    train(
+        &mut model,
+        &dataset,
+        TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("train");
     let acc = evaluate(&mut model, &dataset).expect("eval");
-    assert!(acc > 0.5, "LeNet accuracy {acc} should comfortably beat 25% chance");
+    assert!(
+        acc > 0.5,
+        "LeNet accuracy {acc} should comfortably beat 25% chance"
+    );
 }
 
 /// The small VGG-style CIFAR model builds, trains a little and its structural

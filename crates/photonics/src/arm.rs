@@ -257,7 +257,10 @@ impl OpticalArm {
     /// Total MR tuning power currently drawn by the arm.
     #[must_use]
     pub fn tuning_power(&self) -> Power {
-        self.rings.iter().map(MicroringResonator::tuning_power).sum()
+        self.rings
+            .iter()
+            .map(MicroringResonator::tuning_power)
+            .sum()
     }
 
     /// Number of rings currently holding a non-zero weight.

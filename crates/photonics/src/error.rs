@@ -58,9 +58,15 @@ impl fmt::Display for PhotonicsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::WeightOutOfRange { weight } => {
-                write!(f, "weight {weight} is outside the representable range [0, 1]")
+                write!(
+                    f,
+                    "weight {weight} is outside the representable range [0, 1]"
+                )
             }
-            Self::DetuningOutOfRange { requested_nm, max_nm } => write!(
+            Self::DetuningOutOfRange {
+                requested_nm,
+                max_nm,
+            } => write!(
                 f,
                 "requested detuning of {requested_nm} nm exceeds the tunable range of {max_nm} nm"
             ),
@@ -96,11 +102,26 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<PhotonicsError> = vec![
             PhotonicsError::WeightOutOfRange { weight: 2.0 },
-            PhotonicsError::DetuningOutOfRange { requested_nm: 5.0, max_nm: 2.0 },
-            PhotonicsError::DriveLevelOutOfRange { level: 99, levels: 16 },
-            PhotonicsError::InvalidParameter { name: "q_factor", value: -1.0 },
-            PhotonicsError::LengthMismatch { expected: 9, actual: 3 },
-            PhotonicsError::ChannelOutOfRange { channel: 12, channels: 9 },
+            PhotonicsError::DetuningOutOfRange {
+                requested_nm: 5.0,
+                max_nm: 2.0,
+            },
+            PhotonicsError::DriveLevelOutOfRange {
+                level: 99,
+                levels: 16,
+            },
+            PhotonicsError::InvalidParameter {
+                name: "q_factor",
+                value: -1.0,
+            },
+            PhotonicsError::LengthMismatch {
+                expected: 9,
+                actual: 3,
+            },
+            PhotonicsError::ChannelOutOfRange {
+                channel: 12,
+                channels: 9,
+            },
         ];
         for err in cases {
             let msg = err.to_string();

@@ -81,7 +81,10 @@ impl MicroringConfig {
             ("circumference_um", self.circumference_um),
             ("quality_factor", self.quality_factor),
             ("extinction_ratio_db", self.extinction_ratio_db),
-            ("tuning_efficiency_mw_per_nm", self.tuning_efficiency_mw_per_nm),
+            (
+                "tuning_efficiency_mw_per_nm",
+                self.tuning_efficiency_mw_per_nm,
+            ),
             ("tunable_range_nm", self.tunable_range_nm),
         ];
         for (name, value) in strictly_positive {
@@ -112,7 +115,9 @@ impl MicroringConfig {
     #[must_use]
     pub fn natural_resonance(&self) -> Wavelength {
         let circumference_nm = self.circumference_um * 1e3;
-        Wavelength::from_nm(self.effective_index * circumference_nm / f64::from(self.resonance_order))
+        Wavelength::from_nm(
+            self.effective_index * circumference_nm / f64::from(self.resonance_order),
+        )
     }
 
     /// Full width at half maximum of the resonance dip.
@@ -345,7 +350,8 @@ mod tests {
     #[test]
     fn natural_resonance_matches_formula() {
         let cfg = MicroringConfig::default();
-        let expected = cfg.effective_index * cfg.circumference_um * 1e3 / f64::from(cfg.resonance_order);
+        let expected =
+            cfg.effective_index * cfg.circumference_um * 1e3 / f64::from(cfg.resonance_order);
         assert!((cfg.natural_resonance().nm() - expected).abs() < 1e-9);
         // Should land in the vicinity of the C band for the default geometry.
         assert!(cfg.natural_resonance().nm() > 1400.0 && cfg.natural_resonance().nm() < 1700.0);
@@ -354,7 +360,9 @@ mod tests {
     #[test]
     fn fwhm_is_resonance_over_q() {
         let cfg = MicroringConfig::default();
-        assert!((cfg.fwhm().nm() - cfg.natural_resonance().nm() / cfg.quality_factor).abs() < 1e-12);
+        assert!(
+            (cfg.fwhm().nm() - cfg.natural_resonance().nm() / cfg.quality_factor).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -365,14 +373,21 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut cfg = MicroringConfig::default();
-        cfg.quality_factor = -5.0;
+        let cfg = MicroringConfig {
+            quality_factor: -5.0,
+            ..MicroringConfig::default()
+        };
         assert!(matches!(
             cfg.validate(),
-            Err(PhotonicsError::InvalidParameter { name: "quality_factor", .. })
+            Err(PhotonicsError::InvalidParameter {
+                name: "quality_factor",
+                ..
+            })
         ));
-        let mut cfg = MicroringConfig::default();
-        cfg.resonance_order = 0;
+        let cfg = MicroringConfig {
+            resonance_order: 0,
+            ..MicroringConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -400,11 +415,13 @@ mod tests {
     #[test]
     fn extreme_weights_clamp_to_device_limits() {
         let mut mr = ring();
-        mr.set_weight(0.0).expect("zero weight clamps to extinction floor");
+        mr.set_weight(0.0)
+            .expect("zero weight clamps to extinction floor");
         assert!(mr.channel_transmission() <= mr.config().minimum_transmission() * 1.5);
         // A weight of exactly 1.0 requires infinite detuning in the ideal
         // model, so the device realises it at the edge of its tunable range.
-        mr.set_weight(1.0).expect("clamps to the tunable-range edge");
+        mr.set_weight(1.0)
+            .expect("clamps to the tunable-range edge");
         assert!(mr.channel_transmission() > 0.9);
         assert!(mr.detuning_nm() <= mr.config().tunable_range_nm);
     }

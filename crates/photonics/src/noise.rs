@@ -188,7 +188,9 @@ mod tests {
         let doubled = NoiseConfig::default().scaled(2.0);
         let base = NoiseConfig::default();
         assert!((doubled.vcsel_relative_sigma - 2.0 * base.vcsel_relative_sigma).abs() < 1e-15);
-        assert!((doubled.detector_relative_sigma - 2.0 * base.detector_relative_sigma).abs() < 1e-15);
+        assert!(
+            (doubled.detector_relative_sigma - 2.0 * base.detector_relative_sigma).abs() < 1e-15
+        );
         assert!((doubled.weight_sigma - 2.0 * base.weight_sigma).abs() < 1e-15);
     }
 
@@ -208,7 +210,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "sample mean {mean}");
-        assert!((var.sqrt() - 0.5).abs() < 0.02, "sample sigma {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 0.5).abs() < 0.02,
+            "sample sigma {}",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -246,6 +252,9 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_below, "detector noise must be able to push values negative");
+        assert!(
+            saw_below,
+            "detector noise must be able to push values negative"
+        );
     }
 }

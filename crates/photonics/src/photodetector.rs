@@ -142,8 +142,8 @@ impl Photodetector {
     #[must_use]
     pub fn thermal_noise_rms(&self) -> Current {
         let bandwidth_hz = self.config.bandwidth_ghz * 1e9;
-        let variance =
-            4.0 * BOLTZMANN * self.config.temperature_k * bandwidth_hz / self.config.load_resistance_ohm;
+        let variance = 4.0 * BOLTZMANN * self.config.temperature_k * bandwidth_hz
+            / self.config.load_resistance_ohm;
         Current::from_ma(variance.sqrt() * 1e3)
     }
 
@@ -218,7 +218,12 @@ impl BalancedPhotodetector {
     ///
     /// Returns [`PhotonicsError::InvalidParameter`] if `full_scale` is zero
     /// or negative.
-    pub fn normalized_output(&self, positive: Power, negative: Power, full_scale: Power) -> Result<f64> {
+    pub fn normalized_output(
+        &self,
+        positive: Power,
+        negative: Power,
+        full_scale: Power,
+    ) -> Result<f64> {
         if full_scale.mw() <= 0.0 || !full_scale.mw().is_finite() {
             return Err(PhotonicsError::InvalidParameter {
                 name: "full_scale",
@@ -235,8 +240,14 @@ impl BalancedPhotodetector {
     /// (both diodes contribute, added in quadrature).
     #[must_use]
     pub fn total_noise_rms(&self, positive: Power, negative: Power) -> Current {
-        let np = self.positive.total_noise_rms(self.positive.photocurrent(positive)).ma();
-        let nn = self.negative.total_noise_rms(self.negative.photocurrent(negative)).ma();
+        let np = self
+            .positive
+            .total_noise_rms(self.positive.photocurrent(positive))
+            .ma();
+        let nn = self
+            .negative
+            .total_noise_rms(self.negative.photocurrent(negative))
+            .ma();
         Current::from_ma((np * np + nn * nn).sqrt())
     }
 
@@ -294,11 +305,15 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut cfg = PhotodetectorConfig::default();
-        cfg.responsivity_a_per_w = 0.0;
+        let cfg = PhotodetectorConfig {
+            responsivity_a_per_w: 0.0,
+            ..PhotodetectorConfig::default()
+        };
         assert!(Photodetector::new(cfg).is_err());
-        let mut cfg = PhotodetectorConfig::default();
-        cfg.dark_current_ua = -1.0;
+        let cfg = PhotodetectorConfig {
+            dark_current_ua: -1.0,
+            ..PhotodetectorConfig::default()
+        };
         assert!(Photodetector::new(cfg).is_err());
     }
 
@@ -309,7 +324,10 @@ mod tests {
         let neg = bpd.differential_current(Power::from_mw(0.25), Power::from_mw(1.0));
         assert!(pos.ma() > 0.0);
         assert!(neg.ma() < 0.0);
-        assert!((pos.ma() + neg.ma()).abs() < 1e-12, "symmetric inputs must cancel");
+        assert!(
+            (pos.ma() + neg.ma()).abs() < 1e-12,
+            "symmetric inputs must cancel"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl VcselConfig {
     pub fn validate(&self) -> Result<()> {
         let params = [
             ("threshold_ma", self.threshold_ma),
-            ("slope_efficiency_mw_per_ma", self.slope_efficiency_mw_per_ma),
+            (
+                "slope_efficiency_mw_per_ma",
+                self.slope_efficiency_mw_per_ma,
+            ),
             ("max_output_mw", self.max_output_mw),
             ("forward_voltage_v", self.forward_voltage_v),
             ("modulation_bandwidth_ghz", self.modulation_bandwidth_ghz),
@@ -142,7 +145,9 @@ impl Vcsel {
         if above <= 0.0 {
             return Power::zero();
         }
-        Power::from_mw((above * self.config.slope_efficiency_mw_per_ma).min(self.config.max_output_mw))
+        Power::from_mw(
+            (above * self.config.slope_efficiency_mw_per_ma).min(self.config.max_output_mw),
+        )
     }
 
     /// Electrical power drawn from the supply for a given drive current,
@@ -259,9 +264,9 @@ impl ModulatedVcsel {
     /// Returns [`PhotonicsError::DriveLevelOutOfRange`] when `level` is not
     /// in `0..levels`.
     pub fn normalized_intensity(&self, level: u16) -> Result<f64> {
-        let top = self
-            .vcsel
-            .output_power(Current::from_ma(self.bias.ma() + self.unit_current.ma() * f64::from(self.levels)));
+        let top = self.vcsel.output_power(Current::from_ma(
+            self.bias.ma() + self.unit_current.ma() * f64::from(self.levels),
+        ));
         if top.is_zero() {
             return Ok(0.0);
         }
@@ -313,7 +318,10 @@ mod tests {
     #[test]
     fn electrical_power_grows_with_current() {
         let v = vcsel();
-        assert!(v.electrical_power(Current::from_ma(2.0)).mw() > v.electrical_power(Current::from_ma(1.0)).mw());
+        assert!(
+            v.electrical_power(Current::from_ma(2.0)).mw()
+                > v.electrical_power(Current::from_ma(1.0)).mw()
+        );
     }
 
     #[test]
@@ -327,8 +335,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut cfg = VcselConfig::default();
-        cfg.slope_efficiency_mw_per_ma = 0.0;
+        let cfg = VcselConfig {
+            slope_efficiency_mw_per_ma: 0.0,
+            ..VcselConfig::default()
+        };
         assert!(Vcsel::new(cfg, Wavelength::from_nm(1550.0)).is_err());
     }
 
@@ -375,7 +385,9 @@ mod tests {
 
     #[test]
     fn modulated_vcsel_requires_at_least_one_level() {
-        assert!(ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 0).is_err());
+        assert!(
+            ModulatedVcsel::new(VcselConfig::default(), Wavelength::from_nm(1550.0), 0).is_err()
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl WaveguideConfig {
     /// or non-finite loss.
     pub fn validate(&self) -> Result<()> {
         let params = [
-            ("propagation_loss_db_per_cm", self.propagation_loss_db_per_cm),
+            (
+                "propagation_loss_db_per_cm",
+                self.propagation_loss_db_per_cm,
+            ),
             ("coupler_loss_db", self.coupler_loss_db),
             ("splitter_loss_db", self.splitter_loss_db),
             ("per_ring_through_loss_db", self.per_ring_through_loss_db),
@@ -238,8 +241,10 @@ mod tests {
 
     #[test]
     fn negative_losses_are_rejected() {
-        let mut cfg = WaveguideConfig::default();
-        cfg.coupler_loss_db = -1.0;
+        let cfg = WaveguideConfig {
+            coupler_loss_db: -1.0,
+            ..WaveguideConfig::default()
+        };
         assert!(cfg.validate().is_err());
         let link = LinkBudget::new(WaveguideConfig::default()).with_length_mm(-5.0);
         assert!(link.total_loss_db().is_err());

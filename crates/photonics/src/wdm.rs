@@ -67,7 +67,11 @@ impl WdmGrid {
     /// Never fails for the built-in parameters; the `Result` mirrors
     /// [`WdmGrid::new`] so callers can use `?` uniformly.
     pub fn lightator_arm(channels: usize) -> Result<Self> {
-        Self::new(Wavelength::from_nm(1546.0), Wavelength::from_nm(0.8), channels)
+        Self::new(
+            Wavelength::from_nm(1546.0),
+            Wavelength::from_nm(0.8),
+            channels,
+        )
     }
 
     /// Number of channels in the grid.
@@ -102,7 +106,8 @@ impl WdmGrid {
 
     /// Iterator over all channel wavelengths in index order.
     pub fn iter(&self) -> impl Iterator<Item = Wavelength> + '_ {
-        (0..self.channels).map(move |i| Wavelength::from_nm(self.start.nm() + self.spacing.nm() * i as f64))
+        (0..self.channels)
+            .map(move |i| Wavelength::from_nm(self.start.nm() + self.spacing.nm() * i as f64))
     }
 }
 
@@ -164,7 +169,11 @@ impl CrosstalkModel {
     ///
     /// Returns [`PhotonicsError::ChannelOutOfRange`] if either index is
     /// outside the grid.
-    pub fn parasitic_transmission(&self, ring_channel: usize, signal_channel: usize) -> Result<f64> {
+    pub fn parasitic_transmission(
+        &self,
+        ring_channel: usize,
+        signal_channel: usize,
+    ) -> Result<f64> {
         let ring_lambda = self.grid.wavelength(ring_channel)?;
         let signal_lambda = self.grid.wavelength(signal_channel)?;
         if !self.enabled || ring_channel == signal_channel {
@@ -279,7 +288,10 @@ mod tests {
         let g = grid();
         assert!(matches!(
             g.wavelength(9),
-            Err(PhotonicsError::ChannelOutOfRange { channel: 9, channels: 9 })
+            Err(PhotonicsError::ChannelOutOfRange {
+                channel: 9,
+                channels: 9
+            })
         ));
     }
 
@@ -314,7 +326,10 @@ mod tests {
         let mut v = vec![1.0; 9];
         model.apply(&mut v).expect("ok");
         assert!(v.iter().all(|&x| x <= 1.0));
-        assert!(v.iter().any(|&x| x < 1.0), "some channel must see crosstalk");
+        assert!(
+            v.iter().any(|&x| x < 1.0),
+            "some channel must see crosstalk"
+        );
     }
 
     #[test]
@@ -323,7 +338,10 @@ mod tests {
         let mut v = vec![1.0; 4];
         assert!(matches!(
             model.apply(&mut v),
-            Err(PhotonicsError::LengthMismatch { expected: 9, actual: 4 })
+            Err(PhotonicsError::LengthMismatch {
+                expected: 9,
+                actual: 4
+            })
         ));
     }
 
@@ -345,6 +363,9 @@ mod tests {
         let model = CrosstalkModel::new(grid(), MicroringConfig::default());
         let penalty = model.worst_case_penalty_db().expect("ok");
         assert!(penalty > 0.0);
-        assert!(penalty < 3.0, "a sane grid keeps aggregate crosstalk below 3 dB");
+        assert!(
+            penalty < 3.0,
+            "a sane grid keeps aggregate crosstalk below 3 dB"
+        );
     }
 }

@@ -79,7 +79,10 @@ fn analog_spread_is_bounded_across_seeds() {
         results.push(arm.mac(&activations, &mut rng).expect("mac").value);
     }
     for value in &results {
-        assert!((value - exact).abs() < 0.2, "value {value} vs exact {exact}");
+        assert!(
+            (value - exact).abs() < 0.2,
+            "value {value} vs exact {exact}"
+        );
     }
     let spread = results.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
         - results.iter().fold(f64::INFINITY, |m, &v| m.min(v));

@@ -45,7 +45,9 @@ impl DigitalFrame {
             });
         }
         if let Some(&bad) = codes.iter().find(|&&c| c > 15) {
-            return Err(SensorError::IntensityOutOfRange { value: f64::from(bad) });
+            return Err(SensorError::IntensityOutOfRange {
+                value: f64::from(bad),
+            });
         }
         Ok(Self {
             height,
@@ -236,7 +238,12 @@ impl SensorArray {
                 codes.push(self.crc.read_code(voltage));
             }
         }
-        DigitalFrame::new(self.config.height, self.config.width, self.config.pattern, codes)
+        DigitalFrame::new(
+            self.config.height,
+            self.config.width,
+            self.config.pattern,
+            codes,
+        )
     }
 
     /// Captures only the raw Bayer mosaic (no read-out), for callers that

@@ -144,7 +144,7 @@ impl BayerMosaic {
     /// Returns [`SensorError::InvalidDimensions`] if the mosaic does not have
     /// even dimensions.
     pub fn demosaic_tiles(&self) -> Result<RgbFrame> {
-        if self.height() % 2 != 0 || self.width() % 2 != 0 {
+        if !self.height().is_multiple_of(2) || !self.width().is_multiple_of(2) {
             return Err(SensorError::InvalidDimensions {
                 height: self.height(),
                 width: self.width(),
@@ -167,7 +167,11 @@ impl BayerMosaic {
                     }
                 }
                 for i in 0..3 {
-                    data.push(if counts[i] == 0 { 0.0 } else { sums[i] / counts[i] as f64 });
+                    data.push(if counts[i] == 0 {
+                        0.0
+                    } else {
+                        sums[i] / counts[i] as f64
+                    });
                 }
             }
         }

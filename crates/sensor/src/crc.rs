@@ -223,7 +223,10 @@ mod tests {
         let dark = crc.read_code(pixel.output_voltage(0.0).expect("ok"));
         let bright = crc.read_code(pixel.output_voltage(1.0).expect("ok"));
         assert_eq!(dark, 0);
-        assert!(bright >= 13, "full-scale illumination should fire almost all comparators, got {bright}");
+        assert!(
+            bright >= 13,
+            "full-scale illumination should fire almost all comparators, got {bright}"
+        );
     }
 
     #[test]

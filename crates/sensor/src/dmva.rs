@@ -285,8 +285,8 @@ mod tests {
 
     #[test]
     fn driver_intensity_monotone_in_code() {
-        let driver =
-            VcselDriver::new(VcselDriverConfig::default(), Wavelength::from_nm(1550.0)).expect("valid");
+        let driver = VcselDriver::new(VcselDriverConfig::default(), Wavelength::from_nm(1550.0))
+            .expect("valid");
         let mut last = -1.0;
         for code in 0..=15u8 {
             let i = driver.emit(code).expect("ok");
@@ -298,15 +298,15 @@ mod tests {
 
     #[test]
     fn driver_rejects_codes_above_fifteen() {
-        let driver =
-            VcselDriver::new(VcselDriverConfig::default(), Wavelength::from_nm(1550.0)).expect("valid");
+        let driver = VcselDriver::new(VcselDriverConfig::default(), Wavelength::from_nm(1550.0))
+            .expect("valid");
         assert!(driver.emit(16).is_err());
     }
 
     #[test]
     fn driver_power_grows_with_code() {
-        let driver =
-            VcselDriver::new(VcselDriverConfig::default(), Wavelength::from_nm(1550.0)).expect("valid");
+        let driver = VcselDriver::new(VcselDriverConfig::default(), Wavelength::from_nm(1550.0))
+            .expect("valid");
         let low = driver.electrical_power(1).expect("ok");
         let high = driver.electrical_power(15).expect("ok");
         assert!(high.mw() > low.mw());

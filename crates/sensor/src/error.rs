@@ -54,7 +54,10 @@ impl fmt::Display for SensorError {
                 write!(f, "invalid frame dimensions {height}x{width}")
             }
             Self::DataLengthMismatch { expected, actual } => {
-                write!(f, "frame data length mismatch: expected {expected} samples, got {actual}")
+                write!(
+                    f,
+                    "frame data length mismatch: expected {expected} samples, got {actual}"
+                )
             }
             Self::IntensityOutOfRange { value } => {
                 write!(f, "pixel intensity {value} is outside the range [0, 1]")
@@ -62,8 +65,16 @@ impl fmt::Display for SensorError {
             Self::InvalidParameter { name, value } => {
                 write!(f, "invalid value {value} for parameter `{name}`")
             }
-            Self::PixelOutOfRange { row, col, height, width } => {
-                write!(f, "pixel ({row}, {col}) is outside the {height}x{width} array")
+            Self::PixelOutOfRange {
+                row,
+                col,
+                height,
+                width,
+            } => {
+                write!(
+                    f,
+                    "pixel ({row}, {col}) is outside the {height}x{width} array"
+                )
             }
             Self::Photonics(err) => write!(f, "photonic device error: {err}"),
         }
@@ -95,11 +106,25 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         let errs: Vec<SensorError> = vec![
-            SensorError::InvalidDimensions { height: 0, width: 10 },
-            SensorError::DataLengthMismatch { expected: 100, actual: 99 },
+            SensorError::InvalidDimensions {
+                height: 0,
+                width: 10,
+            },
+            SensorError::DataLengthMismatch {
+                expected: 100,
+                actual: 99,
+            },
             SensorError::IntensityOutOfRange { value: 1.7 },
-            SensorError::InvalidParameter { name: "full_well", value: -2.0 },
-            SensorError::PixelOutOfRange { row: 9, col: 9, height: 4, width: 4 },
+            SensorError::InvalidParameter {
+                name: "full_well",
+                value: -2.0,
+            },
+            SensorError::PixelOutOfRange {
+                row: 9,
+                col: 9,
+                height: 4,
+                width: 4,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

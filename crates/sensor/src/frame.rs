@@ -88,7 +88,11 @@ impl RgbFrame {
                 return Err(SensorError::IntensityOutOfRange { value: v });
             }
         }
-        Ok(Self { height, width, data })
+        Ok(Self {
+            height,
+            width,
+            data,
+        })
     }
 
     /// Creates a frame with every pixel set to the same RGB triple.
@@ -222,7 +226,11 @@ impl GrayFrame {
                 return Err(SensorError::IntensityOutOfRange { value: v });
             }
         }
-        Ok(Self { height, width, data })
+        Ok(Self {
+            height,
+            width,
+            data,
+        })
     }
 
     /// Frame height in pixels.
@@ -268,7 +276,8 @@ impl GrayFrame {
     /// Returns [`SensorError::InvalidParameter`] if `window` is zero or does
     /// not divide both dimensions.
     pub fn average_pool(&self, window: usize) -> Result<GrayFrame> {
-        if window == 0 || self.height % window != 0 || self.width % window != 0 {
+        if window == 0 || !self.height.is_multiple_of(window) || !self.width.is_multiple_of(window)
+        {
             return Err(SensorError::InvalidParameter {
                 name: "window",
                 value: window as f64,

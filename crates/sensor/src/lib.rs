@@ -44,7 +44,9 @@ pub mod pixel;
 pub use array::{DigitalFrame, SensorArray, SensorArrayConfig, DEFAULT_RESOLUTION};
 pub use bayer::{BayerMosaic, BayerPattern};
 pub use crc::{ComparatorReadCircuit, CrcConfig, CrcReading, CRC_COMPARATORS};
-pub use dmva::{ActivationSource, DmvaLane, Selector, VcselDriver, VcselDriverConfig, DRIVER_TRANSISTORS};
+pub use dmva::{
+    ActivationSource, DmvaLane, Selector, VcselDriver, VcselDriverConfig, DRIVER_TRANSISTORS,
+};
 pub use error::{Result, SensorError};
 pub use frame::{Channel, GrayFrame, RgbFrame};
 pub use pixel::{Pixel, PixelConfig};

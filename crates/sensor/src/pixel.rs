@@ -50,7 +50,10 @@ impl PixelConfig {
     pub fn validate(&self) -> Result<()> {
         let strictly_positive = [
             ("reset_voltage_v", self.reset_voltage_v),
-            ("full_scale_photocurrent_na", self.full_scale_photocurrent_na),
+            (
+                "full_scale_photocurrent_na",
+                self.full_scale_photocurrent_na,
+            ),
             ("node_capacitance_ff", self.node_capacitance_ff),
             ("exposure_ns", self.exposure.ns()),
         ];
@@ -139,7 +142,9 @@ impl Pixel {
     /// inside `[0, 1]`.
     pub fn output_voltage(&self, illumination: f64) -> Result<Voltage> {
         if !illumination.is_finite() || !(0.0..=1.0).contains(&illumination) {
-            return Err(SensorError::IntensityOutOfRange { value: illumination });
+            return Err(SensorError::IntensityOutOfRange {
+                value: illumination,
+            });
         }
         let drop = self.ideal_drop_volts(illumination);
         let v = (self.config.reset_voltage_v - drop).max(self.config.saturation_voltage_v);
@@ -226,11 +231,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut cfg = PixelConfig::default();
-        cfg.saturation_voltage_v = 2.0; // above reset voltage
+        let cfg = PixelConfig {
+            saturation_voltage_v: 2.0, // above reset voltage
+            ..PixelConfig::default()
+        };
         assert!(Pixel::new(cfg).is_err());
-        let mut cfg = PixelConfig::default();
-        cfg.node_capacitance_ff = 0.0;
+        let cfg = PixelConfig {
+            node_capacitance_ff: 0.0,
+            ..PixelConfig::default()
+        };
         assert!(Pixel::new(cfg).is_err());
     }
 

@@ -1,12 +1,12 @@
 //! Capture scenarios: the ADC-less read-out chain under structured scenes,
 //! exercising the sensor the way the Lightator node uses it.
 
+use lightator_photonics::units::Wavelength;
 use lightator_sensor::array::{SensorArray, SensorArrayConfig};
 use lightator_sensor::bayer::BayerPattern;
 use lightator_sensor::dmva::{ActivationSource, DmvaLane};
 use lightator_sensor::frame::{Channel, RgbFrame};
 use lightator_sensor::pixel::{Pixel, PixelConfig};
-use lightator_photonics::units::Wavelength;
 
 fn gradient_scene(size: usize) -> RgbFrame {
     let mut data = Vec::with_capacity(size * size * 3);
@@ -32,7 +32,10 @@ fn codes_follow_scene_gradients() {
     for row in (0..16).step_by(2) {
         let code = frame.code(row, 0).expect("code");
         assert_eq!(frame.channel_at(row, 0), Channel::Red);
-        assert!(code >= last, "red gradient must not decrease: {code} < {last}");
+        assert!(
+            code >= last,
+            "red gradient must not decrease: {code} < {last}"
+        );
         last = code;
     }
 }
@@ -56,7 +59,10 @@ fn bayer_patterns_agree_on_uniform_scenes() {
         let frame = sensor.capture(&scene).expect("capture");
         sums.push(frame.codes().iter().map(|&c| u32::from(c)).sum::<u32>());
     }
-    assert!(sums.windows(2).all(|w| w[0] == w[1]), "sums {sums:?} differ across patterns");
+    assert!(
+        sums.windows(2).all(|w| w[0] == w[1]),
+        "sums {sums:?} differ across patterns"
+    );
 }
 
 /// The DMVA lane reproduces the paper's layer-by-layer reuse: the same lane
@@ -77,7 +83,10 @@ fn dmva_lane_switches_between_layers() {
     lane.select(ActivationSource::PreviousLayer);
     let later = lane.activate(v_bright, 3).expect("activate");
     let later_strong = lane.activate(v_bright, 14).expect("activate");
-    assert!(later < first_layer, "code 3 must be dimmer than the bright pixel");
+    assert!(
+        later < first_layer,
+        "code 3 must be dimmer than the bright pixel"
+    );
     assert!(later_strong > later);
 }
 

@@ -1,12 +1,12 @@
 //! Property-based tests for the ADC-less sensor models.
 
+use lightator_photonics::units::Wavelength;
 use lightator_sensor::array::{SensorArray, SensorArrayConfig};
 use lightator_sensor::bayer::{BayerMosaic, BayerPattern};
 use lightator_sensor::crc::ComparatorReadCircuit;
 use lightator_sensor::dmva::{ActivationSource, DmvaLane};
 use lightator_sensor::frame::{GrayFrame, RgbFrame};
 use lightator_sensor::pixel::{Pixel, PixelConfig};
-use lightator_photonics::units::Wavelength;
 use proptest::prelude::*;
 
 proptest! {

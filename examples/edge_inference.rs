@@ -36,8 +36,19 @@ fn main() -> Result<(), CoreError> {
     )?;
 
     let mut model = build_mlp(&dataset.input_shape(), dataset.classes(), 32, &mut rng)?;
-    println!("training a {}-parameter classifier on {} samples ...", model.parameter_count(), dataset.train().len());
-    train(&mut model, &dataset, TrainConfig { epochs: 10, ..TrainConfig::default() })?;
+    println!(
+        "training a {}-parameter classifier on {} samples ...",
+        model.parameter_count(),
+        dataset.train().len()
+    );
+    train(
+        &mut model,
+        &dataset,
+        TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+    )?;
     let float_accuracy = evaluate(&mut model, &dataset)?;
     println!("float32 accuracy: {:.1}%", float_accuracy * 100.0);
 

@@ -8,7 +8,8 @@
 //! * [`nn`] — tensors, layers, quantization, training, topologies, datasets;
 //! * [`core`] — the Lightator optical core, mapper, energy model, simulator
 //!   and end-to-end pipeline;
-//! * [`baselines`] — photonic and electronic baseline accelerator models.
+//! * [`baselines`] — photonic and electronic baseline accelerator models;
+//! * [`bench`] — the experiment harness regenerating Table 1 and Figs. 8–10.
 //!
 //! # Quickstart
 //!
@@ -30,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use lightator_baselines as baselines;
+pub use lightator_bench as bench;
 pub use lightator_core as core;
 pub use lightator_nn as nn;
 pub use lightator_photonics as photonics;

@@ -41,7 +41,9 @@ fn full_pipeline_classifies_a_scene() {
     .expect("node");
 
     let scene = RgbFrame::filled(16, 16, [0.7, 0.4, 0.2]).expect("scene");
-    let result = node.process_frame(&scene, &mut model).expect("frame processed");
+    let result = node
+        .process_frame(&scene, &mut model)
+        .expect("frame processed");
     assert!(result.class < 4);
     assert_eq!(result.dnn_input_shape, vec![1, 8, 8]);
     assert_eq!(result.logits.len(), 4);
@@ -78,12 +80,18 @@ fn trained_model_survives_photonic_execution() {
     )
     .expect("training");
     let digital = evaluate(&mut model, &dataset).expect("digital eval");
-    assert!(digital > 0.5, "digital accuracy {digital} should beat chance");
+    assert!(
+        digital > 0.5,
+        "digital accuracy {digital} should beat chance"
+    );
 
     let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
     quantize_model_weights(&mut model, schedule);
-    let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 11).expect("executor");
-    let result = executor.evaluate(&mut model, &dataset, 10).expect("photonic eval");
+    let mut executor =
+        PhotonicExecutor::new(schedule, NoiseConfig::default(), 11).expect("executor");
+    let result = executor
+        .evaluate(&mut model, &dataset, 10)
+        .expect("photonic eval");
     assert!(
         result.photonic + 0.35 >= result.digital,
         "photonic accuracy {} collapsed versus digital {}",

@@ -1,0 +1,232 @@
+//! Offline stub of `proptest` for the Lightator workspace.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range strategies
+//! over the primitive numeric types, tuple strategies and
+//! [`collection::vec`]. Each test body runs for a fixed number of
+//! deterministically sampled cases (no shrinking); the case seed is derived
+//! from the test name so every property sees an independent stream.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategy implementations.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for sampling values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+    /// A strategy that always yields a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Lower and upper bound (half-open) on the collection length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.max > self.min + 1 {
+                rng.gen_range(self.min..self.max)
+            } else {
+                self.min
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Builds a strategy for `Vec`s with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty size range in proptest::collection::vec");
+        VecStrategy { element, min, max }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a over the test name: a stable per-test seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Number of sampled cases per property.
+    pub const CASES: u32 = 64;
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running `body` over deterministically sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let mut rng = <$crate::__rt::SmallRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    $crate::__rt::seed_for(stringify!($name)),
+                );
+                for case in 0..$crate::__rt::CASES {
+                    let _ = case;
+                    $(let $arg = ($strat).sample(&mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::__rt::{SeedableRng, SmallRng};
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strat = crate::collection::vec(0.0f64..1.0, 3..7);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_samples_within_range(x in 1.5f64..2.5, n in 2u16..64) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((2..64).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(pairs in crate::collection::vec((-1.0f64..1.0, 0.0f64..1.0), 1..10)) {
+            prop_assert!(!pairs.is_empty());
+            for (w, a) in pairs {
+                prop_assert!((-1.0..1.0).contains(&w));
+                prop_assert!((0.0..1.0).contains(&a));
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stub of `serde` for the Lightator workspace.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatibility marker — nothing in the tree actually serializes a
+//! value (there is no `serde_json`/`bincode` consumer). The build environment
+//! has no access to crates.io, so this proc-macro crate satisfies the derives
+//! with empty expansions. Swapping the `[workspace.dependencies]` entry back
+//! to the registry `serde` is the only change needed once the network is
+//! available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
