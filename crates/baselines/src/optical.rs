@@ -31,8 +31,8 @@ pub struct OpticalComponentCounts {
 }
 
 /// Per-device costs of the photonic baseline designs. These are deliberately
-/// separate from Lightator's [`DevicePowerTable`]
-/// (lightator_photonics::power::DevicePowerTable): the baselines run their
+/// separate from Lightator's
+/// [`DevicePowerTable`](lightator_photonics::power::DevicePowerTable): the baselines run their
 /// converters at multi-GS/s rates, which is exactly why their ADC/DAC budgets
 /// dominate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

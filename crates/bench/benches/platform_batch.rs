@@ -1,0 +1,96 @@
+//! Batched frame processing through the `Platform`/`Session` facade:
+//! `Session::run_batch` encodes the quantized MR weights once per batch,
+//! while N sequential `Session::run` calls re-encode them for every output
+//! stride. The batch path must beat the sequential path by ≥ 1.2×.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightator_core::platform::{Platform, Workload};
+use lightator_nn::layers::{Activation, Conv2d, Flatten, Linear};
+use lightator_nn::model::Sequential;
+use lightator_photonics::noise::NoiseConfig;
+use lightator_sensor::frame::RgbFrame;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SENSOR: usize = 16;
+const BATCH: usize = 6;
+
+fn classifier() -> Sequential {
+    let mut rng = SmallRng::seed_from_u64(21);
+    // CA halves the 16x16 sensor to [1, 8, 8].
+    let mut model = Sequential::new(&[1, 8, 8]);
+    model.push(Conv2d::new(1, 4, 3, 1, 1, &mut rng).expect("conv"));
+    model.push(Activation::relu());
+    model.push(Flatten::new());
+    model.push(Linear::new(4 * 8 * 8, 4, &mut rng).expect("linear"));
+    model
+}
+
+fn scenes() -> Vec<RgbFrame> {
+    let mut rng = SmallRng::seed_from_u64(33);
+    (0..BATCH)
+        .map(|_| {
+            let data: Vec<f64> = (0..SENSOR * SENSOR * 3).map(|_| rng.gen::<f64>()).collect();
+            RgbFrame::new(SENSOR, SENSOR, data).expect("frame")
+        })
+        .collect()
+}
+
+fn session() -> lightator_core::platform::Session {
+    Platform::builder()
+        .sensor_resolution(SENSOR, SENSOR)
+        .noise(NoiseConfig::ideal())
+        .build()
+        .expect("platform")
+        .session(Workload::Classify {
+            model: classifier(),
+        })
+        .expect("session")
+}
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let frames = scenes();
+
+    let mut sequential = session();
+    c.bench_function("session_run/sequential_x6", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                black_box(sequential.run(frame).expect("run"));
+            }
+        });
+    });
+
+    let mut batched = session();
+    c.bench_function("session_run/batch_x6", |b| {
+        b.iter(|| black_box(batched.run_batch(&frames).expect("run_batch")));
+    });
+
+    // Make the headline ratio visible in the bench output: warmed sessions,
+    // median of several interleaved pairs (the acceptance bar is >= 1.2x).
+    let mut a = session();
+    let mut bsn = session();
+    for frame in &frames {
+        black_box(a.run(frame).expect("warm-up run"));
+    }
+    black_box(bsn.run_batch(&frames).expect("warm-up run_batch"));
+    let mut ratios = Vec::new();
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        for frame in &frames {
+            black_box(a.run(frame).expect("run"));
+        }
+        let sequential_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        black_box(bsn.run_batch(&frames).expect("run_batch"));
+        let batch_time = t1.elapsed();
+        ratios.push(sequential_time.as_secs_f64() / batch_time.as_secs_f64());
+    }
+    ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite ratios"));
+    println!(
+        "run_batch median speedup over {BATCH} sequential runs: {:.2}x (target >= 1.2x)",
+        ratios[ratios.len() / 2]
+    );
+}
+
+criterion_group!(benches, bench_batch_vs_sequential);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Regenerates Fig. 9: VGG9 layer-wise power breakdown on Lightator [3:4].
+//! Regenerates Fig. 9: VGG9 layer-wise power breakdown on Lightator \[3:4\].
 
 use lightator_bench::fig9;
 

@@ -1,7 +1,7 @@
 //! Figure 10: log-scale execution time of Eyeriss, ENVISION, AppCiP, YodaNN
 //! and Lightator on VGG16 and AlexNet.
 
-use crate::harness::simulator;
+use crate::harness::platform;
 use lightator_baselines::electronic::ElectronicBaseline;
 use lightator_core::CoreError;
 use lightator_nn::quant::{Precision, PrecisionSchedule};
@@ -35,7 +35,7 @@ pub struct Fig10Data {
 ///
 /// Propagates simulator errors.
 pub fn generate() -> Result<Fig10Data, CoreError> {
-    let sim = simulator()?;
+    let platform = platform()?;
     let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
     let vgg16 = NetworkSpec::vgg16();
     let vgg13 = NetworkSpec::vgg13();
@@ -61,8 +61,11 @@ pub fn generate() -> Result<Fig10Data, CoreError> {
         });
     }
 
-    let lightator_vgg16 = sim.simulate(&vgg16, schedule)?.frame_latency.ms();
-    let lightator_alexnet = sim.simulate(&alexnet, schedule)?.frame_latency.ms();
+    let lightator_vgg16 = platform.simulate_with(&vgg16, schedule)?.frame_latency.ms();
+    let lightator_alexnet = platform
+        .simulate_with(&alexnet, schedule)?
+        .frame_latency
+        .ms();
     rows.push(Fig10Row {
         accelerator: "Lightator".to_string(),
         network: "VGG16".to_string(),

@@ -1,7 +1,7 @@
 //! Figure 8: layer-wise power breakdown of LeNet on Lightator for the
-//! [4:4], [3:4] and [2:4] weight:activation configurations.
+//! \[4:4\], \[3:4\] and \[2:4\] weight:activation configurations.
 
-use crate::harness::{simulator, PRECISIONS};
+use crate::harness::{platform, PRECISIONS};
 use lightator_core::energy::ComponentPower;
 use lightator_core::CoreError;
 use lightator_nn::quant::PrecisionSchedule;
@@ -30,11 +30,11 @@ pub struct Fig8Row {
 ///
 /// Propagates simulator configuration errors.
 pub fn generate() -> Result<Vec<Fig8Row>, CoreError> {
-    let sim = simulator()?;
+    let platform = platform()?;
     let network = NetworkSpec::lenet();
     let mut rows = Vec::new();
     for precision in PRECISIONS {
-        let report = sim.simulate(&network, PrecisionSchedule::Uniform(precision))?;
+        let report = platform.simulate_with(&network, PrecisionSchedule::Uniform(precision))?;
         for layer in &report.layers {
             let values = layer.power.values();
             let mut components_w = [0.0; 6];
@@ -82,7 +82,7 @@ pub fn render(rows: &[Fig8Row]) -> String {
 }
 
 /// Average power-efficiency gain of dropping the weight precision from
-/// [4:4] to [2:4] across the LeNet layers (the paper reports ~2.4×).
+/// \[4:4\] to \[2:4\] across the LeNet layers (the paper reports ~2.4×).
 #[must_use]
 pub fn average_efficiency_gain(rows: &[Fig8Row]) -> f64 {
     let total = |label: &str| -> f64 {

@@ -1,8 +1,8 @@
-//! Figure 9: layer-wise power breakdown of VGG9 on the [3:4] configuration,
+//! Figure 9: layer-wise power breakdown of VGG9 on the \[3:4\] configuration,
 //! the DAC-dominance pie chart for layer L8, and the first-layer saving from
 //! compressive acquisition.
 
-use crate::harness::simulator;
+use crate::harness::platform;
 use lightator_core::CoreError;
 use lightator_nn::quant::{Precision, PrecisionSchedule};
 use lightator_nn::spec::NetworkSpec;
@@ -41,10 +41,10 @@ pub struct Fig9Data {
 ///
 /// Propagates simulator configuration errors.
 pub fn generate() -> Result<Fig9Data, CoreError> {
-    let sim = simulator()?;
+    let platform = platform()?;
     let network = NetworkSpec::vgg9(10);
     let schedule = PrecisionSchedule::Uniform(Precision::w3a4());
-    let report = sim.simulate(&network, schedule)?;
+    let report = platform.simulate_with(&network, schedule)?;
     let rows: Vec<Fig9Row> = report
         .layers
         .iter()
@@ -74,7 +74,9 @@ pub fn generate() -> Result<Fig9Data, CoreError> {
         };
     }
 
-    let (_, ca_first_layer_saving) = sim.simulate_with_ca(&network, schedule, 2)?;
+    let (_, ca_first_layer_saving) = platform
+        .simulator()
+        .simulate_with_ca(&network, schedule, 2)?;
 
     Ok(Fig9Data {
         rows,

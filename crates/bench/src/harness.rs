@@ -1,25 +1,13 @@
-//! Shared helpers for the experiment harness.
+//! Shared helpers for the experiment harness, built on the
+//! [`Platform`] facade.
 
-use lightator_core::config::LightatorConfig;
+use lightator_core::platform::Platform;
 use lightator_core::sim::ArchitectureSimulator;
 use lightator_core::CoreError;
 use lightator_nn::quant::{Precision, PrecisionSchedule};
 
 /// The three uniform precisions evaluated throughout the paper.
-pub const PRECISIONS: [Precision; 3] = [
-    Precision {
-        weight_bits: 4,
-        activation_bits: 4,
-    },
-    Precision {
-        weight_bits: 3,
-        activation_bits: 4,
-    },
-    Precision {
-        weight_bits: 2,
-        activation_bits: 4,
-    },
-];
+pub const PRECISIONS: [Precision; 3] = [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()];
 
 /// The five Lightator variants of Table 1 (three uniform, two mixed).
 #[must_use]
@@ -27,44 +15,32 @@ pub fn lightator_variants() -> Vec<(String, PrecisionSchedule)> {
     let uniform = PRECISIONS
         .iter()
         .map(|&p| (format!("Lightator {p}"), PrecisionSchedule::Uniform(p)));
-    let mixed = [
-        (
-            "Lightator-MX [4:4][3:4]".to_string(),
-            PrecisionSchedule::Mixed {
-                first: Precision {
-                    weight_bits: 4,
-                    activation_bits: 4,
-                },
-                rest: Precision {
-                    weight_bits: 3,
-                    activation_bits: 4,
-                },
-            },
-        ),
-        (
-            "Lightator-MX [4:4][2:4]".to_string(),
-            PrecisionSchedule::Mixed {
-                first: Precision {
-                    weight_bits: 4,
-                    activation_bits: 4,
-                },
-                rest: Precision {
-                    weight_bits: 2,
-                    activation_bits: 4,
-                },
-            },
-        ),
-    ];
+    let mixed = [Precision::w3a4(), Precision::w2a4()].map(|rest| {
+        let schedule = PrecisionSchedule::Mixed {
+            first: Precision::w4a4(),
+            rest,
+        };
+        (format!("Lightator-MX {}", schedule.label()), schedule)
+    });
     uniform.chain(mixed).collect()
 }
 
-/// Builds the paper-default architecture simulator.
+/// Builds the paper-default platform — the harness's single front door.
+///
+/// # Errors
+///
+/// Propagates configuration errors (cannot occur for the paper defaults).
+pub fn platform() -> Result<Platform, CoreError> {
+    Platform::paper()
+}
+
+/// The paper-default architecture simulator, resolved through the platform.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors (cannot occur for the paper defaults).
 pub fn simulator() -> Result<ArchitectureSimulator, CoreError> {
-    ArchitectureSimulator::new(LightatorConfig::paper())
+    Ok(platform()?.simulator().clone())
 }
 
 #[cfg(test)]
@@ -80,7 +56,16 @@ mod tests {
     }
 
     #[test]
-    fn simulator_builds() {
+    fn platform_and_simulator_build() {
+        assert!(platform().is_ok());
         assert!(simulator().is_ok());
+    }
+
+    #[test]
+    fn precisions_use_the_canonical_constructors() {
+        assert_eq!(
+            PRECISIONS,
+            [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()]
+        );
     }
 }

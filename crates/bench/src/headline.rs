@@ -1,5 +1,5 @@
 //! Headline claims of the paper, recomputed from the harness:
-//! 84.4 KFPS/W for Lightator-MX [4:4][3:4], ~24× lower power than the
+//! 84.4 KFPS/W for Lightator-MX \[4:4\]\[3:4\], ~24× lower power than the
 //! photonic baselines, ~73× lower than the GPU, ~2.4× efficiency from
 //! bit-width reduction, and the CA's first-layer saving.
 
@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// The recomputed headline numbers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HeadlineClaims {
-    /// KFPS/W of the Lightator-MX [4:4][3:4] variant (paper: 84.4).
+    /// KFPS/W of the Lightator-MX \[4:4\]\[3:4\] variant (paper: 84.4).
     pub mx_kfps_per_watt: f64,
     /// Average photonic-baseline power divided by average Lightator power
     /// (paper: ~24×).

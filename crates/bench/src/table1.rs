@@ -2,10 +2,10 @@
 //! baselines and the GPU reference — process node, max power, KFPS/W and
 //! inference accuracy on the three (synthetic stand-in) datasets.
 
-use crate::harness::{lightator_variants, simulator};
+use crate::harness::{lightator_variants, platform};
 use lightator_baselines::electronic::ElectronicBaseline;
 use lightator_baselines::optical::OpticalBaseline;
-use lightator_core::exec::PhotonicExecutor;
+use lightator_core::platform::{Platform, Workload};
 use lightator_core::CoreError;
 use lightator_nn::datasets::{generate as generate_dataset, Dataset, SyntheticConfig};
 use lightator_nn::model::Sequential;
@@ -90,10 +90,10 @@ pub fn performance_rows() -> Result<Vec<Table1Row>, CoreError> {
     }
 
     // Lightator variants.
-    let sim = simulator()?;
+    let platform = platform()?;
     for (name, schedule) in lightator_variants() {
-        let report = sim.simulate(&lenet, schedule)?;
-        let max_power = sim.platform_max_power(&vgg9, schedule)?;
+        let report = platform.simulate_with(&lenet, schedule)?;
+        let max_power = platform.simulator().platform_max_power(&vgg9, schedule)?;
         rows.push(Table1Row {
             design: name,
             node_nm: Some(45),
@@ -234,12 +234,18 @@ fn evaluate_designs(
     }
 
     // Lightator variants: quantization-aware fine-tuning followed by
-    // evaluation through the photonic MAC datapath with analog noise.
+    // evaluation through the photonic MAC datapath with analog noise, all
+    // through the platform facade.
     for (name, schedule) in lightator_variants() {
         let mut tuned = model.clone();
         fine_tune_quantized(&mut tuned, dataset, schedule, config.qat_epochs, 0.01)?;
-        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), config.seed)?;
-        let result = executor.evaluate(&mut tuned, dataset, config.photonic_samples)?;
+        let mut session = Platform::builder()
+            .precision(schedule)
+            .noise(NoiseConfig::default())
+            .seed(config.seed)
+            .build()?
+            .session(Workload::Classify { model: tuned })?;
+        let result = session.evaluate(dataset, config.photonic_samples)?;
         results.push((name, result.photonic));
     }
     Ok(results)

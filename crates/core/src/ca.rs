@@ -36,10 +36,11 @@ impl CaConfig {
     /// Returns [`CoreError::InvalidConfig`] for a zero pooling window.
     pub fn validate(&self) -> Result<()> {
         if self.pooling_window == 0 {
-            return Err(CoreError::InvalidConfig {
-                name: "pooling_window",
-                value: 0.0,
-            });
+            return Err(CoreError::invalid_config(
+                "pooling_window",
+                0.0,
+                "the CA pooling window must be at least 1 (1 disables pooling)",
+            ));
         }
         Ok(())
     }
@@ -150,10 +151,16 @@ impl CompressiveAcquisitor {
     pub fn acquire(&self, frame: &RgbFrame) -> Result<GrayFrame> {
         let window = self.config.pooling_window;
         if !frame.height().is_multiple_of(window) || !frame.width().is_multiple_of(window) {
-            return Err(CoreError::InvalidConfig {
-                name: "pooling_window",
-                value: window as f64,
-            });
+            return Err(CoreError::invalid_config(
+                "pooling_window",
+                window as f64,
+                format!(
+                    "the pooling window must divide the frame dimensions \
+                     ({}x{} is not divisible by {window})",
+                    frame.height(),
+                    frame.width()
+                ),
+            ));
         }
         let oh = frame.height() / window;
         let ow = frame.width() / window;

@@ -89,17 +89,25 @@ impl OcGeometry {
         ];
         for (name, value) in params {
             if value == 0 {
-                return Err(CoreError::InvalidConfig {
+                return Err(CoreError::invalid_config(
                     name,
-                    value: value as f64,
-                });
+                    value as f64,
+                    "every optical-core extent must be at least 1 (a zero extent leaves no MRs to map onto)",
+                ));
             }
         }
         if self.ca_banks > self.banks() {
-            return Err(CoreError::InvalidConfig {
-                name: "ca_banks",
-                value: self.ca_banks as f64,
-            });
+            return Err(CoreError::invalid_config(
+                "ca_banks",
+                self.ca_banks as f64,
+                format!(
+                    "the CA reservation cannot exceed the {} banks of the array \
+                     ({} columns x {} rows)",
+                    self.banks(),
+                    self.bank_columns,
+                    self.bank_rows
+                ),
+            ));
         }
         Ok(())
     }
@@ -208,22 +216,25 @@ impl LightatorConfig {
     pub fn validate(&self) -> Result<()> {
         self.geometry.validate()?;
         if self.periphery.vcsels_per_arm == 0 {
-            return Err(CoreError::InvalidConfig {
-                name: "vcsels_per_arm",
-                value: 0.0,
-            });
+            return Err(CoreError::invalid_config(
+                "vcsels_per_arm",
+                0.0,
+                "each arm needs at least one VCSEL to drive activations into its MRs",
+            ));
         }
         if self.timing.optical_cycles_per_wave == 0 {
-            return Err(CoreError::InvalidConfig {
-                name: "optical_cycles_per_wave",
-                value: 0.0,
-            });
+            return Err(CoreError::invalid_config(
+                "optical_cycles_per_wave",
+                0.0,
+                "a MAC wave takes at least one optical cycle (symbol + detection settling)",
+            ));
         }
         if self.area.mm2() <= 0.0 {
-            return Err(CoreError::InvalidConfig {
-                name: "area",
-                value: self.area.mm2(),
-            });
+            return Err(CoreError::invalid_config(
+                "area",
+                self.area.mm2(),
+                "the die area budget must be positive to compare against other accelerators",
+            ));
         }
         Ok(())
     }

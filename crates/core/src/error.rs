@@ -12,6 +12,9 @@ pub enum CoreError {
         name: &'static str,
         /// Rejected value.
         value: f64,
+        /// Human-readable description of the violated constraint (why the
+        /// value was rejected, not just what it was).
+        constraint: String,
     },
     /// A layer cannot be mapped onto the optical core.
     UnmappableLayer {
@@ -31,13 +34,30 @@ pub enum CoreError {
     Nn(lightator_nn::NnError),
 }
 
+impl CoreError {
+    /// Builds an [`CoreError::InvalidConfig`] carrying the violated
+    /// constraint alongside the offending name and value.
+    #[must_use]
+    pub fn invalid_config(name: &'static str, value: f64, constraint: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            name,
+            value,
+            constraint: constraint.into(),
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InvalidConfig { name, value } => {
+            Self::InvalidConfig {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(
                     f,
-                    "invalid value {value} for configuration parameter `{name}`"
+                    "invalid value {value} for configuration parameter `{name}`: {constraint}"
                 )
             }
             Self::UnmappableLayer { reason } => write!(f, "layer cannot be mapped: {reason}"),
@@ -95,6 +115,18 @@ mod tests {
         };
         assert!(err.to_string().contains("too wide"));
         assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn invalid_config_explains_the_violated_constraint() {
+        let err = CoreError::invalid_config("ca_banks", 1000.0, "must not exceed the 96 banks");
+        let text = err.to_string();
+        assert!(text.contains("ca_banks"));
+        assert!(text.contains("1000"));
+        assert!(
+            text.contains("must not exceed the 96 banks"),
+            "constraint missing from `{text}`"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! products: weights sit in MR transmissions, activations arrive as VCSEL
 //! intensities, and partial sums are combined by the balanced detectors and
 //! the summation tree. This module runs a trained
-//! [`Sequential`](lightator_nn::model::Sequential) model through that analog
+//! [`Sequential`] model through that analog
 //! datapath — including quantization to the `[W:A]` configuration and the
 //! analog non-idealities — so the inference accuracy of Table 1 can be
 //! measured.
@@ -43,6 +43,98 @@ impl PhotonicAccuracy {
 pub struct PhotonicExecutor {
     mac_unit: PhotonicMacUnit,
     schedule: PrecisionSchedule,
+}
+
+/// Quantized, normalised weight rows of one weighted layer — the exact values
+/// the DACs program into the MR transmissions. Encoding is input-independent,
+/// so a batch of frames shares one encoding pass (the hardware analogy: the
+/// weights are programmed once and frames stream through).
+#[derive(Debug, Clone)]
+struct EncodedWeights {
+    /// One normalised row per output channel (conv) or output feature
+    /// (linear), each entry already clamped to the MR transmission range.
+    rows: Vec<Vec<f64>>,
+    /// Scale that maps the normalised optical sum back to weight units.
+    weight_scale: f32,
+}
+
+impl EncodedWeights {
+    /// Encodes `row_len`-element weight rows into the normalised MR values.
+    fn new(weights: &[f32], row_len: usize, weight_scale: f32, weight_bits: u8) -> Self {
+        let rows = weights
+            .chunks(row_len)
+            .map(|row| quantize_weight_row(row, weight_scale, weight_bits))
+            .collect();
+        Self { rows, weight_scale }
+    }
+}
+
+/// Quantizes one weight row into `[-1, 1]` MR transmission values. This is
+/// the single definition of the weight encoding; both the sequential and the
+/// batched execution paths go through it, which is what keeps
+/// [`PhotonicExecutor::forward_batch`] bit-identical to sequential forwards.
+fn quantize_weight_row(row: &[f32], weight_scale: f32, weight_bits: u8) -> Vec<f64> {
+    row.iter()
+        .map(|&w| {
+            let q = quantize_symmetric(w, weight_scale, weight_bits);
+            if weight_scale == 0.0 {
+                0.0
+            } else {
+                f64::from(q / weight_scale).clamp(-1.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+/// Quantizes an activation slice into `[0, 1]` VCSEL drive codes, writing
+/// into a caller-provided buffer. This is the single definition of the
+/// activation encoding shared by every execution path.
+fn quantize_activations_into(
+    activations: &[f32],
+    activation_scale: f32,
+    activation_bits: u8,
+    out: &mut [f64],
+) {
+    for (slot, &a) in out.iter_mut().zip(activations) {
+        let clamped = a.max(0.0);
+        let q = quantize_unsigned(clamped, activation_scale, activation_bits);
+        *slot = if activation_scale == 0.0 {
+            0.0
+        } else {
+            f64::from(q / activation_scale).clamp(0.0, 1.0)
+        };
+    }
+}
+
+/// Copies the `(oh, ow)` input patch of a convolution into `patch`, matching
+/// the gathering order of the weight rows (channel-major, then kernel rows).
+#[allow(clippy::too_many_arguments)]
+fn gather_patch(
+    input: &Tensor,
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    patch: &mut [f32],
+) {
+    for ic in 0..in_c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let ih = (oh * stride + kh) as isize - padding as isize;
+                let iw = (ow * stride + kw) as isize - padding as isize;
+                patch[(ic * k + kh) * k + kw] =
+                    if ih < 0 || iw < 0 || ih as usize >= in_h || iw as usize >= in_w {
+                        0.0
+                    } else {
+                        input.data()[(ic * in_h + ih as usize) * in_w + iw as usize]
+                    };
+            }
+        }
+    }
 }
 
 impl PhotonicExecutor {
@@ -105,6 +197,102 @@ impl PhotonicExecutor {
         Ok(value)
     }
 
+    /// Runs a batch of inputs through the model, encoding every weighted
+    /// layer's quantized MR values once and streaming all frames through the
+    /// shared encoding — the photonic analogue of programming the weight DACs
+    /// a single time for the whole batch.
+    ///
+    /// The results are bit-identical to calling [`PhotonicExecutor::forward`]
+    /// once per input on the same executor state: frames are processed in
+    /// order and the analog noise stream advances exactly as in the
+    /// sequential case.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhotonicExecutor::forward`], checked per input.
+    pub fn forward_batch(
+        &mut self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let encodings = self.encode_weights(model);
+        inputs
+            .iter()
+            .map(|input| self.forward_encoded(model, &encodings, input))
+            .collect()
+    }
+
+    /// Encodes the quantized, normalised weight rows of every weighted layer
+    /// (indexed by model layer position; `None` for unweighted layers).
+    fn encode_weights(&self, model: &Sequential) -> Vec<Option<EncodedWeights>> {
+        let mut weighted_index = 0usize;
+        model
+            .layers()
+            .iter()
+            .map(|layer| {
+                if !layer.is_weighted() {
+                    return None;
+                }
+                let precision = self.schedule.for_layer(weighted_index);
+                weighted_index += 1;
+                match layer {
+                    LayerNode::Conv2d(conv) => {
+                        let row_len = conv.in_channels() * conv.kernel() * conv.kernel();
+                        Some(EncodedWeights::new(
+                            conv.weight().data(),
+                            row_len,
+                            conv.weight().max_abs(),
+                            precision.weight_bits,
+                        ))
+                    }
+                    LayerNode::Linear(linear) => Some(EncodedWeights::new(
+                        linear.weight().data(),
+                        linear.in_features(),
+                        linear.weight().max_abs(),
+                        precision.weight_bits,
+                    )),
+                    _ => unreachable!("is_weighted covers exactly conv and linear"),
+                }
+            })
+            .collect()
+    }
+
+    /// One forward pass reusing pre-encoded weights.
+    fn forward_encoded(
+        &mut self,
+        model: &mut Sequential,
+        encodings: &[Option<EncodedWeights>],
+        input: &Tensor,
+    ) -> Result<Tensor> {
+        if input.shape() != model.input_shape() {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "input shape {:?} does not match the model's {:?}",
+                    input.shape(),
+                    model.input_shape()
+                ),
+            });
+        }
+        let mut value = input.clone();
+        let mut weighted_index = 0usize;
+        for (layer_index, encoding) in encodings.iter().enumerate() {
+            value = match (&model.layers()[layer_index], encoding) {
+                (LayerNode::Conv2d(conv), Some(encoded)) => {
+                    let precision = self.schedule.for_layer(weighted_index);
+                    weighted_index += 1;
+                    self.conv_forward_encoded(conv, encoded, &value, precision)?
+                }
+                (LayerNode::Linear(linear), Some(encoded)) => {
+                    let precision = self.schedule.for_layer(weighted_index);
+                    weighted_index += 1;
+                    self.linear_forward_encoded(linear, encoded, &value, precision)?
+                }
+                _ => model.layers_mut()[layer_index].forward(&value)?,
+            };
+        }
+        Ok(value)
+    }
+
     /// Predicted class through the photonic datapath.
     ///
     /// # Errors
@@ -127,31 +315,121 @@ impl PhotonicExecutor {
         activation_bits: u8,
     ) -> Result<f64> {
         debug_assert_eq!(weights.len(), activations.len());
-        let w_norm: Vec<f64> = weights
-            .iter()
-            .map(|&w| {
-                let q = quantize_symmetric(w, weight_scale, weight_bits);
-                if weight_scale == 0.0 {
-                    0.0
-                } else {
-                    f64::from(q / weight_scale).clamp(-1.0, 1.0)
-                }
-            })
-            .collect();
-        let a_norm: Vec<f64> = activations
-            .iter()
-            .map(|&a| {
-                let clamped = a.max(0.0);
-                let q = quantize_unsigned(clamped, activation_scale, activation_bits);
-                if activation_scale == 0.0 {
-                    0.0
-                } else {
-                    f64::from(q / activation_scale).clamp(0.0, 1.0)
-                }
-            })
-            .collect();
+        let w_norm = quantize_weight_row(weights, weight_scale, weight_bits);
+        let mut a_norm = vec![0.0f64; activations.len()];
+        quantize_activations_into(activations, activation_scale, activation_bits, &mut a_norm);
         let normalized = self.mac_unit.dot(&w_norm, &a_norm)?;
         Ok(normalized * f64::from(weight_scale) * f64::from(activation_scale))
+    }
+
+    /// Like [`PhotonicExecutor::photonic_dot`] but with the weight row
+    /// already encoded, so only the activations are quantized per call.
+    fn photonic_dot_encoded(
+        &mut self,
+        w_norm: &[f64],
+        activations: &[f32],
+        weight_scale: f32,
+        activation_scale: f32,
+        activation_bits: u8,
+    ) -> Result<f64> {
+        debug_assert_eq!(w_norm.len(), activations.len());
+        let mut a_norm = vec![0.0f64; activations.len()];
+        quantize_activations_into(activations, activation_scale, activation_bits, &mut a_norm);
+        let normalized = self.mac_unit.dot(w_norm, &a_norm)?;
+        Ok(normalized * f64::from(weight_scale) * f64::from(activation_scale))
+    }
+
+    fn conv_forward_encoded(
+        &mut self,
+        conv: &lightator_nn::layers::Conv2d,
+        encoded: &EncodedWeights,
+        input: &Tensor,
+        precision: lightator_nn::quant::Precision,
+    ) -> Result<Tensor> {
+        let out_shape = conv.output_shape(input.shape())?;
+        let (oc_n, oh_n, ow_n) = (out_shape[0], out_shape[1], out_shape[2]);
+        let (in_c, in_h, in_w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let k = conv.kernel();
+        let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
+        let mut out = Tensor::zeros(&out_shape);
+        let row_len = in_c * k * k;
+        let mut patch = vec![0.0f32; row_len];
+        // Kernels that fit one arm run weight-stationary: the row is
+        // programmed once per output channel and every stride (of every
+        // frame in a batch) streams against it. Wider kernels fall back to
+        // the segmented dot.
+        let weight_stationary = row_len <= self.mac_unit.segment_length();
+        let mut a_norm = vec![0.0f64; row_len];
+        for oc in 0..oc_n {
+            let bias = conv.bias().data()[oc];
+            let w_norm = &encoded.rows[oc];
+            if weight_stationary {
+                self.mac_unit.load_row(w_norm)?;
+            }
+            for oh in 0..oh_n {
+                for ow in 0..ow_n {
+                    gather_patch(
+                        input,
+                        in_c,
+                        in_h,
+                        in_w,
+                        k,
+                        conv.stride(),
+                        conv.padding(),
+                        oh,
+                        ow,
+                        &mut patch,
+                    );
+                    let value = if weight_stationary {
+                        quantize_activations_into(
+                            &patch,
+                            activation_scale,
+                            precision.activation_bits,
+                            &mut a_norm,
+                        );
+                        let normalized = self.mac_unit.mac_loaded(&a_norm)?;
+                        normalized * f64::from(encoded.weight_scale) * f64::from(activation_scale)
+                    } else {
+                        self.photonic_dot_encoded(
+                            w_norm,
+                            &patch,
+                            encoded.weight_scale,
+                            activation_scale,
+                            precision.activation_bits,
+                        )?
+                    };
+                    out.data_mut()[(oc * oh_n + oh) * ow_n + ow] = value as f32 + bias;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn linear_forward_encoded(
+        &mut self,
+        linear: &lightator_nn::layers::Linear,
+        encoded: &EncodedWeights,
+        input: &Tensor,
+        precision: lightator_nn::quant::Precision,
+    ) -> Result<Tensor> {
+        linear.output_shape(input.shape())?;
+        let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
+        let mut out = Tensor::zeros(&[linear.out_features()]);
+        // The activation vector is the same for every output row; quantize
+        // it once per layer (bit-identical: quantization draws no noise).
+        let mut a_norm = vec![0.0f64; input.data().len()];
+        quantize_activations_into(
+            input.data(),
+            activation_scale,
+            precision.activation_bits,
+            &mut a_norm,
+        );
+        let scale = f64::from(encoded.weight_scale) * f64::from(activation_scale);
+        for o in 0..linear.out_features() {
+            let normalized = self.mac_unit.dot(&encoded.rows[o], &a_norm)?;
+            out.data_mut()[o] = (normalized * scale) as f32 + linear.bias().data()[o];
+        }
+        Ok(out)
     }
 
     fn conv_forward(
@@ -183,25 +461,18 @@ impl PhotonicExecutor {
             let bias = conv.bias().data()[oc];
             for oh in 0..oh_n {
                 for ow in 0..ow_n {
-                    for ic in 0..in_c {
-                        for kh in 0..k {
-                            for kw in 0..k {
-                                let ih =
-                                    (oh * conv.stride() + kh) as isize - conv.padding() as isize;
-                                let iw =
-                                    (ow * conv.stride() + kw) as isize - conv.padding() as isize;
-                                patch[(ic * k + kh) * k + kw] = if ih < 0
-                                    || iw < 0
-                                    || ih as usize >= in_h
-                                    || iw as usize >= in_w
-                                {
-                                    0.0
-                                } else {
-                                    input.data()[(ic * in_h + ih as usize) * in_w + iw as usize]
-                                };
-                            }
-                        }
-                    }
+                    gather_patch(
+                        input,
+                        in_c,
+                        in_h,
+                        in_w,
+                        k,
+                        conv.stride(),
+                        conv.padding(),
+                        oh,
+                        ow,
+                        &mut patch,
+                    );
                     let value = self.photonic_dot(
                         &kernel,
                         &patch,
@@ -338,6 +609,36 @@ mod tests {
             result.photonic
         );
         assert!(result.analog_degradation().abs() <= 1.0);
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_sequential_forwards() {
+        // The batch path encodes the weights once, but it must consume the
+        // analog noise stream in exactly the same order as sequential calls.
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let inputs: Vec<_> = dataset
+            .test()
+            .iter()
+            .take(4)
+            .map(|s| s.input.clone())
+            .collect();
+
+        let mut sequential =
+            PhotonicExecutor::new(schedule, NoiseConfig::default(), 9).expect("ok");
+        let expected: Vec<Tensor> = inputs
+            .iter()
+            .map(|input| sequential.forward(&mut model, input).expect("ok"))
+            .collect();
+
+        let mut batched = PhotonicExecutor::new(schedule, NoiseConfig::default(), 9).expect("ok");
+        let got = batched.forward_batch(&mut model, &inputs).expect("ok");
+
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.data(), b.data(), "batched result diverged");
+        }
     }
 
     #[test]

@@ -15,25 +15,26 @@
 //! * [`sim`] — the architecture simulator producing latency, power and
 //!   KFPS/W (Table 1);
 //! * [`exec`] — functional photonic inference for accuracy measurements;
-//! * [`pipeline`] — the end-to-end node: sensor → CA → optical core.
+//! * [`platform`] — **the front door**: [`Platform`]/[`Session`]/[`Workload`]
+//!   facade unifying acquisition, image kernels and inference behind one
+//!   builder-validated entry point;
+//! * [`textcfg`] — dependency-free text round-trips for
+//!   [`platform::PlatformConfig`].
 //!
 //! # Example
 //!
-//! Simulate LeNet on the paper's platform and read off the figure of merit:
+//! Open a classification session on the paper's platform and read both the
+//! prediction and the figures of merit from one [`platform::Report`]:
 //!
 //! ```
-//! use lightator_core::config::LightatorConfig;
-//! use lightator_core::sim::ArchitectureSimulator;
-//! use lightator_nn::quant::{Precision, PrecisionSchedule};
-//! use lightator_nn::spec::NetworkSpec;
+//! use lightator_core::platform::{Platform, Workload};
+//! use lightator_sensor::frame::RgbFrame;
 //!
 //! # fn main() -> Result<(), lightator_core::CoreError> {
-//! let simulator = ArchitectureSimulator::new(LightatorConfig::paper())?;
-//! let report = simulator.simulate(
-//!     &NetworkSpec::lenet(),
-//!     PrecisionSchedule::Uniform(Precision::w4a4()),
-//! )?;
-//! println!("{:.1} KFPS/W at {:.2} W", report.kfps_per_watt(), report.max_power.watts());
+//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
+//! let mut session = platform.session(Workload::Acquire)?;
+//! let report = session.run(&RgbFrame::filled(16, 16, [0.7, 0.4, 0.2])?)?;
+//! println!("{:.1} KFPS/W at {:.3} W", report.kfps_per_watt(), report.max_power().watts());
 //! # Ok(())
 //! # }
 //! ```
@@ -48,8 +49,9 @@ pub mod error;
 pub mod exec;
 pub mod mapping;
 pub mod oc;
-pub mod pipeline;
+pub mod platform;
 pub mod sim;
+pub mod textcfg;
 
 pub use ca::{CaConfig, CompressiveAcquisitor};
 pub use config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
@@ -58,5 +60,7 @@ pub use error::{CoreError, Result};
 pub use exec::{PhotonicAccuracy, PhotonicExecutor};
 pub use mapping::{HardwareMapper, LayerMapping, SummationUsage};
 pub use oc::{MvmBank, OpticalCore, PhotonicMacUnit};
-pub use pipeline::{FrameResult, LightatorNode};
+pub use platform::{
+    ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
+};
 pub use sim::{ArchitectureSimulator, LayerReport, SimulationReport};

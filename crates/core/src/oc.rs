@@ -82,6 +82,39 @@ impl PhotonicMacUnit {
         self.arm.channels()
     }
 
+    /// Programs one arm-sized weight row onto the MRs for weight-stationary
+    /// streaming: the row stays loaded across subsequent
+    /// [`PhotonicMacUnit::mac_loaded`] calls, which is how a bank serves all
+    /// strides of one output channel (and, in a batch, all frames) with a
+    /// single DAC programming pass.
+    ///
+    /// Weight programming is deterministic (analog noise is drawn during the
+    /// MAC itself), so hoisting it out of the stride loop does not change any
+    /// result — it only removes redundant tuning work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Photonics`] if the row is longer than the arm or
+    /// a weight is outside `[-1, 1]`.
+    pub fn load_row(&mut self, weights: &[f64]) -> Result<()> {
+        self.arm.load_weights(weights)?;
+        Ok(())
+    }
+
+    /// Evaluates one MAC against the row programmed by
+    /// [`PhotonicMacUnit::load_row`], advancing the analog-noise stream
+    /// exactly as one segment of [`PhotonicMacUnit::dot`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Photonics`] for activations outside `[0, 1]` or
+    /// longer than the arm.
+    pub fn mac_loaded(&mut self, activations: &[f64]) -> Result<f64> {
+        let out = self.arm.mac(activations, &mut self.rng)?;
+        self.segments_evaluated += 1;
+        Ok(out.value)
+    }
+
     /// Evaluates `Σ wᵢ·aᵢ` photonically.
     ///
     /// Weights must lie in `[-1, 1]` and activations in `[0, 1]` (the

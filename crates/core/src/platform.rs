@@ -1,0 +1,1156 @@
+//! The one front door to the Lightator node: `Platform` → `Session` →
+//! `Report`.
+//!
+//! The paper pitches a *versatile* near-sensor accelerator — one device that
+//! serves compressive acquisition, classic image-processing kernels and DNN
+//! inference. This module is the programmable front end over that device:
+//!
+//! * a [`Platform`] is built once from a validated configuration via the
+//!   fluent [`PlatformBuilder`] (presets [`PlatformBuilder::paper`],
+//!   [`PlatformBuilder::low_power`], [`PlatformBuilder::high_throughput`]);
+//! * a [`Session`] is opened on the platform for one typed [`Workload`]
+//!   (classification, raw/compressive acquisition, or an image kernel) and
+//!   owns all sensor/CA/executor state;
+//! * every [`Session::run`] returns a unified [`Report`] carrying both the
+//!   functional outcome (class, logits, filtered frame) *and* the
+//!   architecture-level performance numbers (latency, power, energy, FPS,
+//!   KFPS/W) for the workload.
+//!
+//! [`Session::run_batch`] amortizes the per-frame weight encoding — the
+//! photonic analogue of programming the MR weight DACs once and streaming
+//! frames through — and [`Session::process_iter`] adapts a frame iterator to
+//! a report stream.
+//!
+//! ```
+//! use lightator_core::platform::{Platform, Workload};
+//! use lightator_sensor::frame::RgbFrame;
+//!
+//! # fn main() -> Result<(), lightator_core::CoreError> {
+//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
+//! let mut session = platform.session(Workload::Acquire)?;
+//! let scene = RgbFrame::filled(16, 16, [0.6, 0.3, 0.1])?;
+//! let report = session.run(&scene)?;
+//! assert!(report.fps() > 0.0);
+//! assert!(report.max_power().watts() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ca::{CaConfig, CompressiveAcquisitor};
+use crate::config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
+use crate::error::{CoreError, Result};
+use crate::exec::{PhotonicAccuracy, PhotonicExecutor};
+use crate::sim::{ArchitectureSimulator, SimulationReport};
+use lightator_nn::datasets::Dataset;
+use lightator_nn::layers::{Conv2d, LayerNode};
+use lightator_nn::model::Sequential;
+use lightator_nn::quant::{Precision, PrecisionSchedule};
+use lightator_nn::spec::{NetworkSpec, NetworkSpecBuilder};
+use lightator_nn::tensor::Tensor;
+use lightator_photonics::noise::NoiseConfig;
+use lightator_photonics::units::{Energy, Power, Time};
+use lightator_sensor::array::{SensorArray, SensorArrayConfig};
+use lightator_sensor::frame::RgbFrame;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+
+/// Complete, serialisable description of one Lightator platform: hardware,
+/// sensor, acquisition mode, precision schedule and the analog noise seed.
+///
+/// Build values through [`PlatformBuilder`]; round-trip them through
+/// [`PlatformConfig::to_text`] / [`PlatformConfig::from_text`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Optical core, periphery, power, noise and timing parameters.
+    pub hardware: LightatorConfig,
+    /// The ADC-less sensor design in front of the optical core.
+    pub sensor: SensorArrayConfig,
+    /// Compressive-acquisition configuration (`None` bypasses the CA banks).
+    pub ca: Option<CaConfig>,
+    /// Precision schedule applied to every weighted layer.
+    pub schedule: PrecisionSchedule,
+    /// Seed of the analog-noise stream (deterministic runs for a fixed seed).
+    pub seed: u64,
+}
+
+/// Fluent builder for a [`Platform`].
+///
+/// All setters are chainable; [`PlatformBuilder::build`] validates the whole
+/// configuration once and returns rich [`CoreError::InvalidConfig`] errors
+/// naming the violated constraint.
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    config: PlatformConfig,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl PlatformBuilder {
+    /// The paper's platform: 96×6×9 optical core, 256×256 sensor, 2×2 CA,
+    /// uniform `[4:4]` precision, default analog noise.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            config: PlatformConfig {
+                hardware: LightatorConfig::paper(),
+                sensor: SensorArrayConfig::paper_default()
+                    .expect("paper sensor defaults are valid"),
+                ca: Some(CaConfig::default()),
+                schedule: PrecisionSchedule::Uniform(Precision::w4a4()),
+                seed: 7,
+            },
+        }
+    }
+
+    /// Low-power preset: uniform `[2:4]` weights (gating half the DAC
+    /// slices) and aggressive 4×4 compressive acquisition.
+    #[must_use]
+    pub fn low_power() -> Self {
+        Self::paper()
+            .precision(PrecisionSchedule::Uniform(Precision::w2a4()))
+            .compressive_acquisition(CaConfig {
+                pooling_window: 4,
+                rgb_to_grayscale: true,
+            })
+    }
+
+    /// High-throughput preset: the paper's mixed `[4:4][2:4]` schedule
+    /// (first-layer fidelity, low-power deeper layers) with 2×2 CA — the
+    /// configuration family with the best KFPS/W in Table 1.
+    #[must_use]
+    pub fn high_throughput() -> Self {
+        Self::paper().precision(PrecisionSchedule::Mixed {
+            first: Precision::w4a4(),
+            rest: Precision::w2a4(),
+        })
+    }
+
+    /// Sets the optical-core geometry.
+    #[must_use]
+    pub fn geometry(mut self, geometry: OcGeometry) -> Self {
+        self.config.hardware.geometry = geometry;
+        self
+    }
+
+    /// Sets the electronic periphery block counts.
+    #[must_use]
+    pub fn periphery(mut self, periphery: PeripheryCounts) -> Self {
+        self.config.hardware.periphery = periphery;
+        self
+    }
+
+    /// Sets the platform timing parameters.
+    #[must_use]
+    pub fn timing(mut self, timing: TimingConfig) -> Self {
+        self.config.hardware.timing = timing;
+        self
+    }
+
+    /// Sets the analog noise / non-ideality configuration.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseConfig) -> Self {
+        self.config.hardware.noise = noise;
+        self
+    }
+
+    /// Sets the precision schedule applied to weighted layers.
+    #[must_use]
+    pub fn precision(mut self, schedule: PrecisionSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Enables compressive acquisition with the given configuration.
+    #[must_use]
+    pub fn compressive_acquisition(mut self, ca: CaConfig) -> Self {
+        self.config.ca = Some(ca);
+        self.config.hardware.use_compressive_acquisition = true;
+        self
+    }
+
+    /// Disables compressive acquisition (full-resolution raw readout).
+    #[must_use]
+    pub fn without_compressive_acquisition(mut self) -> Self {
+        self.config.ca = None;
+        self.config.hardware.use_compressive_acquisition = false;
+        self
+    }
+
+    /// Sets the sensor resolution (photosites), keeping the paper's pixel
+    /// and comparator designs.
+    #[must_use]
+    pub fn sensor_resolution(mut self, height: usize, width: usize) -> Self {
+        self.config.sensor.height = height;
+        self.config.sensor.width = width;
+        self
+    }
+
+    /// Sets the analog-noise seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates the configuration once and builds the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the violated
+    /// constraint: invalid optical-core geometry or periphery, a zero-sized
+    /// sensor, a CA window that does not divide the sensor resolution, or a
+    /// degenerate CA configuration.
+    pub fn build(self) -> Result<Platform> {
+        let config = self.config;
+        config.hardware.validate()?;
+        if config.sensor.height == 0 || config.sensor.width == 0 {
+            return Err(CoreError::invalid_config(
+                "sensor_resolution",
+                (config.sensor.height * config.sensor.width) as f64,
+                format!(
+                    "the sensor needs at least one photosite per axis \
+                     (got {}x{})",
+                    config.sensor.height, config.sensor.width
+                ),
+            ));
+        }
+        if let Some(ca) = &config.ca {
+            ca.validate()?;
+            if !config.sensor.height.is_multiple_of(ca.pooling_window)
+                || !config.sensor.width.is_multiple_of(ca.pooling_window)
+            {
+                return Err(CoreError::invalid_config(
+                    "pooling_window",
+                    ca.pooling_window as f64,
+                    format!(
+                        "the CA pooling window must divide the sensor resolution \
+                         ({}x{} is not divisible by {})",
+                        config.sensor.height, config.sensor.width, ca.pooling_window
+                    ),
+                ));
+            }
+        }
+        let simulator = ArchitectureSimulator::new(config.hardware.clone())?;
+        Ok(Platform { config, simulator })
+    }
+}
+
+/// A validated Lightator platform: the single entry point for opening
+/// workload [`Session`]s and for architecture-level what-if simulation.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+    simulator: ArchitectureSimulator,
+}
+
+impl Platform {
+    /// Starts a fluent builder seeded with the paper's configuration.
+    #[must_use]
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::paper()
+    }
+
+    /// The paper's platform, built directly.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in defaults; the `Result` mirrors
+    /// [`PlatformBuilder::build`].
+    pub fn paper() -> Result<Self> {
+        PlatformBuilder::paper().build()
+    }
+
+    /// Builds a platform from a previously validated configuration (e.g. one
+    /// loaded through [`PlatformConfig::from_text`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlatformBuilder::build`].
+    pub fn from_config(config: PlatformConfig) -> Result<Self> {
+        PlatformBuilder { config }.build()
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The architecture simulator bound to this platform's hardware.
+    #[must_use]
+    pub fn simulator(&self) -> &ArchitectureSimulator {
+        &self.simulator
+    }
+
+    /// Simulates a network spec under the platform's precision schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/simulation errors.
+    pub fn simulate(&self, network: &NetworkSpec) -> Result<SimulationReport> {
+        self.simulator.simulate(network, self.config.schedule)
+    }
+
+    /// Simulates a network spec under an explicit precision schedule (for
+    /// precision sweeps that keep the rest of the platform fixed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/simulation errors.
+    pub fn simulate_with(
+        &self,
+        network: &NetworkSpec,
+        schedule: PrecisionSchedule,
+    ) -> Result<SimulationReport> {
+        self.simulator.simulate(network, schedule)
+    }
+
+    /// Shape of the tensor the acquisition path feeds to the first DNN layer
+    /// (`[1, h, w]`): the CA-compressed map when CA is enabled, the raw
+    /// photosite grid otherwise.
+    #[must_use]
+    pub fn acquired_shape(&self) -> [usize; 3] {
+        match &self.config.ca {
+            Some(ca) => [
+                1,
+                self.config.sensor.height / ca.pooling_window,
+                self.config.sensor.width / ca.pooling_window,
+            ],
+            None => [1, self.config.sensor.height, self.config.sensor.width],
+        }
+    }
+
+    /// Opens a session running `workload` on this platform.
+    ///
+    /// The session owns the full sensor → CA → optical-core state and a
+    /// workload-specific performance model, so every [`Session::run`] yields
+    /// a complete [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor/CA/executor construction errors and
+    /// mapping/simulation errors for the workload's performance spec.
+    pub fn session(&self, workload: Workload) -> Result<Session> {
+        let sensor = SensorArray::new(self.config.sensor.clone())?;
+        let acquisitor = self.config.ca.map(CompressiveAcquisitor::new).transpose()?;
+        let executor = PhotonicExecutor::new(
+            self.config.schedule,
+            self.config.hardware.noise,
+            self.config.seed,
+        )?;
+        let label = workload.label();
+        let acquired = self.acquired_shape();
+        let (spec, filter_model) = match &workload {
+            Workload::Classify { model } => (network_spec_of(model, &label)?, None),
+            Workload::Acquire => (self.acquisition_spec()?, None),
+            Workload::ImageKernel { kernel } => (
+                NetworkSpecBuilder::new(&label, acquired)
+                    .conv(1, 3, 1, 1)
+                    .map_err(CoreError::from)?
+                    .build(),
+                Some(build_filter_model(*kernel, acquired, self.config.seed)?),
+            ),
+        };
+        let perf = self.simulator.simulate(&spec, self.config.schedule)?;
+        Ok(Session {
+            sensor,
+            acquisitor,
+            executor,
+            workload,
+            filter_model,
+            perf,
+            label,
+        })
+    }
+
+    /// Spec of the acquisition pass itself: one optical weighted-sum layer
+    /// (the fused CA convolution, or the per-photosite readout without CA).
+    fn acquisition_spec(&self) -> Result<NetworkSpec> {
+        let (h, w) = (self.config.sensor.height, self.config.sensor.width);
+        let builder = match &self.config.ca {
+            Some(ca) => NetworkSpecBuilder::new("acquire+ca", [3, h, w]).conv(
+                1,
+                ca.pooling_window,
+                ca.pooling_window,
+                0,
+            ),
+            None => NetworkSpecBuilder::new("acquire", [1, h, w]).conv(1, 1, 1, 0),
+        };
+        Ok(builder.map_err(CoreError::from)?.build())
+    }
+}
+
+/// The typed workloads a [`Session`] can serve — the paper's "versatile
+/// image processing" surface.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// DNN inference: classify acquired frames with a trained model.
+    Classify {
+        /// The trained (and typically weight-quantized) model.
+        model: Sequential,
+    },
+    /// Acquisition only: raw ADC-less readout, or the CA-compressed map when
+    /// the platform enables compressive acquisition.
+    Acquire,
+    /// A classic 3×3 image-processing kernel executed on the optical core.
+    ImageKernel {
+        /// The filter to apply.
+        kernel: ImageKernel,
+    },
+}
+
+impl Workload {
+    /// Short label used in reports and performance specs.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Workload::Classify { .. } => "classify".to_string(),
+            Workload::Acquire => "acquire".to_string(),
+            Workload::ImageKernel { kernel } => format!("kernel:{}", kernel.name()),
+        }
+    }
+}
+
+/// The 3×3 image-processing kernels the optical core serves directly
+/// (weights in MR transmissions, one stride per arm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImageKernel {
+    /// Pass-through (useful for calibration).
+    Identity,
+    /// 3×3 box blur.
+    BoxBlur,
+    /// 3×3 Gaussian blur.
+    GaussianBlur,
+    /// Sharpening filter.
+    Sharpen,
+    /// Horizontal Sobel edge detector.
+    SobelX,
+    /// Vertical Sobel edge detector.
+    SobelY,
+    /// Laplacian edge detector.
+    Laplacian,
+}
+
+impl ImageKernel {
+    /// Every supported kernel.
+    pub const ALL: [ImageKernel; 7] = [
+        ImageKernel::Identity,
+        ImageKernel::BoxBlur,
+        ImageKernel::GaussianBlur,
+        ImageKernel::Sharpen,
+        ImageKernel::SobelX,
+        ImageKernel::SobelY,
+        ImageKernel::Laplacian,
+    ];
+
+    /// Human-readable kernel name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ImageKernel::Identity => "identity",
+            ImageKernel::BoxBlur => "box-blur",
+            ImageKernel::GaussianBlur => "gaussian-blur",
+            ImageKernel::Sharpen => "sharpen",
+            ImageKernel::SobelX => "sobel-x",
+            ImageKernel::SobelY => "sobel-y",
+            ImageKernel::Laplacian => "laplacian",
+        }
+    }
+
+    /// Row-major 3×3 coefficients, as programmed into one bank arm.
+    #[must_use]
+    pub fn coefficients(&self) -> [f32; 9] {
+        match self {
+            ImageKernel::Identity => [0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            ImageKernel::BoxBlur => [1.0 / 9.0; 9],
+            ImageKernel::GaussianBlur => {
+                let mut k = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
+                for v in &mut k {
+                    *v /= 16.0;
+                }
+                k
+            }
+            ImageKernel::Sharpen => [0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0],
+            ImageKernel::SobelX => [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
+            ImageKernel::SobelY => [-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0],
+            ImageKernel::Laplacian => [0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
+        }
+    }
+}
+
+/// What a workload produced for one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// A classification result.
+    Classification {
+        /// Predicted class (argmax of the logits).
+        class: usize,
+        /// Logit vector produced by the final layer.
+        logits: Vec<f32>,
+        /// Shape of the tensor fed to the first DNN layer.
+        dnn_input_shape: Vec<usize>,
+    },
+    /// An acquired (optionally CA-compressed) frame.
+    Acquisition {
+        /// Shape of the acquired tensor (`[1, h, w]`).
+        shape: Vec<usize>,
+        /// Acquired values, row-major.
+        data: Vec<f32>,
+    },
+    /// A filtered frame from an image kernel.
+    Filtered {
+        /// Name of the applied kernel.
+        kernel: String,
+        /// Shape of the filtered tensor (`[1, h, w]`).
+        shape: Vec<usize>,
+        /// Filtered values, row-major.
+        data: Vec<f32>,
+    },
+}
+
+/// Unified result of one [`Session::run`]: the functional outcome plus the
+/// architecture-level performance numbers for the workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Workload label (`classify`, `acquire`, `kernel:sobel-x`, ...).
+    pub workload: String,
+    /// What the workload produced.
+    pub outcome: Outcome,
+    /// Latency / power / energy of the workload on this platform.
+    pub perf: SimulationReport,
+}
+
+impl Report {
+    /// Predicted class, for classification outcomes.
+    #[must_use]
+    pub fn class(&self) -> Option<usize> {
+        match &self.outcome {
+            Outcome::Classification { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+
+    /// Logits, for classification outcomes.
+    #[must_use]
+    pub fn logits(&self) -> Option<&[f32]> {
+        match &self.outcome {
+            Outcome::Classification { logits, .. } => Some(logits),
+            _ => None,
+        }
+    }
+
+    /// Frame data, for acquisition and filtered outcomes.
+    #[must_use]
+    pub fn frame(&self) -> Option<(&[usize], &[f32])> {
+        match &self.outcome {
+            Outcome::Acquisition { shape, data } | Outcome::Filtered { shape, data, .. } => {
+                Some((shape, data))
+            }
+            Outcome::Classification { .. } => None,
+        }
+    }
+
+    /// End-to-end latency of the workload for one frame.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.perf.frame_latency
+    }
+
+    /// Peak platform power while serving the workload.
+    #[must_use]
+    pub fn max_power(&self) -> Power {
+        self.perf.max_power
+    }
+
+    /// Energy consumed per frame.
+    #[must_use]
+    pub fn energy(&self) -> Energy {
+        self.perf.frame_energy
+    }
+
+    /// Frames per second.
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        self.perf.fps()
+    }
+
+    /// Kilo-frames per second per watt — the paper's figure of merit.
+    #[must_use]
+    pub fn kfps_per_watt(&self) -> f64 {
+        self.perf.kfps_per_watt()
+    }
+}
+
+/// A live workload session: owns the sensor, the optional compressive
+/// acquisitor, the photonic executor and the workload's performance model.
+#[derive(Debug, Clone)]
+pub struct Session {
+    sensor: SensorArray,
+    acquisitor: Option<CompressiveAcquisitor>,
+    executor: PhotonicExecutor,
+    workload: Workload,
+    filter_model: Option<Sequential>,
+    perf: SimulationReport,
+    label: String,
+}
+
+impl Session {
+    /// The workload this session serves.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The workload's performance model on this platform (identical to the
+    /// `perf` field of every report the session produces).
+    #[must_use]
+    pub fn perf(&self) -> &SimulationReport {
+        &self.perf
+    }
+
+    /// Whether the acquisition path compresses frames through the CA banks.
+    #[must_use]
+    pub fn uses_compressive_acquisition(&self) -> bool {
+        self.acquisitor.is_some()
+    }
+
+    /// Acquires a scene into the tensor fed to the optical core: the fused
+    /// CA weighted sum when CA is enabled, the normalised 4-bit readout
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor and CA errors.
+    pub fn acquire(&self, scene: &RgbFrame) -> Result<Tensor> {
+        match &self.acquisitor {
+            Some(ca) => {
+                let compressed = ca.acquire(scene)?;
+                let data: Vec<f32> = compressed.data().iter().map(|&v| v as f32).collect();
+                Ok(Tensor::from_vec(
+                    data,
+                    &[1, compressed.height(), compressed.width()],
+                )?)
+            }
+            None => {
+                let digital = self.sensor.capture(scene)?;
+                let data: Vec<f32> = digital.normalized().iter().map(|&v| v as f32).collect();
+                Ok(Tensor::from_vec(
+                    data,
+                    &[1, digital.height(), digital.width()],
+                )?)
+            }
+        }
+    }
+
+    /// Processes one frame end to end and reports both the functional result
+    /// and the workload's performance on this platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelMismatch`] if the acquired tensor does not
+    /// match the classify model's input shape, and propagates
+    /// sensor/CA/photonic errors.
+    pub fn run(&mut self, scene: &RgbFrame) -> Result<Report> {
+        let input = self.acquire(scene)?;
+        let Self {
+            executor,
+            workload,
+            filter_model,
+            perf,
+            label,
+            ..
+        } = self;
+        let outcome = match workload {
+            Workload::Classify { model } => classify_outcome(executor, model, &input)?,
+            Workload::Acquire => acquisition_outcome(&input),
+            Workload::ImageKernel { kernel } => {
+                let model = filter_model
+                    .as_mut()
+                    .expect("image-kernel sessions always carry a filter model");
+                filtered_outcome(executor, model, &input, kernel.name())?
+            }
+        };
+        Ok(Report {
+            workload: label.clone(),
+            outcome,
+            perf: perf.clone(),
+        })
+    }
+
+    /// Processes a batch of frames, encoding the workload's quantized MR
+    /// weights once and streaming every frame through the shared encoding —
+    /// strictly faster than N sequential [`Session::run`] calls and
+    /// bit-identical to them for the same starting session state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`], checked per frame.
+    pub fn run_batch(&mut self, scenes: &[RgbFrame]) -> Result<Vec<Report>> {
+        let inputs: Vec<Tensor> = scenes
+            .iter()
+            .map(|scene| self.acquire(scene))
+            .collect::<Result<_>>()?;
+        let Self {
+            executor,
+            workload,
+            filter_model,
+            perf,
+            label,
+            ..
+        } = self;
+        let outcomes: Vec<Outcome> = match workload {
+            Workload::Classify { model } => {
+                check_model_input(model, &inputs)?;
+                let logits = executor.forward_batch(model, &inputs)?;
+                inputs
+                    .iter()
+                    .zip(logits)
+                    .map(|(input, l)| classification_from_logits(&l, input.shape()))
+                    .collect::<Result<_>>()?
+            }
+            Workload::Acquire => inputs.iter().map(acquisition_outcome).collect(),
+            Workload::ImageKernel { kernel } => {
+                let model = filter_model
+                    .as_mut()
+                    .expect("image-kernel sessions always carry a filter model");
+                let filtered = executor.forward_batch(model, &inputs)?;
+                filtered
+                    .into_iter()
+                    .map(|t| Outcome::Filtered {
+                        kernel: kernel.name().to_string(),
+                        shape: t.shape().to_vec(),
+                        data: t.data().to_vec(),
+                    })
+                    .collect()
+            }
+        };
+        Ok(outcomes
+            .into_iter()
+            .map(|outcome| Report {
+                workload: label.clone(),
+                outcome,
+                perf: perf.clone(),
+            })
+            .collect())
+    }
+
+    /// Adapts an iterator of frames into a streaming iterator of reports,
+    /// processing one frame per `next()` call.
+    pub fn process_iter<I>(&mut self, frames: I) -> ProcessIter<'_, I::IntoIter>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<RgbFrame>,
+    {
+        ProcessIter {
+            session: self,
+            frames: frames.into_iter(),
+        }
+    }
+
+    /// Evaluates the classify workload's accuracy on a dataset split,
+    /// through the photonic datapath and digitally for reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelMismatch`] for non-classify workloads and
+    /// propagates photonic errors.
+    pub fn evaluate(&mut self, dataset: &Dataset, limit: usize) -> Result<PhotonicAccuracy> {
+        match &mut self.workload {
+            Workload::Classify { model } => self.executor.evaluate(model, dataset, limit),
+            other => Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "accuracy evaluation needs a classify workload, not `{}`",
+                    other.label()
+                ),
+            }),
+        }
+    }
+}
+
+/// Streaming adapter returned by [`Session::process_iter`].
+#[derive(Debug)]
+pub struct ProcessIter<'s, I> {
+    session: &'s mut Session,
+    frames: I,
+}
+
+impl<I> Iterator for ProcessIter<'_, I>
+where
+    I: Iterator,
+    I::Item: Borrow<RgbFrame>,
+{
+    type Item = Result<Report>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let frame = self.frames.next()?;
+        Some(self.session.run(frame.borrow()))
+    }
+}
+
+/// Validates a classify model against the acquired inputs once per batch.
+fn check_model_input(model: &Sequential, inputs: &[Tensor]) -> Result<()> {
+    for input in inputs {
+        if input.shape() != model.input_shape() {
+            return Err(model_mismatch(input.shape(), model.input_shape()));
+        }
+    }
+    Ok(())
+}
+
+fn model_mismatch(acquired: &[usize], expected: &[usize]) -> CoreError {
+    CoreError::ModelMismatch {
+        reason: format!(
+            "acquired tensor {acquired:?} does not match the model input {expected:?}; \
+             choose a sensor resolution and CA window that produce the model's input"
+        ),
+    }
+}
+
+fn classify_outcome(
+    executor: &mut PhotonicExecutor,
+    model: &mut Sequential,
+    input: &Tensor,
+) -> Result<Outcome> {
+    if input.shape() != model.input_shape() {
+        return Err(model_mismatch(input.shape(), model.input_shape()));
+    }
+    let logits = executor.forward(model, input)?;
+    classification_from_logits(&logits, input.shape())
+}
+
+fn classification_from_logits(logits: &Tensor, input_shape: &[usize]) -> Result<Outcome> {
+    let class = logits.argmax().ok_or(CoreError::ModelMismatch {
+        reason: "model produced an empty logit vector".to_string(),
+    })?;
+    Ok(Outcome::Classification {
+        class,
+        logits: logits.data().to_vec(),
+        dnn_input_shape: input_shape.to_vec(),
+    })
+}
+
+fn acquisition_outcome(input: &Tensor) -> Outcome {
+    Outcome::Acquisition {
+        shape: input.shape().to_vec(),
+        data: input.data().to_vec(),
+    }
+}
+
+fn filtered_outcome(
+    executor: &mut PhotonicExecutor,
+    model: &mut Sequential,
+    input: &Tensor,
+    kernel: &str,
+) -> Result<Outcome> {
+    let filtered = executor.forward(model, input)?;
+    Ok(Outcome::Filtered {
+        kernel: kernel.to_string(),
+        shape: filtered.shape().to_vec(),
+        data: filtered.data().to_vec(),
+    })
+}
+
+/// Builds the single-conv model that executes a 3×3 image kernel on the
+/// optical core.
+fn build_filter_model(
+    kernel: ImageKernel,
+    input_shape: [usize; 3],
+    seed: u64,
+) -> Result<Sequential> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng)?;
+    conv.weight_mut()
+        .data_mut()
+        .copy_from_slice(&kernel.coefficients());
+    conv.bias_mut().data_mut()[0] = 0.0;
+    let mut model = Sequential::new(&input_shape);
+    model.push(conv);
+    Ok(model)
+}
+
+/// Derives the architecture-simulator spec of a trained [`Sequential`]
+/// model, so one session reports accuracy and performance from one place.
+fn network_spec_of(model: &Sequential, name: &str) -> Result<NetworkSpec> {
+    let shape = model.input_shape();
+    let input: [usize; 3] = match *shape {
+        [c, h, w] => [c, h, w],
+        [h, w] => [1, h, w],
+        [n] => [1, 1, n],
+        _ => {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "cannot derive a performance spec for a model with input shape {shape:?}"
+                ),
+            })
+        }
+    };
+    let mut builder = NetworkSpecBuilder::new(name, input);
+    for layer in model.layers() {
+        builder = match layer {
+            LayerNode::Conv2d(conv) => builder
+                .conv(
+                    conv.out_channels(),
+                    conv.kernel(),
+                    conv.stride(),
+                    conv.padding(),
+                )
+                .map_err(CoreError::from)?,
+            LayerNode::Linear(linear) => builder
+                .linear(linear.out_features())
+                .map_err(CoreError::from)?,
+            LayerNode::MaxPool2d(pool) => builder
+                .pool(pool.window(), false)
+                .map_err(CoreError::from)?,
+            LayerNode::AvgPool2d(pool) => {
+                builder.pool(pool.window(), true).map_err(CoreError::from)?
+            }
+            LayerNode::Activation(_) | LayerNode::Flatten(_) => builder,
+        };
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightator_nn::layers::{Activation, Flatten, Linear};
+
+    fn tiny_model(input: [usize; 3], classes: usize) -> Sequential {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model = Sequential::new(&input);
+        model.push(Flatten::new());
+        model.push(Linear::new(input.iter().product(), 12, &mut rng).expect("ok"));
+        model.push(Activation::relu());
+        model.push(Linear::new(12, classes, &mut rng).expect("ok"));
+        model
+    }
+
+    fn small_platform(with_ca: bool, resolution: usize) -> Platform {
+        let builder = Platform::builder()
+            .sensor_resolution(resolution, resolution)
+            .noise(NoiseConfig::ideal());
+        let builder = if with_ca {
+            builder.compressive_acquisition(CaConfig::default())
+        } else {
+            builder.without_compressive_acquisition()
+        };
+        builder.build().expect("valid platform")
+    }
+
+    #[test]
+    fn acquisition_with_ca_halves_each_dimension() {
+        let platform = small_platform(true, 8);
+        assert_eq!(platform.acquired_shape(), [1, 4, 4]);
+        let session = platform.session(Workload::Acquire).expect("session");
+        let scene = RgbFrame::filled(8, 8, [0.4, 0.6, 0.2]).expect("ok");
+        let tensor = session.acquire(&scene).expect("ok");
+        assert_eq!(tensor.shape(), &[1, 4, 4]);
+        assert!(session.uses_compressive_acquisition());
+    }
+
+    #[test]
+    fn acquisition_without_ca_keeps_resolution() {
+        let platform = small_platform(false, 8);
+        let session = platform.session(Workload::Acquire).expect("session");
+        let scene = RgbFrame::filled(8, 8, [0.4, 0.6, 0.2]).expect("ok");
+        let tensor = session.acquire(&scene).expect("ok");
+        assert_eq!(tensor.shape(), &[1, 8, 8]);
+    }
+
+    #[test]
+    fn classify_run_reports_accuracy_and_perf_together() {
+        let platform = small_platform(true, 8);
+        let model = tiny_model([1, 4, 4], 3);
+        let mut session = platform
+            .session(Workload::Classify { model })
+            .expect("session");
+        let scene = RgbFrame::filled(8, 8, [0.9, 0.2, 0.1]).expect("ok");
+        let report = session.run(&scene).expect("frame processed");
+        assert!(report.class().expect("class") < 3);
+        assert_eq!(report.logits().expect("logits").len(), 3);
+        // The same report carries the perf side.
+        assert!(report.latency().ns() > 0.0);
+        assert!(report.max_power().watts() > 0.0);
+        assert!(report.energy().joules() > 0.0);
+        assert!(report.fps() > 0.0);
+        assert!(report.kfps_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn mismatched_model_is_reported() {
+        let platform = small_platform(true, 8);
+        let model = tiny_model([1, 8, 8], 3);
+        let mut session = platform
+            .session(Workload::Classify { model })
+            .expect("session");
+        let scene = RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("ok");
+        assert!(matches!(
+            session.run(&scene),
+            Err(CoreError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let scenes: Vec<RgbFrame> = (0..4)
+            .map(|i| {
+                RgbFrame::filled(8, 8, [0.2 + 0.1 * i as f64, 0.5, 0.9 - 0.2 * i as f64])
+                    .expect("ok")
+            })
+            .collect();
+        let platform = small_platform(true, 8);
+
+        let mut sequential = platform
+            .session(Workload::Classify {
+                model: tiny_model([1, 4, 4], 3),
+            })
+            .expect("session");
+        let expected: Vec<Report> = scenes
+            .iter()
+            .map(|s| sequential.run(s).expect("ok"))
+            .collect();
+
+        let mut batched = platform
+            .session(Workload::Classify {
+                model: tiny_model([1, 4, 4], 3),
+            })
+            .expect("session");
+        let got = batched.run_batch(&scenes).expect("ok");
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn process_iter_streams_reports() {
+        let platform = small_platform(true, 8);
+        let mut session = platform.session(Workload::Acquire).expect("session");
+        let scenes: Vec<RgbFrame> = (0..3)
+            .map(|_| RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("ok"))
+            .collect();
+        let reports: Vec<Report> = session
+            .process_iter(&scenes)
+            .collect::<Result<_>>()
+            .expect("ok");
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.workload == "acquire"));
+    }
+
+    #[test]
+    fn image_kernels_filter_the_acquired_frame() {
+        let platform = small_platform(true, 16);
+        // A vertical edge: left half dark, right half bright.
+        let mut data = Vec::new();
+        for _row in 0..16 {
+            for col in 0..16 {
+                let v = if col < 8 { 0.1 } else { 0.9 };
+                data.extend_from_slice(&[v, v, v]);
+            }
+        }
+        let scene = RgbFrame::new(16, 16, data).expect("ok");
+        let mut session = platform
+            .session(Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            })
+            .expect("session");
+        let report = session.run(&scene).expect("ok");
+        let (shape, values) = report.frame().expect("filtered frame");
+        assert_eq!(shape, &[1, 8, 8]);
+        // The response at the edge column dominates the flat regions.
+        let max_mag = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let flat_mag = values[0].abs();
+        assert!(max_mag > 5.0 * (flat_mag + 1e-6), "edge not detected");
+        assert!(report.latency().ns() > 0.0);
+    }
+
+    #[test]
+    fn identity_kernel_roughly_preserves_the_frame() {
+        let platform = small_platform(true, 8);
+        let scene = RgbFrame::filled(8, 8, [0.6, 0.6, 0.6]).expect("ok");
+        let mut session = platform
+            .session(Workload::ImageKernel {
+                kernel: ImageKernel::Identity,
+            })
+            .expect("session");
+        let acquired = session.acquire(&scene).expect("ok");
+        let report = session.run(&scene).expect("ok");
+        let (_, values) = report.frame().expect("filtered frame");
+        for (a, b) in acquired.data().iter().zip(values) {
+            assert!((a - b).abs() < 0.1, "identity drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_indivisible_ca_window() {
+        let err = Platform::builder()
+            .sensor_resolution(10, 10)
+            .compressive_acquisition(CaConfig {
+                pooling_window: 4,
+                rgb_to_grayscale: true,
+            })
+            .build()
+            .expect_err("10 is not divisible by 4");
+        assert!(err.to_string().contains("divide the sensor resolution"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_sensor() {
+        assert!(Platform::builder().sensor_resolution(0, 8).build().is_err());
+    }
+
+    #[test]
+    fn presets_build_and_differ() {
+        let paper = PlatformBuilder::paper().build().expect("paper");
+        let low_power = PlatformBuilder::low_power().build().expect("low power");
+        let high_throughput = PlatformBuilder::high_throughput()
+            .build()
+            .expect("high throughput");
+        assert_eq!(
+            paper.config().schedule,
+            PrecisionSchedule::Uniform(Precision::w4a4())
+        );
+        assert_eq!(
+            low_power.config().schedule,
+            PrecisionSchedule::Uniform(Precision::w2a4())
+        );
+        assert!(matches!(
+            high_throughput.config().schedule,
+            PrecisionSchedule::Mixed { .. }
+        ));
+        // Low power compresses harder.
+        assert_eq!(low_power.acquired_shape(), [1, 64, 64]);
+        assert_eq!(paper.acquired_shape(), [1, 128, 128]);
+    }
+
+    #[test]
+    fn evaluate_rejects_non_classify_workloads() {
+        let platform = small_platform(true, 8);
+        let mut session = platform.session(Workload::Acquire).expect("session");
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dataset = lightator_nn::datasets::generate(
+            "tiny",
+            lightator_nn::datasets::SyntheticConfig::tiny(2),
+            &mut rng,
+        )
+        .expect("dataset");
+        assert!(session.evaluate(&dataset, 2).is_err());
+    }
+
+    #[test]
+    fn platform_simulates_specs_directly() {
+        let platform = Platform::paper().expect("paper");
+        let report = platform.simulate(&NetworkSpec::lenet()).expect("ok");
+        assert!(report.kfps_per_watt() > 0.0);
+        let lower = platform
+            .simulate_with(
+                &NetworkSpec::lenet(),
+                PrecisionSchedule::Uniform(Precision::w2a4()),
+            )
+            .expect("ok");
+        assert!(lower.max_power.watts() < report.max_power.watts());
+    }
+}

@@ -1,0 +1,416 @@
+//! Plain-text serialisation of [`PlatformConfig`].
+//!
+//! The workspace's `serde` derives are forward-compatibility markers (the
+//! offline build has no serde runtime), so platform configurations
+//! round-trip through a dependency-free `key = value` text format instead:
+//! one line per parameter, `#` comments, unknown keys rejected. Keys left
+//! out fall back to the paper defaults, so a config file only needs the
+//! parameters it changes.
+//!
+//! ```
+//! use lightator_core::platform::{Platform, PlatformConfig};
+//!
+//! # fn main() -> Result<(), lightator_core::CoreError> {
+//! let config = Platform::builder().sensor_resolution(64, 64).build()?.config().clone();
+//! let text = config.to_text();
+//! assert_eq!(PlatformConfig::from_text(&text)?, config);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{CoreError, Result};
+use crate::platform::{PlatformBuilder, PlatformConfig};
+use lightator_nn::quant::PrecisionSchedule;
+use lightator_photonics::units::Area;
+use std::fmt::Write as _;
+
+/// One typed field write: `key = value`.
+fn line(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "{key} = {value}");
+}
+
+fn malformed(key: &str, detail: impl std::fmt::Display) -> CoreError {
+    CoreError::invalid_config(
+        "config_text",
+        f64::NAN,
+        format!("malformed value for key `{key}`: {detail}"),
+    )
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize> {
+    value
+        .parse::<usize>()
+        .map_err(|_| malformed(key, format!("expected an unsigned integer, got `{value}`")))
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64> {
+    value
+        .parse::<u64>()
+        .map_err(|_| malformed(key, format!("expected an unsigned integer, got `{value}`")))
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64> {
+    value
+        .parse::<f64>()
+        .map_err(|_| malformed(key, format!("expected a number, got `{value}`")))
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(malformed(
+            key,
+            format!("expected true/false, got `{other}`"),
+        )),
+    }
+}
+
+impl PlatformConfig {
+    /// Serialises the configuration to the `key = value` text format.
+    ///
+    /// Only the parameters the facade exposes are written; the sensor's
+    /// pixel and comparator designs always follow the paper defaults.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Lightator platform configuration\n");
+
+        let g = &self.hardware.geometry;
+        line(&mut out, "geometry.mrs_per_arm", g.mrs_per_arm);
+        line(&mut out, "geometry.arms_per_bank", g.arms_per_bank);
+        line(&mut out, "geometry.bank_columns", g.bank_columns);
+        line(&mut out, "geometry.bank_rows", g.bank_rows);
+        line(&mut out, "geometry.ca_banks", g.ca_banks);
+
+        let p = &self.hardware.periphery;
+        line(&mut out, "periphery.dacs_per_arm", p.dacs_per_arm);
+        line(&mut out, "periphery.adcs_per_bank", p.adcs_per_bank);
+        line(&mut out, "periphery.vcsels_per_arm", p.vcsels_per_arm);
+        line(&mut out, "periphery.crc_units", p.crc_units);
+        line(&mut out, "periphery.weight_sram_kib", p.weight_sram_kib);
+        line(
+            &mut out,
+            "periphery.activation_sram_kib",
+            p.activation_sram_kib,
+        );
+
+        let w = &self.hardware.power;
+        line(&mut out, "power.dac_power_mw", w.dac_power_mw);
+        line(&mut out, "power.adc_power_mw", w.adc_power_mw);
+        line(
+            &mut out,
+            "power.adc_energy_per_conversion_pj",
+            w.adc_energy_per_conversion_pj,
+        );
+        line(&mut out, "power.mr_tuning_power_mw", w.mr_tuning_power_mw);
+        line(
+            &mut out,
+            "power.crc_comparator_power_uw",
+            w.crc_comparator_power_uw,
+        );
+        line(&mut out, "power.vcsel_power_mw", w.vcsel_power_mw);
+        line(&mut out, "power.bpd_power_mw", w.bpd_power_mw);
+        line(&mut out, "power.controller_power_mw", w.controller_power_mw);
+        line(
+            &mut out,
+            "power.sram_read_energy_per_byte_pj",
+            w.sram_read_energy_per_byte_pj,
+        );
+        line(
+            &mut out,
+            "power.sram_write_energy_per_byte_pj",
+            w.sram_write_energy_per_byte_pj,
+        );
+        line(
+            &mut out,
+            "power.sram_leakage_per_kib_uw",
+            w.sram_leakage_per_kib_uw,
+        );
+        line(&mut out, "power.optical_cycle_ns", w.optical_cycle_ns);
+        line(&mut out, "power.electronic_cycle_ns", w.electronic_cycle_ns);
+
+        let n = &self.hardware.noise;
+        line(
+            &mut out,
+            "noise.vcsel_relative_sigma",
+            n.vcsel_relative_sigma,
+        );
+        line(
+            &mut out,
+            "noise.detector_relative_sigma",
+            n.detector_relative_sigma,
+        );
+        line(&mut out, "noise.weight_sigma", n.weight_sigma);
+        line(&mut out, "noise.apply_crosstalk", n.apply_crosstalk);
+
+        let t = &self.hardware.timing;
+        line(
+            &mut out,
+            "timing.weight_reload_cycles_per_bank",
+            t.weight_reload_cycles_per_bank,
+        );
+        line(
+            &mut out,
+            "timing.electronic_post_cycles_per_kilo_output",
+            t.electronic_post_cycles_per_kilo_output,
+        );
+        line(
+            &mut out,
+            "timing.optical_cycles_per_wave",
+            t.optical_cycles_per_wave,
+        );
+
+        line(&mut out, "area_mm2", self.hardware.area.mm2());
+        line(&mut out, "sensor.height", self.sensor.height);
+        line(&mut out, "sensor.width", self.sensor.width);
+
+        line(&mut out, "ca.enabled", self.ca.is_some());
+        if let Some(ca) = &self.ca {
+            line(&mut out, "ca.pooling_window", ca.pooling_window);
+            line(&mut out, "ca.rgb_to_grayscale", ca.rgb_to_grayscale);
+        }
+
+        line(&mut out, "schedule", self.schedule.label());
+        line(&mut out, "seed", self.seed);
+        out
+    }
+
+    /// Parses the `key = value` text format produced by
+    /// [`PlatformConfig::to_text`].
+    ///
+    /// Missing keys keep their paper defaults; unknown keys and malformed
+    /// values are rejected with a [`CoreError::InvalidConfig`] naming the
+    /// offending line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for syntax errors, unknown keys
+    /// or unparsable values. The result is *not* re-validated here; pass it
+    /// to [`crate::platform::Platform::from_config`] for full validation.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut config = PlatformBuilder::paper().build()?.config().clone();
+        // `ca.*` keys may arrive in any order relative to `ca.enabled`.
+        let mut ca = config.ca.unwrap_or_default();
+        let mut ca_enabled = config.ca.is_some();
+
+        for raw in text.lines() {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (key, value) = trimmed.split_once('=').ok_or_else(|| {
+                malformed(
+                    "config_text",
+                    format!("expected `key = value`, got `{trimmed}`"),
+                )
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "geometry.mrs_per_arm" => {
+                    config.hardware.geometry.mrs_per_arm = parse_usize(key, value)?;
+                }
+                "geometry.arms_per_bank" => {
+                    config.hardware.geometry.arms_per_bank = parse_usize(key, value)?;
+                }
+                "geometry.bank_columns" => {
+                    config.hardware.geometry.bank_columns = parse_usize(key, value)?;
+                }
+                "geometry.bank_rows" => {
+                    config.hardware.geometry.bank_rows = parse_usize(key, value)?;
+                }
+                "geometry.ca_banks" => {
+                    config.hardware.geometry.ca_banks = parse_usize(key, value)?;
+                }
+                "periphery.dacs_per_arm" => {
+                    config.hardware.periphery.dacs_per_arm = parse_usize(key, value)?;
+                }
+                "periphery.adcs_per_bank" => {
+                    config.hardware.periphery.adcs_per_bank = parse_usize(key, value)?;
+                }
+                "periphery.vcsels_per_arm" => {
+                    config.hardware.periphery.vcsels_per_arm = parse_usize(key, value)?;
+                }
+                "periphery.crc_units" => {
+                    config.hardware.periphery.crc_units = parse_usize(key, value)?;
+                }
+                "periphery.weight_sram_kib" => {
+                    config.hardware.periphery.weight_sram_kib = parse_usize(key, value)?;
+                }
+                "periphery.activation_sram_kib" => {
+                    config.hardware.periphery.activation_sram_kib = parse_usize(key, value)?;
+                }
+                "power.dac_power_mw" => {
+                    config.hardware.power.dac_power_mw = parse_f64(key, value)?;
+                }
+                "power.adc_power_mw" => {
+                    config.hardware.power.adc_power_mw = parse_f64(key, value)?;
+                }
+                "power.adc_energy_per_conversion_pj" => {
+                    config.hardware.power.adc_energy_per_conversion_pj = parse_f64(key, value)?;
+                }
+                "power.mr_tuning_power_mw" => {
+                    config.hardware.power.mr_tuning_power_mw = parse_f64(key, value)?;
+                }
+                "power.crc_comparator_power_uw" => {
+                    config.hardware.power.crc_comparator_power_uw = parse_f64(key, value)?;
+                }
+                "power.vcsel_power_mw" => {
+                    config.hardware.power.vcsel_power_mw = parse_f64(key, value)?;
+                }
+                "power.bpd_power_mw" => {
+                    config.hardware.power.bpd_power_mw = parse_f64(key, value)?;
+                }
+                "power.controller_power_mw" => {
+                    config.hardware.power.controller_power_mw = parse_f64(key, value)?;
+                }
+                "power.sram_read_energy_per_byte_pj" => {
+                    config.hardware.power.sram_read_energy_per_byte_pj = parse_f64(key, value)?;
+                }
+                "power.sram_write_energy_per_byte_pj" => {
+                    config.hardware.power.sram_write_energy_per_byte_pj = parse_f64(key, value)?;
+                }
+                "power.sram_leakage_per_kib_uw" => {
+                    config.hardware.power.sram_leakage_per_kib_uw = parse_f64(key, value)?;
+                }
+                "power.optical_cycle_ns" => {
+                    config.hardware.power.optical_cycle_ns = parse_f64(key, value)?;
+                }
+                "power.electronic_cycle_ns" => {
+                    config.hardware.power.electronic_cycle_ns = parse_f64(key, value)?;
+                }
+                "noise.vcsel_relative_sigma" => {
+                    config.hardware.noise.vcsel_relative_sigma = parse_f64(key, value)?;
+                }
+                "noise.detector_relative_sigma" => {
+                    config.hardware.noise.detector_relative_sigma = parse_f64(key, value)?;
+                }
+                "noise.weight_sigma" => {
+                    config.hardware.noise.weight_sigma = parse_f64(key, value)?;
+                }
+                "noise.apply_crosstalk" => {
+                    config.hardware.noise.apply_crosstalk = parse_bool(key, value)?;
+                }
+                "timing.weight_reload_cycles_per_bank" => {
+                    config.hardware.timing.weight_reload_cycles_per_bank = parse_usize(key, value)?;
+                }
+                "timing.electronic_post_cycles_per_kilo_output" => {
+                    config
+                        .hardware
+                        .timing
+                        .electronic_post_cycles_per_kilo_output = parse_usize(key, value)?;
+                }
+                "timing.optical_cycles_per_wave" => {
+                    config.hardware.timing.optical_cycles_per_wave = parse_usize(key, value)?;
+                }
+                "area_mm2" => {
+                    config.hardware.area = Area::from_mm2(parse_f64(key, value)?);
+                }
+                "sensor.height" => {
+                    config.sensor.height = parse_usize(key, value)?;
+                }
+                "sensor.width" => {
+                    config.sensor.width = parse_usize(key, value)?;
+                }
+                "ca.enabled" => {
+                    ca_enabled = parse_bool(key, value)?;
+                }
+                "ca.pooling_window" => {
+                    ca.pooling_window = parse_usize(key, value)?;
+                }
+                "ca.rgb_to_grayscale" => {
+                    ca.rgb_to_grayscale = parse_bool(key, value)?;
+                }
+                "schedule" => {
+                    config.schedule = PrecisionSchedule::parse_label(value)
+                        .map_err(|_| malformed(key, format!("unrecognised schedule `{value}`")))?;
+                }
+                "seed" => {
+                    config.seed = parse_u64(key, value)?;
+                }
+                unknown => {
+                    return Err(malformed(
+                        unknown,
+                        "unknown configuration key (check for typos)",
+                    ));
+                }
+            }
+        }
+
+        config.hardware.use_compressive_acquisition = ca_enabled;
+        config.ca = ca_enabled.then_some(ca);
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CaConfig;
+    use crate::platform::Platform;
+    use lightator_nn::quant::Precision;
+
+    #[test]
+    fn paper_config_round_trips() {
+        let config = Platform::paper().expect("paper").config().clone();
+        let text = config.to_text();
+        assert_eq!(PlatformConfig::from_text(&text).expect("parse"), config);
+    }
+
+    #[test]
+    fn customised_config_round_trips() {
+        let config = Platform::builder()
+            .sensor_resolution(64, 64)
+            .precision(PrecisionSchedule::Mixed {
+                first: Precision::w4a4(),
+                rest: Precision::w2a4(),
+            })
+            .compressive_acquisition(CaConfig {
+                pooling_window: 4,
+                rgb_to_grayscale: false,
+            })
+            .seed(99)
+            .build()
+            .expect("valid")
+            .config()
+            .clone();
+        let parsed = PlatformConfig::from_text(&config.to_text()).expect("parse");
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn disabled_ca_round_trips() {
+        let config = Platform::builder()
+            .without_compressive_acquisition()
+            .build()
+            .expect("valid")
+            .config()
+            .clone();
+        let parsed = PlatformConfig::from_text(&config.to_text()).expect("parse");
+        assert_eq!(parsed.ca, None);
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn partial_configs_fall_back_to_paper_defaults() {
+        let parsed =
+            PlatformConfig::from_text("sensor.height = 32\nsensor.width = 32\n").expect("parse");
+        assert_eq!(parsed.sensor.height, 32);
+        assert_eq!(parsed.hardware.geometry.mrs_per_arm, 9);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected_with_context() {
+        let err = PlatformConfig::from_text("geometry.mrs_per_arm = nine").expect_err("bad value");
+        assert!(err.to_string().contains("geometry.mrs_per_arm"));
+        let err = PlatformConfig::from_text("geometry.mrs_per_harm = 9").expect_err("typo");
+        assert!(err.to_string().contains("unknown configuration key"));
+        assert!(PlatformConfig::from_text("no equals sign here").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let parsed = PlatformConfig::from_text("# comment\n\nseed = 42\n").expect("parse");
+        assert_eq!(parsed.seed, 42);
+    }
+}

@@ -39,6 +39,13 @@ pub enum NnError {
         /// Description of the problem.
         reason: String,
     },
+    /// A textual label (precision or schedule notation) could not be parsed.
+    InvalidLabel {
+        /// What was being parsed (`precision`, `schedule`).
+        what: &'static str,
+        /// The rejected input text.
+        input: String,
+    },
     /// `backward` was called before `forward` on a layer that caches its
     /// input.
     BackwardBeforeForward,
@@ -64,6 +71,12 @@ impl fmt::Display for NnError {
                 write!(f, "invalid value {value} for parameter `{name}`")
             }
             Self::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+            Self::InvalidLabel { what, input } => {
+                write!(
+                    f,
+                    "cannot parse `{input}` as a {what} label (expected the paper's `[W:A]` notation)"
+                )
+            }
             Self::BackwardBeforeForward => {
                 write!(f, "backward called before forward on a caching layer")
             }

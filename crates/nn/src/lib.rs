@@ -6,7 +6,7 @@
 //! * [`tensor`] — a minimal dense tensor;
 //! * [`layers`] — convolution, linear, pooling, activation and flatten layers
 //!   with forward and backward passes;
-//! * [`model`] — the [`Sequential`](model::Sequential) container;
+//! * [`model`] — the [`model::Sequential`] container;
 //! * [`quant`] — `[W:A]` precision configurations, uniform quantization and
 //!   the paper's mixed-precision schedules;
 //! * [`train`] — SGD training, evaluation and quantization-aware fine-tuning;

@@ -2,8 +2,8 @@
 //!
 //! Lightator maps quantized weights onto MR transmissions and quantized
 //! activations onto VCSEL drive codes, so the DNN stack must express the
-//! paper's `[Weight : Activation]` precision configurations ([4:4], [3:4],
-//! [2:4]) and the mixed-precision variants (first layer at [4:4], remaining
+//! paper's `[Weight : Activation]` precision configurations (\[4:4\], \[3:4\],
+//! \[2:4\]) and the mixed-precision variants (first layer at \[4:4\], remaining
 //! layers lower).
 
 use crate::error::{NnError, Result};
@@ -46,27 +46,27 @@ impl Precision {
         })
     }
 
-    /// The paper's [4:4] configuration.
+    /// The paper's \[4:4\] configuration.
     #[must_use]
-    pub fn w4a4() -> Self {
+    pub const fn w4a4() -> Self {
         Self {
             weight_bits: 4,
             activation_bits: 4,
         }
     }
 
-    /// The paper's [3:4] configuration.
+    /// The paper's \[3:4\] configuration.
     #[must_use]
-    pub fn w3a4() -> Self {
+    pub const fn w3a4() -> Self {
         Self {
             weight_bits: 3,
             activation_bits: 4,
         }
     }
 
-    /// The paper's [2:4] configuration.
+    /// The paper's \[2:4\] configuration.
     #[must_use]
-    pub fn w2a4() -> Self {
+    pub const fn w2a4() -> Self {
         Self {
             weight_bits: 2,
             activation_bits: 4,
@@ -89,6 +89,27 @@ impl Precision {
 impl fmt::Display for Precision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{}:{}]", self.weight_bits, self.activation_bits)
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = NnError;
+
+    /// Parses the paper's `[W:A]` notation (e.g. `[4:4]`), the inverse of
+    /// [`Display`](fmt::Display).
+    fn from_str(s: &str) -> Result<Self> {
+        let reject = || NnError::InvalidLabel {
+            what: "precision",
+            input: s.to_string(),
+        };
+        let inner = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|rest| rest.strip_suffix(']'))
+            .ok_or_else(reject)?;
+        let (w, a) = inner.split_once(':').ok_or_else(reject)?;
+        let parse = |text: &str| text.trim().parse::<u8>().map_err(|_| reject());
+        Precision::new(parse(w)?, parse(a)?)
     }
 }
 
@@ -133,6 +154,34 @@ impl PrecisionSchedule {
         match self {
             PrecisionSchedule::Uniform(p) => p.to_string(),
             PrecisionSchedule::Mixed { first, rest } => format!("{first}{rest}"),
+        }
+    }
+
+    /// Parses a schedule label produced by [`PrecisionSchedule::label`]:
+    /// `[W:A]` for uniform schedules, `[W:A][W:A]` for mixed ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidLabel`] carrying the rejected input for
+    /// malformed labels.
+    pub fn parse_label(label: &str) -> Result<Self> {
+        let reject = || NnError::InvalidLabel {
+            what: "schedule",
+            input: label.to_string(),
+        };
+        let trimmed = label.trim();
+        let brackets = trimmed.matches('[').count();
+        match brackets {
+            1 => Ok(PrecisionSchedule::Uniform(trimmed.parse()?)),
+            2 => {
+                let split = trimmed.find("][").ok_or_else(reject)?;
+                let (first, rest) = trimmed.split_at(split + 1);
+                Ok(PrecisionSchedule::Mixed {
+                    first: first.parse()?,
+                    rest: rest.parse()?,
+                })
+            }
+            _ => Err(reject()),
         }
     }
 
@@ -253,6 +302,39 @@ mod tests {
         let uniform = PrecisionSchedule::Uniform(Precision::w2a4());
         assert_eq!(uniform.for_layer(3), Precision::w2a4());
         assert_eq!(uniform.label(), "[2:4]");
+    }
+
+    #[test]
+    fn precision_labels_round_trip_through_from_str() {
+        for p in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
+            assert_eq!(p.to_string().parse::<Precision>().unwrap(), p);
+        }
+        assert!("[0:4]".parse::<Precision>().is_err());
+        assert!("4:4".parse::<Precision>().is_err());
+        let err = "[4-4]".parse::<Precision>().expect_err("bad separator");
+        assert!(
+            err.to_string().contains("[4-4]"),
+            "parse error should carry the rejected input: {err}"
+        );
+    }
+
+    #[test]
+    fn schedule_labels_round_trip_through_parse_label() {
+        let schedules = [
+            PrecisionSchedule::Uniform(Precision::w2a4()),
+            PrecisionSchedule::Mixed {
+                first: Precision::w4a4(),
+                rest: Precision::w3a4(),
+            },
+        ];
+        for schedule in schedules {
+            assert_eq!(
+                PrecisionSchedule::parse_label(&schedule.label()).unwrap(),
+                schedule
+            );
+        }
+        assert!(PrecisionSchedule::parse_label("").is_err());
+        assert!(PrecisionSchedule::parse_label("[4:4][3:4][2:4]").is_err());
     }
 
     #[test]

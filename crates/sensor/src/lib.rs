@@ -10,7 +10,7 @@
 //!   column ADCs with a 15-comparator ladder (4-bit codes);
 //! * [`dmva`] — the Directly-Modulated VCSEL Array: selector and
 //!   16-transistor VCSEL drivers turning digital activations into light;
-//! * [`array`] — the complete 256×256 global-shutter sensor.
+//! * [`array`](mod@array) — the complete 256×256 global-shutter sensor.
 //!
 //! # Example
 //!

@@ -1,6 +1,7 @@
 //! Accelerator survey: compare Lightator against the photonic baselines of
 //! Table 1 and the electronic accelerators of Fig. 10 on power, efficiency
-//! and execution time.
+//! and execution time, with Lightator's numbers served by the `Platform`
+//! facade.
 //!
 //! ```text
 //! cargo run --example accelerator_survey
@@ -8,14 +9,13 @@
 
 use lightator_suite::baselines::electronic::ElectronicBaseline;
 use lightator_suite::baselines::optical::OpticalBaseline;
-use lightator_suite::core::config::LightatorConfig;
-use lightator_suite::core::sim::ArchitectureSimulator;
+use lightator_suite::core::platform::Platform;
 use lightator_suite::core::CoreError;
 use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
 use lightator_suite::nn::spec::NetworkSpec;
 
 fn main() -> Result<(), CoreError> {
-    let sim = ArchitectureSimulator::new(LightatorConfig::paper())?;
+    let platform = Platform::paper()?;
     let lenet = NetworkSpec::lenet();
     let alexnet = NetworkSpec::alexnet();
 
@@ -30,7 +30,7 @@ fn main() -> Result<(), CoreError> {
         );
     }
     for precision in [Precision::w4a4(), Precision::w3a4()] {
-        let report = sim.simulate(&lenet, PrecisionSchedule::Uniform(precision))?;
+        let report = platform.simulate_with(&lenet, PrecisionSchedule::Uniform(precision))?;
         println!(
             "{:<14} {:>14.1} {:>10.1}",
             format!("Lightator {precision}"),
@@ -41,8 +41,8 @@ fn main() -> Result<(), CoreError> {
 
     println!("\nElectronic accelerators (AlexNet workload):");
     println!("{:<14} {:>16}", "design", "exec time (ms)");
-    let lightator_alexnet = sim
-        .simulate(&alexnet, PrecisionSchedule::Uniform(Precision::w4a4()))?
+    let lightator_alexnet = platform
+        .simulate_with(&alexnet, PrecisionSchedule::Uniform(Precision::w4a4()))?
         .frame_latency;
     for design in ElectronicBaseline::fig10_designs() {
         println!(

@@ -1,15 +1,17 @@
-//! Compressive acquisition demo: capture a scene with the ADC-less sensor,
-//! compress it with the CA banks (fused RGB→grayscale + average pooling,
-//! paper Eq. 1) and verify the single-pass optical weighted sum against the
-//! conventional two-step pipeline.
+//! Compressive acquisition demo: open `Workload::Acquire` and
+//! `Workload::ImageKernel` sessions on one platform, capture a scene with the
+//! ADC-less sensor, compress it with the CA banks (fused RGB→grayscale +
+//! average pooling, paper Eq. 1), verify the single-pass optical weighted sum
+//! against the conventional two-step pipeline, and run the paper's
+//! "versatile image processing" filters on the optical core.
 //!
 //! ```text
 //! cargo run --example compressive_acquisition
 //! ```
 
 use lightator_suite::core::ca::{CaConfig, CompressiveAcquisitor};
+use lightator_suite::core::platform::{ImageKernel, Platform, Workload};
 use lightator_suite::core::CoreError;
-use lightator_suite::sensor::array::{SensorArray, SensorArrayConfig};
 use lightator_suite::sensor::frame::RgbFrame;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -36,41 +38,58 @@ fn main() -> Result<(), CoreError> {
     let size = 64;
     let scene = synthetic_scene(size, 42)?;
 
-    // 1. ADC-less capture: every photosite becomes a 4-bit code via the CRC.
-    let sensor = SensorArray::new(SensorArrayConfig::with_resolution(size, size)?)?;
-    let digital = sensor.capture(&scene)?;
-    let mean_code =
-        digital.codes().iter().map(|&c| f64::from(c)).sum::<f64>() / digital.codes().len() as f64;
-    println!(
-        "captured {}x{} frame, mean 4-bit code {:.2} (15 = full well)",
-        digital.height(),
-        digital.width(),
-        mean_code
-    );
-
-    // 2. Compressive acquisition with different pooling windows.
+    // 1. Compressive acquisition through the facade, with two CA windows.
     for window in [2usize, 4] {
-        let ca = CompressiveAcquisitor::new(CaConfig {
-            pooling_window: window,
-            rgb_to_grayscale: true,
-        })?;
-        let compressed = ca.acquire(&scene)?;
+        let platform = Platform::builder()
+            .sensor_resolution(size, size)
+            .compressive_acquisition(CaConfig {
+                pooling_window: window,
+                rgb_to_grayscale: true,
+            })
+            .build()?;
+        let mut session = platform.session(Workload::Acquire)?;
+        let report = session.run(&scene)?;
+        let (shape, _) = report.frame().expect("acquisition outcome");
+
+        // The fused single-pass weights must agree with the conventional
+        // grayscale + pooling pipeline exactly.
+        let ca = CompressiveAcquisitor::new(*platform.config().ca.as_ref().expect("ca on"))?;
+        let fused = ca.acquire(&scene)?;
         let reference = ca.reference(&scene)?;
-        let max_error = compressed
+        let max_error = fused
             .data()
             .iter()
             .zip(reference.data())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         println!(
-            "CA {window}x{window}: {}x{} -> {}x{} ({}x fewer values), fused-vs-reference max error {:.2e}, {} MRs per output",
-            size,
-            size,
-            compressed.height(),
-            compressed.width(),
+            "CA {window}x{window}: {size}x{size} -> {}x{} ({}x fewer values), \
+             fused-vs-reference max error {:.2e}, {} MRs per output, {:.1} KFPS/W",
+            shape[1],
+            shape[2],
             ca.config().compression_ratio(),
             max_error,
-            ca.mrs_per_output()
+            ca.mrs_per_output(),
+            report.kfps_per_watt()
+        );
+    }
+
+    // 2. Versatile image processing: the same platform serves classic 3x3
+    // kernels straight from the optical core.
+    println!("\nImage kernels on the CA-compressed frame (optical 3x3 convolution):");
+    let platform = Platform::builder().sensor_resolution(size, size).build()?;
+    for kernel in [ImageKernel::SobelX, ImageKernel::GaussianBlur] {
+        let mut session = platform.session(Workload::ImageKernel { kernel })?;
+        let report = session.run(&scene)?;
+        let (shape, values) = report.frame().expect("filtered outcome");
+        let mean_mag = values.iter().map(|v| f64::from(v.abs())).sum::<f64>() / values.len() as f64;
+        println!(
+            "  {:<14} -> {}x{} response, mean |value| {:.3}, latency {:.3} us",
+            kernel.name(),
+            shape[1],
+            shape[2],
+            mean_mag,
+            report.latency().us()
         );
     }
 

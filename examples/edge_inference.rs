@@ -1,18 +1,18 @@
 //! Edge inference demo: train a small classifier on the synthetic dataset,
 //! quantize it the way Lightator maps weights onto MRs, and compare digital
-//! inference against the photonic datapath (with analog noise) end to end.
+//! inference against the photonic datapath (with analog noise) end to end —
+//! all through the `Platform`/`Session` facade.
 //!
 //! ```text
 //! cargo run --release --example edge_inference
 //! ```
 
-use lightator_suite::core::exec::PhotonicExecutor;
+use lightator_suite::core::platform::{Platform, Workload};
 use lightator_suite::core::CoreError;
 use lightator_suite::nn::datasets::{generate, SyntheticConfig};
 use lightator_suite::nn::models::build_mlp;
 use lightator_suite::nn::quant::{quantize_model_weights, Precision, PrecisionSchedule};
 use lightator_suite::nn::train::{evaluate, train, TrainConfig};
-use lightator_suite::photonics::noise::NoiseConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -53,21 +53,29 @@ fn main() -> Result<(), CoreError> {
     println!("float32 accuracy: {:.1}%", float_accuracy * 100.0);
 
     println!(
-        "\n{:<12} {:>16} {:>18}",
-        "config", "digital acc (%)", "photonic acc (%)"
+        "\n{:<12} {:>16} {:>18} {:>12}",
+        "config", "digital acc (%)", "photonic acc (%)", "KFPS/W"
     );
     for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
         let schedule = PrecisionSchedule::Uniform(precision);
         let mut quantized = model.clone();
         quantize_model_weights(&mut quantized, schedule);
         let digital = evaluate(&mut quantized, &dataset)?;
-        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 7)?;
-        let result = executor.evaluate(&mut quantized, &dataset, 20)?;
+        // One session serves both the accuracy measurement and the
+        // platform-level performance numbers.
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .precision(schedule)
+            .seed(7)
+            .build()?;
+        let mut session = platform.session(Workload::Classify { model: quantized })?;
+        let result = session.evaluate(&dataset, 20)?;
         println!(
-            "{:<12} {:>16.1} {:>18.1}",
+            "{:<12} {:>16.1} {:>18.1} {:>12.1}",
             precision.to_string(),
             digital * 100.0,
-            result.photonic * 100.0
+            result.photonic * 100.0,
+            session.perf().kfps_per_watt()
         );
     }
 

@@ -1,27 +1,27 @@
-//! Quickstart: simulate the Lightator platform on LeNet and print its key
-//! figures of merit for the three precision configurations of the paper.
+//! Quickstart: open the paper's platform through the `Platform` facade,
+//! simulate LeNet and print its key figures of merit for the three precision
+//! configurations of the paper.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use lightator_suite::core::config::LightatorConfig;
-use lightator_suite::core::sim::ArchitectureSimulator;
+use lightator_suite::core::platform::Platform;
 use lightator_suite::core::CoreError;
 use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
 use lightator_suite::nn::spec::NetworkSpec;
 
 fn main() -> Result<(), CoreError> {
-    let config = LightatorConfig::paper();
+    let platform = Platform::paper()?;
+    let geometry = platform.config().hardware.geometry;
     println!(
         "Lightator optical core: {} banks x {} arms x {} MRs = {} MACs/cycle",
-        config.geometry.banks(),
-        config.geometry.arms_per_bank,
-        config.geometry.mrs_per_arm,
-        config.geometry.macs_per_cycle()
+        geometry.banks(),
+        geometry.arms_per_bank,
+        geometry.mrs_per_arm,
+        geometry.macs_per_cycle()
     );
 
-    let simulator = ArchitectureSimulator::new(config)?;
     let network = NetworkSpec::lenet();
     println!(
         "\nWorkload: {} ({} layers, {:.1} MMAC per frame)\n",
@@ -35,7 +35,7 @@ fn main() -> Result<(), CoreError> {
         "config", "latency (us)", "max power (W)", "frames/s", "KFPS/W"
     );
     for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
-        let report = simulator.simulate(&network, PrecisionSchedule::Uniform(precision))?;
+        let report = platform.simulate_with(&network, PrecisionSchedule::Uniform(precision))?;
         println!(
             "{:<10} {:>14.3} {:>16.2} {:>12.0} {:>10.1}",
             precision.to_string(),

@@ -9,19 +9,22 @@
 //! * [`core`] — the Lightator optical core, mapper, energy model, simulator
 //!   and end-to-end pipeline;
 //! * [`baselines`] — photonic and electronic baseline accelerator models;
-//! * [`bench`] — the experiment harness regenerating Table 1 and Figs. 8–10.
+//! * [`bench`](mod@bench) — the experiment harness regenerating Table 1 and Figs. 8–10.
 //!
 //! # Quickstart
 //!
+//! The [`Platform`]/[`Session`]/[`Workload`] facade is the front door: build
+//! a validated platform once, open a session per workload, and read both the
+//! functional result and the performance figures from one [`Report`]:
+//!
 //! ```
-//! use lightator_suite::core::config::LightatorConfig;
-//! use lightator_suite::core::sim::ArchitectureSimulator;
-//! use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
-//! use lightator_suite::nn::spec::NetworkSpec;
+//! use lightator_suite::{Platform, Workload};
+//! use lightator_suite::sensor::frame::RgbFrame;
 //!
 //! # fn main() -> Result<(), lightator_suite::core::CoreError> {
-//! let sim = ArchitectureSimulator::new(LightatorConfig::paper())?;
-//! let report = sim.simulate(&NetworkSpec::lenet(), PrecisionSchedule::Uniform(Precision::w4a4()))?;
+//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
+//! let mut session = platform.session(Workload::Acquire)?;
+//! let report = session.run(&RgbFrame::filled(16, 16, [0.7, 0.4, 0.2])?)?;
 //! assert!(report.kfps_per_watt() > 0.0);
 //! # Ok(())
 //! # }
@@ -36,3 +39,7 @@ pub use lightator_core as core;
 pub use lightator_nn as nn;
 pub use lightator_photonics as photonics;
 pub use lightator_sensor as sensor;
+
+pub use lightator_core::platform::{
+    ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
+};

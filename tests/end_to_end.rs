@@ -1,11 +1,9 @@
-//! Cross-crate integration tests: scene → sensor → CA → photonic inference,
-//! and simulator consistency across the full stack.
+//! Cross-crate integration tests: scene → sensor → CA → photonic inference
+//! through the `Platform`/`Session` facade, and simulator consistency across
+//! the full stack.
 
 use lightator_suite::core::ca::{CaConfig, CompressiveAcquisitor};
-use lightator_suite::core::config::LightatorConfig;
-use lightator_suite::core::exec::PhotonicExecutor;
-use lightator_suite::core::pipeline::LightatorNode;
-use lightator_suite::core::sim::ArchitectureSimulator;
+use lightator_suite::core::platform::{Platform, Workload};
 use lightator_suite::nn::datasets::{generate, SyntheticConfig};
 use lightator_suite::nn::layers::{Activation, Flatten, Linear};
 use lightator_suite::nn::model::Sequential;
@@ -13,14 +11,13 @@ use lightator_suite::nn::models::build_mlp;
 use lightator_suite::nn::quant::{quantize_model_weights, Precision, PrecisionSchedule};
 use lightator_suite::nn::spec::NetworkSpec;
 use lightator_suite::nn::train::{evaluate, train, TrainConfig};
-use lightator_suite::photonics::noise::NoiseConfig;
-use lightator_suite::sensor::array::SensorArrayConfig;
 use lightator_suite::sensor::frame::RgbFrame;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// A 16×16 scene classified end to end through sensor, CA and the optical
-/// core: the full Fig. 2 data flow.
+/// core: the full Fig. 2 data flow, driven by one `Session::run` that also
+/// reports the platform-level performance.
 #[test]
 fn full_pipeline_classifies_a_scene() {
     let mut rng = SmallRng::seed_from_u64(99);
@@ -31,22 +28,25 @@ fn full_pipeline_classifies_a_scene() {
     model.push(Activation::relu());
     model.push(Linear::new(24, 4, &mut rng).expect("layer"));
 
-    let mut node = LightatorNode::new(
-        SensorArrayConfig::with_resolution(16, 16).expect("sensor config"),
-        Some(CaConfig::default()),
-        PrecisionSchedule::Uniform(Precision::w4a4()),
-        NoiseConfig::default(),
-        1,
-    )
-    .expect("node");
+    let platform = Platform::builder()
+        .sensor_resolution(16, 16)
+        .compressive_acquisition(CaConfig::default())
+        .precision(PrecisionSchedule::Uniform(Precision::w4a4()))
+        .seed(1)
+        .build()
+        .expect("platform");
+    let mut session = platform
+        .session(Workload::Classify { model })
+        .expect("session");
 
     let scene = RgbFrame::filled(16, 16, [0.7, 0.4, 0.2]).expect("scene");
-    let result = node
-        .process_frame(&scene, &mut model)
-        .expect("frame processed");
-    assert!(result.class < 4);
-    assert_eq!(result.dnn_input_shape, vec![1, 8, 8]);
-    assert_eq!(result.logits.len(), 4);
+    let report = session.run(&scene).expect("frame processed");
+    assert!(report.class().expect("classification") < 4);
+    assert_eq!(report.logits().expect("logits").len(), 4);
+    // Accuracy and perf arrive in the same report.
+    assert!(report.latency().ns() > 0.0);
+    assert!(report.max_power().watts() > 0.0);
+    assert!(report.kfps_per_watt() > 0.0);
 }
 
 /// The compressive acquisitor's single optical pass must agree with the
@@ -64,7 +64,8 @@ fn ca_matches_reference_on_captured_frames() {
 }
 
 /// Training, quantization and photonic evaluation work together across the
-/// nn and core crates; photonic accuracy tracks the digital accuracy.
+/// nn and core crates via `Session::evaluate`; photonic accuracy tracks the
+/// digital accuracy.
 #[test]
 fn trained_model_survives_photonic_execution() {
     let mut rng = SmallRng::seed_from_u64(5);
@@ -87,11 +88,14 @@ fn trained_model_survives_photonic_execution() {
 
     let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
     quantize_model_weights(&mut model, schedule);
-    let mut executor =
-        PhotonicExecutor::new(schedule, NoiseConfig::default(), 11).expect("executor");
-    let result = executor
-        .evaluate(&mut model, &dataset, 10)
-        .expect("photonic eval");
+    let mut session = Platform::builder()
+        .precision(schedule)
+        .seed(11)
+        .build()
+        .expect("platform")
+        .session(Workload::Classify { model })
+        .expect("session");
+    let result = session.evaluate(&dataset, 10).expect("photonic eval");
     assert!(
         result.photonic + 0.35 >= result.digital,
         "photonic accuracy {} collapsed versus digital {}",
@@ -101,11 +105,12 @@ fn trained_model_survives_photonic_execution() {
 }
 
 /// The architecture simulator, the topology specs and the precision schedules
-/// compose: every paper workload simulates under every precision, and the
-/// figures of merit move in the documented directions.
+/// compose behind the platform facade: every paper workload simulates under
+/// every precision, and the figures of merit move in the documented
+/// directions.
 #[test]
 fn simulator_covers_all_paper_workloads() {
-    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let platform = Platform::paper().expect("platform");
     let networks = [
         NetworkSpec::lenet(),
         NetworkSpec::vgg9(10),
@@ -116,8 +121,8 @@ fn simulator_covers_all_paper_workloads() {
     for network in &networks {
         let mut last_power = f64::INFINITY;
         for precision in [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()] {
-            let report = sim
-                .simulate(network, PrecisionSchedule::Uniform(precision))
+            let report = platform
+                .simulate_with(network, PrecisionSchedule::Uniform(precision))
                 .expect("simulation");
             assert_eq!(report.layers.len(), network.layer_count());
             assert!(report.frame_latency.ns() > 0.0);
@@ -132,7 +137,8 @@ fn simulator_covers_all_paper_workloads() {
 /// the Table 1 workload.
 #[test]
 fn mixed_precision_power_is_intermediate() {
-    let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("simulator");
+    let platform = Platform::paper().expect("platform");
+    let sim = platform.simulator();
     let vgg9 = NetworkSpec::vgg9(100);
     let p44 = sim
         .platform_max_power(&vgg9, PrecisionSchedule::Uniform(Precision::w4a4()))

@@ -81,7 +81,7 @@ fn fig10_lightator_is_faster_than_electronic_designs() {
     }
 }
 
-/// Fig. 8's claim: reducing the weight bit-width from [4:4] to [2:4] yields
+/// Fig. 8's claim: reducing the weight bit-width from \[4:4\] to \[2:4\] yields
 /// a ~2x-3x power saving on LeNet, layer by layer.
 #[test]
 fn fig8_bit_width_scaling_saves_power() {

@@ -1,0 +1,132 @@
+//! Facade-level integration tests: config round-trips through the text
+//! format and batch/sequential equivalence of `Session::run_batch`.
+
+use lightator_suite::core::ca::CaConfig;
+use lightator_suite::core::platform::{Platform, PlatformConfig, Workload};
+use lightator_suite::nn::layers::{Activation, Conv2d, Flatten, Linear};
+use lightator_suite::nn::model::Sequential;
+use lightator_suite::nn::quant::{Precision, PrecisionSchedule};
+use lightator_suite::sensor::frame::RgbFrame;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `LightatorConfig`, `OcGeometry`, `CaConfig` and `PrecisionSchedule` all
+/// survive a round-trip through the text config format, exactly.
+#[test]
+fn platform_config_round_trips_through_text() {
+    let mut geometry = lightator_suite::core::config::OcGeometry::paper();
+    geometry.bank_columns = 4;
+    geometry.ca_banks = 2;
+    let original = Platform::builder()
+        .geometry(geometry)
+        .sensor_resolution(48, 48)
+        .precision(PrecisionSchedule::Mixed {
+            first: Precision::w4a4(),
+            rest: Precision::w3a4(),
+        })
+        .compressive_acquisition(CaConfig {
+            pooling_window: 4,
+            rgb_to_grayscale: false,
+        })
+        .seed(1234)
+        .build()
+        .expect("valid platform")
+        .config()
+        .clone();
+
+    let text = original.to_text();
+    let parsed = PlatformConfig::from_text(&text).expect("parse");
+    assert_eq!(parsed, original);
+    assert_eq!(parsed.hardware.geometry, original.hardware.geometry);
+    assert_eq!(parsed.ca, original.ca);
+    assert_eq!(parsed.schedule, original.schedule);
+
+    // A parsed config rebuilds a working platform.
+    let rebuilt = Platform::from_config(parsed).expect("rebuild");
+    assert_eq!(rebuilt.config(), &original);
+}
+
+/// A config with CA disabled keeps the bypass across the round-trip.
+#[test]
+fn disabled_ca_round_trips_through_text() {
+    let original = Platform::builder()
+        .without_compressive_acquisition()
+        .sensor_resolution(24, 24)
+        .build()
+        .expect("valid")
+        .config()
+        .clone();
+    let parsed = PlatformConfig::from_text(&original.to_text()).expect("parse");
+    assert_eq!(parsed, original);
+    assert!(parsed.ca.is_none());
+}
+
+fn classifier(seed: u64) -> Sequential {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut model = Sequential::new(&[1, 8, 8]);
+    model.push(Conv2d::new(1, 3, 3, 1, 1, &mut rng).expect("conv"));
+    model.push(Activation::relu());
+    model.push(Flatten::new());
+    model.push(Linear::new(3 * 8 * 8, 4, &mut rng).expect("linear"));
+    model
+}
+
+fn random_scenes(count: usize, seed: u64) -> Vec<RgbFrame> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let data: Vec<f64> = (0..16 * 16 * 3).map(|_| rng.gen::<f64>()).collect();
+            RgbFrame::new(16, 16, data).expect("frame")
+        })
+        .collect()
+}
+
+proptest! {
+    /// For any seed, batch size and scene content, `run_batch` produces
+    /// exactly the same reports as the equivalent sequential `run` calls on
+    /// a fresh session with the same platform seed — including with analog
+    /// noise enabled, because the batch path consumes the noise stream in
+    /// the same order.
+    #[test]
+    fn run_batch_equals_sequential_runs(seed in 0u64..512, batch in 2usize..5, scene_seed in 0u64..512) {
+        let scenes = random_scenes(batch, scene_seed);
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .seed(seed)
+            .build()
+            .expect("platform");
+
+        let mut sequential = platform
+            .session(Workload::Classify { model: classifier(seed) })
+            .expect("session");
+        let expected: Vec<_> = scenes
+            .iter()
+            .map(|s| sequential.run(s).expect("run"))
+            .collect();
+
+        let mut batched = platform
+            .session(Workload::Classify { model: classifier(seed) })
+            .expect("session");
+        let got = batched.run_batch(&scenes).expect("run_batch");
+
+        prop_assert_eq!(expected, got);
+    }
+
+    /// The acquisition workload is deterministic for a fixed scene, and its
+    /// batch path matches sequential runs too.
+    #[test]
+    fn acquire_batch_equals_sequential(seed in 0u64..256) {
+        let scenes = random_scenes(3, seed);
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .seed(seed)
+            .build()
+            .expect("platform");
+        let mut a = platform.session(Workload::Acquire).expect("session");
+        let expected: Vec<_> = scenes.iter().map(|s| a.run(s).expect("run")).collect();
+        let mut b = platform.session(Workload::Acquire).expect("session");
+        let got = b.run_batch(&scenes).expect("run_batch");
+        prop_assert_eq!(expected, got);
+    }
+}

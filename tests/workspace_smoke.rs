@@ -58,3 +58,20 @@ fn umbrella_aliases_point_at_the_member_crates() {
     assert!(report.kfps_per_watt() > 0.0);
     assert_eq!(via_suite.geometry.mrs_per_arm, 9);
 }
+
+/// The facade types are re-exported at the top of the umbrella, so the
+/// quickstart path is one `use` away.
+#[test]
+fn facade_is_reachable_from_the_umbrella_root() {
+    let platform: lightator_suite::Platform = lightator_suite::Platform::builder()
+        .sensor_resolution(8, 8)
+        .build()
+        .expect("platform");
+    let mut session = platform
+        .session(lightator_suite::Workload::Acquire)
+        .expect("session");
+    let report = session
+        .run(&RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("scene"))
+        .expect("run");
+    assert_eq!(report.workload, "acquire");
+}

@@ -77,7 +77,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Sizes accepted by [`vec()`]: an exact `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Lower and upper bound (half-open) on the collection length.
         fn bounds(&self) -> (usize, usize);
