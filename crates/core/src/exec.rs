@@ -39,10 +39,17 @@ impl PhotonicAccuracy {
 }
 
 /// Executes trained models on the photonic datapath.
+///
+/// Every frame draws its analog noise from an independent stream derived
+/// from `(seed, frame index)`; the executor assigns indices sequentially and
+/// [`PhotonicExecutor::set_next_frame_index`] repositions the stream, so a
+/// pool of executors can reproduce a single sequential executor bit for bit
+/// by agreeing on the global frame order.
 #[derive(Debug, Clone)]
 pub struct PhotonicExecutor {
     mac_unit: PhotonicMacUnit,
     schedule: PrecisionSchedule,
+    next_frame: u64,
 }
 
 /// Quantized, normalised weight rows of one weighted layer — the exact values
@@ -148,6 +155,7 @@ impl PhotonicExecutor {
         Ok(Self {
             mac_unit: PhotonicMacUnit::new(noise, seed)?,
             schedule,
+            next_frame: 0,
         })
     }
 
@@ -155,6 +163,25 @@ impl PhotonicExecutor {
     #[must_use]
     pub fn schedule(&self) -> PrecisionSchedule {
         self.schedule
+    }
+
+    /// Index of the frame the next forward pass will execute as.
+    #[must_use]
+    pub fn next_frame_index(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Positions the executor at global frame `index`: the next forward pass
+    /// draws the analog-noise stream of that frame and subsequent frames
+    /// follow sequentially.
+    pub fn set_next_frame_index(&mut self, index: u64) {
+        self.next_frame = index;
+    }
+
+    /// Opens the noise stream of the current frame and advances the counter.
+    fn begin_frame(&mut self) {
+        self.mac_unit.begin_frame(self.next_frame);
+        self.next_frame += 1;
     }
 
     /// Runs one input through the model with every weighted layer executed on
@@ -178,6 +205,7 @@ impl PhotonicExecutor {
                 ),
             });
         }
+        self.begin_frame();
         let mut value = input.clone();
         let mut weighted_index = 0usize;
         for layer_index in 0..model.layers().len() {
@@ -273,6 +301,7 @@ impl PhotonicExecutor {
                 ),
             });
         }
+        self.begin_frame();
         let mut value = input.clone();
         let mut weighted_index = 0usize;
         for (layer_index, encoding) in encodings.iter().enumerate() {
@@ -639,6 +668,35 @@ mod tests {
         for (a, b) in expected.iter().zip(&got) {
             assert_eq!(a.data(), b.data(), "batched result diverged");
         }
+    }
+
+    #[test]
+    fn frame_indexed_noise_reproduces_any_position_in_the_stream() {
+        // A second executor positioned at frame 2 must reproduce exactly
+        // what the first executor produced for its third frame, without
+        // replaying frames 0 and 1 — the property pooled serving relies on.
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let inputs: Vec<_> = dataset
+            .test()
+            .iter()
+            .take(3)
+            .map(|s| s.input.clone())
+            .collect();
+
+        let mut sequential =
+            PhotonicExecutor::new(schedule, NoiseConfig::default(), 11).expect("ok");
+        let expected: Vec<Tensor> = inputs
+            .iter()
+            .map(|input| sequential.forward(&mut model, input).expect("ok"))
+            .collect();
+        assert_eq!(sequential.next_frame_index(), 3);
+
+        let mut seeked = PhotonicExecutor::new(schedule, NoiseConfig::default(), 11).expect("ok");
+        seeked.set_next_frame_index(2);
+        let got = seeked.forward(&mut model, &inputs[2]).expect("ok");
+        assert_eq!(expected[2].data(), got.data(), "seeked frame diverged");
     }
 
     #[test]

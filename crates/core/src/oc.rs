@@ -36,7 +36,17 @@ use serde::{Deserialize, Serialize};
 pub struct PhotonicMacUnit {
     arm: OpticalArm,
     rng: SmallRng,
+    seed: u64,
     segments_evaluated: u64,
+}
+
+/// Derives the noise-stream seed of frame `index` from the unit's base seed.
+///
+/// Index 0 maps to the base seed itself, so a unit that never calls
+/// [`PhotonicMacUnit::begin_frame`] behaves exactly like one positioned at
+/// frame 0.
+fn frame_stream_seed(seed: u64, index: u64) -> u64 {
+    seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl PhotonicMacUnit {
@@ -65,9 +75,25 @@ impl PhotonicMacUnit {
     pub fn with_arm_config(config: ArmConfig, seed: u64) -> Result<Self> {
         Ok(Self {
             arm: OpticalArm::new(config)?,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(frame_stream_seed(seed, 0)),
+            seed,
             segments_evaluated: 0,
         })
+    }
+
+    /// Rewinds the analog-noise stream to the start of frame `index`.
+    ///
+    /// Each frame draws its noise from an independent stream derived from
+    /// `(seed, index)`, so the noise a frame sees depends only on its global
+    /// position in the frame sequence — not on which executor (or which
+    /// shard of a serving pool) happens to evaluate it. This is what lets
+    /// batched and pooled execution reproduce sequential runs bit for bit.
+    pub fn begin_frame(&mut self, index: u64) {
+        self.rng = SmallRng::seed_from_u64(frame_stream_seed(self.seed, index));
+        // The Box–Muller sampler caches a spare normal drawn from the old
+        // stream; drop it so the frame's noise is a pure function of
+        // `(seed, index)`.
+        self.arm.reset_noise();
     }
 
     /// Number of arm-sized segments evaluated so far (one per optical wave).
@@ -257,6 +283,28 @@ mod tests {
             unit_a.dot(&w, &a).expect("ok"),
             unit_b.dot(&w, &a).expect("ok")
         );
+    }
+
+    #[test]
+    fn begin_frame_rewinds_the_noise_stream() {
+        let w = [0.4, -0.3, 0.2, 0.7, -0.9, 0.1, 0.0, 0.5, -0.5];
+        let a = [0.9, 0.1, 0.4, 0.6, 0.3, 0.8, 0.2, 0.5, 0.7];
+        let mut unit = PhotonicMacUnit::new(NoiseConfig::default(), 99).expect("ok");
+        // A fresh unit sits at the frame-0 stream.
+        let first = unit.dot(&w, &a).expect("ok");
+        let moved_on = unit.dot(&w, &a).expect("ok");
+        assert_ne!(
+            first, moved_on,
+            "noise stream should advance within a frame"
+        );
+        unit.begin_frame(0);
+        assert_eq!(unit.dot(&w, &a).expect("ok"), first);
+        // Distinct frames see distinct (but per-index reproducible) streams.
+        unit.begin_frame(3);
+        let frame3 = unit.dot(&w, &a).expect("ok");
+        assert_ne!(frame3, first);
+        unit.begin_frame(3);
+        assert_eq!(unit.dot(&w, &a).expect("ok"), frame3);
     }
 
     #[test]

@@ -337,13 +337,26 @@ impl Platform {
     /// Propagates sensor/CA/executor construction errors and
     /// mapping/simulation errors for the workload's performance spec.
     pub fn session(&self, workload: Workload) -> Result<Session> {
+        self.session_seeded(workload, self.config.seed)
+    }
+
+    /// Opens a session like [`Platform::session`], but with an explicit
+    /// analog-noise seed instead of the platform's.
+    ///
+    /// A serving pool uses this to model physically distinct chips: shards
+    /// with different seeds draw decorrelated noise, while shards sharing
+    /// the platform seed (plus the frame-indexed noise streams of
+    /// [`Session::seek_frame`]) reproduce a single sequential session bit
+    /// for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::session`].
+    pub fn session_seeded(&self, workload: Workload, seed: u64) -> Result<Session> {
         let sensor = SensorArray::new(self.config.sensor.clone())?;
         let acquisitor = self.config.ca.map(CompressiveAcquisitor::new).transpose()?;
-        let executor = PhotonicExecutor::new(
-            self.config.schedule,
-            self.config.hardware.noise,
-            self.config.seed,
-        )?;
+        let executor =
+            PhotonicExecutor::new(self.config.schedule, self.config.hardware.noise, seed)?;
         let label = workload.label();
         let acquired = self.acquired_shape();
         let (spec, filter_model) = match &workload {
@@ -354,7 +367,7 @@ impl Platform {
                     .conv(1, 3, 1, 1)
                     .map_err(CoreError::from)?
                     .build(),
-                Some(build_filter_model(*kernel, acquired, self.config.seed)?),
+                Some(build_filter_model(*kernel, acquired, seed)?),
             ),
         };
         let perf = self.simulator.simulate(&spec, self.config.schedule)?;
@@ -655,8 +668,20 @@ impl Session {
     ///
     /// Returns [`CoreError::ModelMismatch`] if the acquired tensor does not
     /// match the classify model's input shape, and propagates
-    /// sensor/CA/photonic errors.
+    /// sensor/CA/photonic errors. A failed frame still consumes its frame
+    /// index, so the noise stream of every later frame is independent of
+    /// whether earlier frames succeeded.
     pub fn run(&mut self, scene: &RgbFrame) -> Result<Report> {
+        let index = self.executor.next_frame_index();
+        let result = self.run_inner(scene);
+        // One frame, one index — success or failure. (Failures can bail
+        // out before the executor advances, e.g. on a sensor error or a
+        // model mismatch.)
+        self.executor.set_next_frame_index(index + 1);
+        result
+    }
+
+    fn run_inner(&mut self, scene: &RgbFrame) -> Result<Report> {
         let input = self.acquire(scene)?;
         let Self {
             executor,
@@ -690,8 +715,23 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Same as [`Session::run`], checked per frame.
+    /// Same as [`Session::run`], checked per frame. As with [`Session::run`],
+    /// a failed batch still consumes one frame index per scene.
     pub fn run_batch(&mut self, scenes: &[RgbFrame]) -> Result<Vec<Report>> {
+        if scenes.is_empty() {
+            // Nothing to acquire or execute: leave the executor (and its
+            // noise-stream position) untouched instead of programming the
+            // weight DACs for zero frames.
+            return Ok(Vec::new());
+        }
+        let index = self.executor.next_frame_index();
+        let result = self.run_batch_inner(scenes);
+        self.executor
+            .set_next_frame_index(index + scenes.len() as u64);
+        result
+    }
+
+    fn run_batch_inner(&mut self, scenes: &[RgbFrame]) -> Result<Vec<Report>> {
         let inputs: Vec<Tensor> = scenes
             .iter()
             .map(|scene| self.acquire(scene))
@@ -740,6 +780,30 @@ impl Session {
             .collect())
     }
 
+    /// Index of the global frame the next [`Session::run`] executes as.
+    ///
+    /// Fresh sessions start at frame 0 and every processed frame —
+    /// successful or not, on any workload — consumes exactly one index
+    /// ([`Session::run_batch`] one per scene). This is what keeps a serving
+    /// pool's ticket accounting aligned with sequential execution even
+    /// around failed requests.
+    #[must_use]
+    pub fn next_frame_index(&self) -> u64 {
+        self.executor.next_frame_index()
+    }
+
+    /// Positions the session at global frame `index`.
+    ///
+    /// The analog-noise stream is a deterministic function of
+    /// `(seed, frame index)`, so a session that seeks to `index` before
+    /// running a frame produces exactly what a single sequential session
+    /// would have produced for its `index`-th frame. A sharded serving pool
+    /// seeks each shard to the ticket of the batch it drained, which is what
+    /// keeps pooled execution bit-identical to sequential execution.
+    pub fn seek_frame(&mut self, index: u64) {
+        self.executor.set_next_frame_index(index);
+    }
+
     /// Adapts an iterator of frames into a streaming iterator of reports,
     /// processing one frame per `next()` call.
     pub fn process_iter<I>(&mut self, frames: I) -> ProcessIter<'_, I::IntoIter>
@@ -772,6 +836,15 @@ impl Session {
         }
     }
 }
+
+// Compile-time guarantee that the facade types can cross threads: the serve
+// crate moves cloned `Session`s into shard worker threads and shares the
+// `Platform` across clients.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<Platform>();
+    require_send_sync::<Session>();
+};
 
 /// Streaming adapter returned by [`Session::process_iter`].
 #[derive(Debug)]
@@ -1023,6 +1096,99 @@ mod tests {
             .expect("session");
         let got = batched.run_batch(&scenes).expect("ok");
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn empty_batch_returns_no_reports_and_leaves_the_session_untouched() {
+        // Regression: `run_batch(&[])` used to hand the executor an empty
+        // input list; it must early-return without touching any state.
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .build()
+            .expect("platform with default (noisy) optics");
+        let model = tiny_model([1, 4, 4], 3);
+        let mut touched = platform
+            .session(Workload::Classify {
+                model: model.clone(),
+            })
+            .expect("session");
+        assert_eq!(touched.run_batch(&[]).expect("empty batch"), Vec::new());
+        assert_eq!(touched.next_frame_index(), 0, "frame index advanced");
+
+        // The next frame behaves exactly as on a session that never saw the
+        // empty batch — including its analog noise draw.
+        let mut fresh = platform
+            .session(Workload::Classify { model })
+            .expect("session");
+        let scene = RgbFrame::filled(8, 8, [0.3, 0.8, 0.5]).expect("ok");
+        assert_eq!(
+            touched.run(&scene).expect("ok"),
+            fresh.run(&scene).expect("ok")
+        );
+    }
+
+    #[test]
+    fn failed_frames_still_consume_their_frame_index() {
+        // A failed frame must not shift the noise stream of later frames:
+        // the session behaves as if the slot was used, matching a serving
+        // pool's per-ticket accounting.
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .build()
+            .expect("platform");
+        let workload = || Workload::Classify {
+            model: tiny_model([1, 4, 4], 3),
+        };
+        let good = RgbFrame::filled(8, 8, [0.3, 0.8, 0.5]).expect("ok");
+        let bad = RgbFrame::filled(6, 6, [0.5, 0.5, 0.5]).expect("ok");
+
+        let mut with_error = platform.session(workload()).expect("session");
+        assert!(with_error.run(&bad).is_err());
+        assert_eq!(with_error.next_frame_index(), 1, "error skipped the slot");
+        let after_error = with_error.run(&good).expect("ok");
+
+        let mut seeked = platform.session(workload()).expect("session");
+        seeked.seek_frame(1);
+        assert_eq!(seeked.run(&good).expect("ok"), after_error);
+
+        // Batches account the same way: a failed batch consumes one index
+        // per scene.
+        let mut batched = platform.session(workload()).expect("session");
+        assert!(batched
+            .run_batch(&[good.clone(), bad, good.clone()])
+            .is_err());
+        assert_eq!(batched.next_frame_index(), 3);
+        assert_eq!(batched.run(&good).expect("ok"), {
+            let mut reference = platform.session(workload()).expect("session");
+            reference.seek_frame(3);
+            reference.run(&good).expect("ok")
+        });
+    }
+
+    #[test]
+    fn seeked_sessions_reproduce_sequential_frames() {
+        // With the paper's (noisy) optics: running frame i on a session
+        // seeked to i matches the i-th frame of a sequential session.
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .build()
+            .expect("platform");
+        let scenes: Vec<RgbFrame> = (0..4)
+            .map(|i| RgbFrame::filled(8, 8, [0.1 + 0.2 * f64::from(i), 0.4, 0.6]).expect("ok"))
+            .collect();
+        let workload = || Workload::Classify {
+            model: tiny_model([1, 4, 4], 3),
+        };
+        let mut sequential = platform.session(workload()).expect("session");
+        let expected: Vec<Report> = scenes
+            .iter()
+            .map(|s| sequential.run(s).expect("ok"))
+            .collect();
+        for (i, scene) in scenes.iter().enumerate() {
+            let mut seeked = platform.session(workload()).expect("session");
+            seeked.seek_frame(i as u64);
+            assert_eq!(seeked.run(scene).expect("ok"), expected[i]);
+        }
     }
 
     #[test]

@@ -24,12 +24,18 @@ use lightator_nn::quant::PrecisionSchedule;
 use lightator_photonics::units::Area;
 use std::fmt::Write as _;
 
-/// One typed field write: `key = value`.
-fn line(out: &mut String, key: &str, value: impl std::fmt::Display) {
+/// Writes one typed field as a `key = value` line.
+///
+/// Shared by every config type that serialises to the text format (the
+/// platform config here, the serve config in `lightator-serve`).
+pub fn write_line(out: &mut String, key: &str, value: impl std::fmt::Display) {
     let _ = writeln!(out, "{key} = {value}");
 }
 
-fn malformed(key: &str, detail: impl std::fmt::Display) -> CoreError {
+/// Builds the [`CoreError::InvalidConfig`] reported for a malformed value of
+/// `key` in the text format.
+#[must_use]
+pub fn malformed_value(key: &str, detail: impl std::fmt::Display) -> CoreError {
     CoreError::invalid_config(
         "config_text",
         f64::NAN,
@@ -37,33 +43,68 @@ fn malformed(key: &str, detail: impl std::fmt::Display) -> CoreError {
     )
 }
 
-fn parse_usize(key: &str, value: &str) -> Result<usize> {
+/// Parses a `usize` field of the text format.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] naming `key` for non-integer values.
+pub fn parse_usize(key: &str, value: &str) -> Result<usize> {
     value
         .parse::<usize>()
-        .map_err(|_| malformed(key, format!("expected an unsigned integer, got `{value}`")))
+        .map_err(|_| malformed_value(key, format!("expected an unsigned integer, got `{value}`")))
 }
 
-fn parse_u64(key: &str, value: &str) -> Result<u64> {
+/// Parses a `u64` field of the text format.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] naming `key` for non-integer values.
+pub fn parse_u64(key: &str, value: &str) -> Result<u64> {
     value
         .parse::<u64>()
-        .map_err(|_| malformed(key, format!("expected an unsigned integer, got `{value}`")))
+        .map_err(|_| malformed_value(key, format!("expected an unsigned integer, got `{value}`")))
 }
 
-fn parse_f64(key: &str, value: &str) -> Result<f64> {
+/// Parses an `f64` field of the text format.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] naming `key` for non-numeric values.
+pub fn parse_f64(key: &str, value: &str) -> Result<f64> {
     value
         .parse::<f64>()
-        .map_err(|_| malformed(key, format!("expected a number, got `{value}`")))
+        .map_err(|_| malformed_value(key, format!("expected a number, got `{value}`")))
 }
 
-fn parse_bool(key: &str, value: &str) -> Result<bool> {
+/// Parses a `bool` field of the text format (`true`/`false` only).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] naming `key` for anything else.
+pub fn parse_bool(key: &str, value: &str) -> Result<bool> {
     match value {
         "true" => Ok(true),
         "false" => Ok(false),
-        other => Err(malformed(
+        other => Err(malformed_value(
             key,
             format!("expected true/false, got `{other}`"),
         )),
     }
+}
+
+/// Splits one non-comment line of the text format into `(key, value)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when the line has no `=`.
+pub fn split_key_value(line: &str) -> Result<(&str, &str)> {
+    let (key, value) = line.split_once('=').ok_or_else(|| {
+        malformed_value(
+            "config_text",
+            format!("expected `key = value`, got `{line}`"),
+        )
+    })?;
+    Ok((key.trim(), value.trim()))
 }
 
 impl PlatformConfig {
@@ -77,102 +118,102 @@ impl PlatformConfig {
         out.push_str("# Lightator platform configuration\n");
 
         let g = &self.hardware.geometry;
-        line(&mut out, "geometry.mrs_per_arm", g.mrs_per_arm);
-        line(&mut out, "geometry.arms_per_bank", g.arms_per_bank);
-        line(&mut out, "geometry.bank_columns", g.bank_columns);
-        line(&mut out, "geometry.bank_rows", g.bank_rows);
-        line(&mut out, "geometry.ca_banks", g.ca_banks);
+        write_line(&mut out, "geometry.mrs_per_arm", g.mrs_per_arm);
+        write_line(&mut out, "geometry.arms_per_bank", g.arms_per_bank);
+        write_line(&mut out, "geometry.bank_columns", g.bank_columns);
+        write_line(&mut out, "geometry.bank_rows", g.bank_rows);
+        write_line(&mut out, "geometry.ca_banks", g.ca_banks);
 
         let p = &self.hardware.periphery;
-        line(&mut out, "periphery.dacs_per_arm", p.dacs_per_arm);
-        line(&mut out, "periphery.adcs_per_bank", p.adcs_per_bank);
-        line(&mut out, "periphery.vcsels_per_arm", p.vcsels_per_arm);
-        line(&mut out, "periphery.crc_units", p.crc_units);
-        line(&mut out, "periphery.weight_sram_kib", p.weight_sram_kib);
-        line(
+        write_line(&mut out, "periphery.dacs_per_arm", p.dacs_per_arm);
+        write_line(&mut out, "periphery.adcs_per_bank", p.adcs_per_bank);
+        write_line(&mut out, "periphery.vcsels_per_arm", p.vcsels_per_arm);
+        write_line(&mut out, "periphery.crc_units", p.crc_units);
+        write_line(&mut out, "periphery.weight_sram_kib", p.weight_sram_kib);
+        write_line(
             &mut out,
             "periphery.activation_sram_kib",
             p.activation_sram_kib,
         );
 
         let w = &self.hardware.power;
-        line(&mut out, "power.dac_power_mw", w.dac_power_mw);
-        line(&mut out, "power.adc_power_mw", w.adc_power_mw);
-        line(
+        write_line(&mut out, "power.dac_power_mw", w.dac_power_mw);
+        write_line(&mut out, "power.adc_power_mw", w.adc_power_mw);
+        write_line(
             &mut out,
             "power.adc_energy_per_conversion_pj",
             w.adc_energy_per_conversion_pj,
         );
-        line(&mut out, "power.mr_tuning_power_mw", w.mr_tuning_power_mw);
-        line(
+        write_line(&mut out, "power.mr_tuning_power_mw", w.mr_tuning_power_mw);
+        write_line(
             &mut out,
             "power.crc_comparator_power_uw",
             w.crc_comparator_power_uw,
         );
-        line(&mut out, "power.vcsel_power_mw", w.vcsel_power_mw);
-        line(&mut out, "power.bpd_power_mw", w.bpd_power_mw);
-        line(&mut out, "power.controller_power_mw", w.controller_power_mw);
-        line(
+        write_line(&mut out, "power.vcsel_power_mw", w.vcsel_power_mw);
+        write_line(&mut out, "power.bpd_power_mw", w.bpd_power_mw);
+        write_line(&mut out, "power.controller_power_mw", w.controller_power_mw);
+        write_line(
             &mut out,
             "power.sram_read_energy_per_byte_pj",
             w.sram_read_energy_per_byte_pj,
         );
-        line(
+        write_line(
             &mut out,
             "power.sram_write_energy_per_byte_pj",
             w.sram_write_energy_per_byte_pj,
         );
-        line(
+        write_line(
             &mut out,
             "power.sram_leakage_per_kib_uw",
             w.sram_leakage_per_kib_uw,
         );
-        line(&mut out, "power.optical_cycle_ns", w.optical_cycle_ns);
-        line(&mut out, "power.electronic_cycle_ns", w.electronic_cycle_ns);
+        write_line(&mut out, "power.optical_cycle_ns", w.optical_cycle_ns);
+        write_line(&mut out, "power.electronic_cycle_ns", w.electronic_cycle_ns);
 
         let n = &self.hardware.noise;
-        line(
+        write_line(
             &mut out,
             "noise.vcsel_relative_sigma",
             n.vcsel_relative_sigma,
         );
-        line(
+        write_line(
             &mut out,
             "noise.detector_relative_sigma",
             n.detector_relative_sigma,
         );
-        line(&mut out, "noise.weight_sigma", n.weight_sigma);
-        line(&mut out, "noise.apply_crosstalk", n.apply_crosstalk);
+        write_line(&mut out, "noise.weight_sigma", n.weight_sigma);
+        write_line(&mut out, "noise.apply_crosstalk", n.apply_crosstalk);
 
         let t = &self.hardware.timing;
-        line(
+        write_line(
             &mut out,
             "timing.weight_reload_cycles_per_bank",
             t.weight_reload_cycles_per_bank,
         );
-        line(
+        write_line(
             &mut out,
             "timing.electronic_post_cycles_per_kilo_output",
             t.electronic_post_cycles_per_kilo_output,
         );
-        line(
+        write_line(
             &mut out,
             "timing.optical_cycles_per_wave",
             t.optical_cycles_per_wave,
         );
 
-        line(&mut out, "area_mm2", self.hardware.area.mm2());
-        line(&mut out, "sensor.height", self.sensor.height);
-        line(&mut out, "sensor.width", self.sensor.width);
+        write_line(&mut out, "area_mm2", self.hardware.area.mm2());
+        write_line(&mut out, "sensor.height", self.sensor.height);
+        write_line(&mut out, "sensor.width", self.sensor.width);
 
-        line(&mut out, "ca.enabled", self.ca.is_some());
+        write_line(&mut out, "ca.enabled", self.ca.is_some());
         if let Some(ca) = &self.ca {
-            line(&mut out, "ca.pooling_window", ca.pooling_window);
-            line(&mut out, "ca.rgb_to_grayscale", ca.rgb_to_grayscale);
+            write_line(&mut out, "ca.pooling_window", ca.pooling_window);
+            write_line(&mut out, "ca.rgb_to_grayscale", ca.rgb_to_grayscale);
         }
 
-        line(&mut out, "schedule", self.schedule.label());
-        line(&mut out, "seed", self.seed);
+        write_line(&mut out, "schedule", self.schedule.label());
+        write_line(&mut out, "seed", self.seed);
         out
     }
 
@@ -199,13 +240,7 @@ impl PlatformConfig {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            let (key, value) = trimmed.split_once('=').ok_or_else(|| {
-                malformed(
-                    "config_text",
-                    format!("expected `key = value`, got `{trimmed}`"),
-                )
-            })?;
-            let (key, value) = (key.trim(), value.trim());
+            let (key, value) = split_key_value(trimmed)?;
             match key {
                 "geometry.mrs_per_arm" => {
                     config.hardware.geometry.mrs_per_arm = parse_usize(key, value)?;
@@ -322,14 +357,15 @@ impl PlatformConfig {
                     ca.rgb_to_grayscale = parse_bool(key, value)?;
                 }
                 "schedule" => {
-                    config.schedule = PrecisionSchedule::parse_label(value)
-                        .map_err(|_| malformed(key, format!("unrecognised schedule `{value}`")))?;
+                    config.schedule = PrecisionSchedule::parse_label(value).map_err(|_| {
+                        malformed_value(key, format!("unrecognised schedule `{value}`"))
+                    })?;
                 }
                 "seed" => {
                     config.seed = parse_u64(key, value)?;
                 }
                 unknown => {
-                    return Err(malformed(
+                    return Err(malformed_value(
                         unknown,
                         "unknown configuration key (check for typos)",
                     ));

@@ -127,6 +127,12 @@ impl OpticalArm {
         &self.config
     }
 
+    /// Re-aligns the arm's noise injector with a freshly (re)seeded RNG
+    /// stream (see [`NoiseInjector::reset`]). MR weights stay loaded.
+    pub fn reset_noise(&mut self) {
+        self.injector.reset();
+    }
+
     /// Number of MAC elements the arm evaluates per cycle.
     #[must_use]
     pub fn channels(&self) -> usize {

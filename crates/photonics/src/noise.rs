@@ -100,6 +100,16 @@ impl GaussianSampler {
         Self::default()
     }
 
+    /// Drops the cached Box–Muller spare, re-aligning the sampler with the
+    /// underlying RNG stream.
+    ///
+    /// Call this whenever the RNG is reseeded (e.g. at a frame boundary of
+    /// the frame-indexed noise streams): the spare was drawn from the *old*
+    /// stream and would otherwise leak across the reseed.
+    pub fn reset(&mut self) {
+        self.cached = None;
+    }
+
     /// Draws one sample from `N(mean, sigma²)`.
     ///
     /// A `sigma` of zero returns `mean` exactly without consuming entropy.
@@ -143,6 +153,12 @@ impl NoiseInjector {
     #[must_use]
     pub fn config(&self) -> &NoiseConfig {
         &self.config
+    }
+
+    /// Re-aligns the injector with a freshly (re)seeded RNG stream by
+    /// clearing the sampler's cached spare (see [`GaussianSampler::reset`]).
+    pub fn reset(&mut self) {
+        self.sampler.reset();
     }
 
     /// Perturbs a normalised VCSEL intensity (full scale = 1.0). The result

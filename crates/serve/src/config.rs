@@ -1,0 +1,245 @@
+//! Server configuration and its `key = value` text round-trip.
+//!
+//! [`ServeConfig`] reuses the dependency-free text format of
+//! [`lightator_core::textcfg`], so a platform file and a serve file share
+//! one syntax:
+//!
+//! ```
+//! use lightator_serve::ServeConfig;
+//!
+//! # fn main() -> Result<(), lightator_serve::ServeError> {
+//! let config = ServeConfig {
+//!     shards: 4,
+//!     ..ServeConfig::default()
+//! };
+//! assert_eq!(ServeConfig::from_text(&config.to_text())?, config);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{Result, ServeError};
+use lightator_core::textcfg::{
+    malformed_value, parse_f64, parse_u64, parse_usize, split_key_value, write_line,
+};
+use lightator_photonics::units::Time;
+
+/// Complete description of one serving deployment: how many shards serve
+/// each workload group, how requests batch, and how much queueing the
+/// admission controller tolerates.
+///
+/// Build values through [`crate::ServerBuilder`]; round-trip them through
+/// [`ServeConfig::to_text`] / [`ServeConfig::from_text`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads per workload group, each owning one virtual Lightator
+    /// chip (its own seeded `Session`).
+    pub shards: usize,
+    /// Largest number of frames one `run_batch` call serves (the weights
+    /// are programmed once per batch).
+    pub max_batch: usize,
+    /// Bound on queued requests per workload group; requests beyond it are
+    /// rejected with [`ServeError::Overloaded`] instead of blocking.
+    pub queue_depth: usize,
+    /// How long (in simulated time) a shard holds a partial batch open for
+    /// stragglers before flushing it. Zero flushes as soon as the queue is
+    /// drained.
+    pub flush_deadline: Time,
+    /// Distance between consecutive shard noise seeds. Zero (the default)
+    /// keeps every shard on the platform seed, which — together with the
+    /// frame-indexed noise streams — makes pooled serving bit-identical to
+    /// sequential execution. A non-zero stride decorrelates the shards'
+    /// analog noise, modelling physically distinct chips.
+    pub seed_stride: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            max_batch: 4,
+            queue_depth: 32,
+            flush_deadline: Time::from_ns(0.0),
+            seed_stride: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the violated
+    /// constraint: zero shards, a zero batch bound, a zero queue depth, or
+    /// a non-finite/negative flush deadline.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "at least one shard is needed per workload group".into(),
+            });
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_batch must admit at least one frame per batch".into(),
+            });
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue_depth must admit at least one queued request".into(),
+            });
+        }
+        if !self.flush_deadline.ns().is_finite() || self.flush_deadline.ns() < 0.0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "flush_deadline must be a finite, non-negative simulated time \
+                     (got {} ns)",
+                    self.flush_deadline.ns()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialises the configuration to the `key = value` text format shared
+    /// with `PlatformConfig`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Lightator serve configuration\n");
+        write_line(&mut out, "serve.shards", self.shards);
+        write_line(&mut out, "serve.max_batch", self.max_batch);
+        write_line(&mut out, "serve.queue_depth", self.queue_depth);
+        write_line(
+            &mut out,
+            "serve.flush_deadline_ns",
+            self.flush_deadline.ns(),
+        );
+        write_line(&mut out, "serve.seed_stride", self.seed_stride);
+        out
+    }
+
+    /// Parses the `key = value` text format produced by
+    /// [`ServeConfig::to_text`].
+    ///
+    /// Missing keys keep their defaults; unknown keys and malformed values
+    /// are rejected with an error naming the offending line. The result is
+    /// *not* re-validated here; call [`ServeConfig::validate`] (or let
+    /// `ServerBuilder::build` do it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] wrapping the text-format error for
+    /// syntax errors, unknown keys or unparsable values.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut config = Self::default();
+        for raw in text.lines() {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (key, value) = split_key_value(trimmed)?;
+            match key {
+                "serve.shards" => config.shards = parse_usize(key, value)?,
+                "serve.max_batch" => config.max_batch = parse_usize(key, value)?,
+                "serve.queue_depth" => config.queue_depth = parse_usize(key, value)?,
+                "serve.flush_deadline_ns" => {
+                    config.flush_deadline = Time::from_ns(parse_f64(key, value)?);
+                }
+                "serve.seed_stride" => config.seed_stride = parse_u64(key, value)?,
+                unknown => {
+                    return Err(malformed_value(
+                        unknown,
+                        "unknown serve configuration key (check for typos)",
+                    )
+                    .into());
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_round_trips() {
+        let config = ServeConfig::default();
+        assert_eq!(
+            ServeConfig::from_text(&config.to_text()).expect("parse"),
+            config
+        );
+    }
+
+    #[test]
+    fn customised_config_round_trips() {
+        let config = ServeConfig {
+            shards: 4,
+            max_batch: 8,
+            queue_depth: 128,
+            flush_deadline: Time::from_us(2.5),
+            seed_stride: 17,
+        };
+        assert_eq!(
+            ServeConfig::from_text(&config.to_text()).expect("parse"),
+            config
+        );
+    }
+
+    #[test]
+    fn partial_configs_fall_back_to_defaults() {
+        let parsed = ServeConfig::from_text("serve.shards = 3\n").expect("parse");
+        assert_eq!(parsed.shards, 3);
+        assert_eq!(parsed.max_batch, ServeConfig::default().max_batch);
+        assert_eq!(parsed.queue_depth, ServeConfig::default().queue_depth);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let parsed = ServeConfig::from_text("# a comment\n\nserve.max_batch = 6\n").expect("ok");
+        assert_eq!(parsed.max_batch, 6);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected_with_context() {
+        let err = ServeConfig::from_text("serve.shards = four").expect_err("bad value");
+        assert!(err.to_string().contains("serve.shards"));
+        let err = ServeConfig::from_text("serve.shardz = 4").expect_err("typo");
+        assert!(err.to_string().contains("unknown serve configuration key"));
+        assert!(ServeConfig::from_text("no equals sign").is_err());
+    }
+
+    #[test]
+    fn validation_names_the_violated_constraint() {
+        let bad = ServeConfig {
+            shards: 0,
+            ..ServeConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().to_string().contains("shard"));
+        let bad = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_batch"));
+        let bad = ServeConfig {
+            queue_depth: 0,
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("queue_depth"));
+        let bad = ServeConfig {
+            flush_deadline: Time::from_ns(f64::NAN),
+            ..ServeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,77 @@
+//! `lightator-serve`: a sharded, micro-batching inference server on top of
+//! the [`Platform`](lightator_core::platform::Platform) facade.
+//!
+//! The paper's throughput story (KFPS per watt) only pays off when frames
+//! keep flowing; this crate turns the per-batch weight-stationary win of
+//! `Session::run_batch` into system-level throughput. It is std-only
+//! (`std::thread` + `Mutex`/`Condvar`, no async runtime):
+//!
+//! * a [`ServerBuilder`] mirrors the `PlatformBuilder` idiom: shards per
+//!   workload group, `max_batch`, bounded `queue_depth`, a flush deadline
+//!   in simulated time, per-shard seed stride;
+//! * a **shard pool** of worker threads, each owning its own seeded
+//!   `Session` — one virtual Lightator chip with its own simulated
+//!   timeline;
+//! * a **dynamic micro-batcher** drains each group's bounded queue into
+//!   `run_batch` calls of up to `max_batch` frames (flush on deadline or
+//!   queue-empty), so the quantized MR weights are programmed once per
+//!   batch;
+//! * a **router** dispatches typed [`Request`]s to the matching workload
+//!   group (classify / acquire / image kernel);
+//! * **admission control** rejects with [`ServeError::Overloaded`] when a
+//!   queue is full instead of blocking forever;
+//! * **telemetry** ([`MetricsSnapshot`]) reports sustained throughput,
+//!   p50/p95/p99 queueing latency, queue depth and the per-shard
+//!   batch-size distribution;
+//! * **graceful shutdown** drains all in-flight work before the workers
+//!   exit.
+//!
+//! Serving is **deterministic**: every admitted request gets a ticket (its
+//! global frame index), shards execute contiguous-ticket batches at those
+//! indices, and the analog-noise stream is a pure function of
+//! `(seed, frame index)` — so a multi-shard pool produces bit-identical
+//! reports to one sequential `Session`, analog noise included.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lightator_core::platform::{Platform, Workload};
+//! use lightator_sensor::frame::RgbFrame;
+//! use lightator_serve::{Request, Server};
+//!
+//! # fn main() -> Result<(), lightator_serve::ServeError> {
+//! let platform = Platform::builder().sensor_resolution(8, 8).build()?;
+//! let server = Server::builder(platform)
+//!     .shards(2)
+//!     .max_batch(4)
+//!     .queue_depth(32)
+//!     .workload(Workload::Acquire)
+//!     .build()?;
+//!
+//! let frame = RgbFrame::filled(8, 8, [0.7, 0.4, 0.2]).expect("valid frame");
+//! let report = server.run(Request::Acquire { frame })?;
+//! assert_eq!(report.workload, "acquire");
+//!
+//! let metrics = server.shutdown();
+//! assert_eq!(metrics.completed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod request;
+pub mod server;
+
+mod queue;
+mod shard;
+
+pub use config::ServeConfig;
+pub use error::{Result, ServeError};
+pub use metrics::{MetricsSnapshot, ShardSnapshot};
+pub use request::{Pending, Request};
+pub use server::{Server, ServerBuilder};

@@ -1,0 +1,359 @@
+//! Serving telemetry: the virtual clock, the queue-wait histogram and the
+//! public [`MetricsSnapshot`].
+//!
+//! All serving time is **simulated** time. Each shard models one Lightator
+//! chip with its own timeline: a batch of `B` frames occupies the shard for
+//! `B × frame_latency` of simulated time, starting no earlier than the
+//! newest request it contains arrived and no earlier than the shard's
+//! previous batch finished. A global virtual clock tracks the latest
+//! completion so arrivals are stamped causally. Measuring in simulated time
+//! keeps the figures meaningful for the accelerator (KFPS-scale latencies)
+//! and independent of how many host CPUs happen to run the simulation.
+
+use lightator_photonics::units::Time;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets in [`LatencyHistogram`].
+const BUCKETS: usize = 64;
+
+/// The server-wide simulated clock (nanoseconds).
+///
+/// Advanced to each batch's completion time; read to stamp request
+/// arrivals. Monotone by construction (`fetch_max`).
+#[derive(Debug, Default)]
+pub(crate) struct VirtualClock {
+    now_ns: AtomicU64,
+}
+
+impl VirtualClock {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub(crate) fn now(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+
+    /// Moves the clock forward to `ns` (never backwards).
+    pub(crate) fn advance_to(&self, ns: u64) {
+        self.now_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free fixed-bucket latency histogram over simulated nanoseconds.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` ns (bucket 0 is exactly zero), so 64
+/// buckets span any `u64` latency with ≤ 2× quantile resolution — plenty
+/// for p50/p95/p99 queueing-latency tracking without allocation on the
+/// serving path.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // Bit width of the sample, saturated into the last bucket.
+        ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub(crate) fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0 < q <= 1`), or zero when the histogram is empty.
+    pub(crate) fn quantile(&self, q: f64) -> Time {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Time::from_ns(0.0);
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper_ns = if i == 0 { 0u64 } else { 1u64 << i };
+                return Time::from_ns(upper_ns as f64);
+            }
+        }
+        unreachable!("rank is bounded by the total sample count")
+    }
+}
+
+/// Per-shard counters, updated by the owning worker thread.
+#[derive(Debug)]
+pub(crate) struct ShardMetrics {
+    pub(crate) label: String,
+    pub(crate) batches: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    /// `batch_sizes[s - 1]` counts batches of exactly `s` frames.
+    pub(crate) batch_sizes: Vec<AtomicU64>,
+}
+
+/// Shared mutable telemetry behind the public snapshot.
+#[derive(Debug)]
+pub(crate) struct MetricsInner {
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) errored: AtomicU64,
+    pub(crate) queue_wait: LatencyHistogram,
+    pub(crate) first_start_ns: AtomicU64,
+    pub(crate) last_completion_ns: AtomicU64,
+    pub(crate) shards: Vec<ShardMetrics>,
+}
+
+impl MetricsInner {
+    pub(crate) fn new(shard_labels: Vec<String>, max_batch: usize) -> Self {
+        Self {
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errored: AtomicU64::new(0),
+            queue_wait: LatencyHistogram::new(),
+            first_start_ns: AtomicU64::new(u64::MAX),
+            last_completion_ns: AtomicU64::new(0),
+            shards: shard_labels
+                .into_iter()
+                .map(|label| ShardMetrics {
+                    label,
+                    batches: AtomicU64::new(0),
+                    frames: AtomicU64::new(0),
+                    batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self, queued: usize) -> MetricsSnapshot {
+        let first = self.first_start_ns.load(Ordering::Relaxed);
+        let last = self.last_completion_ns.load(Ordering::Relaxed);
+        let span_ns = if first == u64::MAX {
+            0.0
+        } else {
+            last.saturating_sub(first) as f64
+        };
+        MetricsSnapshot {
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errored: self.errored.load(Ordering::Relaxed),
+            queued,
+            p50_queue_wait: self.queue_wait.quantile(0.50),
+            p95_queue_wait: self.queue_wait.quantile(0.95),
+            p99_queue_wait: self.queue_wait.quantile(0.99),
+            simulated_span: Time::from_ns(span_ns),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    shard: s.label.clone(),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    frames: s.frames.load(Ordering::Relaxed),
+                    batch_sizes: s
+                        .batch_sizes
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of the server's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Frames served successfully.
+    pub completed: u64,
+    /// Requests bounced by admission control (queue full).
+    pub rejected: u64,
+    /// Frames whose execution returned an error.
+    pub errored: u64,
+    /// Requests currently queued across all workload groups.
+    pub queued: usize,
+    /// Median simulated queueing latency (arrival → batch start).
+    pub p50_queue_wait: Time,
+    /// 95th-percentile simulated queueing latency.
+    pub p95_queue_wait: Time,
+    /// 99th-percentile simulated queueing latency.
+    pub p99_queue_wait: Time,
+    /// Simulated time between the first batch start and the latest batch
+    /// completion — the denominator of [`MetricsSnapshot::throughput_fps`].
+    pub simulated_span: Time,
+    /// Per-shard batch statistics, one entry per worker thread.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Sustained serving throughput in frames per simulated second.
+    ///
+    /// Because every shard is an independent virtual chip, this scales with
+    /// the shard count when the offered load saturates the pool — the
+    /// system-level payoff of the paper's per-chip KFPS figure.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        if self.simulated_span.seconds() == 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.simulated_span.seconds()
+    }
+
+    /// Renders the snapshot as the metrics table printed by
+    /// `examples/serving.rs`.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<26} {:>12}", "completed frames", self.completed);
+        let _ = writeln!(out, "{:<26} {:>12}", "rejected (overload)", self.rejected);
+        let _ = writeln!(out, "{:<26} {:>12}", "errored", self.errored);
+        let _ = writeln!(out, "{:<26} {:>12}", "queued now", self.queued);
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9.3} us",
+            "p50 queue wait",
+            self.p50_queue_wait.us()
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9.3} us",
+            "p95 queue wait",
+            self.p95_queue_wait.us()
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9.3} us",
+            "p99 queue wait",
+            self.p99_queue_wait.us()
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12.0}",
+            "throughput (frames/s, sim)",
+            self.throughput_fps()
+        );
+        let _ = writeln!(out, "per-shard batches (size: count):");
+        for shard in &self.shards {
+            let sizes: Vec<String> = shard
+                .batch_sizes
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(i, count)| format!("{}: {}", i + 1, count))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>5} frames in {:>4} batches (mean {:.2}) [{}]",
+                shard.shard,
+                shard.frames,
+                shard.batches,
+                shard.mean_batch_size(),
+                sizes.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// Batch statistics of one shard (worker thread).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard label: `<workload>/<index>`.
+    pub shard: String,
+    /// Batches executed.
+    pub batches: u64,
+    /// Frames served.
+    pub frames: u64,
+    /// `batch_sizes[s - 1]` counts batches of exactly `s` frames — the
+    /// micro-batcher's batch-size distribution.
+    pub batch_sizes: Vec<u64>,
+}
+
+impl ShardSnapshot {
+    /// Mean frames per batch on this shard.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.frames as f64 / self.batches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = VirtualClock::new();
+        clock.advance_to(10);
+        clock.advance_to(5);
+        assert_eq!(clock.now(), 10);
+        clock.advance_to(25);
+        assert_eq!(clock.now(), 25);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bracket_the_samples() {
+        let hist = LatencyHistogram::new();
+        for ns in [0u64, 3, 3, 40, 40, 40, 500, 500, 6_000, 70_000] {
+            hist.record(ns);
+        }
+        let p50 = hist.quantile(0.50);
+        let p95 = hist.quantile(0.95);
+        let p99 = hist.quantile(0.99);
+        assert!(p50.ns() <= p95.ns());
+        assert!(p95.ns() <= p99.ns());
+        // p50 falls in the bucket of the 40 ns samples: (32, 64].
+        assert_eq!(p50.ns(), 64.0);
+        // p99 lands on the largest sample's bucket.
+        assert!(p99.ns() >= 70_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.quantile(0.99).ns(), 0.0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_zero_bucket() {
+        let hist = LatencyHistogram::new();
+        hist.record(0);
+        assert_eq!(hist.quantile(1.0).ns(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let inner = MetricsInner::new(vec!["classify/0".into()], 4);
+        inner.completed.fetch_add(7, Ordering::Relaxed);
+        inner.shards[0].batches.fetch_add(2, Ordering::Relaxed);
+        inner.shards[0].frames.fetch_add(7, Ordering::Relaxed);
+        inner.shards[0].batch_sizes[3].fetch_add(1, Ordering::Relaxed);
+        inner.shards[0].batch_sizes[2].fetch_add(1, Ordering::Relaxed);
+        inner.first_start_ns.fetch_min(100, Ordering::Relaxed);
+        inner.last_completion_ns.fetch_max(1_100, Ordering::Relaxed);
+        let snap = inner.snapshot(3);
+        assert_eq!(snap.completed, 7);
+        assert_eq!(snap.queued, 3);
+        assert_eq!(snap.simulated_span.ns(), 1_000.0);
+        assert!((snap.throughput_fps() - 7.0 / 1e-6).abs() < 1.0);
+        assert!((snap.shards[0].mean_batch_size() - 3.5).abs() < 1e-12);
+        let table = snap.table();
+        assert!(table.contains("classify/0"));
+        assert!(table.contains("4: 1"));
+    }
+}

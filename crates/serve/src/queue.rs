@@ -1,0 +1,283 @@
+//! The bounded per-group request queue and the micro-batcher's drain rules.
+//!
+//! Every admitted request gets a monotone **ticket** — its global frame
+//! index within the workload group. Tickets drive two guarantees:
+//!
+//! * **Determinism.** A shard seeks its session to the first ticket of the
+//!   batch it drained; because a drain only takes a contiguous run of
+//!   tickets, `run_batch` then executes every frame at exactly the frame
+//!   index a single sequential session would have used.
+//! * **FIFO fairness.** Shards always pop from the front, so no request is
+//!   overtaken within its group.
+//!
+//! Admission control is strictly non-blocking: a full queue rejects with
+//! [`ServeError::Overloaded`] rather than stalling the caller.
+
+use crate::error::{Result, ServeError};
+use crate::metrics::VirtualClock;
+use crate::request::ResponseSlot;
+use lightator_sensor::frame::RgbFrame;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Real-time backstop for the straggler wait: the simulated flush deadline
+/// only advances while other shards complete work, so an otherwise idle
+/// server flushes partial batches after this wall-clock pause instead.
+const STRAGGLER_BACKSTOP: Duration = Duration::from_micros(200);
+
+/// One admitted request, queued for a shard group.
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    pub(crate) frame: RgbFrame,
+    /// Global frame index of this request within its workload group.
+    pub(crate) ticket: u64,
+    /// Simulated arrival time (virtual-clock stamp at admission).
+    pub(crate) arrival_ns: u64,
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    deque: VecDeque<QueuedRequest>,
+    next_ticket: u64,
+    shutdown: bool,
+}
+
+/// The bounded MPMC queue one workload group's shards drain.
+#[derive(Debug)]
+pub(crate) struct SharedQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl SharedQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(QueueState {
+                deque: VecDeque::new(),
+                next_ticket: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Requests currently waiting in this queue.
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").deque.len()
+    }
+
+    /// Admits one request, assigning it the group's next ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] once shutdown began.
+    pub(crate) fn push(
+        &self,
+        frame: RgbFrame,
+        arrival_ns: u64,
+        slot: Arc<ResponseSlot>,
+    ) -> Result<u64> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.deque.len() >= self.capacity {
+            return Err(ServeError::Overloaded {
+                queue_depth: self.capacity,
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.deque.push_back(QueuedRequest {
+            frame,
+            ticket,
+            arrival_ns,
+            slot,
+        });
+        drop(state);
+        self.ready.notify_one();
+        Ok(ticket)
+    }
+
+    /// Begins shutdown: no further admissions, all waiting shards wake up
+    /// and drain whatever is still queued before exiting.
+    pub(crate) fn shutdown(&self) {
+        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for work, then drains one micro-batch of up to `max_batch`
+    /// contiguous-ticket requests.
+    ///
+    /// Flush rules: a batch flushes once it reaches `max_batch`, once the
+    /// queue ran dry and the simulated flush deadline (or its real-time
+    /// idle backstop) expired, or once the queue's head is no longer
+    /// contiguous with the batch (another shard drained past us). Returns
+    /// `None` when the queue shut down and nothing is left to drain.
+    pub(crate) fn wait_batch(
+        &self,
+        max_batch: usize,
+        flush_deadline_ns: u64,
+        clock: &VirtualClock,
+    ) -> Option<Vec<QueuedRequest>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.deque.is_empty() {
+                break;
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+        let mut batch = Vec::with_capacity(max_batch);
+        Self::drain_contiguous(&mut state, &mut batch, max_batch);
+        if flush_deadline_ns > 0 {
+            let opened_ns = clock.now();
+            while batch.len() < max_batch && !state.shutdown {
+                if !state.deque.is_empty() {
+                    // Head is non-contiguous with our batch: flush early.
+                    break;
+                }
+                if clock.now().saturating_sub(opened_ns) >= flush_deadline_ns {
+                    break;
+                }
+                let (next, timeout) = self
+                    .ready
+                    .wait_timeout(state, STRAGGLER_BACKSTOP)
+                    .expect("queue poisoned");
+                state = next;
+                let was_empty = state.deque.is_empty();
+                Self::drain_contiguous(&mut state, &mut batch, max_batch);
+                if timeout.timed_out() && was_empty {
+                    // Idle backstop: nothing arrived in real time either.
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Pops queue-front requests into `batch` while their tickets stay
+    /// contiguous and the batch has room.
+    fn drain_contiguous(state: &mut QueueState, batch: &mut Vec<QueuedRequest>, max_batch: usize) {
+        while batch.len() < max_batch {
+            let contiguous = match (batch.last(), state.deque.front()) {
+                (_, None) => false,
+                (None, Some(_)) => true,
+                (Some(last), Some(front)) => front.ticket == last.ticket + 1,
+            };
+            if !contiguous {
+                return;
+            }
+            batch.push(state.deque.pop_front().expect("front checked above"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> RgbFrame {
+        RgbFrame::filled(2, 2, [0.5, 0.5, 0.5]).expect("ok")
+    }
+
+    fn slot() -> Arc<ResponseSlot> {
+        Arc::new(ResponseSlot::new())
+    }
+
+    #[test]
+    fn tickets_are_assigned_in_admission_order() {
+        let queue = SharedQueue::new(4);
+        assert_eq!(queue.push(frame(), 0, slot()).expect("ok"), 0);
+        assert_eq!(queue.push(frame(), 0, slot()).expect("ok"), 1);
+        assert_eq!(queue.push(frame(), 0, slot()).expect("ok"), 2);
+        assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_instead_of_blocking() {
+        let queue = SharedQueue::new(2);
+        queue.push(frame(), 0, slot()).expect("ok");
+        queue.push(frame(), 0, slot()).expect("ok");
+        assert_eq!(
+            queue.push(frame(), 0, slot()),
+            Err(ServeError::Overloaded { queue_depth: 2 })
+        );
+        // Rejections do not consume tickets.
+        let clock = VirtualClock::new();
+        let batch = queue.wait_batch(4, 0, &clock).expect("work");
+        assert_eq!(
+            batch.iter().map(|r| r.ticket).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn wait_batch_drains_up_to_max_batch_in_fifo_order() {
+        let queue = SharedQueue::new(8);
+        for _ in 0..5 {
+            queue.push(frame(), 0, slot()).expect("ok");
+        }
+        let clock = VirtualClock::new();
+        let first = queue.wait_batch(3, 0, &clock).expect("work");
+        assert_eq!(
+            first.iter().map(|r| r.ticket).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let second = queue.wait_batch(3, 0, &clock).expect("work");
+        assert_eq!(
+            second.iter().map(|r| r.ticket).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_wakes_waiters() {
+        let queue = Arc::new(SharedQueue::new(4));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.wait_batch(4, 0, &VirtualClock::new()))
+        };
+        queue.shutdown();
+        assert!(waiter.join().expect("no panic").is_none());
+        assert_eq!(
+            queue.push(frame(), 0, slot()),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn shutdown_still_drains_queued_work() {
+        let queue = SharedQueue::new(4);
+        queue.push(frame(), 0, slot()).expect("ok");
+        queue.shutdown();
+        let clock = VirtualClock::new();
+        assert_eq!(queue.wait_batch(4, 0, &clock).expect("drain").len(), 1);
+        assert!(queue.wait_batch(4, 0, &clock).is_none());
+    }
+
+    #[test]
+    fn straggler_wait_extends_a_partial_batch() {
+        let queue = Arc::new(SharedQueue::new(8));
+        queue.push(frame(), 0, slot()).expect("ok");
+        let worker = {
+            let queue = Arc::clone(&queue);
+            // A generous simulated deadline that never expires (the clock
+            // stays at zero): the batch closes on max_batch.
+            std::thread::spawn(move || queue.wait_batch(2, u64::MAX, &VirtualClock::new()))
+        };
+        // Feed the straggler from this thread; the worker either drains
+        // both up front or picks it up in its wait_timeout loop.
+        queue.push(frame(), 0, slot()).expect("ok");
+        let batch = worker.join().expect("no panic").expect("work");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[1].ticket, batch[0].ticket + 1);
+    }
+}

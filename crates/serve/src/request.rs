@@ -1,0 +1,202 @@
+//! Typed requests, their routing keys and the client-side response handle.
+
+use crate::error::Result;
+use lightator_core::platform::{ImageKernel, Report, Workload};
+use lightator_sensor::frame::RgbFrame;
+use std::sync::{Condvar, Mutex};
+
+/// One frame of work for the server, typed by the workload that should
+/// serve it. The router dispatches each request to the shard group opened
+/// for the matching [`Workload`].
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Classify the frame with the group's trained model.
+    Classify {
+        /// The scene in front of the sensor.
+        frame: RgbFrame,
+    },
+    /// Acquire the frame (raw or CA-compressed, per the platform).
+    Acquire {
+        /// The scene in front of the sensor.
+        frame: RgbFrame,
+    },
+    /// Run a 3×3 image kernel over the acquired frame.
+    ImageKernel {
+        /// The filter to apply; a group must be registered for this exact
+        /// kernel.
+        kernel: ImageKernel,
+        /// The scene in front of the sensor.
+        frame: RgbFrame,
+    },
+}
+
+impl Request {
+    /// Label of the workload this request targets (`classify`, `acquire`,
+    /// `kernel:sobel-x`, ...), matching [`Workload::label`].
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Request::Classify { .. } => "classify".to_string(),
+            Request::Acquire { .. } => "acquire".to_string(),
+            Request::ImageKernel { kernel, .. } => format!("kernel:{}", kernel.name()),
+        }
+    }
+
+    /// Routing key of this request.
+    pub(crate) fn kind(&self) -> RequestKind {
+        match self {
+            Request::Classify { .. } => RequestKind::Classify,
+            Request::Acquire { .. } => RequestKind::Acquire,
+            Request::ImageKernel { kernel, .. } => RequestKind::Kernel(*kernel),
+        }
+    }
+
+    /// The scene to serve, surrendered to the queue.
+    pub(crate) fn into_frame(self) -> RgbFrame {
+        match self {
+            Request::Classify { frame }
+            | Request::Acquire { frame }
+            | Request::ImageKernel { frame, .. } => frame,
+        }
+    }
+}
+
+/// Routing key connecting requests to the shard group serving the matching
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RequestKind {
+    Classify,
+    Acquire,
+    Kernel(ImageKernel),
+}
+
+impl RequestKind {
+    /// The routing key a workload's shard group registers under.
+    pub(crate) fn of_workload(workload: &Workload) -> Self {
+        match workload {
+            Workload::Classify { .. } => RequestKind::Classify,
+            Workload::Acquire => RequestKind::Acquire,
+            Workload::ImageKernel { kernel } => RequestKind::Kernel(*kernel),
+        }
+    }
+}
+
+/// One-shot rendezvous between the client that submitted a request and the
+/// shard that serves it.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    outcome: Mutex<Option<Result<Report>>>,
+    done: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes the outcome and wakes the waiting client.
+    pub(crate) fn fulfil(&self, outcome: Result<Report>) {
+        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        *slot = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the outcome is published, then takes it.
+    pub(crate) fn take(&self) -> Result<Report> {
+        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.done.wait(slot).expect("response slot poisoned");
+        }
+    }
+}
+
+/// Handle to a request admitted into the server's queue.
+///
+/// The server fulfils every admitted request — also during graceful
+/// shutdown, which drains the queue before the workers exit — so
+/// [`Pending::wait`] always terminates once the request was admitted.
+#[derive(Debug)]
+pub struct Pending {
+    slot: std::sync::Arc<ResponseSlot>,
+}
+
+impl Pending {
+    pub(crate) fn new(slot: std::sync::Arc<ResponseSlot>) -> Self {
+        Self { slot }
+    }
+
+    /// Blocks until the shard group serves the request, returning its
+    /// [`Report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::Core`] if the platform rejected the
+    /// frame (e.g. a resolution mismatch).
+    pub fn wait(self) -> Result<Report> {
+        self.slot.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+
+    #[test]
+    fn labels_match_the_workload_labels() {
+        let frame = RgbFrame::filled(4, 4, [0.5, 0.5, 0.5]).expect("ok");
+        assert_eq!(
+            Request::Classify {
+                frame: frame.clone()
+            }
+            .label(),
+            "classify"
+        );
+        assert_eq!(
+            Request::Acquire {
+                frame: frame.clone()
+            }
+            .label(),
+            "acquire"
+        );
+        let request = Request::ImageKernel {
+            kernel: ImageKernel::SobelX,
+            frame,
+        };
+        assert_eq!(request.label(), "kernel:sobel-x");
+        assert_eq!(request.kind(), RequestKind::Kernel(ImageKernel::SobelX));
+    }
+
+    #[test]
+    fn workload_kinds_distinguish_kernels() {
+        assert_eq!(
+            RequestKind::of_workload(&Workload::Acquire),
+            RequestKind::Acquire
+        );
+        assert_ne!(
+            RequestKind::of_workload(&Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            }),
+            RequestKind::of_workload(&Workload::ImageKernel {
+                kernel: ImageKernel::SobelY,
+            })
+        );
+    }
+
+    #[test]
+    fn response_slot_hands_the_outcome_to_the_waiter() {
+        let slot = std::sync::Arc::new(ResponseSlot::new());
+        let waiter = {
+            let slot = std::sync::Arc::clone(&slot);
+            std::thread::spawn(move || slot.take())
+        };
+        slot.fulfil(Err(ServeError::ShuttingDown));
+        assert_eq!(
+            waiter.join().expect("no panic"),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+}

@@ -1,0 +1,524 @@
+//! The server: builder, router, shard pool and lifecycle.
+
+use crate::config::ServeConfig;
+use crate::error::{Result, ServeError};
+use crate::metrics::{MetricsInner, MetricsSnapshot, VirtualClock};
+use crate::queue::SharedQueue;
+use crate::request::{Pending, Request, RequestKind, ResponseSlot};
+use crate::shard::{self, ShardContext};
+use lightator_core::platform::{Platform, Workload};
+use lightator_photonics::units::Time;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Fluent builder for a [`Server`], mirroring the `PlatformBuilder` idiom:
+/// chain the serving knobs, register one or more workloads, and let
+/// [`ServerBuilder::build`] validate everything once and spawn the pool.
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    platform: Platform,
+    config: ServeConfig,
+    workloads: Vec<Workload>,
+}
+
+impl ServerBuilder {
+    /// Starts a builder serving `platform` with the default
+    /// [`ServeConfig`] and no workloads registered yet.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            config: ServeConfig::default(),
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Sets the number of worker threads (virtual chips) per workload
+    /// group.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the largest number of frames one `run_batch` call serves.
+    #[must_use]
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Bounds the number of queued requests per workload group (admission
+    /// control rejects beyond it).
+    #[must_use]
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.config.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets how long (in simulated time) a shard holds a partial batch
+    /// open for stragglers.
+    #[must_use]
+    pub fn flush_deadline(mut self, deadline: Time) -> Self {
+        self.config.flush_deadline = deadline;
+        self
+    }
+
+    /// Sets the distance between consecutive shard noise seeds (zero keeps
+    /// pooled serving bit-identical to sequential execution; see
+    /// [`ServeConfig::seed_stride`]).
+    #[must_use]
+    pub fn seed_stride(mut self, stride: u64) -> Self {
+        self.config.seed_stride = stride;
+        self
+    }
+
+    /// Replaces the whole serving configuration (e.g. one loaded through
+    /// [`ServeConfig::from_text`]).
+    #[must_use]
+    pub fn serve_config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a workload: one shard group (queue + workers) will serve
+    /// requests routed to it.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Validates the configuration, opens every shard's session and spawns
+    /// the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid serving
+    /// configuration, no registered workloads, or two workloads routing to
+    /// the same key; [`ServeError::Core`] when opening a session fails;
+    /// [`ServeError::WorkerSpawn`] when the OS refuses a worker thread (any
+    /// already-spawned workers are stopped and joined first).
+    pub fn build(self) -> Result<Server> {
+        self.config.validate()?;
+        if self.workloads.is_empty() {
+            return Err(ServeError::InvalidConfig {
+                reason: "register at least one workload before build()".into(),
+            });
+        }
+        let clock = Arc::new(VirtualClock::new());
+        let base_seed = self.platform.config().seed;
+
+        // Open every session first so build is all-or-nothing: no threads
+        // are spawned if any workload is rejected by the platform.
+        let mut groups = Vec::new();
+        let mut shard_labels = Vec::new();
+        let mut shard_plans: Vec<(lightator_core::platform::Session, Arc<SharedQueue>, String)> =
+            Vec::new();
+        for workload in &self.workloads {
+            let kind = RequestKind::of_workload(workload);
+            let label = workload.label();
+            if groups.iter().any(|g: &Group| g.kind == kind) {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!("workload `{label}` is registered twice"),
+                });
+            }
+            let queue = Arc::new(SharedQueue::new(self.config.queue_depth));
+            for index in 0..self.config.shards {
+                let seed =
+                    base_seed.wrapping_add(self.config.seed_stride.wrapping_mul(index as u64));
+                let session = self.platform.session_seeded(workload.clone(), seed)?;
+                let shard_label = format!("{label}/{index}");
+                shard_labels.push(shard_label.clone());
+                shard_plans.push((session, Arc::clone(&queue), shard_label));
+            }
+            groups.push(Group { kind, label, queue });
+        }
+
+        let metrics = Arc::new(MetricsInner::new(shard_labels, self.config.max_batch));
+        let flush_deadline_ns = self.config.flush_deadline.ns().ceil() as u64;
+        let mut handles = Vec::with_capacity(shard_plans.len());
+        for (shard_index, (session, queue, shard_label)) in shard_plans.into_iter().enumerate() {
+            let ctx = ShardContext {
+                session,
+                queue,
+                clock: Arc::clone(&clock),
+                metrics: Arc::clone(&metrics),
+                shard_index,
+                max_batch: self.config.max_batch,
+                flush_deadline_ns,
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("lightator-serve:{shard_label}"))
+                .spawn(move || shard::run(ctx));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    // Unwind the partial pool: stop and join the workers
+                    // spawned so far before reporting the failure.
+                    for group in &groups {
+                        group.queue.shutdown();
+                    }
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError::WorkerSpawn {
+                        reason: err.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Server {
+            groups,
+            handles,
+            clock,
+            metrics,
+            config: self.config,
+        })
+    }
+}
+
+/// One workload group: the routing key and the queue its shards drain.
+#[derive(Debug)]
+struct Group {
+    kind: RequestKind,
+    label: String,
+    queue: Arc<SharedQueue>,
+}
+
+/// A running pool of shard workers serving typed requests over one
+/// [`Platform`].
+///
+/// Built through [`Server::builder`]. Submissions are admitted into the
+/// matching workload group's bounded queue (or rejected with
+/// [`ServeError::Overloaded`]); shards drain the queues into micro-batches.
+/// Dropping the server (or calling [`Server::shutdown`]) drains all
+/// in-flight work before the workers exit.
+#[derive(Debug)]
+pub struct Server {
+    groups: Vec<Group>,
+    handles: Vec<JoinHandle<()>>,
+    clock: Arc<VirtualClock>,
+    metrics: Arc<MetricsInner>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Starts a fluent builder serving `platform`.
+    #[must_use]
+    pub fn builder(platform: Platform) -> ServerBuilder {
+        ServerBuilder::new(platform)
+    }
+
+    /// The serving configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Labels of the workload groups this server routes to.
+    #[must_use]
+    pub fn workloads(&self) -> Vec<String> {
+        self.groups.iter().map(|g| g.label.clone()).collect()
+    }
+
+    /// Submits a request, returning a [`Pending`] handle once admitted.
+    ///
+    /// Never blocks: a full queue rejects with
+    /// [`ServeError::Overloaded`] (counted in the metrics) and an
+    /// unregistered workload with [`ServeError::UnknownWorkload`].
+    ///
+    /// # Errors
+    ///
+    /// See above; also [`ServeError::ShuttingDown`] during shutdown.
+    pub fn submit(&self, request: Request) -> Result<Pending> {
+        let kind = request.kind();
+        let group = self.groups.iter().find(|g| g.kind == kind).ok_or_else(|| {
+            ServeError::UnknownWorkload {
+                label: request.label(),
+            }
+        })?;
+        let slot = Arc::new(ResponseSlot::new());
+        let arrival_ns = self.clock.now();
+        match group
+            .queue
+            .push(request.into_frame(), arrival_ns, Arc::clone(&slot))
+        {
+            Ok(_ticket) => Ok(Pending::new(slot)),
+            Err(err) => {
+                if matches!(err, ServeError::Overloaded { .. }) {
+                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Submits a request and blocks until its report is ready — the
+    /// closed-loop client call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`], plus any execution error of the frame.
+    pub fn run(&self, request: Request) -> Result<lightator_core::platform::Report> {
+        self.submit(request)?.wait()
+    }
+
+    /// A point-in-time snapshot of the serving telemetry.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.queued())
+    }
+
+    /// Requests currently queued across all workload groups.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.groups.iter().map(|g| g.queue.len()).sum()
+    }
+
+    /// Gracefully shuts down: stops admitting, drains every queue, joins
+    /// the workers, and returns the final telemetry snapshot.
+    #[must_use]
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_workers();
+        self.metrics.snapshot(0)
+    }
+
+    fn stop_workers(&mut self) {
+        for group in &self.groups {
+            group.queue.shutdown();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightator_core::ca::CaConfig;
+    use lightator_core::platform::{ImageKernel, Workload};
+    use lightator_nn::layers::{Activation, Flatten, Linear};
+    use lightator_nn::model::Sequential;
+    use lightator_sensor::frame::RgbFrame;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_platform() -> Platform {
+        Platform::builder()
+            .sensor_resolution(8, 8)
+            .compressive_acquisition(CaConfig::default())
+            .build()
+            .expect("platform")
+    }
+
+    fn tiny_model() -> Sequential {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model = Sequential::new(&[1, 4, 4]);
+        model.push(Flatten::new());
+        model.push(Linear::new(16, 12, &mut rng).expect("ok"));
+        model.push(Activation::relu());
+        model.push(Linear::new(12, 3, &mut rng).expect("ok"));
+        model
+    }
+
+    fn scene(i: usize) -> RgbFrame {
+        let v = 0.2 + 0.15 * (i % 5) as f64;
+        RgbFrame::filled(8, 8, [v, 1.0 - v, 0.5]).expect("ok")
+    }
+
+    #[test]
+    fn serves_mixed_workloads_end_to_end() {
+        let server = Server::builder(small_platform())
+            .shards(2)
+            .max_batch(3)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .workload(Workload::Acquire)
+            .workload(Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            })
+            .build()
+            .expect("server");
+        assert_eq!(server.workloads().len(), 3);
+
+        let classified = server
+            .run(Request::Classify { frame: scene(0) })
+            .expect("classified");
+        assert!(classified.class().expect("class") < 3);
+        let acquired = server
+            .run(Request::Acquire { frame: scene(1) })
+            .expect("acquired");
+        assert_eq!(acquired.workload, "acquire");
+        let filtered = server
+            .run(Request::ImageKernel {
+                kernel: ImageKernel::SobelX,
+                frame: scene(2),
+            })
+            .expect("filtered");
+        assert_eq!(filtered.workload, "kernel:sobel-x");
+
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.completed, 3);
+        assert_eq!(snapshot.errored, 0);
+        assert!(snapshot.throughput_fps() > 0.0);
+    }
+
+    #[test]
+    fn unregistered_workloads_are_rejected_by_the_router() {
+        let server = Server::builder(small_platform())
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        let err = server
+            .submit(Request::ImageKernel {
+                kernel: ImageKernel::Laplacian,
+                frame: scene(0),
+            })
+            .expect_err("not registered");
+        assert_eq!(
+            err,
+            ServeError::UnknownWorkload {
+                label: "kernel:laplacian".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_workloads_fail_the_build() {
+        let err = Server::builder(small_platform())
+            .workload(Workload::Acquire)
+            .workload(Workload::Acquire)
+            .build()
+            .expect_err("duplicate");
+        assert!(err.to_string().contains("registered twice"));
+    }
+
+    #[test]
+    fn invalid_serve_configs_fail_the_build() {
+        let err = Server::builder(small_platform())
+            .shards(0)
+            .workload(Workload::Acquire)
+            .build()
+            .expect_err("zero shards");
+        assert!(matches!(err, ServeError::InvalidConfig { .. }));
+        let err = Server::builder(small_platform())
+            .build()
+            .expect_err("no workloads");
+        assert!(err.to_string().contains("at least one workload"));
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let server = Server::builder(small_platform())
+            .shards(1)
+            .max_batch(2)
+            .queue_depth(64)
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        let pendings: Vec<_> = (0..16)
+            .map(|i| {
+                server
+                    .submit(Request::Acquire { frame: scene(i) })
+                    .expect("admitted")
+            })
+            .collect();
+        let snapshot = server.shutdown();
+        // Every admitted request was served before the workers exited.
+        for pending in pendings {
+            assert!(pending.wait().is_ok());
+        }
+        assert_eq!(snapshot.completed, 16);
+        assert_eq!(snapshot.queued, 0);
+        let frames_via_shards: u64 = snapshot.shards.iter().map(|s| s.frames).sum();
+        assert_eq!(frames_via_shards, 16);
+        // Batch-size distribution is consistent with the frame count.
+        let frames_via_sizes: u64 = snapshot
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.batch_sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, count)| (i as u64 + 1) * count)
+            })
+            .sum();
+        assert_eq!(frames_via_sizes, 16);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_the_queue_is_full() {
+        // A server whose single group has capacity 1: flood it faster than
+        // the (deliberately busy) classify shard can drain.
+        let server = Server::builder(small_platform())
+            .shards(1)
+            .max_batch(1)
+            .queue_depth(1)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .build()
+            .expect("server");
+        let mut overloaded = 0usize;
+        let mut pendings = Vec::new();
+        for i in 0..200 {
+            match server.submit(Request::Classify { frame: scene(i) }) {
+                Ok(pending) => pendings.push(pending),
+                Err(ServeError::Overloaded { queue_depth }) => {
+                    assert_eq!(queue_depth, 1);
+                    overloaded += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(
+            overloaded > 0,
+            "a depth-1 queue must reject under a 200-request burst"
+        );
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.rejected, overloaded as u64);
+        for pending in pendings {
+            assert!(pending.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn frame_errors_are_isolated_to_the_offending_request() {
+        // 8x8 scenes acquire to the model's [1, 4, 4] input; a 6x6 scene
+        // acquires to [1, 3, 3] and is rejected by the model. Batched
+        // together, only the bad frame must see the error.
+        let server = Server::builder(small_platform())
+            .shards(1)
+            .max_batch(4)
+            .queue_depth(16)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .build()
+            .expect("server");
+        let good = server.submit(Request::Classify { frame: scene(0) });
+        let bad = server.submit(Request::Classify {
+            frame: RgbFrame::filled(6, 6, [0.5, 0.5, 0.5]).expect("ok"),
+        });
+        let good2 = server.submit(Request::Classify { frame: scene(1) });
+        assert!(good.expect("admitted").wait().is_ok());
+        assert!(matches!(
+            bad.expect("admitted").wait(),
+            Err(ServeError::Core(_))
+        ));
+        assert!(good2.expect("admitted").wait().is_ok());
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.errored, 1);
+        assert_eq!(snapshot.completed, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The shard worker: one thread, one virtual Lightator chip.
+//!
+//! Each shard owns its own session (opened through
+//! `Platform::session_seeded`) and loops on its group's queue:
+//! drain a contiguous-ticket micro-batch, seek the session to the batch's
+//! first ticket, execute it with `run_batch` (weights programmed once per
+//! batch), fulfil the response slots and account the batch on the shard's
+//! simulated timeline. The loop exits once the queue shut down and ran dry,
+//! which is what makes server shutdown graceful.
+
+use crate::error::ServeError;
+use crate::metrics::{MetricsInner, VirtualClock};
+use crate::queue::SharedQueue;
+use crate::request::ResponseSlot;
+use lightator_core::platform::Session;
+use lightator_sensor::frame::RgbFrame;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Client-side bookkeeping of one batched request: its ticket, its
+/// simulated arrival time, and the slot awaiting the report.
+type RequestHandle = (u64, u64, Arc<ResponseSlot>);
+
+/// Fulfils a batch's slots strictly in ticket order, and — if the worker
+/// unwinds mid-batch — fails whatever is left with
+/// [`ServeError::WorkerPanicked`] on drop, so a panic in core code can
+/// never strand a client in `Pending::wait`.
+struct SlotGuard {
+    handles: Vec<RequestHandle>,
+    next: usize,
+}
+
+impl SlotGuard {
+    fn new(handles: Vec<RequestHandle>) -> Self {
+        Self { handles, next: 0 }
+    }
+
+    fn handles(&self) -> &[RequestHandle] {
+        &self.handles
+    }
+
+    /// Publishes the outcome of the next unfulfilled request.
+    fn fulfil(&mut self, outcome: crate::error::Result<lightator_core::platform::Report>) {
+        let (_, _, slot) = &self.handles[self.next];
+        slot.fulfil(outcome);
+        self.next += 1;
+    }
+
+    /// Requests not yet fulfilled.
+    fn remaining(&self) -> usize {
+        self.handles.len() - self.next
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        while self.next < self.handles.len() {
+            self.fulfil(Err(ServeError::WorkerPanicked));
+        }
+    }
+}
+
+/// Everything one worker thread needs, moved into it at spawn.
+pub(crate) struct ShardContext {
+    pub(crate) session: Session,
+    pub(crate) queue: Arc<SharedQueue>,
+    pub(crate) clock: Arc<VirtualClock>,
+    pub(crate) metrics: Arc<MetricsInner>,
+    /// Index into `metrics.shards` (global across groups).
+    pub(crate) shard_index: usize,
+    pub(crate) max_batch: usize,
+    pub(crate) flush_deadline_ns: u64,
+}
+
+/// The worker loop. Returns when the group's queue shut down and drained.
+pub(crate) fn run(mut ctx: ShardContext) {
+    // One frame of this workload occupies the virtual chip for its
+    // simulated frame latency; a batch occupies it back to back.
+    let frame_latency_ns = ctx.session.perf().frame_latency.ns().ceil().max(1.0) as u64;
+    let mut busy_until_ns = 0u64;
+    while let Some(batch) = ctx
+        .queue
+        .wait_batch(ctx.max_batch, ctx.flush_deadline_ns, &ctx.clock)
+    {
+        if batch.is_empty() {
+            continue;
+        }
+        let first_ticket = batch[0].ticket;
+        let newest_arrival_ns = batch.iter().map(|r| r.arrival_ns).max().unwrap_or(0);
+        // The virtual chip starts the batch as soon as it is free and the
+        // whole batch has arrived (its own timeline, not the global clock:
+        // shards process in parallel in simulated time).
+        let start_ns = busy_until_ns.max(newest_arrival_ns);
+        let completion_ns = start_ns + frame_latency_ns * batch.len() as u64;
+
+        let (frames, handles): (Vec<RgbFrame>, Vec<RequestHandle>) = batch
+            .into_iter()
+            .map(|r| (r.frame, (r.ticket, r.arrival_ns, r.slot)))
+            .unzip();
+        let mut guard = SlotGuard::new(handles);
+
+        // Publish the batch on the timelines *before* fulfilling any slot:
+        // a closed-loop client wakes inside `fulfil` and stamps its next
+        // arrival immediately, so the clock must already reflect this
+        // batch's completion for arrivals to stay causal.
+        let shard = &ctx.metrics.shards[ctx.shard_index];
+        shard.batches.fetch_add(1, Ordering::Relaxed);
+        shard
+            .frames
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        shard.batch_sizes[frames.len() - 1].fetch_add(1, Ordering::Relaxed);
+        for (_, arrival_ns, _) in guard.handles() {
+            ctx.metrics
+                .queue_wait
+                .record(start_ns.saturating_sub(*arrival_ns));
+        }
+        ctx.metrics
+            .first_start_ns
+            .fetch_min(start_ns, Ordering::Relaxed);
+        ctx.metrics
+            .last_completion_ns
+            .fetch_max(completion_ns, Ordering::Relaxed);
+        busy_until_ns = completion_ns;
+        ctx.clock.advance_to(completion_ns);
+
+        // Execute at the tickets' frame indices: bit-identical to a single
+        // sequential session running these frames at the same positions.
+        // `catch_unwind` keeps the worker alive across a panic in core
+        // code, and the guard fails the batch's unfulfilled slots so no
+        // client hangs.
+        let session = &mut ctx.session;
+        let metrics = &ctx.metrics;
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(session, metrics, first_ticket, &frames, &mut guard)
+        }));
+        if executed.is_err() {
+            metrics
+                .errored
+                .fetch_add(guard.remaining() as u64, Ordering::Relaxed);
+        }
+        drop(guard);
+
+        // Fair handoff: on few host CPUs, the worker that just finished
+        // tends to win the queue lock again before its siblings wake,
+        // concentrating frames on one virtual timeline. Yielding here lets
+        // the other shards drain their share, which is what keeps the
+        // simulated timelines (and the measured throughput scaling) close
+        // to the hardware they model.
+        std::thread::yield_now();
+    }
+}
+
+/// Runs one drained batch and fulfils its slots in ticket order.
+fn execute_batch(
+    session: &mut Session,
+    metrics: &MetricsInner,
+    first_ticket: u64,
+    frames: &[RgbFrame],
+    guard: &mut SlotGuard,
+) {
+    session.seek_frame(first_ticket);
+    match session.run_batch(frames) {
+        Ok(reports) => {
+            metrics
+                .completed
+                .fetch_add(reports.len() as u64, Ordering::Relaxed);
+            for report in reports {
+                guard.fulfil(Ok(report));
+            }
+        }
+        Err(_) => {
+            // One bad frame fails the whole `run_batch` call; isolate it by
+            // re-running each frame at its own ticket so only the offending
+            // request sees the error.
+            for (offset, frame) in frames.iter().enumerate() {
+                session.seek_frame(first_ticket + offset as u64);
+                match session.run(frame) {
+                    Ok(report) => {
+                        metrics.completed.fetch_add(1, Ordering::Relaxed);
+                        guard.fulfil(Ok(report));
+                    }
+                    Err(err) => {
+                        metrics.errored.fetch_add(1, Ordering::Relaxed);
+                        guard.fulfil(Err(ServeError::Core(err)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropping_the_guard_fails_unfulfilled_slots_instead_of_stranding_them() {
+        let slots: Vec<Arc<ResponseSlot>> = (0..3).map(|_| Arc::new(ResponseSlot::new())).collect();
+        let handles: Vec<RequestHandle> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (i as u64, 0u64, Arc::clone(slot)))
+            .collect();
+        let mut guard = SlotGuard::new(handles);
+        guard.fulfil(Err(ServeError::ShuttingDown));
+        assert_eq!(guard.remaining(), 2);
+        drop(guard); // simulates a worker unwinding mid-batch
+        assert_eq!(slots[0].take(), Err(ServeError::ShuttingDown));
+        assert_eq!(slots[1].take(), Err(ServeError::WorkerPanicked));
+        assert_eq!(slots[2].take(), Err(ServeError::WorkerPanicked));
+    }
+}

@@ -1,0 +1,223 @@
+//! Determinism under concurrency: N frames served through a multi-shard
+//! pool produce bit-identical `Report`s to a single sequential `Session`,
+//! **with the paper's analog noise enabled**.
+//!
+//! The mechanism under test: every admitted request gets a ticket (its
+//! global frame index), shards execute contiguous-ticket batches at those
+//! indices, and the analog-noise stream is a pure function of
+//! `(seed, frame index)` — so neither the shard count, the batching, nor
+//! the thread interleaving can change a single bit of any outcome.
+
+use lightator_core::ca::CaConfig;
+use lightator_core::platform::{ImageKernel, Platform, Report, Workload};
+use lightator_nn::layers::{Activation, Flatten, Linear};
+use lightator_nn::model::Sequential;
+use lightator_photonics::units::Time;
+use lightator_sensor::frame::RgbFrame;
+use lightator_serve::{Request, Server};
+use proptest::proptest;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SENSOR: usize = 8;
+
+/// The paper's default platform keeps its analog noise enabled; only the
+/// sensor is shrunk so the property runs fast.
+fn noisy_platform() -> Platform {
+    Platform::builder()
+        .sensor_resolution(SENSOR, SENSOR)
+        .compressive_acquisition(CaConfig::default())
+        .build()
+        .expect("platform")
+}
+
+fn tiny_model() -> Sequential {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut model = Sequential::new(&[1, 4, 4]);
+    model.push(Flatten::new());
+    model.push(Linear::new(16, 12, &mut rng).expect("ok"));
+    model.push(Activation::relu());
+    model.push(Linear::new(12, 3, &mut rng).expect("ok"));
+    model
+}
+
+fn scenes(count: usize, seed: u64) -> Vec<RgbFrame> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let data: Vec<f64> = (0..SENSOR * SENSOR * 3).map(|_| rng.gen::<f64>()).collect();
+            RgbFrame::new(SENSOR, SENSOR, data).expect("frame")
+        })
+        .collect()
+}
+
+/// Sequential reference: one session, frames in order.
+fn sequential_reports(workload: Workload, frames: &[RgbFrame]) -> Vec<Report> {
+    let mut session = noisy_platform().session(workload).expect("session");
+    frames
+        .iter()
+        .map(|frame| session.run(frame).expect("run"))
+        .collect()
+}
+
+/// Pooled run: submit every frame in order, wait in order.
+fn pooled_reports(
+    workload: Workload,
+    frames: &[RgbFrame],
+    shards: usize,
+    max_batch: usize,
+    flush_deadline: Time,
+    request_of: impl Fn(RgbFrame) -> Request,
+) -> Vec<Report> {
+    let server = Server::builder(noisy_platform())
+        .shards(shards)
+        .max_batch(max_batch)
+        .queue_depth(frames.len().max(1))
+        .flush_deadline(flush_deadline)
+        .workload(workload)
+        .build()
+        .expect("server");
+    let pendings: Vec<_> = frames
+        .iter()
+        .map(|frame| {
+            server
+                .submit(request_of(frame.clone()))
+                .expect("admitted: queue_depth covers all frames")
+        })
+        .collect();
+    pendings
+        .into_iter()
+        .map(|pending| pending.wait().expect("served"))
+        .collect()
+}
+
+proptest! {
+    /// Classification through the pool is bit-identical to sequential
+    /// classification, for any shard count / batch bound / load size.
+    #[test]
+    fn pooled_classification_is_bit_identical_to_sequential(
+        shards in 1usize..=4,
+        max_batch in 1usize..=5,
+        frame_count in 1usize..=10,
+        deadline_us in 0u64..=1,
+    ) {
+        let frames = scenes(frame_count, 0xC1A55 ^ frame_count as u64);
+        let expected = sequential_reports(
+            Workload::Classify { model: tiny_model() },
+            &frames,
+        );
+        let got = pooled_reports(
+            Workload::Classify { model: tiny_model() },
+            &frames,
+            shards,
+            max_batch,
+            Time::from_us(deadline_us as f64),
+            |frame| Request::Classify { frame },
+        );
+        assert_eq!(expected, got, "pooled classify diverged from sequential");
+    }
+
+    /// Image kernels run through the optical core (noise included) and must
+    /// be equally reproducible.
+    #[test]
+    fn pooled_image_kernels_are_bit_identical_to_sequential(
+        shards in 1usize..=3,
+        max_batch in 1usize..=4,
+        frame_count in 1usize..=8,
+    ) {
+        let frames = scenes(frame_count, 0xF117E4 ^ frame_count as u64);
+        let workload = || Workload::ImageKernel { kernel: ImageKernel::SobelX };
+        let expected = sequential_reports(workload(), &frames);
+        let got = pooled_reports(
+            workload(),
+            &frames,
+            shards,
+            max_batch,
+            Time::from_ns(0.0),
+            |frame| Request::ImageKernel { kernel: ImageKernel::SobelX, frame },
+        );
+        assert_eq!(expected, got, "pooled kernel diverged from sequential");
+    }
+}
+
+/// Acquisition bypasses the executor entirely; pooled acquisition must
+/// still match sequential acquisition frame for frame.
+#[test]
+fn pooled_acquisition_matches_sequential() {
+    let frames = scenes(9, 0xAC);
+    let expected = sequential_reports(Workload::Acquire, &frames);
+    let got = pooled_reports(
+        Workload::Acquire,
+        &frames,
+        3,
+        2,
+        Time::from_ns(0.0),
+        |frame| Request::Acquire { frame },
+    );
+    assert_eq!(expected, got);
+}
+
+/// Determinism survives failed requests: an errored frame consumes its
+/// ticket in the pool and its frame index in a sequential session alike,
+/// so the frames after it still match bit for bit.
+#[test]
+fn pooled_serving_matches_sequential_around_errors() {
+    let mut frames = scenes(6, 0xBAD);
+    // Frame 2 acquires to [1, 3, 3] and is rejected by the [1, 4, 4] model.
+    frames[2] = RgbFrame::filled(6, 6, [0.5, 0.5, 0.5]).expect("ok");
+
+    let mut session = noisy_platform()
+        .session(Workload::Classify {
+            model: tiny_model(),
+        })
+        .expect("session");
+    let expected: Vec<Option<Report>> = frames.iter().map(|f| session.run(f).ok()).collect();
+    assert!(expected[2].is_none(), "frame 2 must fail sequentially");
+
+    let got = {
+        let server = Server::builder(noisy_platform())
+            .shards(2)
+            .max_batch(3)
+            .queue_depth(frames.len())
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .build()
+            .expect("server");
+        let pendings: Vec<_> = frames
+            .iter()
+            .map(|frame| {
+                server
+                    .submit(Request::Classify {
+                        frame: frame.clone(),
+                    })
+                    .expect("admitted")
+            })
+            .collect();
+        pendings
+            .into_iter()
+            .map(|pending| pending.wait().ok())
+            .collect::<Vec<Option<Report>>>()
+    };
+    assert_eq!(expected, got, "pooled outcomes diverged around the error");
+}
+
+/// The same pooled run repeated twice gives the same answer — the server
+/// itself introduces no hidden nondeterminism.
+#[test]
+fn pooled_runs_are_reproducible_across_servers() {
+    let frames = scenes(7, 0x5EED);
+    let run = || {
+        pooled_reports(
+            Workload::Classify {
+                model: tiny_model(),
+            },
+            &frames,
+            2,
+            3,
+            Time::from_ns(0.0),
+            |frame| Request::Classify { frame },
+        )
+    };
+    assert_eq!(run(), run());
+}

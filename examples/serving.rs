@@ -1,0 +1,115 @@
+//! Serving at scale: a closed-loop load generator hammering a sharded,
+//! micro-batching `lightator-serve` server with mixed workloads.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! Six client threads submit classify / acquire / Sobel-kernel requests in
+//! a closed loop against a 2-shard-per-workload pool, then the example
+//! prints the server's metrics table and the shard-scaling headline.
+
+use lightator_suite::core::ca::CaConfig;
+use lightator_suite::nn::layers::{Activation, Flatten, Linear};
+use lightator_suite::nn::model::Sequential;
+use lightator_suite::sensor::frame::RgbFrame;
+use lightator_suite::serve::{Request, ServeError, Server};
+use lightator_suite::{ImageKernel, Platform, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SENSOR: usize = 8;
+const CLIENTS: usize = 6;
+const FRAMES_PER_CLIENT: usize = 12;
+const SHARDS: usize = 2;
+
+fn classifier() -> Sequential {
+    let mut rng = SmallRng::seed_from_u64(5);
+    // 2x2 compressive acquisition halves the 8x8 sensor to [1, 4, 4].
+    let mut model = Sequential::new(&[1, 4, 4]);
+    model.push(Flatten::new());
+    model.push(Linear::new(16, 24, &mut rng).expect("linear"));
+    model.push(Activation::relu());
+    model.push(Linear::new(24, 4, &mut rng).expect("linear"));
+    model
+}
+
+fn request_for(client: usize, index: usize, frame: RgbFrame) -> Request {
+    match (client + index) % 3 {
+        0 => Request::Classify { frame },
+        1 => Request::Acquire { frame },
+        _ => Request::ImageKernel {
+            kernel: ImageKernel::SobelX,
+            frame,
+        },
+    }
+}
+
+fn main() -> Result<(), ServeError> {
+    let platform = Platform::builder()
+        .sensor_resolution(SENSOR, SENSOR)
+        .compressive_acquisition(CaConfig::default())
+        .build()?;
+    let server = Server::builder(platform)
+        .shards(SHARDS)
+        .max_batch(4)
+        .queue_depth(4 * CLIENTS)
+        .workload(Workload::Classify {
+            model: classifier(),
+        })
+        .workload(Workload::Acquire)
+        .workload(Workload::ImageKernel {
+            kernel: ImageKernel::SobelX,
+        })
+        .build()?;
+    println!(
+        "serving {:?} with {SHARDS} shards per workload group\n",
+        server.workloads()
+    );
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = &server;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(client as u64);
+                for index in 0..FRAMES_PER_CLIENT {
+                    let data: Vec<f64> =
+                        (0..SENSOR * SENSOR * 3).map(|_| rng.gen::<f64>()).collect();
+                    let frame = RgbFrame::new(SENSOR, SENSOR, data).expect("frame");
+                    loop {
+                        match server.run(request_for(client, index, frame.clone())) {
+                            Ok(report) => {
+                                if index == 0 {
+                                    println!(
+                                        "client {client}: first `{}` report in {:.3} us \
+                                         ({:.1} KFPS/W)",
+                                        report.workload,
+                                        report.latency().us(),
+                                        report.kfps_per_watt()
+                                    );
+                                }
+                                break;
+                            }
+                            // Admission control pushed back: retry later.
+                            Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                            Err(err) => panic!("serving failed: {err}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let metrics = server.shutdown();
+    println!("\n== server metrics ==\n{}", metrics.table());
+    println!(
+        "sustained pooled throughput: {:.0} frames per simulated second",
+        metrics.throughput_fps()
+    );
+    assert_eq!(
+        metrics.completed as usize,
+        CLIENTS * FRAMES_PER_CLIENT,
+        "every submitted frame is served before shutdown returns"
+    );
+    Ok(())
+}

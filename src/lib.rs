@@ -9,7 +9,9 @@
 //! * [`core`] — the Lightator optical core, mapper, energy model, simulator
 //!   and end-to-end pipeline;
 //! * [`baselines`] — photonic and electronic baseline accelerator models;
-//! * [`bench`](mod@bench) — the experiment harness regenerating Table 1 and Figs. 8–10.
+//! * [`bench`](mod@bench) — the experiment harness regenerating Table 1 and Figs. 8–10;
+//! * [`serve`] — the sharded, micro-batching inference server turning
+//!   per-batch wins into system-level throughput.
 //!
 //! # Quickstart
 //!
@@ -39,7 +41,12 @@ pub use lightator_core as core;
 pub use lightator_nn as nn;
 pub use lightator_photonics as photonics;
 pub use lightator_sensor as sensor;
+pub use lightator_serve as serve;
 
 pub use lightator_core::platform::{
     ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
+};
+pub use lightator_serve::{
+    MetricsSnapshot, Pending, Request, ServeConfig, ServeError, Server, ServerBuilder,
+    ShardSnapshot,
 };

@@ -1,7 +1,7 @@
 //! Workspace-wiring smoke test: instantiates one public type from each of
-//! the six member crates *through the `lightator_suite` re-exports*, so any
-//! future manifest regression (a dropped `path` dependency, a renamed crate,
-//! a broken re-export) fails loudly here rather than deep inside an
+//! the seven member crates *through the `lightator_suite` re-exports*, so
+//! any future manifest regression (a dropped `path` dependency, a renamed
+//! crate, a broken re-export) fails loudly here rather than deep inside an
 //! integration test.
 
 use lightator_suite::baselines::electronic::ElectronicBaseline;
@@ -10,6 +10,7 @@ use lightator_suite::core::config::LightatorConfig;
 use lightator_suite::nn::spec::NetworkSpec;
 use lightator_suite::photonics::units::Wavelength;
 use lightator_suite::sensor::frame::RgbFrame;
+use lightator_suite::serve::ServeConfig;
 
 /// One value of one public type per crate, reached only via the umbrella.
 #[test]
@@ -37,6 +38,13 @@ fn every_crate_is_reachable_through_the_umbrella() {
     // lightator-bench
     let variants = harness::lightator_variants();
     assert!(!variants.is_empty(), "paper precision variants missing");
+
+    // lightator-serve
+    let serve = ServeConfig::default();
+    assert_eq!(
+        ServeConfig::from_text(&serve.to_text()).expect("round-trip"),
+        serve
+    );
 }
 
 /// The umbrella's module aliases stay aligned with the underlying crate
@@ -74,4 +82,27 @@ fn facade_is_reachable_from_the_umbrella_root() {
         .run(&RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("scene"))
         .expect("run");
     assert_eq!(report.workload, "acquire");
+}
+
+/// The serving layer is one `use` away too: a pooled server built on the
+/// facade serves a frame end to end through the umbrella re-exports.
+#[test]
+fn serving_is_reachable_from_the_umbrella_root() {
+    let platform = lightator_suite::Platform::builder()
+        .sensor_resolution(8, 8)
+        .build()
+        .expect("platform");
+    let server = lightator_suite::Server::builder(platform)
+        .shards(2)
+        .workload(lightator_suite::Workload::Acquire)
+        .build()
+        .expect("server");
+    let report = server
+        .run(lightator_suite::Request::Acquire {
+            frame: RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("scene"),
+        })
+        .expect("served");
+    assert_eq!(report.workload, "acquire");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 1);
 }
