@@ -123,6 +123,8 @@ impl CompressiveAcquisitor {
                         });
                     }
                 } else {
+                    // Pooling-only mode: one MR per pixel, tuned to the
+                    // green (luma-dominant) wavelength.
                     weights.push(CaWeight {
                         row_offset,
                         col_offset,
@@ -173,15 +175,12 @@ impl CompressiveAcquisitor {
                     let row = orow * window + w.row_offset;
                     let col = ocol * window + w.col_offset;
                     let rgb = frame.pixel(row, col)?;
-                    let value = if self.config.rgb_to_grayscale {
-                        rgb[w.channel.index()]
-                    } else {
-                        // Without grayscale conversion the CA still pools; use
-                        // the luminance-free mean of the three channels so the
-                        // output remains a single plane.
-                        (rgb[0] + rgb[1] + rgb[2]) / 3.0
-                    };
-                    acc += value * w.value;
+                    // Each MR reads exactly the channel its fused weight
+                    // declares; without grayscale conversion `weights()`
+                    // taps the single (green, luma-dominant) wavelength, so
+                    // a 1x1 window without conversion is a bit-exact
+                    // identity of that plane.
+                    acc += rgb[w.channel.index()] * w.value;
                 }
                 data[orow * ow + ocol] = acc.clamp(0.0, 1.0);
             }
@@ -200,10 +199,12 @@ impl CompressiveAcquisitor {
         let gray = if self.config.rgb_to_grayscale {
             frame.to_grayscale()
         } else {
+            // Pooling-only mode reads the green plane, matching the single
+            // wavelength the CA bank's MRs are tuned to in `weights()`.
             let data = frame
                 .data()
                 .chunks_exact(3)
-                .map(|px| (px[0] + px[1] + px[2]) / 3.0)
+                .map(|px| px[Channel::Green.index()])
                 .collect();
             GrayFrame::new(frame.height(), frame.width(), data)?
         };

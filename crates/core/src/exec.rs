@@ -250,6 +250,34 @@ impl PhotonicExecutor {
             .collect()
     }
 
+    /// Runs several inputs through the model **within one frame's noise
+    /// stream**: the frame counter advances exactly once, the weights are
+    /// encoded once, and the inputs consume the frame's analog-noise draws
+    /// in order.
+    ///
+    /// This is the primitive behind the frame-delta streaming path, where
+    /// one video frame decomposes into a variable number of block tiles:
+    /// however many tiles a frame computes, the frame occupies exactly one
+    /// position in the noise stream, so a replay that recomputes the same
+    /// tiles reproduces the same bits. An empty `inputs` slice still
+    /// consumes the frame index (a fully-skipped frame is still a frame).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhotonicExecutor::forward`], checked per input.
+    pub fn forward_frame_batch(
+        &mut self,
+        model: &mut Sequential,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Tensor>> {
+        let encodings = self.encode_weights(model);
+        self.begin_frame();
+        inputs
+            .iter()
+            .map(|input| self.forward_encoded_in_frame(model, &encodings, input))
+            .collect()
+    }
+
     /// Encodes the quantized, normalised weight rows of every weighted layer
     /// (indexed by model layer position; `None` for unweighted layers).
     fn encode_weights(&self, model: &Sequential) -> Vec<Option<EncodedWeights>> {
@@ -285,7 +313,8 @@ impl PhotonicExecutor {
             .collect()
     }
 
-    /// One forward pass reusing pre-encoded weights.
+    /// One forward pass reusing pre-encoded weights, opening a fresh frame
+    /// noise stream.
     fn forward_encoded(
         &mut self,
         model: &mut Sequential,
@@ -302,6 +331,27 @@ impl PhotonicExecutor {
             });
         }
         self.begin_frame();
+        self.forward_encoded_in_frame(model, encodings, input)
+    }
+
+    /// One forward pass reusing pre-encoded weights *inside the already
+    /// open frame*: consumes the current frame's noise draws without
+    /// touching the frame counter.
+    fn forward_encoded_in_frame(
+        &mut self,
+        model: &mut Sequential,
+        encodings: &[Option<EncodedWeights>],
+        input: &Tensor,
+    ) -> Result<Tensor> {
+        if input.shape() != model.input_shape() {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "input shape {:?} does not match the model's {:?}",
+                    input.shape(),
+                    model.input_shape()
+                ),
+            });
+        }
         let mut value = input.clone();
         let mut weighted_index = 0usize;
         for (layer_index, encoding) in encodings.iter().enumerate() {
@@ -697,6 +747,45 @@ mod tests {
         seeked.set_next_frame_index(2);
         let got = seeked.forward(&mut model, &inputs[2]).expect("ok");
         assert_eq!(expected[2].data(), got.data(), "seeked frame diverged");
+    }
+
+    #[test]
+    fn forward_frame_batch_consumes_one_index_and_replays_bit_exactly() {
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let inputs: Vec<_> = dataset
+            .test()
+            .iter()
+            .take(3)
+            .map(|s| s.input.clone())
+            .collect();
+
+        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 13).expect("ok");
+        let expected = executor
+            .forward_frame_batch(&mut model, &inputs)
+            .expect("ok");
+        assert_eq!(
+            executor.next_frame_index(),
+            1,
+            "N in-frame inputs consume exactly one frame index"
+        );
+
+        // An executor seeked to the same frame reproduces every tile.
+        let mut replay = PhotonicExecutor::new(schedule, NoiseConfig::default(), 13).expect("ok");
+        replay.set_next_frame_index(0);
+        let got = replay.forward_frame_batch(&mut model, &inputs).expect("ok");
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.data(), b.data(), "in-frame replay diverged");
+        }
+
+        // An empty frame still consumes its index.
+        let before = replay.next_frame_index();
+        assert!(replay
+            .forward_frame_batch(&mut model, &[])
+            .expect("ok")
+            .is_empty());
+        assert_eq!(replay.next_frame_index(), before + 1);
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //!   KFPS/W (Table 1);
 //! * [`exec`] — functional photonic inference for accuracy measurements;
 //! * [`platform`] — **the front door**: [`Platform`]/[`Session`]/[`Workload`]
-//!   facade unifying acquisition, image kernels and inference behind one
-//!   builder-validated entry point;
+//!   facade unifying acquisition, image kernels, inference and video
+//!   streaming behind one builder-validated entry point;
+//! * [`stream`] — the frame-delta compressive streaming path: per-block
+//!   temporal gating on the DMVA feedback model, [`StreamReport`]
+//!   aggregation and the dense-baseline speedup accounting;
 //! * [`textcfg`] — dependency-free text round-trips for
 //!   [`platform::PlatformConfig`].
 //!
@@ -51,6 +54,7 @@ pub mod mapping;
 pub mod oc;
 pub mod platform;
 pub mod sim;
+pub mod stream;
 pub mod textcfg;
 
 pub use ca::{CaConfig, CompressiveAcquisitor};
@@ -64,3 +68,6 @@ pub use platform::{
     ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
 };
 pub use sim::{ArchitectureSimulator, LayerReport, SimulationReport};
+pub use stream::{
+    StreamConfig, StreamFrame, StreamReport, StreamState, TemporalDifferencer, GATE_COST_FRACTION,
+};

@@ -9,8 +9,8 @@
 //!   fluent [`PlatformBuilder`] (presets [`PlatformBuilder::paper`],
 //!   [`PlatformBuilder::low_power`], [`PlatformBuilder::high_throughput`]);
 //! * a [`Session`] is opened on the platform for one typed [`Workload`]
-//!   (classification, raw/compressive acquisition, or an image kernel) and
-//!   owns all sensor/CA/executor state;
+//!   (classification, raw/compressive acquisition, an image kernel, or a
+//!   video stream) and owns all sensor/CA/executor state;
 //! * every [`Session::run`] returns a unified [`Report`] carrying both the
 //!   functional outcome (class, logits, filtered frame) *and* the
 //!   architecture-level performance numbers (latency, power, energy, FPS,
@@ -20,6 +20,35 @@
 //! photonic analogue of programming the MR weight DACs once and streaming
 //! frames through — and [`Session::process_iter`] adapts a frame iterator to
 //! a report stream.
+//!
+//! [`Workload::VideoStream`] sessions run whole frame sequences through
+//! [`Session::run_stream`]: a per-block temporal delta gate (built on the
+//! DMVA selector/feedback model) skips the optical work of unchanged
+//! blocks, and the returned [`StreamReport`] carries frames processed,
+//! blocks skipped, simulated FPS, energy per frame and the speedup over
+//! dense per-frame execution:
+//!
+//! ```
+//! use lightator_core::platform::{ImageKernel, Platform, Workload};
+//! use lightator_core::stream::StreamConfig;
+//! use lightator_sensor::video::{SyntheticVideo, SyntheticVideoConfig};
+//!
+//! # fn main() -> Result<(), lightator_core::CoreError> {
+//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
+//! let mut session = platform.session(Workload::VideoStream {
+//!     kernel: ImageKernel::SobelX,
+//!     stream: StreamConfig { block_size: 2, delta_threshold: 0.05 },
+//! })?;
+//! let frames: Vec<_> =
+//!     SyntheticVideo::new(SyntheticVideoConfig::low_motion(16, 16, 6))
+//!         .expect("valid video")
+//!         .collect();
+//! let report = session.run_stream(&frames)?;
+//! assert_eq!(report.frames_processed(), 6);
+//! assert!(report.speedup_vs_dense() >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! ```
 //! use lightator_core::platform::{Platform, Workload};
@@ -41,6 +70,9 @@ use crate::config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
 use crate::error::{CoreError, Result};
 use crate::exec::{PhotonicAccuracy, PhotonicExecutor};
 use crate::sim::{ArchitectureSimulator, SimulationReport};
+use crate::stream::{
+    StreamConfig, StreamFrame, StreamReport, StreamState, TemporalDifferencer, GATE_COST_FRACTION,
+};
 use lightator_nn::datasets::Dataset;
 use lightator_nn::layers::{Conv2d, LayerNode};
 use lightator_nn::model::Sequential;
@@ -359,16 +391,38 @@ impl Platform {
             PhotonicExecutor::new(self.config.schedule, self.config.hardware.noise, seed)?;
         let label = workload.label();
         let acquired = self.acquired_shape();
-        let (spec, filter_model) = match &workload {
-            Workload::Classify { model } => (network_spec_of(model, &label)?, None),
-            Workload::Acquire => (self.acquisition_spec()?, None),
+        let (spec, filter_model, stream) = match &workload {
+            Workload::Classify { model } => (network_spec_of(model, &label)?, None, None),
+            Workload::Acquire => (self.acquisition_spec()?, None, None),
             Workload::ImageKernel { kernel } => (
                 NetworkSpecBuilder::new(&label, acquired)
                     .conv(1, 3, 1, 1)
                     .map_err(CoreError::from)?
                     .build(),
                 Some(build_filter_model(*kernel, acquired, seed)?),
+                None,
             ),
+            Workload::VideoStream { kernel, stream } => {
+                let window = self.config.ca.map_or(1, |ca| ca.pooling_window);
+                let differencer =
+                    TemporalDifferencer::new(*stream, acquired[1], acquired[2], window)?;
+                let tile_model = build_tile_model(*kernel, stream.block_size, seed)?;
+                let perf_acquire = self
+                    .simulator
+                    .simulate(&self.acquisition_spec()?, self.config.schedule)?;
+                let spec = NetworkSpecBuilder::new(&label, acquired)
+                    .conv(1, 3, 1, 1)
+                    .map_err(CoreError::from)?
+                    .build();
+                let pipeline = StreamPipeline {
+                    differencer,
+                    tile_model,
+                    state: None,
+                    perf_acquire,
+                    window,
+                };
+                (spec, None, Some(pipeline))
+            }
         };
         let perf = self.simulator.simulate(&spec, self.config.schedule)?;
         Ok(Session {
@@ -377,6 +431,7 @@ impl Platform {
             executor,
             workload,
             filter_model,
+            stream,
             perf,
             label,
         })
@@ -416,6 +471,16 @@ pub enum Workload {
         /// The filter to apply.
         kernel: ImageKernel,
     },
+    /// A continuous video stream filtered by a 3×3 kernel under the
+    /// frame-delta gate: blocks whose scene delta stays below the
+    /// configured threshold ride the DMVA feedback path instead of waking
+    /// the optical core. Served through [`Session::run_stream`].
+    VideoStream {
+        /// The filter applied to every (recomputed) block.
+        kernel: ImageKernel,
+        /// Block grid and delta threshold of the temporal gate.
+        stream: StreamConfig,
+    },
 }
 
 impl Workload {
@@ -426,6 +491,7 @@ impl Workload {
             Workload::Classify { .. } => "classify".to_string(),
             Workload::Acquire => "acquire".to_string(),
             Workload::ImageKernel { kernel } => format!("kernel:{}", kernel.name()),
+            Workload::VideoStream { kernel, .. } => format!("stream:{}", kernel.name()),
         }
     }
 }
@@ -609,8 +675,28 @@ pub struct Session {
     executor: PhotonicExecutor,
     workload: Workload,
     filter_model: Option<Sequential>,
+    stream: Option<StreamPipeline>,
     perf: SimulationReport,
     label: String,
+}
+
+/// Everything a video-stream session adds on top of the frame path: the
+/// temporal gate, the per-block tile model, the carried stream state and
+/// the acquisition-side performance model.
+#[derive(Debug, Clone)]
+struct StreamPipeline {
+    differencer: TemporalDifferencer,
+    /// One 3×3 conv over a `block+halo` tile (padding 0), so each computed
+    /// block produces exactly its output region.
+    tile_model: Sequential,
+    /// Temporal references after the last processed frame; `None` before a
+    /// stream starts.
+    state: Option<StreamState>,
+    /// Performance of the CA acquisition pass (always part of a computed
+    /// block's cost).
+    perf_acquire: SimulationReport,
+    /// Sensor pixels per acquired pixel (CA pooling window, 1 without CA).
+    window: usize,
 }
 
 impl Session {
@@ -670,8 +756,11 @@ impl Session {
     /// match the classify model's input shape, and propagates
     /// sensor/CA/photonic errors. A failed frame still consumes its frame
     /// index, so the noise stream of every later frame is independent of
-    /// whether earlier frames succeeded.
+    /// whether earlier frames succeeded. Video-stream sessions reject
+    /// [`Session::run`] (without consuming an index) — use
+    /// [`Session::run_stream`].
     pub fn run(&mut self, scene: &RgbFrame) -> Result<Report> {
+        self.ensure_frame_workload()?;
         let index = self.executor.next_frame_index();
         let result = self.run_inner(scene);
         // One frame, one index — success or failure. (Failures can bail
@@ -700,6 +789,9 @@ impl Session {
                     .expect("image-kernel sessions always carry a filter model");
                 filtered_outcome(executor, model, &input, kernel.name())?
             }
+            Workload::VideoStream { .. } => {
+                unreachable!("`ensure_frame_workload` rejects stream sessions before run_inner")
+            }
         };
         Ok(Report {
             workload: label.clone(),
@@ -718,6 +810,7 @@ impl Session {
     /// Same as [`Session::run`], checked per frame. As with [`Session::run`],
     /// a failed batch still consumes one frame index per scene.
     pub fn run_batch(&mut self, scenes: &[RgbFrame]) -> Result<Vec<Report>> {
+        self.ensure_frame_workload()?;
         if scenes.is_empty() {
             // Nothing to acquire or execute: leave the executor (and its
             // noise-stream position) untouched instead of programming the
@@ -769,6 +862,9 @@ impl Session {
                     })
                     .collect()
             }
+            Workload::VideoStream { .. } => {
+                unreachable!("`ensure_frame_workload` rejects stream sessions before batches")
+            }
         };
         Ok(outcomes
             .into_iter()
@@ -802,6 +898,245 @@ impl Session {
     /// keeps pooled execution bit-identical to sequential execution.
     pub fn seek_frame(&mut self, index: u64) {
         self.executor.set_next_frame_index(index);
+    }
+
+    /// Rejects the per-frame entry points on video-stream sessions.
+    fn ensure_frame_workload(&self) -> Result<()> {
+        if matches!(self.workload, Workload::VideoStream { .. }) {
+            return Err(CoreError::ModelMismatch {
+                reason: "video-stream sessions process frames through `run_stream` \
+                         (or `resume_stream`), not `run`/`run_batch`"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Processes a video stream end to end under the frame-delta gate,
+    /// starting a **fresh** stream: the first frame computes every block,
+    /// and every later frame recomputes only the blocks whose scene delta
+    /// exceeds the configured threshold — the rest ride the DMVA feedback
+    /// path at [`GATE_COST_FRACTION`] of their optical cost.
+    ///
+    /// Every frame — computed, partially skipped or fully skipped —
+    /// consumes exactly one global frame index, so the analog-noise stream
+    /// of a stream frame depends only on its position, exactly like the
+    /// single-frame workloads. A failed frame aborts the stream having
+    /// consumed its index.
+    ///
+    /// The session keeps the final [`StreamState`] (see
+    /// [`Session::stream_state`]), so a later [`Session::resume_stream`]
+    /// can continue the stream — or replay its tail on a fresh session —
+    /// bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelMismatch`] for non-stream workloads or a
+    /// frame whose resolution does not match the platform sensor, and
+    /// propagates sensor/CA/photonic errors.
+    pub fn run_stream<I>(&mut self, frames: I) -> Result<StreamReport>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<RgbFrame>,
+    {
+        if let Some(pipeline) = self.stream.as_mut() {
+            pipeline.state = None;
+        }
+        self.continue_stream(frames)
+    }
+
+    /// Continues a stream from a previously captured [`StreamState`]
+    /// instead of starting fresh.
+    ///
+    /// Combined with [`Session::seek_frame`], this replays the tail of a
+    /// stream bit-exactly: seek to the global index of the first tail
+    /// frame, restore the state captured after the preceding frame, and the
+    /// session produces exactly what a single full run produced for those
+    /// frames — analog noise included.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run_stream`], plus [`CoreError::ModelMismatch`]
+    /// if the state's shapes do not match this session's stream geometry.
+    pub fn resume_stream<I>(&mut self, state: StreamState, frames: I) -> Result<StreamReport>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<RgbFrame>,
+    {
+        let pipeline = self.stream.as_mut().ok_or_else(non_stream_error)?;
+        let (rows, cols) = pipeline.differencer.grid();
+        let bs = pipeline.differencer.config().block_size;
+        let expected = [1, rows * bs, cols * bs];
+        if state.ref_acquired.shape() != expected || state.prev_output.shape() != expected {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "stream state (acquired {:?}, output {:?}) does not match this \
+                     session's acquired map {expected:?}",
+                    state.ref_acquired.shape(),
+                    state.prev_output.shape()
+                ),
+            });
+        }
+        // The reference scene must match the sensor, not just the acquired
+        // map: two platforms can share an acquired shape while differing in
+        // sensor resolution (CA window), and the gate indexes the scene.
+        let (sensor_h, sensor_w) = (rows * bs * pipeline.window, cols * bs * pipeline.window);
+        if state.ref_scene.height() != sensor_h || state.ref_scene.width() != sensor_w {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "stream state's reference scene is {}x{} but this session's \
+                     sensor is {sensor_h}x{sensor_w}",
+                    state.ref_scene.height(),
+                    state.ref_scene.width()
+                ),
+            });
+        }
+        pipeline.state = Some(state);
+        self.continue_stream(frames)
+    }
+
+    /// The stream's temporal state after the last processed frame, or
+    /// `None` before any stream frame ran. Capture it to later
+    /// [`Session::resume_stream`] from the following frame.
+    #[must_use]
+    pub fn stream_state(&self) -> Option<StreamState> {
+        self.stream.as_ref().and_then(|p| p.state.clone())
+    }
+
+    /// Drives the stream over `frames` with whatever state the pipeline
+    /// currently holds.
+    fn continue_stream<I>(&mut self, frames: I) -> Result<StreamReport>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<RgbFrame>,
+    {
+        let pipeline = self.stream.as_ref().ok_or_else(non_stream_error)?;
+        let mut report = StreamReport::new(self.label.clone(), pipeline.differencer.blocks());
+        let dense_latency = pipeline.perf_acquire.frame_latency + self.perf.frame_latency;
+        let dense_energy = pipeline.perf_acquire.frame_energy + self.perf.frame_energy;
+        for frame in frames {
+            let index = self.executor.next_frame_index();
+            let result = self.stream_frame(frame.borrow(), index);
+            // One frame, one index — success or failure, however many
+            // block tiles the gate actually computed.
+            self.executor.set_next_frame_index(index + 1);
+            report.push(result?, dense_latency, dense_energy);
+        }
+        Ok(report)
+    }
+
+    /// Processes one stream frame: gate, per-block optical work, feedback
+    /// reuse, and the frame's gated performance numbers.
+    fn stream_frame(&mut self, scene: &RgbFrame, index: u64) -> Result<StreamFrame> {
+        // Gate first: the delta decision only reads the raw scene (the CRC
+        // comparators sit before the optical path), so a fully-skipped
+        // frame never pays for acquisition at all.
+        let mask = {
+            let pipeline = self.stream.as_mut().expect("caller checked the workload");
+            let (rows, cols) = pipeline.differencer.grid();
+            let bs = pipeline.differencer.config().block_size;
+            let window = pipeline.window;
+            let (sensor_h, sensor_w) = (rows * bs * window, cols * bs * window);
+            if scene.height() != sensor_h || scene.width() != sensor_w {
+                return Err(CoreError::ModelMismatch {
+                    reason: format!(
+                        "stream frame is {}x{} but the platform sensor is \
+                         {sensor_h}x{sensor_w}",
+                        scene.height(),
+                        scene.width()
+                    ),
+                });
+            }
+            let StreamPipeline {
+                differencer, state, ..
+            } = pipeline;
+            differencer.gate(scene, state.as_ref().map(|s| &s.ref_scene))
+        };
+        // Acquire only when at least one block actually wakes the CA banks.
+        let acquired = if mask.iter().any(|&compute| compute) {
+            Some(self.acquire(scene)?)
+        } else {
+            None
+        };
+        let Self {
+            executor,
+            stream,
+            perf,
+            ..
+        } = self;
+        let pipeline = stream.as_mut().expect("caller checked the workload");
+        let (rows, cols) = pipeline.differencer.grid();
+        let bs = pipeline.differencer.config().block_size;
+        let (ah, aw) = (rows * bs, cols * bs);
+
+        let mut state = match pipeline.state.take() {
+            Some(state) => state,
+            None => StreamState {
+                ref_scene: scene.clone(),
+                ref_acquired: acquired
+                    .clone()
+                    .expect("the first frame of a stream computes every block"),
+                prev_output: Tensor::zeros(&[1, ah, aw]),
+            },
+        };
+
+        // Refresh the references of every computed block: the feedback path
+        // of later frames replays the *last computed* values, and deltas are
+        // measured against the last computed scene so sub-threshold drift
+        // cannot accumulate unboundedly.
+        for (block, &compute) in mask.iter().enumerate() {
+            if !compute {
+                continue;
+            }
+            let (br, bc) = (block / cols, block % cols);
+            let acquired = acquired
+                .as_ref()
+                .expect("computed blocks imply an acquisition pass");
+            copy_scene_block(&mut state.ref_scene, scene, br, bc, bs * pipeline.window)?;
+            copy_tensor_block(&mut state.ref_acquired, acquired, aw, br, bc, bs);
+        }
+
+        // Run the computed blocks — however many there are — inside one
+        // frame's noise stream, in row-major block order.
+        let tiles: Vec<Tensor> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &compute)| compute)
+            .map(|(block, _)| {
+                gather_tile(&state.ref_acquired, ah, aw, bs, block / cols, block % cols)
+            })
+            .collect::<Result<_>>()?;
+        let outputs = executor.forward_frame_batch(&mut pipeline.tile_model, &tiles)?;
+
+        let mut output = state.prev_output.clone();
+        let mut outputs = outputs.into_iter();
+        for (block, &compute) in mask.iter().enumerate() {
+            if !compute {
+                continue;
+            }
+            let tile = outputs.next().expect("one output per computed tile");
+            scatter_tile(&mut output, &tile, aw, bs, block / cols, block % cols);
+        }
+
+        let computed = mask.iter().filter(|&&c| c).count();
+        let skipped = mask.len() - computed;
+        let fraction = computed as f64 / mask.len() as f64;
+        let duty = fraction + GATE_COST_FRACTION * (1.0 - fraction);
+        let latency = (pipeline.perf_acquire.frame_latency + perf.frame_latency) * duty;
+        let energy = (pipeline.perf_acquire.frame_energy + perf.frame_energy) * duty;
+
+        let frame = StreamFrame {
+            index,
+            computed_blocks: computed,
+            skipped_blocks: skipped,
+            shape: vec![1, ah, aw],
+            data: output.data().to_vec(),
+            latency,
+            energy,
+        };
+        state.prev_output = output;
+        pipeline.state = Some(state);
+        Ok(frame)
     }
 
     /// Adapts an iterator of frames into a streaming iterator of reports,
@@ -927,6 +1262,106 @@ fn filtered_outcome(
         shape: filtered.shape().to_vec(),
         data: filtered.data().to_vec(),
     })
+}
+
+fn non_stream_error() -> CoreError {
+    CoreError::ModelMismatch {
+        reason: "streaming needs a `Workload::VideoStream` session".to_string(),
+    }
+}
+
+/// Copies one gate block (in sensor pixels) of `scene` into `target`.
+fn copy_scene_block(
+    target: &mut RgbFrame,
+    scene: &RgbFrame,
+    block_row: usize,
+    block_col: usize,
+    sensor_block: usize,
+) -> Result<()> {
+    for row in block_row * sensor_block..(block_row + 1) * sensor_block {
+        for col in block_col * sensor_block..(block_col + 1) * sensor_block {
+            target.set_pixel(row, col, scene.pixel(row, col)?)?;
+        }
+    }
+    Ok(())
+}
+
+/// Copies one gate block (in acquired pixels) of `source` into `target`;
+/// both are `[1, h, w]` tensors of width `width`.
+fn copy_tensor_block(
+    target: &mut Tensor,
+    source: &Tensor,
+    width: usize,
+    block_row: usize,
+    block_col: usize,
+    block_size: usize,
+) {
+    for row in block_row * block_size..(block_row + 1) * block_size {
+        let base = row * width + block_col * block_size;
+        target.data_mut()[base..base + block_size]
+            .copy_from_slice(&source.data()[base..base + block_size]);
+    }
+}
+
+/// Extracts a `block+halo` tile (`[1, bs+2, bs+2]`) from the acquired map,
+/// zero-filling outside the frame — exactly the receptive field a padded
+/// 3×3 convolution sees for that block.
+fn gather_tile(
+    acquired: &Tensor,
+    height: usize,
+    width: usize,
+    block_size: usize,
+    block_row: usize,
+    block_col: usize,
+) -> Result<Tensor> {
+    let edge = block_size + 2;
+    let mut data = vec![0.0f32; edge * edge];
+    for tr in 0..edge {
+        let row = block_row * block_size + tr;
+        if row == 0 || row > height {
+            continue; // above the first or below the last frame row
+        }
+        let row = row - 1;
+        for tc in 0..edge {
+            let col = block_col * block_size + tc;
+            if col == 0 || col > width {
+                continue;
+            }
+            data[tr * edge + tc] = acquired.data()[row * width + col - 1];
+        }
+    }
+    Ok(Tensor::from_vec(data, &[1, edge, edge])?)
+}
+
+/// Writes a computed `[1, bs, bs]` tile back into the `[1, h, w]` output.
+fn scatter_tile(
+    output: &mut Tensor,
+    tile: &Tensor,
+    width: usize,
+    block_size: usize,
+    block_row: usize,
+    block_col: usize,
+) {
+    for tr in 0..block_size {
+        let base = (block_row * block_size + tr) * width + block_col * block_size;
+        output.data_mut()[base..base + block_size]
+            .copy_from_slice(&tile.data()[tr * block_size..(tr + 1) * block_size]);
+    }
+}
+
+/// Builds the per-block tile model of a stream session: a 3×3 kernel with
+/// padding 0 over a `block+halo` tile, so its output is exactly the block.
+fn build_tile_model(kernel: ImageKernel, block_size: usize, seed: u64) -> Result<Sequential> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng)?;
+    conv.weight_mut()
+        .data_mut()
+        .copy_from_slice(&kernel.coefficients());
+    conv.bias_mut().data_mut()[0] = 0.0;
+    let edge = block_size + 2;
+    let mut model = Sequential::new(&[1, edge, edge]);
+    model.push(conv);
+    Ok(model)
 }
 
 /// Builds the single-conv model that executes a 3×3 image kernel on the
@@ -1248,6 +1683,230 @@ mod tests {
         for (a, b) in acquired.data().iter().zip(values) {
             assert!((a - b).abs() < 0.1, "identity drifted: {a} vs {b}");
         }
+    }
+
+    fn stream_workload(threshold: f64) -> Workload {
+        Workload::VideoStream {
+            kernel: ImageKernel::SobelX,
+            stream: crate::stream::StreamConfig {
+                block_size: 2,
+                delta_threshold: threshold,
+            },
+        }
+    }
+
+    fn moving_scenes(count: usize) -> Vec<RgbFrame> {
+        // A bright pixel hopping along the top row of a 16x16 scene: low
+        // motion, so most 2x2 acquired blocks stay on the feedback path.
+        (0..count)
+            .map(|i| {
+                let mut scene = RgbFrame::filled(16, 16, [0.2, 0.2, 0.2]).expect("ok");
+                scene.set_pixel(0, i % 16, [0.9, 0.9, 0.9]).expect("ok");
+                scene
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_streams_skip_every_block_after_the_first_frame() {
+        // Default (noisy) optics: skipping is a gating decision on the
+        // deterministic scene, so noise cannot flip it.
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let mut session = platform.session(stream_workload(0.05)).expect("session");
+        let frames = vec![RgbFrame::filled(16, 16, [0.5, 0.5, 0.5]).expect("ok"); 4];
+        let report = session.run_stream(&frames).expect("stream");
+        assert_eq!(report.frames_processed(), 4);
+        assert_eq!(report.frames[0].skipped_blocks, 0, "first frame is dense");
+        for frame in &report.frames[1..] {
+            assert_eq!(frame.computed_blocks, 0, "static frames must skip");
+            assert_eq!(frame.data, report.frames[0].data, "feedback replays");
+        }
+        assert!(report.speedup_vs_dense() > 2.0);
+        assert_eq!(session.next_frame_index(), 4);
+    }
+
+    #[test]
+    fn zero_threshold_recomputes_every_block() {
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let mut session = platform.session(stream_workload(0.0)).expect("session");
+        let report = session.run_stream(moving_scenes(3)).expect("stream");
+        assert_eq!(report.blocks_skipped(), 0);
+        assert!((report.speedup_vs_dense() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_motion_streams_skip_most_blocks_and_track_dense_output() {
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .noise(NoiseConfig::ideal())
+            .build()
+            .expect("platform");
+        let frames = moving_scenes(6);
+        let mut gated = platform.session(stream_workload(0.05)).expect("session");
+        let report = gated.run_stream(&frames).expect("stream");
+        assert!(
+            report.skip_ratio() > 0.5,
+            "low motion must skip most blocks, got {:.2}",
+            report.skip_ratio()
+        );
+        assert!(report.speedup_vs_dense() > 1.5);
+
+        // With ideal optics, gated outputs match dense outputs wherever the
+        // scene is temporally static (the gate is exact for zero delta).
+        let mut dense = platform.session(stream_workload(0.0)).expect("session");
+        let dense_report = dense.run_stream(&frames).expect("stream");
+        for (g, d) in report.frames.iter().zip(&dense_report.frames) {
+            let mismatch = g
+                .data
+                .iter()
+                .zip(&d.data)
+                .filter(|(a, b)| (**a - **b).abs() > 1e-6)
+                .count();
+            assert!(
+                mismatch < g.data.len() / 4,
+                "gated output diverged on {mismatch}/{} values",
+                g.data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_sessions_reject_the_frame_entry_points() {
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let mut session = platform.session(stream_workload(0.05)).expect("session");
+        let scene = RgbFrame::filled(16, 16, [0.5, 0.5, 0.5]).expect("ok");
+        assert!(session.run(&scene).is_err());
+        assert!(session.run_batch(&[scene]).is_err());
+        assert_eq!(session.next_frame_index(), 0, "rejection consumes nothing");
+        // And frame sessions reject the stream entry points.
+        let mut acquire = platform.session(Workload::Acquire).expect("session");
+        assert!(acquire.run_stream(moving_scenes(1)).is_err());
+    }
+
+    #[test]
+    fn stream_frames_of_the_wrong_resolution_fail_but_consume_their_index() {
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let mut session = platform.session(stream_workload(0.05)).expect("session");
+        let bad = RgbFrame::filled(8, 8, [0.5, 0.5, 0.5]).expect("ok");
+        assert!(session.run_stream(&[bad]).is_err());
+        assert_eq!(session.next_frame_index(), 1);
+    }
+
+    #[test]
+    fn resumed_streams_reproduce_the_tail_of_a_full_run() {
+        // Noise stays on: the tail replay must still be bit-exact.
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let frames = moving_scenes(8);
+        let split = 3usize;
+
+        let mut full = platform.session(stream_workload(0.05)).expect("session");
+        let full_report = full.run_stream(&frames).expect("stream");
+
+        let mut prefix = platform.session(stream_workload(0.05)).expect("session");
+        prefix.run_stream(&frames[..split]).expect("prefix");
+        let state = prefix.stream_state().expect("state after the prefix");
+
+        let mut tail = platform.session(stream_workload(0.05)).expect("session");
+        tail.seek_frame(split as u64);
+        let tail_report = tail
+            .resume_stream(state, &frames[split..])
+            .expect("tail replay");
+        assert_eq!(
+            tail_report.frames,
+            full_report.frames[split..],
+            "tail replay diverged from the full run"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_stream_state() {
+        let platform16 = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let platform32 = Platform::builder()
+            .sensor_resolution(32, 32)
+            .build()
+            .expect("platform");
+        let mut small = platform16.session(stream_workload(0.05)).expect("session");
+        small.run_stream(moving_scenes(2)).expect("stream");
+        let state = small.stream_state().expect("state");
+        let mut large = platform32.session(stream_workload(0.05)).expect("session");
+        assert!(large.resume_stream(state, moving_scenes(1)).is_err());
+    }
+
+    #[test]
+    fn resume_rejects_state_whose_scene_matches_the_acquired_map_but_not_the_sensor() {
+        // Both platforms acquire to a 16x16 map, but the sensors differ
+        // (16x16 without CA vs 32x32 with 2x2 CA): the acquired-shape check
+        // alone would accept the state and the gate would then index the
+        // wrong-sized reference scene.
+        let no_ca = Platform::builder()
+            .sensor_resolution(16, 16)
+            .without_compressive_acquisition()
+            .build()
+            .expect("platform");
+        let with_ca = Platform::builder()
+            .sensor_resolution(32, 32)
+            .build()
+            .expect("platform");
+        let mut small = no_ca.session(stream_workload(0.05)).expect("session");
+        small.run_stream(moving_scenes(2)).expect("stream");
+        let state = small.stream_state().expect("state");
+        let mut large = with_ca.session(stream_workload(0.05)).expect("session");
+        let err = large
+            .resume_stream(state, moving_scenes(1))
+            .expect_err("sensor mismatch");
+        assert!(err.to_string().contains("reference scene"));
+    }
+
+    #[test]
+    fn fully_skipped_frames_do_not_touch_the_acquisition_path() {
+        // A static stream after frame 0: the gate short-circuits before
+        // acquisition, so outputs keep replaying the feedback path.
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let mut session = platform.session(stream_workload(0.05)).expect("session");
+        let frames = vec![RgbFrame::filled(16, 16, [0.4, 0.4, 0.4]).expect("ok"); 3];
+        let report = session.run_stream(&frames).expect("stream");
+        assert_eq!(report.frames[1].computed_blocks, 0);
+        assert_eq!(report.frames[2].data, report.frames[0].data);
+    }
+
+    #[test]
+    fn stream_sessions_reject_indivisible_block_grids() {
+        // 16x16 sensor with 2x2 CA acquires to 8x8; a block size of 3 does
+        // not divide it.
+        let err = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform")
+            .session(Workload::VideoStream {
+                kernel: ImageKernel::Identity,
+                stream: crate::stream::StreamConfig {
+                    block_size: 3,
+                    delta_threshold: 0.05,
+                },
+            })
+            .expect_err("3 does not divide 8");
+        assert!(err.to_string().contains("block size"));
     }
 
     #[test]

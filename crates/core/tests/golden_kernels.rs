@@ -1,0 +1,190 @@
+//! Golden-vector regression tests for the seven optical 3×3 image kernels.
+//!
+//! Each fixture under `tests/golden/` holds the bit-exact output of one
+//! kernel on the checked-in input frame, run on the paper platform (2×2
+//! CA, `[4:4]` precision, default analog noise, seed 7) at frame index 0.
+//! The values are stored as hex-encoded IEEE-754 bits, so the assertion is
+//! exact to the last bit: any executor refactor that changes a single
+//! quantization step, noise draw or summation order fails loudly here
+//! instead of drifting silently.
+//!
+//! To regenerate after an *intentional* numerical change:
+//!
+//! ```text
+//! cargo test -p lightator-core --test golden_kernels -- --ignored
+//! ```
+
+use lightator_core::platform::{ImageKernel, Platform, Workload};
+use lightator_sensor::frame::RgbFrame;
+use std::path::PathBuf;
+
+const SENSOR: usize = 8;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// The paper platform, shrunk to an 8×8 sensor so fixtures stay small.
+/// Analog noise stays on: it is deterministic for the fixed seed, and the
+/// point of the fixtures is to pin the whole datapath, noise included.
+fn golden_platform() -> Platform {
+    Platform::builder()
+        .sensor_resolution(SENSOR, SENSOR)
+        .build()
+        .expect("paper platform")
+}
+
+/// The checked-in input scene: a deterministic mix of a gradient, an edge
+/// and a bright spot, exercising every kernel's response.
+fn golden_scene() -> RgbFrame {
+    let mut data = Vec::with_capacity(SENSOR * SENSOR * 3);
+    for row in 0..SENSOR {
+        for col in 0..SENSOR {
+            let gradient = (row * SENSOR + col) as f64 / (SENSOR * SENSOR) as f64;
+            let edge = if col >= SENSOR / 2 { 0.55 } else { 0.1 };
+            let spot = if row == 2 && col == 5 { 0.3 } else { 0.0 };
+            data.push((0.5 * gradient + 0.4 * edge + spot).min(1.0));
+            data.push((0.8 * gradient).min(1.0));
+            data.push((0.25 + 0.3 * edge).min(1.0));
+        }
+    }
+    RgbFrame::new(SENSOR, SENSOR, data).expect("valid scene")
+}
+
+/// Runs one kernel on the golden platform at frame index 0.
+fn filter_output(kernel: ImageKernel) -> (Vec<usize>, Vec<f32>) {
+    let mut session = golden_platform()
+        .session(Workload::ImageKernel { kernel })
+        .expect("session");
+    let report = session.run(&golden_scene()).expect("filtered");
+    let (shape, data) = report.frame().expect("filtered frame");
+    (shape.to_vec(), data.to_vec())
+}
+
+fn fixture_path(kernel: ImageKernel) -> PathBuf {
+    golden_dir().join(format!("{}.golden", kernel.name()))
+}
+
+/// Serialises a shaped f32 tensor as `shape` + one hex bit-pattern per
+/// line; exact by construction.
+fn encode_f32(shape: &[usize], data: &[f32]) -> String {
+    let mut out = String::new();
+    out.push_str("# shape\n");
+    out.push_str(
+        &shape
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    out.push_str("\n# f32 bits (hex), row-major\n");
+    for value in data {
+        out.push_str(&format!("{:08x}\n", value.to_bits()));
+    }
+    out
+}
+
+fn decode_f32(text: &str) -> (Vec<usize>, Vec<f32>) {
+    let mut lines = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty());
+    let shape: Vec<usize> = lines
+        .next()
+        .expect("shape line")
+        .split_whitespace()
+        .map(|t| t.parse().expect("shape entry"))
+        .collect();
+    let data: Vec<f32> = lines
+        .map(|l| f32::from_bits(u32::from_str_radix(l.trim(), 16).expect("hex word")))
+        .collect();
+    (shape, data)
+}
+
+fn encode_f64(data: &[f64]) -> String {
+    let mut out = String::from("# f64 bits (hex), interleaved RGB, row-major\n");
+    for value in data {
+        out.push_str(&format!("{:016x}\n", value.to_bits()));
+    }
+    out
+}
+
+fn decode_f64(text: &str) -> Vec<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| f64::from_bits(u64::from_str_radix(l.trim(), 16).expect("hex word")))
+        .collect()
+}
+
+/// The scene generator must keep producing the checked-in input bits — a
+/// drifted generator would silently invalidate every kernel fixture.
+#[test]
+fn golden_input_frame_matches_the_fixture() {
+    let path = golden_dir().join("input.golden");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with --ignored",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden_scene().data(),
+        decode_f64(&text).as_slice(),
+        "the golden input scene drifted"
+    );
+}
+
+/// Every kernel's output is bit-exact against its fixture, at paper
+/// precision with analog noise enabled.
+#[test]
+fn all_seven_kernels_are_bit_exact_against_their_fixtures() {
+    for kernel in ImageKernel::ALL {
+        let path = fixture_path(kernel);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); regenerate with --ignored",
+                path.display()
+            )
+        });
+        let (expected_shape, expected) = decode_f32(&text);
+        let (shape, got) = filter_output(kernel);
+        assert_eq!(
+            shape,
+            expected_shape,
+            "{}: output shape drifted",
+            kernel.name()
+        );
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "{}: length drifted",
+            kernel.name()
+        );
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert!(
+                g.to_bits() == e.to_bits(),
+                "{}: value {i} drifted: got {g:?} ({:08x}), fixture {e:?} ({:08x})",
+                kernel.name(),
+                g.to_bits(),
+                e.to_bits()
+            );
+        }
+    }
+}
+
+/// Writes the fixtures. Run explicitly after an intentional numerical
+/// change:  `cargo test -p lightator-core --test golden_kernels -- --ignored`
+#[test]
+#[ignore = "regenerates the golden fixtures in place"]
+fn regenerate_golden_fixtures() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create golden dir");
+    std::fs::write(dir.join("input.golden"), encode_f64(golden_scene().data()))
+        .expect("write input fixture");
+    for kernel in ImageKernel::ALL {
+        let (shape, data) = filter_output(kernel);
+        std::fs::write(fixture_path(kernel), encode_f32(&shape, &data))
+            .expect("write kernel fixture");
+    }
+}

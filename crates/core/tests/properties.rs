@@ -103,6 +103,97 @@ proptest! {
         prop_assert!((value - exact).abs() <= bound, "error {} bound {}", (value - exact).abs(), bound);
     }
 
+    /// CA output dimensions are exactly `in / window` (`== ceil(in/window)`
+    /// for the divisible frames the CA accepts), for any window and frame
+    /// multiple.
+    #[test]
+    fn ca_output_dims_follow_the_window(
+        window in 1usize..=4,
+        row_blocks in 1usize..=4,
+        col_blocks in 1usize..=4,
+        grayscale in proptest::bool::ANY,
+    ) {
+        let (h, w) = (row_blocks * window, col_blocks * window);
+        let values: Vec<f64> = (0..h * w * 3).map(|i| (i % 17) as f64 / 16.0).collect();
+        let frame = RgbFrame::new(h, w, values).unwrap();
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: window,
+            rgb_to_grayscale: grayscale,
+        })
+        .unwrap();
+        let out = ca.acquire(&frame).unwrap();
+        prop_assert_eq!(out.height(), h.div_ceil(window));
+        prop_assert_eq!(out.width(), w.div_ceil(window));
+        prop_assert_eq!(out.height(), h / window);
+        prop_assert_eq!(out.width(), w / window);
+    }
+
+    /// Pooled CA values are bounded by the input's intensity range: the
+    /// fused weights of every output sum to 1, so the weighted sum is a
+    /// convex combination of input samples.
+    #[test]
+    fn ca_pooled_values_bounded_by_input_range(
+        values in proptest::collection::vec(0.0f64..1.0, 48),
+        window in 1usize..=2,
+        grayscale in proptest::bool::ANY,
+    ) {
+        let frame = RgbFrame::new(4, 4, values).unwrap();
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: window,
+            rgb_to_grayscale: grayscale,
+        })
+        .unwrap();
+        let lo = frame.data().iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = frame.data().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let out = ca.acquire(&frame).unwrap();
+        for &v in out.data() {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12,
+                "pooled value {v} escaped the input range [{lo}, {hi}]");
+        }
+    }
+
+    /// `pooling_window = 1` + `rgb_to_grayscale = false` is a bit-exact
+    /// identity: the CA reads the single wavelength its MRs are tuned to
+    /// (the green plane) with a unit weight, so no rounding may occur.
+    #[test]
+    fn ca_window_one_without_grayscale_is_bit_exact_identity(
+        values in proptest::collection::vec(0.0f64..1.0, 27),
+    ) {
+        let frame = RgbFrame::new(3, 3, values).unwrap();
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: 1,
+            rgb_to_grayscale: false,
+        })
+        .unwrap();
+        let out = ca.acquire(&frame).unwrap();
+        for (pixel, &got) in frame.data().chunks_exact(3).zip(out.data()) {
+            prop_assert_eq!(pixel[1].to_bits(), got.to_bits(),
+                "identity drifted: {} vs {}", pixel[1], got);
+        }
+    }
+
+    /// Frames not divisible by the pooling window error cleanly (a typed
+    /// `CoreError`, never a panic or a silently padded result), at both
+    /// the acquisitor and the platform builder.
+    #[test]
+    fn ca_non_divisible_frames_error_cleanly(
+        extra_h in 1usize..=3,
+        extra_w in 0usize..=3,
+        window in 2usize..=4,
+    ) {
+        let (h, w) = (window + extra_h, window + extra_w);
+        prop_assume!(!h.is_multiple_of(window) || !w.is_multiple_of(window));
+        let frame = RgbFrame::new(h, w, vec![0.5; h * w * 3]).unwrap();
+        let ca = CompressiveAcquisitor::new(CaConfig {
+            pooling_window: window,
+            rgb_to_grayscale: true,
+        })
+        .unwrap();
+        let err = ca.acquire(&frame).unwrap_err();
+        prop_assert!(err.to_string().contains("pooling"),
+            "unexpected error text: {err}");
+    }
+
     /// Geometry arithmetic is self-consistent for arbitrary configurations.
     #[test]
     fn geometry_consistency(

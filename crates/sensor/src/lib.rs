@@ -10,7 +10,9 @@
 //!   column ADCs with a 15-comparator ladder (4-bit codes);
 //! * [`dmva`] — the Directly-Modulated VCSEL Array: selector and
 //!   16-transistor VCSEL drivers turning digital activations into light;
-//! * [`array`](mod@array) — the complete 256×256 global-shutter sensor.
+//! * [`array`](mod@array) — the complete 256×256 global-shutter sensor;
+//! * [`video`] — deterministic frame-sequence sources (synthetic moving
+//!   patterns and validated raw-frame iterators) for streaming workloads.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@ pub mod dmva;
 pub mod error;
 pub mod frame;
 pub mod pixel;
+pub mod video;
 
 pub use array::{DigitalFrame, SensorArray, SensorArrayConfig, DEFAULT_RESOLUTION};
 pub use bayer::{BayerMosaic, BayerPattern};
@@ -50,3 +53,4 @@ pub use dmva::{
 pub use error::{Result, SensorError};
 pub use frame::{Channel, GrayFrame, RgbFrame};
 pub use pixel::{Pixel, PixelConfig};
+pub use video::{FrameSequence, MotionPattern, SyntheticVideo, SyntheticVideoConfig};

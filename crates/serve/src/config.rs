@@ -50,6 +50,11 @@ pub struct ServeConfig {
     /// sequential execution. A non-zero stride decorrelates the shards'
     /// analog noise, modelling physically distinct chips.
     pub seed_stride: u64,
+    /// Largest number of frames one [`crate::Request::VideoStream`] may
+    /// carry; longer streams are rejected at admission with
+    /// [`ServeError::InvalidRequest`] so one client cannot monopolise a
+    /// shard's timeline.
+    pub max_stream_frames: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +65,7 @@ impl Default for ServeConfig {
             queue_depth: 32,
             flush_deadline: Time::from_ns(0.0),
             seed_stride: 0,
+            max_stream_frames: 256,
         }
     }
 }
@@ -97,6 +103,11 @@ impl ServeConfig {
                 ),
             });
         }
+        if self.max_stream_frames == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "max_stream_frames must admit at least one frame per stream".into(),
+            });
+        }
         Ok(())
     }
 
@@ -115,6 +126,7 @@ impl ServeConfig {
             self.flush_deadline.ns(),
         );
         write_line(&mut out, "serve.seed_stride", self.seed_stride);
+        write_line(&mut out, "serve.max_stream_frames", self.max_stream_frames);
         out
     }
 
@@ -146,6 +158,9 @@ impl ServeConfig {
                     config.flush_deadline = Time::from_ns(parse_f64(key, value)?);
                 }
                 "serve.seed_stride" => config.seed_stride = parse_u64(key, value)?,
+                "serve.max_stream_frames" => {
+                    config.max_stream_frames = parse_usize(key, value)?;
+                }
                 unknown => {
                     return Err(malformed_value(
                         unknown,
@@ -180,6 +195,7 @@ mod tests {
             queue_depth: 128,
             flush_deadline: Time::from_us(2.5),
             seed_stride: 17,
+            max_stream_frames: 48,
         };
         assert_eq!(
             ServeConfig::from_text(&config.to_text()).expect("parse"),
@@ -240,6 +256,15 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(bad.validate().is_err());
+        let bad = ServeConfig {
+            max_stream_frames: 0,
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_stream_frames"));
         assert!(ServeConfig::default().validate().is_ok());
     }
 }

@@ -19,6 +19,21 @@ pub enum ServeError {
         /// ...).
         label: String,
     },
+    /// The request itself is malformed (an empty video stream, or one
+    /// longer than the configured `max_stream_frames`).
+    InvalidRequest {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The response was taken through the wrong accessor: frame requests
+    /// resolve through [`crate::Pending::wait`], video-stream requests
+    /// through [`crate::Pending::wait_stream`].
+    ResponseKind {
+        /// What the used accessor expected.
+        expected: &'static str,
+        /// What the request actually produced.
+        got: &'static str,
+    },
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
     /// The server configuration is invalid.
@@ -50,6 +65,13 @@ impl fmt::Display for ServeError {
                 f,
                 "no shard group serves workload `{label}` \
                  (register it on the builder before `build()`)"
+            ),
+            Self::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            Self::ResponseKind { expected, got } => write!(
+                f,
+                "the request produced a {got} response, not a {expected} one \
+                 (frame requests resolve through `wait`, video streams through \
+                 `wait_stream`)"
             ),
             Self::ShuttingDown => write!(f, "the server is shutting down"),
             Self::InvalidConfig { reason } => {

@@ -17,7 +17,9 @@
 //!   queue-empty), so the quantized MR weights are programmed once per
 //!   batch;
 //! * a **router** dispatches typed [`Request`]s to the matching workload
-//!   group (classify / acquire / image kernel);
+//!   group (classify / acquire / image kernel / video stream — streams get
+//!   their own shard queue with weighted tickets, one frame index per
+//!   carried frame);
 //! * **admission control** rejects with [`ServeError::Overloaded`] when a
 //!   queue is full instead of blocking forever;
 //! * **telemetry** ([`MetricsSnapshot`]) reports sustained throughput,
@@ -73,5 +75,5 @@ mod shard;
 pub use config::ServeConfig;
 pub use error::{Result, ServeError};
 pub use metrics::{MetricsSnapshot, ShardSnapshot};
-pub use request::{Pending, Request};
+pub use request::{Pending, Request, Response};
 pub use server::{Server, ServerBuilder};

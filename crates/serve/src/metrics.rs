@@ -110,6 +110,13 @@ pub(crate) struct MetricsInner {
     pub(crate) completed: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) errored: AtomicU64,
+    /// Frames served across all successful requests: one per frame
+    /// request, the processed frame count per stream request. The
+    /// numerator of [`MetricsSnapshot::throughput_fps`].
+    pub(crate) served_frames: AtomicU64,
+    pub(crate) stream_frames: AtomicU64,
+    pub(crate) stream_blocks_total: AtomicU64,
+    pub(crate) stream_blocks_skipped: AtomicU64,
     pub(crate) queue_wait: LatencyHistogram,
     pub(crate) first_start_ns: AtomicU64,
     pub(crate) last_completion_ns: AtomicU64,
@@ -122,6 +129,10 @@ impl MetricsInner {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             errored: AtomicU64::new(0),
+            served_frames: AtomicU64::new(0),
+            stream_frames: AtomicU64::new(0),
+            stream_blocks_total: AtomicU64::new(0),
+            stream_blocks_skipped: AtomicU64::new(0),
             queue_wait: LatencyHistogram::new(),
             first_start_ns: AtomicU64::new(u64::MAX),
             last_completion_ns: AtomicU64::new(0),
@@ -149,6 +160,10 @@ impl MetricsInner {
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             errored: self.errored.load(Ordering::Relaxed),
+            served_frames: self.served_frames.load(Ordering::Relaxed),
+            stream_frames: self.stream_frames.load(Ordering::Relaxed),
+            stream_blocks_total: self.stream_blocks_total.load(Ordering::Relaxed),
+            stream_blocks_skipped: self.stream_blocks_skipped.load(Ordering::Relaxed),
             queued,
             p50_queue_wait: self.queue_wait.quantile(0.50),
             p95_queue_wait: self.queue_wait.quantile(0.95),
@@ -175,12 +190,21 @@ impl MetricsInner {
 /// Point-in-time view of the server's telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
-    /// Frames served successfully.
+    /// Requests served successfully (a whole video stream counts once).
     pub completed: u64,
     /// Requests bounced by admission control (queue full).
     pub rejected: u64,
-    /// Frames whose execution returned an error.
+    /// Requests whose execution returned an error.
     pub errored: u64,
+    /// Frames served across all successful requests (one per frame
+    /// request, the processed frame count per video stream).
+    pub served_frames: u64,
+    /// Frames served inside video-stream requests.
+    pub stream_frames: u64,
+    /// Delta-gate blocks across all served stream frames.
+    pub stream_blocks_total: u64,
+    /// Delta-gate blocks served from the DMVA feedback path (skipped).
+    pub stream_blocks_skipped: u64,
     /// Requests currently queued across all workload groups.
     pub queued: usize,
     /// Median simulated queueing latency (arrival → batch start).
@@ -197,6 +221,16 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Fraction of stream blocks served from the feedback path, or zero
+    /// when no stream frames were served.
+    #[must_use]
+    pub fn stream_skip_ratio(&self) -> f64 {
+        if self.stream_blocks_total == 0 {
+            return 0.0;
+        }
+        self.stream_blocks_skipped as f64 / self.stream_blocks_total as f64
+    }
+
     /// Sustained serving throughput in frames per simulated second.
     ///
     /// Because every shard is an independent virtual chip, this scales with
@@ -207,7 +241,7 @@ impl MetricsSnapshot {
         if self.simulated_span.seconds() == 0.0 {
             return 0.0;
         }
-        self.completed as f64 / self.simulated_span.seconds()
+        self.served_frames as f64 / self.simulated_span.seconds()
     }
 
     /// Renders the snapshot as the metrics table printed by
@@ -216,9 +250,16 @@ impl MetricsSnapshot {
     pub fn table(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:<26} {:>12}", "completed frames", self.completed);
+        let _ = writeln!(out, "{:<26} {:>12}", "completed requests", self.completed);
         let _ = writeln!(out, "{:<26} {:>12}", "rejected (overload)", self.rejected);
         let _ = writeln!(out, "{:<26} {:>12}", "errored", self.errored);
+        let _ = writeln!(out, "{:<26} {:>12}", "stream frames", self.stream_frames);
+        let _ = writeln!(
+            out,
+            "{:<26} {:>11.1}%",
+            "stream blocks skipped",
+            self.stream_skip_ratio() * 100.0
+        );
         let _ = writeln!(out, "{:<26} {:>12}", "queued now", self.queued);
         let _ = writeln!(
             out,
@@ -340,6 +381,7 @@ mod tests {
     fn snapshot_aggregates_counters() {
         let inner = MetricsInner::new(vec!["classify/0".into()], 4);
         inner.completed.fetch_add(7, Ordering::Relaxed);
+        inner.served_frames.fetch_add(7, Ordering::Relaxed);
         inner.shards[0].batches.fetch_add(2, Ordering::Relaxed);
         inner.shards[0].frames.fetch_add(7, Ordering::Relaxed);
         inner.shards[0].batch_sizes[3].fetch_add(1, Ordering::Relaxed);

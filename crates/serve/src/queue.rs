@@ -1,12 +1,14 @@
 //! The bounded per-group request queue and the micro-batcher's drain rules.
 //!
-//! Every admitted request gets a monotone **ticket** — its global frame
-//! index within the workload group. Tickets drive two guarantees:
+//! Every admitted request gets a monotone **ticket** — its first global
+//! frame index within the workload group — and a **weight** — how many
+//! frame indices it consumes (1 for single-frame requests, the frame count
+//! for video streams). Tickets drive two guarantees:
 //!
 //! * **Determinism.** A shard seeks its session to the first ticket of the
-//!   batch it drained; because a drain only takes a contiguous run of
-//!   tickets, `run_batch` then executes every frame at exactly the frame
-//!   index a single sequential session would have used.
+//!   batch it drained; because a drain only takes a run of requests whose
+//!   tickets are contiguous *by weight*, every frame executes at exactly
+//!   the frame index a single sequential session would have used.
 //! * **FIFO fairness.** Shards always pop from the front, so no request is
 //!   overtaken within its group.
 //!
@@ -15,8 +17,7 @@
 
 use crate::error::{Result, ServeError};
 use crate::metrics::VirtualClock;
-use crate::request::ResponseSlot;
-use lightator_sensor::frame::RgbFrame;
+use crate::request::{Payload, ResponseSlot};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -29,9 +30,11 @@ const STRAGGLER_BACKSTOP: Duration = Duration::from_micros(200);
 /// One admitted request, queued for a shard group.
 #[derive(Debug)]
 pub(crate) struct QueuedRequest {
-    pub(crate) frame: RgbFrame,
-    /// Global frame index of this request within its workload group.
+    pub(crate) payload: Payload,
+    /// First global frame index of this request within its workload group.
     pub(crate) ticket: u64,
+    /// Frame indices the request consumes (`payload.weight()`).
+    pub(crate) weight: u64,
     /// Simulated arrival time (virtual-clock stamp at admission).
     pub(crate) arrival_ns: u64,
     pub(crate) slot: Arc<ResponseSlot>,
@@ -70,7 +73,9 @@ impl SharedQueue {
         self.state.lock().expect("queue poisoned").deque.len()
     }
 
-    /// Admits one request, assigning it the group's next ticket.
+    /// Admits one request, assigning it the group's next ticket and
+    /// advancing the ticket counter by the payload's weight (one frame
+    /// index per frame the request carries).
     ///
     /// # Errors
     ///
@@ -78,10 +83,11 @@ impl SharedQueue {
     /// [`ServeError::ShuttingDown`] once shutdown began.
     pub(crate) fn push(
         &self,
-        frame: RgbFrame,
+        payload: Payload,
         arrival_ns: u64,
         slot: Arc<ResponseSlot>,
     ) -> Result<u64> {
+        let weight = payload.weight();
         let mut state = self.state.lock().expect("queue poisoned");
         if state.shutdown {
             return Err(ServeError::ShuttingDown);
@@ -92,10 +98,11 @@ impl SharedQueue {
             });
         }
         let ticket = state.next_ticket;
-        state.next_ticket += 1;
+        state.next_ticket += weight;
         state.deque.push_back(QueuedRequest {
-            frame,
+            payload,
             ticket,
+            weight,
             arrival_ns,
             slot,
         });
@@ -170,7 +177,7 @@ impl SharedQueue {
             let contiguous = match (batch.last(), state.deque.front()) {
                 (_, None) => false,
                 (None, Some(_)) => true,
-                (Some(last), Some(front)) => front.ticket == last.ticket + 1,
+                (Some(last), Some(front)) => front.ticket == last.ticket + last.weight,
             };
             if !contiguous {
                 return;
@@ -183,9 +190,17 @@ impl SharedQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lightator_sensor::frame::RgbFrame;
 
-    fn frame() -> RgbFrame {
-        RgbFrame::filled(2, 2, [0.5, 0.5, 0.5]).expect("ok")
+    fn frame() -> Payload {
+        Payload::Frame(RgbFrame::filled(2, 2, [0.5, 0.5, 0.5]).expect("ok"))
+    }
+
+    fn stream(frames: usize) -> Payload {
+        Payload::Stream(vec![
+            RgbFrame::filled(2, 2, [0.5, 0.5, 0.5]).expect("ok");
+            frames
+        ])
     }
 
     fn slot() -> Arc<ResponseSlot> {
@@ -199,6 +214,24 @@ mod tests {
         assert_eq!(queue.push(frame(), 0, slot()).expect("ok"), 1);
         assert_eq!(queue.push(frame(), 0, slot()).expect("ok"), 2);
         assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn stream_requests_advance_tickets_by_their_frame_count() {
+        let queue = SharedQueue::new(8);
+        assert_eq!(queue.push(stream(3), 0, slot()).expect("ok"), 0);
+        assert_eq!(queue.push(frame(), 0, slot()).expect("ok"), 3);
+        assert_eq!(queue.push(stream(2), 0, slot()).expect("ok"), 4);
+        let clock = VirtualClock::new();
+        // Weighted tickets still drain as one contiguous run.
+        let batch = queue.wait_batch(8, 0, &clock).expect("work");
+        assert_eq!(
+            batch
+                .iter()
+                .map(|r| (r.ticket, r.weight))
+                .collect::<Vec<_>>(),
+            vec![(0, 3), (3, 1), (4, 2)]
+        );
     }
 
     #[test]

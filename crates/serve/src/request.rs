@@ -1,13 +1,16 @@
 //! Typed requests, their routing keys and the client-side response handle.
 
-use crate::error::Result;
+use crate::error::{Result, ServeError};
 use lightator_core::platform::{ImageKernel, Report, Workload};
+use lightator_core::stream::StreamReport;
 use lightator_sensor::frame::RgbFrame;
 use std::sync::{Condvar, Mutex};
 
-/// One frame of work for the server, typed by the workload that should
+/// One unit of work for the server, typed by the workload that should
 /// serve it. The router dispatches each request to the shard group opened
-/// for the matching [`Workload`].
+/// for the matching [`Workload`]. The first three variants carry one frame
+/// each; [`Request::VideoStream`] carries a whole frame sequence and
+/// resolves to a [`StreamReport`] through [`Pending::wait_stream`].
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Classify the frame with the group's trained model.
@@ -28,17 +31,28 @@ pub enum Request {
         /// The scene in front of the sensor.
         frame: RgbFrame,
     },
+    /// Run a whole video stream through the frame-delta compressive path;
+    /// a group must be registered for a `Workload::VideoStream` with this
+    /// exact kernel.
+    VideoStream {
+        /// The filter the stream group applies to recomputed blocks.
+        kernel: ImageKernel,
+        /// The frame sequence, in stream order.
+        frames: Vec<RgbFrame>,
+    },
 }
 
 impl Request {
     /// Label of the workload this request targets (`classify`, `acquire`,
-    /// `kernel:sobel-x`, ...), matching [`Workload::label`].
+    /// `kernel:sobel-x`, `stream:sobel-x`, ...), matching
+    /// [`Workload::label`].
     #[must_use]
     pub fn label(&self) -> String {
         match self {
             Request::Classify { .. } => "classify".to_string(),
             Request::Acquire { .. } => "acquire".to_string(),
             Request::ImageKernel { kernel, .. } => format!("kernel:{}", kernel.name()),
+            Request::VideoStream { kernel, .. } => format!("stream:{}", kernel.name()),
         }
     }
 
@@ -48,15 +62,37 @@ impl Request {
             Request::Classify { .. } => RequestKind::Classify,
             Request::Acquire { .. } => RequestKind::Acquire,
             Request::ImageKernel { kernel, .. } => RequestKind::Kernel(*kernel),
+            Request::VideoStream { kernel, .. } => RequestKind::Stream(*kernel),
         }
     }
 
-    /// The scene to serve, surrendered to the queue.
-    pub(crate) fn into_frame(self) -> RgbFrame {
+    /// The work to serve, surrendered to the queue.
+    pub(crate) fn into_payload(self) -> Payload {
         match self {
             Request::Classify { frame }
             | Request::Acquire { frame }
-            | Request::ImageKernel { frame, .. } => frame,
+            | Request::ImageKernel { frame, .. } => Payload::Frame(frame),
+            Request::VideoStream { frames, .. } => Payload::Stream(frames),
+        }
+    }
+}
+
+/// The queued work of one admitted request.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// One scene for a single-frame workload.
+    Frame(RgbFrame),
+    /// A whole frame sequence for a video-stream workload.
+    Stream(Vec<RgbFrame>),
+}
+
+impl Payload {
+    /// Global frame indices this payload consumes — the ticket stride of
+    /// the request.
+    pub(crate) fn weight(&self) -> u64 {
+        match self {
+            Payload::Frame(_) => 1,
+            Payload::Stream(frames) => frames.len() as u64,
         }
     }
 }
@@ -68,6 +104,7 @@ pub(crate) enum RequestKind {
     Classify,
     Acquire,
     Kernel(ImageKernel),
+    Stream(ImageKernel),
 }
 
 impl RequestKind {
@@ -77,6 +114,55 @@ impl RequestKind {
             Workload::Classify { .. } => RequestKind::Classify,
             Workload::Acquire => RequestKind::Acquire,
             Workload::ImageKernel { kernel } => RequestKind::Kernel(*kernel),
+            Workload::VideoStream { kernel, .. } => RequestKind::Stream(*kernel),
+        }
+    }
+}
+
+/// What a served request resolved to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A single-frame report (classify / acquire / image kernel).
+    Frame(Report),
+    /// A whole-stream report (video stream).
+    Stream(StreamReport),
+}
+
+impl Response {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Response::Frame(_) => "frame",
+            Response::Stream(_) => "stream",
+        }
+    }
+
+    /// Unwraps a frame report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ResponseKind`] for stream responses.
+    pub fn into_report(self) -> Result<Report> {
+        match self {
+            Response::Frame(report) => Ok(report),
+            other => Err(ServeError::ResponseKind {
+                expected: "frame",
+                got: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Unwraps a stream report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ResponseKind`] for frame responses.
+    pub fn into_stream_report(self) -> Result<StreamReport> {
+        match self {
+            Response::Stream(report) => Ok(report),
+            other => Err(ServeError::ResponseKind {
+                expected: "stream",
+                got: other.kind_name(),
+            }),
         }
     }
 }
@@ -85,7 +171,7 @@ impl RequestKind {
 /// shard that serves it.
 #[derive(Debug, Default)]
 pub(crate) struct ResponseSlot {
-    outcome: Mutex<Option<Result<Report>>>,
+    outcome: Mutex<Option<Result<Response>>>,
     done: Condvar,
 }
 
@@ -95,14 +181,14 @@ impl ResponseSlot {
     }
 
     /// Publishes the outcome and wakes the waiting client.
-    pub(crate) fn fulfil(&self, outcome: Result<Report>) {
+    pub(crate) fn fulfil(&self, outcome: Result<Response>) {
         let mut slot = self.outcome.lock().expect("response slot poisoned");
         *slot = Some(outcome);
         self.done.notify_all();
     }
 
     /// Blocks until the outcome is published, then takes it.
-    pub(crate) fn take(&self) -> Result<Report> {
+    pub(crate) fn take(&self) -> Result<Response> {
         let mut slot = self.outcome.lock().expect("response slot poisoned");
         loop {
             if let Some(outcome) = slot.take() {
@@ -129,14 +215,36 @@ impl Pending {
     }
 
     /// Blocks until the shard group serves the request, returning its
+    /// [`Response`] — frame or stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] if the platform rejected the work.
+    pub fn wait_response(self) -> Result<Response> {
+        self.slot.take()
+    }
+
+    /// Blocks until a single-frame request is served, returning its
     /// [`Report`].
     ///
     /// # Errors
     ///
-    /// Returns [`crate::ServeError::Core`] if the platform rejected the
-    /// frame (e.g. a resolution mismatch).
+    /// Returns [`ServeError::Core`] if the platform rejected the frame
+    /// (e.g. a resolution mismatch) and [`ServeError::ResponseKind`] if the
+    /// request was a video stream.
     pub fn wait(self) -> Result<Report> {
-        self.slot.take()
+        self.wait_response()?.into_report()
+    }
+
+    /// Blocks until a video-stream request is served, returning its
+    /// [`StreamReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Core`] if the platform rejected the stream and
+    /// [`ServeError::ResponseKind`] if the request was a single frame.
+    pub fn wait_stream(self) -> Result<StreamReport> {
+        self.wait_response()?.into_stream_report()
     }
 }
 
@@ -164,14 +272,21 @@ mod tests {
         );
         let request = Request::ImageKernel {
             kernel: ImageKernel::SobelX,
-            frame,
+            frame: frame.clone(),
         };
         assert_eq!(request.label(), "kernel:sobel-x");
         assert_eq!(request.kind(), RequestKind::Kernel(ImageKernel::SobelX));
+        let request = Request::VideoStream {
+            kernel: ImageKernel::SobelX,
+            frames: vec![frame; 3],
+        };
+        assert_eq!(request.label(), "stream:sobel-x");
+        assert_eq!(request.kind(), RequestKind::Stream(ImageKernel::SobelX));
+        assert_eq!(request.into_payload().weight(), 3);
     }
 
     #[test]
-    fn workload_kinds_distinguish_kernels() {
+    fn workload_kinds_distinguish_kernels_and_streams() {
         assert_eq!(
             RequestKind::of_workload(&Workload::Acquire),
             RequestKind::Acquire
@@ -184,6 +299,31 @@ mod tests {
                 kernel: ImageKernel::SobelY,
             })
         );
+        // A kernel group and a stream group on the same kernel are
+        // distinct routes.
+        assert_ne!(
+            RequestKind::of_workload(&Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            }),
+            RequestKind::of_workload(&Workload::VideoStream {
+                kernel: ImageKernel::SobelX,
+                stream: lightator_core::stream::StreamConfig::default(),
+            })
+        );
+    }
+
+    #[test]
+    fn response_accessors_enforce_the_kind() {
+        let report = StreamReport::new("stream:identity".into(), 4);
+        let response = Response::Stream(report.clone());
+        assert_eq!(
+            response.clone().into_report(),
+            Err(ServeError::ResponseKind {
+                expected: "frame",
+                got: "stream",
+            })
+        );
+        assert_eq!(response.into_stream_report(), Ok(report));
     }
 
     #[test]

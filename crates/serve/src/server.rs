@@ -226,13 +226,33 @@ impl Server {
     /// Submits a request, returning a [`Pending`] handle once admitted.
     ///
     /// Never blocks: a full queue rejects with
-    /// [`ServeError::Overloaded`] (counted in the metrics) and an
-    /// unregistered workload with [`ServeError::UnknownWorkload`].
+    /// [`ServeError::Overloaded`] (counted in the metrics), an
+    /// unregistered workload with [`ServeError::UnknownWorkload`], and a
+    /// malformed video stream (empty, or longer than the configured
+    /// [`ServeConfig::max_stream_frames`]) with
+    /// [`ServeError::InvalidRequest`].
     ///
     /// # Errors
     ///
     /// See above; also [`ServeError::ShuttingDown`] during shutdown.
     pub fn submit(&self, request: Request) -> Result<Pending> {
+        if let Request::VideoStream { frames, .. } = &request {
+            if frames.is_empty() {
+                return Err(ServeError::InvalidRequest {
+                    reason: "a video stream needs at least one frame".into(),
+                });
+            }
+            if frames.len() > self.config.max_stream_frames {
+                return Err(ServeError::InvalidRequest {
+                    reason: format!(
+                        "the stream carries {} frames but max_stream_frames is {} \
+                         (split the stream or raise the limit)",
+                        frames.len(),
+                        self.config.max_stream_frames
+                    ),
+                });
+            }
+        }
         let kind = request.kind();
         let group = self.groups.iter().find(|g| g.kind == kind).ok_or_else(|| {
             ServeError::UnknownWorkload {
@@ -243,7 +263,7 @@ impl Server {
         let arrival_ns = self.clock.now();
         match group
             .queue
-            .push(request.into_frame(), arrival_ns, Arc::clone(&slot))
+            .push(request.into_payload(), arrival_ns, Arc::clone(&slot))
         {
             Ok(_ticket) => Ok(Pending::new(slot)),
             Err(err) => {
@@ -256,13 +276,24 @@ impl Server {
     }
 
     /// Submits a request and blocks until its report is ready — the
-    /// closed-loop client call.
+    /// closed-loop client call for single-frame workloads.
     ///
     /// # Errors
     ///
     /// Same as [`Server::submit`], plus any execution error of the frame.
     pub fn run(&self, request: Request) -> Result<lightator_core::platform::Report> {
         self.submit(request)?.wait()
+    }
+
+    /// Submits a video-stream request and blocks until the whole stream is
+    /// served, returning its [`lightator_core::stream::StreamReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`], plus any execution error of the stream
+    /// and [`ServeError::ResponseKind`] for non-stream requests.
+    pub fn run_stream(&self, request: Request) -> Result<lightator_core::stream::StreamReport> {
+        self.submit(request)?.wait_stream()
     }
 
     /// A point-in-time snapshot of the serving telemetry.
@@ -371,6 +402,100 @@ mod tests {
         assert_eq!(snapshot.completed, 3);
         assert_eq!(snapshot.errored, 0);
         assert!(snapshot.throughput_fps() > 0.0);
+    }
+
+    #[test]
+    fn serves_video_streams_through_their_own_group() {
+        use lightator_core::stream::StreamConfig;
+        let server = Server::builder(small_platform())
+            .shards(2)
+            .max_batch(2)
+            .workload(Workload::Acquire)
+            .workload(Workload::VideoStream {
+                kernel: ImageKernel::SobelX,
+                stream: StreamConfig {
+                    block_size: 2,
+                    delta_threshold: 0.05,
+                },
+            })
+            .build()
+            .expect("server");
+        let frames = vec![scene(0); 5];
+        let report = server
+            .run_stream(Request::VideoStream {
+                kernel: ImageKernel::SobelX,
+                frames,
+            })
+            .expect("stream served");
+        assert_eq!(report.workload, "stream:sobel-x");
+        assert_eq!(report.frames_processed(), 5);
+        assert_eq!(
+            report.blocks_skipped(),
+            4 * report.blocks_per_frame,
+            "a static stream skips everything after the dense first frame"
+        );
+        // Frame requests still flow beside the stream group.
+        assert!(server.run(Request::Acquire { frame: scene(1) }).is_ok());
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.completed, 2);
+        assert_eq!(snapshot.stream_frames, 5);
+        assert!(snapshot.stream_skip_ratio() > 0.5);
+        assert!(snapshot.table().contains("stream frames"));
+    }
+
+    #[test]
+    fn stream_admission_rejects_empty_and_oversized_streams() {
+        use lightator_core::stream::StreamConfig;
+        let server = Server::builder(small_platform())
+            .serve_config(ServeConfig {
+                max_stream_frames: 3,
+                ..ServeConfig::default()
+            })
+            .workload(Workload::VideoStream {
+                kernel: ImageKernel::SobelX,
+                stream: StreamConfig {
+                    block_size: 2,
+                    delta_threshold: 0.05,
+                },
+            })
+            .build()
+            .expect("server");
+        assert!(matches!(
+            server.submit(Request::VideoStream {
+                kernel: ImageKernel::SobelX,
+                frames: vec![],
+            }),
+            Err(ServeError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            server.submit(Request::VideoStream {
+                kernel: ImageKernel::SobelX,
+                frames: vec![scene(0); 4],
+            }),
+            Err(ServeError::InvalidRequest { .. })
+        ));
+        // Within the limit the stream is admitted and served.
+        assert!(server
+            .run_stream(Request::VideoStream {
+                kernel: ImageKernel::SobelX,
+                frames: vec![scene(0); 3],
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn wrong_response_accessors_are_typed_errors() {
+        let server = Server::builder(small_platform())
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        let pending = server
+            .submit(Request::Acquire { frame: scene(0) })
+            .expect("admitted");
+        assert!(matches!(
+            pending.wait_stream(),
+            Err(ServeError::ResponseKind { .. })
+        ));
     }
 
     #[test]

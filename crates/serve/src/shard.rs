@@ -3,15 +3,16 @@
 //! Each shard owns its own session (opened through
 //! `Platform::session_seeded`) and loops on its group's queue:
 //! drain a contiguous-ticket micro-batch, seek the session to the batch's
-//! first ticket, execute it with `run_batch` (weights programmed once per
-//! batch), fulfil the response slots and account the batch on the shard's
-//! simulated timeline. The loop exits once the queue shut down and ran dry,
-//! which is what makes server shutdown graceful.
+//! first ticket, execute it (frame batches through `run_batch` with the
+//! weights programmed once per batch; video streams one request at a time
+//! through `run_stream`), fulfil the response slots and account the batch
+//! on the shard's simulated timeline. The loop exits once the queue shut
+//! down and ran dry, which is what makes server shutdown graceful.
 
 use crate::error::ServeError;
 use crate::metrics::{MetricsInner, VirtualClock};
-use crate::queue::SharedQueue;
-use crate::request::ResponseSlot;
+use crate::queue::{QueuedRequest, SharedQueue};
+use crate::request::{Payload, Response, ResponseSlot};
 use lightator_core::platform::Session;
 use lightator_sensor::frame::RgbFrame;
 use std::sync::atomic::Ordering;
@@ -40,7 +41,7 @@ impl SlotGuard {
     }
 
     /// Publishes the outcome of the next unfulfilled request.
-    fn fulfil(&mut self, outcome: crate::error::Result<lightator_core::platform::Report>) {
+    fn fulfil(&mut self, outcome: crate::error::Result<Response>) {
         let (_, _, slot) = &self.handles[self.next];
         slot.fulfil(outcome);
         self.next += 1;
@@ -75,7 +76,8 @@ pub(crate) struct ShardContext {
 /// The worker loop. Returns when the group's queue shut down and drained.
 pub(crate) fn run(mut ctx: ShardContext) {
     // One frame of this workload occupies the virtual chip for its
-    // simulated frame latency; a batch occupies it back to back.
+    // simulated frame latency; a batch occupies it back to back. Stream
+    // requests instead occupy the chip for their gated `sim_time`.
     let frame_latency_ns = ctx.session.perf().frame_latency.ns().ceil().max(1.0) as u64;
     let mut busy_until_ns = 0u64;
     while let Some(batch) = ctx
@@ -85,60 +87,16 @@ pub(crate) fn run(mut ctx: ShardContext) {
         if batch.is_empty() {
             continue;
         }
-        let first_ticket = batch[0].ticket;
-        let newest_arrival_ns = batch.iter().map(|r| r.arrival_ns).max().unwrap_or(0);
-        // The virtual chip starts the batch as soon as it is free and the
-        // whole batch has arrived (its own timeline, not the global clock:
-        // shards process in parallel in simulated time).
-        let start_ns = busy_until_ns.max(newest_arrival_ns);
-        let completion_ns = start_ns + frame_latency_ns * batch.len() as u64;
-
-        let (frames, handles): (Vec<RgbFrame>, Vec<RequestHandle>) = batch
-            .into_iter()
-            .map(|r| (r.frame, (r.ticket, r.arrival_ns, r.slot)))
-            .unzip();
-        let mut guard = SlotGuard::new(handles);
-
-        // Publish the batch on the timelines *before* fulfilling any slot:
-        // a closed-loop client wakes inside `fulfil` and stamps its next
-        // arrival immediately, so the clock must already reflect this
-        // batch's completion for arrivals to stay causal.
-        let shard = &ctx.metrics.shards[ctx.shard_index];
-        shard.batches.fetch_add(1, Ordering::Relaxed);
-        shard
-            .frames
-            .fetch_add(frames.len() as u64, Ordering::Relaxed);
-        shard.batch_sizes[frames.len() - 1].fetch_add(1, Ordering::Relaxed);
-        for (_, arrival_ns, _) in guard.handles() {
-            ctx.metrics
-                .queue_wait
-                .record(start_ns.saturating_sub(*arrival_ns));
+        // A group's queue is homogeneous (the router keys on the workload),
+        // so one stream payload means a stream batch.
+        if batch
+            .iter()
+            .any(|r| matches!(r.payload, Payload::Stream(_)))
+        {
+            busy_until_ns = run_stream_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns);
+        } else {
+            busy_until_ns = run_frame_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns);
         }
-        ctx.metrics
-            .first_start_ns
-            .fetch_min(start_ns, Ordering::Relaxed);
-        ctx.metrics
-            .last_completion_ns
-            .fetch_max(completion_ns, Ordering::Relaxed);
-        busy_until_ns = completion_ns;
-        ctx.clock.advance_to(completion_ns);
-
-        // Execute at the tickets' frame indices: bit-identical to a single
-        // sequential session running these frames at the same positions.
-        // `catch_unwind` keeps the worker alive across a panic in core
-        // code, and the guard fails the batch's unfulfilled slots so no
-        // client hangs.
-        let session = &mut ctx.session;
-        let metrics = &ctx.metrics;
-        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_batch(session, metrics, first_ticket, &frames, &mut guard)
-        }));
-        if executed.is_err() {
-            metrics
-                .errored
-                .fetch_add(guard.remaining() as u64, Ordering::Relaxed);
-        }
-        drop(guard);
 
         // Fair handoff: on few host CPUs, the worker that just finished
         // tends to win the queue lock again before its siblings wake,
@@ -148,6 +106,159 @@ pub(crate) fn run(mut ctx: ShardContext) {
         // to the hardware they model.
         std::thread::yield_now();
     }
+}
+
+/// Executes one drained batch of single-frame requests.
+fn run_frame_batch(
+    ctx: &mut ShardContext,
+    batch: Vec<QueuedRequest>,
+    frame_latency_ns: u64,
+    busy_until_ns: u64,
+) -> u64 {
+    let first_ticket = batch[0].ticket;
+    let newest_arrival_ns = batch.iter().map(|r| r.arrival_ns).max().unwrap_or(0);
+    // The virtual chip starts the batch as soon as it is free and the
+    // whole batch has arrived (its own timeline, not the global clock:
+    // shards process in parallel in simulated time).
+    let start_ns = busy_until_ns.max(newest_arrival_ns);
+    let completion_ns = start_ns + frame_latency_ns * batch.len() as u64;
+
+    let (frames, handles): (Vec<RgbFrame>, Vec<RequestHandle>) = batch
+        .into_iter()
+        .map(|r| {
+            let frame = match r.payload {
+                Payload::Frame(frame) => frame,
+                Payload::Stream(_) => unreachable!("frame batches carry frame payloads"),
+            };
+            (frame, (r.ticket, r.arrival_ns, r.slot))
+        })
+        .unzip();
+    let mut guard = SlotGuard::new(handles);
+
+    // Publish the batch on the timelines *before* fulfilling any slot:
+    // a closed-loop client wakes inside `fulfil` and stamps its next
+    // arrival immediately, so the clock must already reflect this
+    // batch's completion for arrivals to stay causal.
+    let shard = &ctx.metrics.shards[ctx.shard_index];
+    shard.batches.fetch_add(1, Ordering::Relaxed);
+    shard
+        .frames
+        .fetch_add(frames.len() as u64, Ordering::Relaxed);
+    shard.batch_sizes[frames.len() - 1].fetch_add(1, Ordering::Relaxed);
+    for (_, arrival_ns, _) in guard.handles() {
+        ctx.metrics
+            .queue_wait
+            .record(start_ns.saturating_sub(*arrival_ns));
+    }
+    ctx.metrics
+        .first_start_ns
+        .fetch_min(start_ns, Ordering::Relaxed);
+    ctx.metrics
+        .last_completion_ns
+        .fetch_max(completion_ns, Ordering::Relaxed);
+    ctx.clock.advance_to(completion_ns);
+
+    // Execute at the tickets' frame indices: bit-identical to a single
+    // sequential session running these frames at the same positions.
+    // `catch_unwind` keeps the worker alive across a panic in core
+    // code, and the guard fails the batch's unfulfilled slots so no
+    // client hangs.
+    let session = &mut ctx.session;
+    let metrics = &ctx.metrics;
+    let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_batch(session, metrics, first_ticket, &frames, &mut guard)
+    }));
+    if executed.is_err() {
+        metrics
+            .errored
+            .fetch_add(guard.remaining() as u64, Ordering::Relaxed);
+    }
+    drop(guard);
+    completion_ns
+}
+
+/// Executes one drained batch of video-stream requests, one request at a
+/// time: each stream seeks to its ticket, runs under the delta gate, and
+/// occupies the virtual chip for its *gated* simulated time — the serving
+/// payoff of skipped blocks.
+fn run_stream_batch(
+    ctx: &mut ShardContext,
+    batch: Vec<QueuedRequest>,
+    frame_latency_ns: u64,
+    mut busy_until_ns: u64,
+) -> u64 {
+    let shard = &ctx.metrics.shards[ctx.shard_index];
+    shard.batches.fetch_add(1, Ordering::Relaxed);
+    shard.batch_sizes[batch.len() - 1].fetch_add(1, Ordering::Relaxed);
+    for request in batch {
+        let QueuedRequest {
+            payload,
+            ticket,
+            weight,
+            arrival_ns,
+            slot,
+        } = request;
+        let frames = match payload {
+            Payload::Stream(frames) => frames,
+            Payload::Frame(_) => unreachable!("stream batches carry stream payloads"),
+        };
+        let start_ns = busy_until_ns.max(arrival_ns);
+        ctx.metrics
+            .queue_wait
+            .record(start_ns.saturating_sub(arrival_ns));
+        ctx.metrics
+            .first_start_ns
+            .fetch_min(start_ns, Ordering::Relaxed);
+        shard.frames.fetch_add(weight, Ordering::Relaxed);
+
+        let mut guard = SlotGuard::new(vec![(ticket, arrival_ns, slot)]);
+        let session = &mut ctx.session;
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.seek_frame(ticket);
+            session.run_stream(&frames)
+        }));
+        let completion_ns = match &executed {
+            Ok(Ok(report)) => start_ns + report.sim_time.ns().ceil().max(1.0) as u64,
+            // A failed or panicked stream still occupied the chip for the
+            // frames it consumed; charge a dense-cost upper bound so the
+            // timeline never runs backwards.
+            _ => start_ns + weight * frame_latency_ns,
+        };
+        ctx.metrics
+            .last_completion_ns
+            .fetch_max(completion_ns, Ordering::Relaxed);
+        busy_until_ns = completion_ns;
+        ctx.clock.advance_to(completion_ns);
+
+        match executed {
+            Ok(Ok(report)) => {
+                ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics
+                    .served_frames
+                    .fetch_add(report.frames_processed() as u64, Ordering::Relaxed);
+                ctx.metrics
+                    .stream_frames
+                    .fetch_add(report.frames_processed() as u64, Ordering::Relaxed);
+                ctx.metrics
+                    .stream_blocks_total
+                    .fetch_add(report.blocks_total() as u64, Ordering::Relaxed);
+                ctx.metrics
+                    .stream_blocks_skipped
+                    .fetch_add(report.blocks_skipped() as u64, Ordering::Relaxed);
+                guard.fulfil(Ok(Response::Stream(report)));
+            }
+            Ok(Err(err)) => {
+                ctx.metrics.errored.fetch_add(1, Ordering::Relaxed);
+                guard.fulfil(Err(ServeError::Core(err)));
+            }
+            Err(_) => {
+                ctx.metrics.errored.fetch_add(1, Ordering::Relaxed);
+                // The guard's drop publishes `WorkerPanicked`.
+            }
+        }
+        drop(guard);
+    }
+    busy_until_ns
 }
 
 /// Runs one drained batch and fulfils its slots in ticket order.
@@ -164,8 +275,11 @@ fn execute_batch(
             metrics
                 .completed
                 .fetch_add(reports.len() as u64, Ordering::Relaxed);
+            metrics
+                .served_frames
+                .fetch_add(reports.len() as u64, Ordering::Relaxed);
             for report in reports {
-                guard.fulfil(Ok(report));
+                guard.fulfil(Ok(Response::Frame(report)));
             }
         }
         Err(_) => {
@@ -177,7 +291,8 @@ fn execute_batch(
                 match session.run(frame) {
                     Ok(report) => {
                         metrics.completed.fetch_add(1, Ordering::Relaxed);
-                        guard.fulfil(Ok(report));
+                        metrics.served_frames.fetch_add(1, Ordering::Relaxed);
+                        guard.fulfil(Ok(Response::Frame(report)));
                     }
                     Err(err) => {
                         metrics.errored.fetch_add(1, Ordering::Relaxed);

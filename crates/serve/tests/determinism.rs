@@ -10,10 +10,12 @@
 
 use lightator_core::ca::CaConfig;
 use lightator_core::platform::{ImageKernel, Platform, Report, Workload};
+use lightator_core::stream::{StreamConfig, StreamReport};
 use lightator_nn::layers::{Activation, Flatten, Linear};
 use lightator_nn::model::Sequential;
 use lightator_photonics::units::Time;
 use lightator_sensor::frame::RgbFrame;
+use lightator_sensor::video::{SyntheticVideo, SyntheticVideoConfig};
 use lightator_serve::{Request, Server};
 use proptest::proptest;
 use rand::rngs::SmallRng;
@@ -137,6 +139,123 @@ proptest! {
             |frame| Request::ImageKernel { kernel: ImageKernel::SobelX, frame },
         );
         assert_eq!(expected, got, "pooled kernel diverged from sequential");
+    }
+}
+
+/// The video-stream workload the pooled/sequential property runs on: a
+/// Sobel kernel under a 2×2-block delta gate on the 8×8 sensor (4×4
+/// acquired map).
+fn stream_workload() -> Workload {
+    Workload::VideoStream {
+        kernel: ImageKernel::SobelX,
+        stream: StreamConfig {
+            block_size: 2,
+            delta_threshold: 0.05,
+        },
+    }
+}
+
+/// Mixed-motion stream requests: a low-motion synthetic video chopped into
+/// per-request chunks, so some blocks skip and some recompute.
+fn stream_requests(count: usize, frames_each: usize) -> Vec<Vec<RgbFrame>> {
+    let video = SyntheticVideo::new(SyntheticVideoConfig::low_motion(
+        SENSOR,
+        SENSOR,
+        count * frames_each,
+    ))
+    .expect("video");
+    (0..count)
+        .map(|i| {
+            (0..frames_each)
+                .map(|j| video.frame_at(i * frames_each + j))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Pooled (sharded) video-stream serving is bit-identical to running
+    /// the same stream requests back to back on one sequential session —
+    /// with the paper's analog noise enabled. Weighted tickets give every
+    /// stream its first frame index; `run_stream` starts fresh per
+    /// request; and the per-frame noise streams are pure functions of
+    /// `(seed, frame index)`.
+    #[test]
+    fn pooled_video_streams_are_bit_identical_to_sequential(
+        shards in 1usize..=3,
+        max_batch in 1usize..=3,
+        requests in 1usize..=4,
+        frames_each in 1usize..=4,
+    ) {
+        let streams = stream_requests(requests, frames_each);
+
+        let mut session = noisy_platform().session(stream_workload()).expect("session");
+        let expected: Vec<StreamReport> = streams
+            .iter()
+            .map(|frames| session.run_stream(frames).expect("sequential stream"))
+            .collect();
+
+        let server = Server::builder(noisy_platform())
+            .shards(shards)
+            .max_batch(max_batch)
+            .queue_depth(streams.len())
+            .workload(stream_workload())
+            .build()
+            .expect("server");
+        let pendings: Vec<_> = streams
+            .iter()
+            .map(|frames| {
+                server
+                    .submit(Request::VideoStream {
+                        kernel: ImageKernel::SobelX,
+                        frames: frames.clone(),
+                    })
+                    .expect("admitted")
+            })
+            .collect();
+        let got: Vec<StreamReport> = pendings
+            .into_iter()
+            .map(|pending| pending.wait_stream().expect("served"))
+            .collect();
+        assert_eq!(expected, got, "pooled video streams diverged from sequential");
+    }
+}
+
+/// `seek_frame` + `resume_stream` replay: the tail of a full stream run is
+/// reproduced bit-exactly from an arbitrary frame index, with analog noise
+/// enabled — the stream-workload extension of the frame-indexed noise
+/// contract the pool relies on.
+#[test]
+fn stream_tail_replay_is_bit_exact_from_any_index() {
+    let frames: Vec<RgbFrame> =
+        SyntheticVideo::new(SyntheticVideoConfig::low_motion(SENSOR, SENSOR, 10))
+            .expect("video")
+            .collect();
+
+    let mut full = noisy_platform()
+        .session(stream_workload())
+        .expect("session");
+    let full_report = full.run_stream(&frames).expect("full run");
+
+    for split in 1..frames.len() {
+        let mut prefix = noisy_platform()
+            .session(stream_workload())
+            .expect("session");
+        prefix.run_stream(&frames[..split]).expect("prefix");
+        let state = prefix.stream_state().expect("state after prefix");
+
+        let mut tail = noisy_platform()
+            .session(stream_workload())
+            .expect("session");
+        tail.seek_frame(split as u64);
+        let tail_report = tail
+            .resume_stream(state, &frames[split..])
+            .expect("tail replay");
+        assert_eq!(
+            tail_report.frames,
+            full_report.frames[split..],
+            "tail replay diverged when resuming from frame {split}"
+        );
     }
 }
 

@@ -46,7 +46,11 @@ pub use lightator_serve as serve;
 pub use lightator_core::platform::{
     ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
 };
+pub use lightator_core::stream::{StreamConfig, StreamFrame, StreamReport, StreamState};
+pub use lightator_sensor::video::{
+    FrameSequence, MotionPattern, SyntheticVideo, SyntheticVideoConfig,
+};
 pub use lightator_serve::{
-    MetricsSnapshot, Pending, Request, ServeConfig, ServeError, Server, ServerBuilder,
+    MetricsSnapshot, Pending, Request, Response, ServeConfig, ServeError, Server, ServerBuilder,
     ShardSnapshot,
 };

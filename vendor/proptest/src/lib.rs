@@ -129,6 +129,28 @@ pub mod collection {
     }
 }
 
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy sampling `true`/`false` uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_range(0u8..2) == 1
+        }
+    }
+}
+
 #[doc(hidden)]
 pub mod __rt {
     pub use rand::rngs::SmallRng;
@@ -191,10 +213,21 @@ macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
+/// Rejects the current case when the assumption does not hold (stub: skips
+/// to the next sampled case of the enclosing `proptest!` loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
 pub mod prelude {
     //! Everything a property test needs in scope.
     pub use crate::strategy::{Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
 #[cfg(test)]
