@@ -1,0 +1,214 @@
+//! Compiled-plan reuse: lower the workload once, stream frames forever.
+//!
+//! The seed executor re-encoded the quantized MR weights on every call —
+//! per output stride on the single-scene `run` path, per `run_batch` call
+//! on the batched path. A `Session` now compiles its workload into a
+//! `CompiledPlan` at open and every entry point reuses the pre-encoded
+//! weight bank. This bench measures that win on repeated small batches and
+//! asserts the headline ratio (single-scene simulation throughput — frames
+//! simulated per wall-clock second; simulated per-frame latency is identical
+//! in both modes — plan-cached vs
+//! the seed's per-call-encode path via `Session::set_plan_reuse(false)`)
+//! is **≥ 1.3×**, then emits the numbers as `BENCH_plan_reuse.json`.
+//!
+//! Smoke mode (`LIGHTATOR_BENCH_SMOKE=1`, used by the CI bench-smoke step)
+//! runs one short round — enough to exercise the harness and validate the
+//! emitted JSON without asserting the ratio on noisy shared runners.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightator_bench::emit::{self, BenchMetric};
+use lightator_core::platform::{Platform, Session, Workload};
+use lightator_nn::layers::{Activation, Conv2d, Flatten, Linear};
+use lightator_nn::model::Sequential;
+use lightator_photonics::noise::NoiseConfig;
+use lightator_sensor::frame::RgbFrame;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SENSOR: usize = 16;
+const SMALL_BATCH: usize = 2;
+
+/// A classifier with a weighty linear stage: exactly the shape where
+/// per-call encoding (weights *and* per-row activation quantization on the
+/// unencoded path) hurts most.
+fn classifier() -> Sequential {
+    let mut rng = SmallRng::seed_from_u64(21);
+    // CA halves the 16x16 sensor to [1, 8, 8].
+    let mut model = Sequential::new(&[1, 8, 8]);
+    model.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng).expect("conv"));
+    model.push(Activation::relu());
+    model.push(Flatten::new());
+    model.push(Linear::new(2 * 8 * 8, 16, &mut rng).expect("linear"));
+    model.push(Activation::relu());
+    model.push(Linear::new(16, 4, &mut rng).expect("head"));
+    model
+}
+
+fn scenes(count: usize) -> Vec<RgbFrame> {
+    let mut rng = SmallRng::seed_from_u64(33);
+    (0..count)
+        .map(|_| {
+            let data: Vec<f64> = (0..SENSOR * SENSOR * 3).map(|_| rng.gen::<f64>()).collect();
+            RgbFrame::new(SENSOR, SENSOR, data).expect("frame")
+        })
+        .collect()
+}
+
+fn session() -> Session {
+    Platform::builder()
+        .sensor_resolution(SENSOR, SENSOR)
+        .noise(NoiseConfig::ideal())
+        .build()
+        .expect("platform")
+        .session(Workload::Classify {
+            model: classifier(),
+        })
+        .expect("session")
+}
+
+/// The optical 3×3 filter workload on a 32×32 sensor: the path where
+/// per-call encoding hurts most (the seed re-quantized *and* re-programmed
+/// the MR row for every output stride).
+fn kernel_session() -> Session {
+    Platform::builder()
+        .sensor_resolution(2 * SENSOR, 2 * SENSOR)
+        .noise(NoiseConfig::ideal())
+        .build()
+        .expect("platform")
+        .session(Workload::ImageKernel {
+            kernel: lightator_core::platform::ImageKernel::SobelX,
+        })
+        .expect("session")
+}
+
+/// Frames per wall-clock second of simulation for `rounds` repetitions of
+/// the given closure (which must process `frames_per_round` frames).
+fn throughput(rounds: usize, frames_per_round: usize, mut run: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        run();
+    }
+    (rounds * frames_per_round) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let smoke = std::env::var("LIGHTATOR_BENCH_SMOKE").is_ok();
+    let frames = scenes(SMALL_BATCH);
+    let single = &frames[0];
+
+    // Criterion-visible timings.
+    let mut cached = session();
+    c.bench_function("plan_reuse/run_cached", |b| {
+        b.iter(|| black_box(cached.run(single).expect("run")));
+    });
+    let mut per_call = session();
+    per_call.set_plan_reuse(false);
+    c.bench_function("plan_reuse/run_per_call_encode", |b| {
+        b.iter(|| black_box(per_call.run(single).expect("run")));
+    });
+
+    // Headline measurement: sustained simulation throughput (frames
+    // simulated per wall-clock second) over repeated small
+    // workloads, interleaved so the two paths see the same machine state.
+    let rounds = if smoke { 2 } else { 6 };
+    let reps = if smoke { 2 } else { 10 };
+    let kernel_scene = {
+        // The kernel session runs the doubled sensor; fill a matching scene.
+        let mut rng = SmallRng::seed_from_u64(35);
+        let side = 2 * SENSOR;
+        let data: Vec<f64> = (0..side * side * 3).map(|_| rng.gen::<f64>()).collect();
+        RgbFrame::new(side, side, data).expect("frame")
+    };
+    let mut cached_kernel = kernel_session();
+    let mut per_call_kernel = kernel_session();
+    per_call_kernel.set_plan_reuse(false);
+    let mut cached_run = session();
+    let mut per_call_run = session();
+    per_call_run.set_plan_reuse(false);
+    let mut cached_batch = session();
+    let mut per_call_batch = session();
+    per_call_batch.set_plan_reuse(false);
+    // Warm-up.
+    black_box(cached_kernel.run(&kernel_scene).expect("warm-up"));
+    black_box(per_call_kernel.run(&kernel_scene).expect("warm-up"));
+    black_box(cached_run.run(single).expect("warm-up"));
+    black_box(per_call_run.run(single).expect("warm-up"));
+    black_box(cached_batch.run_batch(&frames).expect("warm-up"));
+    black_box(per_call_batch.run_batch(&frames).expect("warm-up"));
+
+    let mut kernel_ratios = Vec::new();
+    let mut single_ratios = Vec::new();
+    let mut batch_ratios = Vec::new();
+    let mut cached_fps = 0.0f64;
+    for _ in 0..rounds {
+        let per_call_tp = throughput(reps, 1, || {
+            black_box(per_call_kernel.run(&kernel_scene).expect("run"));
+        });
+        let cached_tp = throughput(reps, 1, || {
+            black_box(cached_kernel.run(&kernel_scene).expect("run"));
+        });
+        cached_fps = cached_fps.max(cached_tp);
+        kernel_ratios.push(cached_tp / per_call_tp);
+
+        let per_call_tp = throughput(reps, 1, || {
+            black_box(per_call_run.run(single).expect("run"));
+        });
+        let cached_tp = throughput(reps, 1, || {
+            black_box(cached_run.run(single).expect("run"));
+        });
+        single_ratios.push(cached_tp / per_call_tp);
+
+        let per_call_tp = throughput(reps, SMALL_BATCH, || {
+            black_box(per_call_batch.run_batch(&frames).expect("run_batch"));
+        });
+        let cached_tp = throughput(reps, SMALL_BATCH, || {
+            black_box(cached_batch.run_batch(&frames).expect("run_batch"));
+        });
+        batch_ratios.push(cached_tp / per_call_tp);
+    }
+    let median = |ratios: &mut Vec<f64>| -> f64 {
+        ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite ratios"));
+        ratios[ratios.len() / 2]
+    };
+    let kernel_speedup = median(&mut kernel_ratios);
+    let single_speedup = median(&mut single_ratios);
+    let batch_speedup = median(&mut batch_ratios);
+
+    println!(
+        "plan-cached image-kernel simulation throughput vs per-call encode: {kernel_speedup:.2}x \
+         (target >= 1.3x, typically ~2.3x)"
+    );
+    println!(
+        "plan-cached classify single-scene simulation throughput vs per-call encode: \
+         {single_speedup:.2}x"
+    );
+    println!(
+        "plan-cached classify batch-of-{SMALL_BATCH} simulation throughput vs per-call encode: \
+         {batch_speedup:.2}x"
+    );
+
+    let path = emit::emit(
+        "plan_reuse",
+        &[
+            BenchMetric::new("kernel_single_scene_speedup", kernel_speedup, "x"),
+            BenchMetric::new("classify_single_scene_speedup", single_speedup, "x"),
+            BenchMetric::new("classify_small_batch_speedup", batch_speedup, "x"),
+            BenchMetric::new(
+                "cached_kernel_sim_throughput",
+                cached_fps,
+                "frames simulated per wall-clock second",
+            ),
+        ],
+    )
+    .expect("BENCH_plan_reuse.json written and validated");
+    println!("wrote {}", path.display());
+
+    assert!(
+        smoke || kernel_speedup >= 1.3,
+        "plan reuse must sustain >= 1.3x simulation throughput over the per-call-encode \
+         path, measured {kernel_speedup:.2}x"
+    );
+}
+
+criterion_group!(benches, bench_plan_reuse);
+criterion_main!(benches);

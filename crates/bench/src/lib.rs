@@ -13,10 +13,15 @@
 //! table) and is wrapped by both a binary (`cargo run -p lightator-bench
 //! --bin fig8_lenet_power`) and a criterion bench (`cargo bench -p
 //! lightator-bench`).
+//!
+//! [`emit`] writes machine-readable `BENCH_*.json` artifacts (metric name,
+//! value, units, seed commit) so the `headline_claims` bin and the
+//! `plan_reuse` bench leave a trackable perf trail across PRs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod emit;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;

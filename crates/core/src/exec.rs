@@ -11,6 +11,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::oc::PhotonicMacUnit;
+use crate::plan::{encode_model, CompiledPlan, EncodedWeights, PlanScratch};
 use lightator_nn::datasets::Dataset;
 use lightator_nn::layers::LayerNode;
 use lightator_nn::model::Sequential;
@@ -52,35 +53,12 @@ pub struct PhotonicExecutor {
     next_frame: u64,
 }
 
-/// Quantized, normalised weight rows of one weighted layer — the exact values
-/// the DACs program into the MR transmissions. Encoding is input-independent,
-/// so a batch of frames shares one encoding pass (the hardware analogy: the
-/// weights are programmed once and frames stream through).
-#[derive(Debug, Clone)]
-struct EncodedWeights {
-    /// One normalised row per output channel (conv) or output feature
-    /// (linear), each entry already clamped to the MR transmission range.
-    rows: Vec<Vec<f64>>,
-    /// Scale that maps the normalised optical sum back to weight units.
-    weight_scale: f32,
-}
-
-impl EncodedWeights {
-    /// Encodes `row_len`-element weight rows into the normalised MR values.
-    fn new(weights: &[f32], row_len: usize, weight_scale: f32, weight_bits: u8) -> Self {
-        let rows = weights
-            .chunks(row_len)
-            .map(|row| quantize_weight_row(row, weight_scale, weight_bits))
-            .collect();
-        Self { rows, weight_scale }
-    }
-}
-
 /// Quantizes one weight row into `[-1, 1]` MR transmission values. This is
-/// the single definition of the weight encoding; both the sequential and the
-/// batched execution paths go through it, which is what keeps
-/// [`PhotonicExecutor::forward_batch`] bit-identical to sequential forwards.
-fn quantize_weight_row(row: &[f32], weight_scale: f32, weight_bits: u8) -> Vec<f64> {
+/// the single definition of the weight encoding; the plan compiler
+/// ([`crate::plan::encode_model`]) and the per-call execution paths all go
+/// through it, which is what keeps plan-cached execution bit-identical to
+/// per-call-encode execution.
+pub(crate) fn quantize_weight_row(row: &[f32], weight_scale: f32, weight_bits: u8) -> Vec<f64> {
     row.iter()
         .map(|&w| {
             let q = quantize_symmetric(w, weight_scale, weight_bits);
@@ -111,6 +89,32 @@ fn quantize_activations_into(
             f64::from(q / activation_scale).clamp(0.0, 1.0)
         };
     }
+}
+
+/// The shared input-shape mismatch error of every executor entry point,
+/// planned or per-call-encode.
+fn input_mismatch(input: &[usize], expected: &[usize]) -> CoreError {
+    CoreError::ModelMismatch {
+        reason: format!("input shape {input:?} does not match the model's {expected:?}"),
+    }
+}
+
+/// Validates one planned input: the plan must carry an optical model and
+/// the input must match its shape.
+fn check_plan_input(plan: &CompiledPlan, input: &Tensor) -> Result<()> {
+    let Some(model) = plan.model() else {
+        return Err(CoreError::ModelMismatch {
+            reason: format!(
+                "plan `{}` lowers an acquisition-only workload and has no \
+                 optical model to execute",
+                plan.label()
+            ),
+        });
+    };
+    if input.shape() != model.input_shape() {
+        return Err(input_mismatch(input.shape(), model.input_shape()));
+    }
+    Ok(())
 }
 
 /// Copies the `(oh, ow)` input patch of a convolution into `patch`, matching
@@ -197,13 +201,7 @@ impl PhotonicExecutor {
     /// MAC unit.
     pub fn forward(&mut self, model: &mut Sequential, input: &Tensor) -> Result<Tensor> {
         if input.shape() != model.input_shape() {
-            return Err(CoreError::ModelMismatch {
-                reason: format!(
-                    "input shape {:?} does not match the model's {:?}",
-                    input.shape(),
-                    model.input_shape()
-                ),
-            });
+            return Err(input_mismatch(input.shape(), model.input_shape()));
         }
         self.begin_frame();
         let mut value = input.clone();
@@ -243,10 +241,11 @@ impl PhotonicExecutor {
         model: &mut Sequential,
         inputs: &[Tensor],
     ) -> Result<Vec<Tensor>> {
-        let encodings = self.encode_weights(model);
+        let encodings = encode_model(model, self.schedule);
+        let mut scratch = PlanScratch::default();
         inputs
             .iter()
-            .map(|input| self.forward_encoded(model, &encodings, input))
+            .map(|input| self.forward_encoded(model, &encodings, &mut scratch, input))
             .collect()
     }
 
@@ -270,47 +269,97 @@ impl PhotonicExecutor {
         model: &mut Sequential,
         inputs: &[Tensor],
     ) -> Result<Vec<Tensor>> {
-        let encodings = self.encode_weights(model);
+        let encodings = encode_model(model, self.schedule);
+        let mut scratch = PlanScratch::default();
         self.begin_frame();
         inputs
             .iter()
-            .map(|input| self.forward_encoded_in_frame(model, &encodings, input))
+            .map(|input| self.forward_encoded_in_frame(model, &encodings, &mut scratch, input))
             .collect()
     }
 
-    /// Encodes the quantized, normalised weight rows of every weighted layer
-    /// (indexed by model layer position; `None` for unweighted layers).
-    fn encode_weights(&self, model: &Sequential) -> Vec<Option<EncodedWeights>> {
-        let mut weighted_index = 0usize;
-        model
-            .layers()
+    /// Runs one input through a [`CompiledPlan`]: the pre-encoded MR weight
+    /// bank is reused as-is (no per-call encoding pass) and the plan's
+    /// preallocated scratch buffers serve every stride.
+    ///
+    /// Bit-identical to [`PhotonicExecutor::forward`] on the plan's model
+    /// for the same executor state: encoding draws no analog noise, so the
+    /// frame's noise-draw order is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ModelMismatch`] for acquisition-only plans
+    /// (no optical model) or a mismatched input shape, and propagates
+    /// photonic errors.
+    pub fn forward_planned(&mut self, plan: &mut CompiledPlan, input: &Tensor) -> Result<Tensor> {
+        check_plan_input(plan, input)?;
+        self.begin_frame();
+        plan.record_hits(1);
+        self.forward_planned_in_frame(plan, input)
+    }
+
+    /// Runs a batch of inputs through a [`CompiledPlan`] — the plan-cached
+    /// counterpart of [`PhotonicExecutor::forward_batch`], with the
+    /// encoding pass already paid at compile time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhotonicExecutor::forward_planned`], checked per input.
+    pub fn forward_batch_planned(
+        &mut self,
+        plan: &mut CompiledPlan,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Tensor>> {
+        inputs
             .iter()
-            .map(|layer| {
-                if !layer.is_weighted() {
-                    return None;
-                }
-                let precision = self.schedule.for_layer(weighted_index);
-                weighted_index += 1;
-                match layer {
-                    LayerNode::Conv2d(conv) => {
-                        let row_len = conv.in_channels() * conv.kernel() * conv.kernel();
-                        Some(EncodedWeights::new(
-                            conv.weight().data(),
-                            row_len,
-                            conv.weight().max_abs(),
-                            precision.weight_bits,
-                        ))
-                    }
-                    LayerNode::Linear(linear) => Some(EncodedWeights::new(
-                        linear.weight().data(),
-                        linear.in_features(),
-                        linear.weight().max_abs(),
-                        precision.weight_bits,
-                    )),
-                    _ => unreachable!("is_weighted covers exactly conv and linear"),
-                }
+            .map(|input| {
+                check_plan_input(plan, input)?;
+                self.begin_frame();
+                // Count the hit only once the input is actually admitted
+                // to the cached encoding, matching `forward_planned`.
+                plan.record_hits(1);
+                self.forward_planned_in_frame(plan, input)
             })
             .collect()
+    }
+
+    /// Runs several inputs through a [`CompiledPlan`] **within one frame's
+    /// noise stream** — the plan-cached counterpart of
+    /// [`PhotonicExecutor::forward_frame_batch`]: the frame counter
+    /// advances exactly once and the inputs consume the frame's noise
+    /// draws in order. An empty `inputs` slice still consumes the frame
+    /// index (a fully-skipped frame is still a frame).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhotonicExecutor::forward_planned`], checked per input.
+    pub fn forward_frame_batch_planned(
+        &mut self,
+        plan: &mut CompiledPlan,
+        inputs: &[Tensor],
+    ) -> Result<Vec<Tensor>> {
+        self.begin_frame();
+        plan.record_hits(1);
+        inputs
+            .iter()
+            .map(|input| {
+                check_plan_input(plan, input)?;
+                self.forward_planned_in_frame(plan, input)
+            })
+            .collect()
+    }
+
+    /// One forward pass through the plan's cached encodings *inside the
+    /// already open frame*.
+    fn forward_planned_in_frame(
+        &mut self,
+        plan: &mut CompiledPlan,
+        input: &Tensor,
+    ) -> Result<Tensor> {
+        let (model, encodings, scratch) = plan
+            .exec_parts_mut()
+            .expect("check_plan_input rejected model-less plans");
+        self.forward_rows(model, encodings, scratch, input)
     }
 
     /// One forward pass reusing pre-encoded weights, opening a fresh frame
@@ -319,19 +368,14 @@ impl PhotonicExecutor {
         &mut self,
         model: &mut Sequential,
         encodings: &[Option<EncodedWeights>],
+        scratch: &mut PlanScratch,
         input: &Tensor,
     ) -> Result<Tensor> {
         if input.shape() != model.input_shape() {
-            return Err(CoreError::ModelMismatch {
-                reason: format!(
-                    "input shape {:?} does not match the model's {:?}",
-                    input.shape(),
-                    model.input_shape()
-                ),
-            });
+            return Err(input_mismatch(input.shape(), model.input_shape()));
         }
         self.begin_frame();
-        self.forward_encoded_in_frame(model, encodings, input)
+        self.forward_encoded_in_frame(model, encodings, scratch, input)
     }
 
     /// One forward pass reusing pre-encoded weights *inside the already
@@ -341,17 +385,24 @@ impl PhotonicExecutor {
         &mut self,
         model: &mut Sequential,
         encodings: &[Option<EncodedWeights>],
+        scratch: &mut PlanScratch,
         input: &Tensor,
     ) -> Result<Tensor> {
         if input.shape() != model.input_shape() {
-            return Err(CoreError::ModelMismatch {
-                reason: format!(
-                    "input shape {:?} does not match the model's {:?}",
-                    input.shape(),
-                    model.input_shape()
-                ),
-            });
+            return Err(input_mismatch(input.shape(), model.input_shape()));
         }
+        self.forward_rows(model, encodings, scratch, input)
+    }
+
+    /// The shared encoded-row execution loop: every weighted layer streams
+    /// against its pre-encoded MR rows, unweighted layers run digitally.
+    fn forward_rows(
+        &mut self,
+        model: &mut Sequential,
+        encodings: &[Option<EncodedWeights>],
+        scratch: &mut PlanScratch,
+        input: &Tensor,
+    ) -> Result<Tensor> {
         let mut value = input.clone();
         let mut weighted_index = 0usize;
         for (layer_index, encoding) in encodings.iter().enumerate() {
@@ -359,12 +410,12 @@ impl PhotonicExecutor {
                 (LayerNode::Conv2d(conv), Some(encoded)) => {
                     let precision = self.schedule.for_layer(weighted_index);
                     weighted_index += 1;
-                    self.conv_forward_encoded(conv, encoded, &value, precision)?
+                    self.conv_forward_encoded(conv, encoded, scratch, &value, precision)?
                 }
                 (LayerNode::Linear(linear), Some(encoded)) => {
                     let precision = self.schedule.for_layer(weighted_index);
                     weighted_index += 1;
-                    self.linear_forward_encoded(linear, encoded, &value, precision)?
+                    self.linear_forward_encoded(linear, encoded, scratch, &value, precision)?
                 }
                 _ => model.layers_mut()[layer_index].forward(&value)?,
             };
@@ -401,27 +452,11 @@ impl PhotonicExecutor {
         Ok(normalized * f64::from(weight_scale) * f64::from(activation_scale))
     }
 
-    /// Like [`PhotonicExecutor::photonic_dot`] but with the weight row
-    /// already encoded, so only the activations are quantized per call.
-    fn photonic_dot_encoded(
-        &mut self,
-        w_norm: &[f64],
-        activations: &[f32],
-        weight_scale: f32,
-        activation_scale: f32,
-        activation_bits: u8,
-    ) -> Result<f64> {
-        debug_assert_eq!(w_norm.len(), activations.len());
-        let mut a_norm = vec![0.0f64; activations.len()];
-        quantize_activations_into(activations, activation_scale, activation_bits, &mut a_norm);
-        let normalized = self.mac_unit.dot(w_norm, &a_norm)?;
-        Ok(normalized * f64::from(weight_scale) * f64::from(activation_scale))
-    }
-
     fn conv_forward_encoded(
         &mut self,
         conv: &lightator_nn::layers::Conv2d,
         encoded: &EncodedWeights,
+        scratch: &mut PlanScratch,
         input: &Tensor,
         precision: lightator_nn::quant::Precision,
     ) -> Result<Tensor> {
@@ -432,13 +467,19 @@ impl PhotonicExecutor {
         let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
         let mut out = Tensor::zeros(&out_shape);
         let row_len = in_c * k * k;
-        let mut patch = vec![0.0f32; row_len];
+        // Compiled plans preallocate these at their widest-row size, so the
+        // resize is a no-op on the steady-state path.
+        scratch.patch.resize(row_len, 0.0);
+        scratch.a_norm.resize(row_len, 0.0);
+        let (patch, a_norm) = (
+            &mut scratch.patch[..row_len],
+            &mut scratch.a_norm[..row_len],
+        );
         // Kernels that fit one arm run weight-stationary: the row is
         // programmed once per output channel and every stride (of every
         // frame in a batch) streams against it. Wider kernels fall back to
         // the segmented dot.
         let weight_stationary = row_len <= self.mac_unit.segment_length();
-        let mut a_norm = vec![0.0f64; row_len];
         for oc in 0..oc_n {
             let bias = conv.bias().data()[oc];
             let w_norm = &encoded.rows[oc];
@@ -457,25 +498,26 @@ impl PhotonicExecutor {
                         conv.padding(),
                         oh,
                         ow,
-                        &mut patch,
+                        patch,
                     );
                     let value = if weight_stationary {
                         quantize_activations_into(
-                            &patch,
+                            patch,
                             activation_scale,
                             precision.activation_bits,
-                            &mut a_norm,
+                            a_norm,
                         );
-                        let normalized = self.mac_unit.mac_loaded(&a_norm)?;
+                        let normalized = self.mac_unit.mac_loaded(a_norm)?;
                         normalized * f64::from(encoded.weight_scale) * f64::from(activation_scale)
                     } else {
-                        self.photonic_dot_encoded(
-                            w_norm,
-                            &patch,
-                            encoded.weight_scale,
+                        quantize_activations_into(
+                            patch,
                             activation_scale,
                             precision.activation_bits,
-                        )?
+                            a_norm,
+                        );
+                        let normalized = self.mac_unit.dot(w_norm, a_norm)?;
+                        normalized * f64::from(encoded.weight_scale) * f64::from(activation_scale)
                     };
                     out.data_mut()[(oc * oh_n + oh) * ow_n + ow] = value as f32 + bias;
                 }
@@ -488,6 +530,7 @@ impl PhotonicExecutor {
         &mut self,
         linear: &lightator_nn::layers::Linear,
         encoded: &EncodedWeights,
+        scratch: &mut PlanScratch,
         input: &Tensor,
         precision: lightator_nn::quant::Precision,
     ) -> Result<Tensor> {
@@ -496,16 +539,18 @@ impl PhotonicExecutor {
         let mut out = Tensor::zeros(&[linear.out_features()]);
         // The activation vector is the same for every output row; quantize
         // it once per layer (bit-identical: quantization draws no noise).
-        let mut a_norm = vec![0.0f64; input.data().len()];
+        let len = input.data().len();
+        scratch.a_norm.resize(len, 0.0);
+        let a_norm = &mut scratch.a_norm[..len];
         quantize_activations_into(
             input.data(),
             activation_scale,
             precision.activation_bits,
-            &mut a_norm,
+            a_norm,
         );
         let scale = f64::from(encoded.weight_scale) * f64::from(activation_scale);
         for o in 0..linear.out_features() {
-            let normalized = self.mac_unit.dot(&encoded.rows[o], &a_norm)?;
+            let normalized = self.mac_unit.dot(&encoded.rows[o], a_norm)?;
             out.data_mut()[o] = (normalized * scale) as f32 + linear.bias().data()[o];
         }
         Ok(out)

@@ -15,6 +15,10 @@
 //! * [`sim`] — the architecture simulator producing latency, power and
 //!   KFPS/W (Table 1);
 //! * [`exec`] — functional photonic inference for accuracy measurements;
+//! * [`plan`] — **compiled execution plans**: the lowering pass that turns a
+//!   workload into a [`CompiledPlan`] (pre-encoded MR weight bank, CA
+//!   operator, resolved precision schedule, scratch buffers) built once per
+//!   session and reused by every execution entry point;
 //! * [`platform`] — **the front door**: [`Platform`]/[`Session`]/[`Workload`]
 //!   facade unifying acquisition, image kernels, inference and video
 //!   streaming behind one builder-validated entry point;
@@ -52,6 +56,7 @@ pub mod error;
 pub mod exec;
 pub mod mapping;
 pub mod oc;
+pub mod plan;
 pub mod platform;
 pub mod sim;
 pub mod stream;
@@ -64,6 +69,7 @@ pub use error::{CoreError, Result};
 pub use exec::{PhotonicAccuracy, PhotonicExecutor};
 pub use mapping::{HardwareMapper, LayerMapping, SummationUsage};
 pub use oc::{MvmBank, OpticalCore, PhotonicMacUnit};
+pub use plan::{CompiledPlan, EncodedWeights, PlanStats};
 pub use platform::{
     ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
 };

@@ -1,0 +1,483 @@
+//! Compiled execution plans: lower a [`Workload`] once, run it everywhere.
+//!
+//! Lightator's pitch is a *fixed* near-sensor pipeline — the CA matrix, the
+//! MR weight bank and the kernel are configured once and then frames stream
+//! through at sensor rate. This module is that "program the optics once"
+//! step in software: [`CompiledPlan::compile`] lowers a
+//! [`Workload`] + [`PlatformConfig`] pair into a [`CompiledPlan`] holding
+//!
+//! * the **CA operator** ([`CompressiveAcquisitor`]) that turns raw scenes
+//!   into the optical core's input tensor,
+//! * the workload's **lowered optical model** (the classify network, the
+//!   3×3 filter conv, or the per-block stream tile conv),
+//! * the **pre-encoded MR weight bank** — one [`EncodedWeights`] per
+//!   weighted layer, exactly the normalised transmissions the DACs program —
+//! * the **resolved precision schedule**, and
+//! * **preallocated scratch and tile buffers** sized for the model's widest
+//!   row, so the steady-state execution path performs no per-frame encoding
+//!   work and no per-stride allocation.
+//!
+//! A plan is built once when a `Session` opens and reused by every entry
+//! point (`run`, `run_batch`, `run_stream`, `resume_stream`); a serving
+//! shard therefore compiles its workload group's plan exactly once at
+//! spawn. [`PlanStats`] counts encoding passes versus cache hits so the
+//! reuse is observable end to end (the serve crate surfaces the counters
+//! per shard).
+//!
+//! **Determinism contract.** Encoding draws no analog noise — noise is
+//! sampled only inside the photonic MAC — so a plan-cached execution
+//! consumes the identical frame-indexed noise-draw order as a per-call
+//! encode. Plan reuse is a pure-performance transform: golden kernels,
+//! stream resume and pooled serving all stay bit-exact.
+//!
+//! ```
+//! use lightator_core::plan::CompiledPlan;
+//! use lightator_core::platform::{ImageKernel, Platform, Workload};
+//!
+//! # fn main() -> Result<(), lightator_core::CoreError> {
+//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
+//! let plan = CompiledPlan::compile(
+//!     &Workload::ImageKernel { kernel: ImageKernel::SobelX },
+//!     platform.config(),
+//!     platform.config().seed,
+//! )?;
+//! assert_eq!(plan.label(), "kernel:sobel-x");
+//! assert_eq!(plan.encoded_layer_count(), 1); // the 3x3 conv is pre-encoded
+//! assert_eq!(plan.stats().encodes, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ca::CompressiveAcquisitor;
+use crate::error::Result;
+use crate::exec::quantize_weight_row;
+use crate::platform::{ImageKernel, PlatformConfig, Workload};
+use lightator_nn::layers::{Conv2d, LayerNode};
+use lightator_nn::model::Sequential;
+use lightator_nn::quant::PrecisionSchedule;
+use lightator_nn::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Quantized, normalised weight rows of one weighted layer — the exact
+/// values the DACs program into the MR transmissions.
+///
+/// Encoding is input-independent, so a compiled plan encodes each layer
+/// once and every frame streams through the shared encoding (the hardware
+/// analogy: the weights are programmed once and light does the rest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedWeights {
+    /// One normalised row per output channel (conv) or output feature
+    /// (linear), each entry already clamped to the MR transmission range.
+    pub(crate) rows: Vec<Vec<f64>>,
+    /// Scale that maps the normalised optical sum back to weight units.
+    pub(crate) weight_scale: f32,
+}
+
+impl EncodedWeights {
+    /// Encodes `row_len`-element weight rows into the normalised MR values.
+    #[must_use]
+    pub fn new(weights: &[f32], row_len: usize, weight_scale: f32, weight_bits: u8) -> Self {
+        let rows = weights
+            .chunks(row_len)
+            .map(|row| quantize_weight_row(row, weight_scale, weight_bits))
+            .collect();
+        Self { rows, weight_scale }
+    }
+
+    /// The normalised MR transmission rows, one per output channel/feature.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The scale mapping the normalised optical sum back to weight units.
+    #[must_use]
+    pub fn weight_scale(&self) -> f32 {
+        self.weight_scale
+    }
+}
+
+/// Encodes every weighted layer of `model` under `schedule`, indexed by
+/// model layer position (`None` for unweighted layers).
+///
+/// This is the single weight-encoding pass shared by the compiled-plan
+/// path and the legacy per-call-encode entry points, which is what keeps
+/// the two bit-identical.
+#[must_use]
+pub fn encode_model(
+    model: &Sequential,
+    schedule: PrecisionSchedule,
+) -> Vec<Option<EncodedWeights>> {
+    let mut weighted_index = 0usize;
+    model
+        .layers()
+        .iter()
+        .map(|layer| {
+            if !layer.is_weighted() {
+                return None;
+            }
+            let precision = schedule.for_layer(weighted_index);
+            weighted_index += 1;
+            match layer {
+                LayerNode::Conv2d(conv) => {
+                    let row_len = conv.in_channels() * conv.kernel() * conv.kernel();
+                    Some(EncodedWeights::new(
+                        conv.weight().data(),
+                        row_len,
+                        conv.weight().max_abs(),
+                        precision.weight_bits,
+                    ))
+                }
+                LayerNode::Linear(linear) => Some(EncodedWeights::new(
+                    linear.weight().data(),
+                    linear.in_features(),
+                    linear.weight().max_abs(),
+                    precision.weight_bits,
+                )),
+                _ => unreachable!("is_weighted covers exactly conv and linear"),
+            }
+        })
+        .collect()
+}
+
+/// Encode/reuse counters of one [`CompiledPlan`].
+///
+/// `encodes` counts weight-encoding passes (one per [`CompiledPlan::compile`]
+/// call — a healthy steady state stays at 1 per session); `cache_hits`
+/// counts executions served from the cached plan without recompiling — the
+/// pre-encoded weight bank for weighted workloads, the cached CA operator
+/// for acquisition-only plans (one hit per frame on the single/batched
+/// paths, one per stream frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Weight-encoding passes performed for this plan.
+    pub encodes: u64,
+    /// Executions that reused the cached encoding.
+    pub cache_hits: u64,
+}
+
+/// Reusable execution buffers, preallocated at compile time and sized for
+/// the lowered model's widest weight row, so the steady-state path never
+/// allocates per stride.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlanScratch {
+    /// Gathered input patch of one convolution stride.
+    pub(crate) patch: Vec<f32>,
+    /// Quantized VCSEL drive codes of one activation row.
+    pub(crate) a_norm: Vec<f64>,
+    /// Reusable `block+halo` tile tensors for the streaming path.
+    pub(crate) tiles: Vec<Tensor>,
+}
+
+/// A lowered, ready-to-run workload: CA operator, optical model, encoded
+/// MR weight bank, resolved precision schedule and scratch buffers.
+///
+/// Compiled once (when a `Session` opens, or explicitly through
+/// [`CompiledPlan::compile`]) and reused by every execution entry point.
+/// See the [module docs](self) for the full contract.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    label: String,
+    schedule: PrecisionSchedule,
+    ca: Option<CompressiveAcquisitor>,
+    /// The lowered optical model, `None` for acquisition-only plans.
+    model: Option<Sequential>,
+    /// Pre-encoded MR rows, indexed by model layer position.
+    encodings: Vec<Option<EncodedWeights>>,
+    scratch: PlanScratch,
+    stats: PlanStats,
+}
+
+impl CompiledPlan {
+    /// Lowers `workload` on `config` into a ready-to-run plan.
+    ///
+    /// The lowering pass builds the CA operator, materialises the
+    /// workload's optical model (cloning the classify network, or
+    /// constructing the filter/tile convolution from the kernel
+    /// coefficients), encodes every weighted layer's quantized MR rows
+    /// under the platform's precision schedule, and preallocates the
+    /// execution scratch. `seed` only seeds the RNG of freshly constructed
+    /// layers whose weights are immediately overwritten, mirroring the
+    /// session-opening behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CA construction and model construction errors.
+    pub fn compile(workload: &Workload, config: &PlatformConfig, seed: u64) -> Result<Self> {
+        let ca = config.ca.map(CompressiveAcquisitor::new).transpose()?;
+        let acquired = config.acquired_shape();
+        let model = match workload {
+            Workload::Classify { model } => Some(model.clone()),
+            Workload::Acquire => None,
+            Workload::ImageKernel { kernel } => Some(build_filter_model(*kernel, acquired, seed)?),
+            Workload::VideoStream { kernel, stream } => {
+                Some(build_tile_model(*kernel, stream.block_size, seed)?)
+            }
+        };
+        let encodings = model
+            .as_ref()
+            .map(|m| encode_model(m, config.schedule))
+            .unwrap_or_default();
+        let widest_row = encodings
+            .iter()
+            .flatten()
+            .flat_map(|e| e.rows.first())
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        let tiles = match workload {
+            Workload::VideoStream { stream, .. } => {
+                let blocks = (acquired[1] / stream.block_size.max(1))
+                    * (acquired[2] / stream.block_size.max(1));
+                Vec::with_capacity(blocks)
+            }
+            _ => Vec::new(),
+        };
+        Ok(Self {
+            label: workload.label(),
+            schedule: config.schedule,
+            ca,
+            model,
+            encodings,
+            scratch: PlanScratch {
+                patch: vec![0.0; widest_row],
+                a_norm: vec![0.0; widest_row],
+                tiles,
+            },
+            stats: PlanStats {
+                encodes: 1,
+                cache_hits: 0,
+            },
+        })
+    }
+
+    /// Label of the lowered workload (`classify`, `kernel:sobel-x`, ...).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The precision schedule the weight bank was encoded under.
+    #[must_use]
+    pub fn schedule(&self) -> PrecisionSchedule {
+        self.schedule
+    }
+
+    /// The lowered CA operator, `None` when the platform bypasses CA.
+    #[must_use]
+    pub fn ca(&self) -> Option<&CompressiveAcquisitor> {
+        self.ca.as_ref()
+    }
+
+    /// The lowered optical model, `None` for acquisition-only plans.
+    #[must_use]
+    pub fn model(&self) -> Option<&Sequential> {
+        self.model.as_ref()
+    }
+
+    /// Number of weighted layers with a pre-encoded MR weight bank.
+    #[must_use]
+    pub fn encoded_layer_count(&self) -> usize {
+        self.encodings.iter().flatten().count()
+    }
+
+    /// The pre-encoded MR rows, indexed by model layer position.
+    #[must_use]
+    pub fn encodings(&self) -> &[Option<EncodedWeights>] {
+        &self.encodings
+    }
+
+    /// Encode/reuse counters of this plan.
+    #[must_use]
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Records `hits` executions served from the cached encoding.
+    pub(crate) fn record_hits(&mut self, hits: u64) {
+        self.stats.cache_hits += hits;
+    }
+
+    /// Mutable access to the lowered model (the per-call-encode fallback
+    /// drives the legacy executor entry points with it).
+    pub(crate) fn model_mut(&mut self) -> Option<&mut Sequential> {
+        self.model.as_mut()
+    }
+
+    /// Splits the plan into the disjoint parts one planned forward pass
+    /// needs: the model, its encodings and the scratch buffers.
+    pub(crate) fn exec_parts_mut(
+        &mut self,
+    ) -> Option<(&mut Sequential, &[Option<EncodedWeights>], &mut PlanScratch)> {
+        let model = self.model.as_mut()?;
+        Some((model, &self.encodings, &mut self.scratch))
+    }
+
+    /// Takes the reusable tile buffer out of the plan (the streaming path
+    /// fills it, runs the planned frame batch, and returns it).
+    pub(crate) fn take_tiles(&mut self) -> Vec<Tensor> {
+        std::mem::take(&mut self.scratch.tiles)
+    }
+
+    /// Returns the tile buffer taken by [`CompiledPlan::take_tiles`].
+    pub(crate) fn return_tiles(&mut self, tiles: Vec<Tensor>) {
+        self.scratch.tiles = tiles;
+    }
+}
+
+/// Builds the single-conv model that executes a 3×3 image kernel on the
+/// optical core.
+pub(crate) fn build_filter_model(
+    kernel: ImageKernel,
+    input_shape: [usize; 3],
+    seed: u64,
+) -> Result<Sequential> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng)?;
+    conv.weight_mut()
+        .data_mut()
+        .copy_from_slice(&kernel.coefficients());
+    conv.bias_mut().data_mut()[0] = 0.0;
+    let mut model = Sequential::new(&input_shape);
+    model.push(conv);
+    Ok(model)
+}
+
+/// Builds the per-block tile model of a stream session: a 3×3 kernel with
+/// padding 0 over a `block+halo` tile, so its output is exactly the block.
+pub(crate) fn build_tile_model(
+    kernel: ImageKernel,
+    block_size: usize,
+    seed: u64,
+) -> Result<Sequential> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng)?;
+    conv.weight_mut()
+        .data_mut()
+        .copy_from_slice(&kernel.coefficients());
+    conv.bias_mut().data_mut()[0] = 0.0;
+    let edge = block_size + 2;
+    let mut model = Sequential::new(&[1, edge, edge]);
+    model.push(conv);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::stream::StreamConfig;
+    use lightator_nn::layers::{Activation, Flatten, Linear};
+    use lightator_nn::quant::Precision;
+
+    fn paper_config() -> PlatformConfig {
+        Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform")
+            .config()
+            .clone()
+    }
+
+    #[test]
+    fn acquire_plans_carry_the_ca_but_no_model() {
+        let config = paper_config();
+        let plan = CompiledPlan::compile(&Workload::Acquire, &config, config.seed).expect("plan");
+        assert!(plan.ca().is_some());
+        assert!(plan.model().is_none());
+        assert_eq!(plan.encoded_layer_count(), 0);
+        assert_eq!(plan.stats().encodes, 1);
+        assert_eq!(plan.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn kernel_plans_encode_the_filter_conv() {
+        let config = paper_config();
+        let plan = CompiledPlan::compile(
+            &Workload::ImageKernel {
+                kernel: ImageKernel::Laplacian,
+            },
+            &config,
+            config.seed,
+        )
+        .expect("plan");
+        let model = plan.model().expect("filter model");
+        assert_eq!(model.input_shape(), &[1, 8, 8]);
+        assert_eq!(plan.encoded_layer_count(), 1);
+        let encoded = plan.encodings()[0].as_ref().expect("conv encoding");
+        assert_eq!(encoded.rows().len(), 1);
+        assert_eq!(encoded.rows()[0].len(), 9);
+        // Every MR value sits in the transmission range.
+        assert!(encoded.rows()[0].iter().all(|w| (-1.0..=1.0).contains(w)));
+    }
+
+    #[test]
+    fn stream_plans_lower_the_tile_conv_and_reserve_tile_buffers() {
+        let config = paper_config();
+        let plan = CompiledPlan::compile(
+            &Workload::VideoStream {
+                kernel: ImageKernel::SobelY,
+                stream: StreamConfig {
+                    block_size: 2,
+                    delta_threshold: 0.05,
+                },
+            },
+            &config,
+            config.seed,
+        )
+        .expect("plan");
+        // Tile conv runs on block+halo.
+        assert_eq!(plan.model().expect("tile model").input_shape(), &[1, 4, 4]);
+        // 8x8 acquired map in 2x2 blocks -> 16 tile slots reserved.
+        assert!(plan.scratch.tiles.capacity() >= 16);
+    }
+
+    #[test]
+    fn classify_plans_encode_every_weighted_layer() {
+        let config = paper_config();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model = Sequential::new(&[1, 8, 8]);
+        model.push(Flatten::new());
+        model.push(Linear::new(64, 12, &mut rng).expect("ok"));
+        model.push(Activation::relu());
+        model.push(Linear::new(12, 3, &mut rng).expect("ok"));
+        let plan = CompiledPlan::compile(&Workload::Classify { model }, &config, config.seed)
+            .expect("plan");
+        assert_eq!(plan.encoded_layer_count(), 2);
+        // Scratch is sized for the widest row (the 64-feature linear).
+        assert_eq!(plan.scratch.patch.len(), 64);
+        assert_eq!(plan.scratch.a_norm.len(), 64);
+        assert_eq!(plan.schedule(), config.schedule);
+    }
+
+    #[test]
+    fn encode_model_matches_the_schedule_per_layer() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut model = Sequential::new(&[1, 4, 4]);
+        model.push(Conv2d::new(1, 2, 3, 1, 1, &mut rng).expect("conv"));
+        model.push(Activation::relu());
+        model.push(Flatten::new());
+        model.push(Linear::new(32, 3, &mut rng).expect("linear"));
+        let mixed = PrecisionSchedule::Mixed {
+            first: Precision::w4a4(),
+            rest: Precision::w2a4(),
+        };
+        let encodings = encode_model(&model, mixed);
+        assert_eq!(encodings.len(), 4);
+        assert!(encodings[0].is_some());
+        assert!(encodings[1].is_none());
+        assert!(encodings[2].is_none());
+        assert!(encodings[3].is_some());
+        // Lower weight precision -> coarser MR levels: the distinct value
+        // count of the 2-bit layer never exceeds the 4-bit grid size.
+        let distinct = |e: &EncodedWeights| {
+            let mut values: Vec<u64> = e.rows.iter().flatten().map(|w| w.abs().to_bits()).collect();
+            values.sort_unstable();
+            values.dedup();
+            values.len()
+        };
+        let rest = encodings[3].as_ref().expect("linear encoding");
+        assert!(distinct(rest) <= 2usize.pow(2));
+    }
+}

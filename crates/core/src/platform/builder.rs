@@ -1,0 +1,426 @@
+//! Platform configuration and construction: [`PlatformConfig`], the fluent
+//! [`PlatformBuilder`] and the validated [`Platform`] front door.
+//!
+//! A [`Platform`] is immutable once built: [`PlatformBuilder::build`]
+//! validates the whole configuration exactly once (geometry, periphery,
+//! sensor, CA divisibility) so that opening sessions and compiling plans
+//! can assume a consistent device. The builder ships the paper's presets
+//! and chainable setters for every knob a deployment tunes.
+
+use crate::ca::CaConfig;
+use crate::config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
+use crate::error::{CoreError, Result};
+use crate::platform::session::Session;
+use crate::platform::workload::Workload;
+use crate::sim::{ArchitectureSimulator, SimulationReport};
+use lightator_nn::quant::{Precision, PrecisionSchedule};
+use lightator_nn::spec::{NetworkSpec, NetworkSpecBuilder};
+use lightator_photonics::noise::NoiseConfig;
+use lightator_sensor::array::SensorArrayConfig;
+use serde::{Deserialize, Serialize};
+
+/// Complete, serialisable description of one Lightator platform: hardware,
+/// sensor, acquisition mode, precision schedule and the analog noise seed.
+///
+/// Build values through [`PlatformBuilder`]; round-trip them through
+/// [`PlatformConfig::to_text`] / [`PlatformConfig::from_text`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Optical core, periphery, power, noise and timing parameters.
+    pub hardware: LightatorConfig,
+    /// The ADC-less sensor design in front of the optical core.
+    pub sensor: SensorArrayConfig,
+    /// Compressive-acquisition configuration (`None` bypasses the CA banks).
+    pub ca: Option<CaConfig>,
+    /// Precision schedule applied to every weighted layer.
+    pub schedule: PrecisionSchedule,
+    /// Seed of the analog-noise stream (deterministic runs for a fixed seed).
+    pub seed: u64,
+}
+
+impl PlatformConfig {
+    /// Shape of the tensor the acquisition path feeds to the first DNN
+    /// layer (`[1, h, w]`): the CA-compressed map when CA is enabled, the
+    /// raw photosite grid otherwise.
+    #[must_use]
+    pub fn acquired_shape(&self) -> [usize; 3] {
+        match &self.ca {
+            Some(ca) => [
+                1,
+                self.sensor.height / ca.pooling_window,
+                self.sensor.width / ca.pooling_window,
+            ],
+            None => [1, self.sensor.height, self.sensor.width],
+        }
+    }
+}
+
+/// Fluent builder for a [`Platform`].
+///
+/// All setters are chainable; [`PlatformBuilder::build`] validates the whole
+/// configuration once and returns rich [`CoreError::InvalidConfig`] errors
+/// naming the violated constraint.
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    config: PlatformConfig,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl PlatformBuilder {
+    /// The paper's platform: 96×6×9 optical core, 256×256 sensor, 2×2 CA,
+    /// uniform `[4:4]` precision, default analog noise.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            config: PlatformConfig {
+                hardware: LightatorConfig::paper(),
+                sensor: SensorArrayConfig::paper_default()
+                    .expect("paper sensor defaults are valid"),
+                ca: Some(CaConfig::default()),
+                schedule: PrecisionSchedule::Uniform(Precision::w4a4()),
+                seed: 7,
+            },
+        }
+    }
+
+    /// Low-power preset: uniform `[2:4]` weights (gating half the DAC
+    /// slices) and aggressive 4×4 compressive acquisition.
+    #[must_use]
+    pub fn low_power() -> Self {
+        Self::paper()
+            .precision(PrecisionSchedule::Uniform(Precision::w2a4()))
+            .compressive_acquisition(CaConfig {
+                pooling_window: 4,
+                rgb_to_grayscale: true,
+            })
+    }
+
+    /// High-throughput preset: the paper's mixed `[4:4][2:4]` schedule
+    /// (first-layer fidelity, low-power deeper layers) with 2×2 CA — the
+    /// configuration family with the best KFPS/W in Table 1.
+    #[must_use]
+    pub fn high_throughput() -> Self {
+        Self::paper().precision(PrecisionSchedule::Mixed {
+            first: Precision::w4a4(),
+            rest: Precision::w2a4(),
+        })
+    }
+
+    /// Sets the optical-core geometry.
+    #[must_use]
+    pub fn geometry(mut self, geometry: OcGeometry) -> Self {
+        self.config.hardware.geometry = geometry;
+        self
+    }
+
+    /// Sets the electronic periphery block counts.
+    #[must_use]
+    pub fn periphery(mut self, periphery: PeripheryCounts) -> Self {
+        self.config.hardware.periphery = periphery;
+        self
+    }
+
+    /// Sets the platform timing parameters.
+    #[must_use]
+    pub fn timing(mut self, timing: TimingConfig) -> Self {
+        self.config.hardware.timing = timing;
+        self
+    }
+
+    /// Sets the analog noise / non-ideality configuration.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseConfig) -> Self {
+        self.config.hardware.noise = noise;
+        self
+    }
+
+    /// Sets the precision schedule applied to weighted layers.
+    #[must_use]
+    pub fn precision(mut self, schedule: PrecisionSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Enables compressive acquisition with the given configuration.
+    #[must_use]
+    pub fn compressive_acquisition(mut self, ca: CaConfig) -> Self {
+        self.config.ca = Some(ca);
+        self.config.hardware.use_compressive_acquisition = true;
+        self
+    }
+
+    /// Disables compressive acquisition (full-resolution raw readout).
+    #[must_use]
+    pub fn without_compressive_acquisition(mut self) -> Self {
+        self.config.ca = None;
+        self.config.hardware.use_compressive_acquisition = false;
+        self
+    }
+
+    /// Sets the sensor resolution (photosites), keeping the paper's pixel
+    /// and comparator designs.
+    #[must_use]
+    pub fn sensor_resolution(mut self, height: usize, width: usize) -> Self {
+        self.config.sensor.height = height;
+        self.config.sensor.width = width;
+        self
+    }
+
+    /// Sets the analog-noise seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates the configuration once and builds the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] describing the violated
+    /// constraint: invalid optical-core geometry or periphery, a zero-sized
+    /// sensor, a CA window that does not divide the sensor resolution, or a
+    /// degenerate CA configuration.
+    pub fn build(self) -> Result<Platform> {
+        let config = self.config;
+        config.hardware.validate()?;
+        if config.sensor.height == 0 || config.sensor.width == 0 {
+            return Err(CoreError::invalid_config(
+                "sensor_resolution",
+                (config.sensor.height * config.sensor.width) as f64,
+                format!(
+                    "the sensor needs at least one photosite per axis \
+                     (got {}x{})",
+                    config.sensor.height, config.sensor.width
+                ),
+            ));
+        }
+        if let Some(ca) = &config.ca {
+            ca.validate()?;
+            if !config.sensor.height.is_multiple_of(ca.pooling_window)
+                || !config.sensor.width.is_multiple_of(ca.pooling_window)
+            {
+                return Err(CoreError::invalid_config(
+                    "pooling_window",
+                    ca.pooling_window as f64,
+                    format!(
+                        "the CA pooling window must divide the sensor resolution \
+                         ({}x{} is not divisible by {})",
+                        config.sensor.height, config.sensor.width, ca.pooling_window
+                    ),
+                ));
+            }
+        }
+        let simulator = ArchitectureSimulator::new(config.hardware.clone())?;
+        Ok(Platform { config, simulator })
+    }
+}
+
+/// A validated Lightator platform: the single entry point for opening
+/// workload [`Session`]s and for architecture-level what-if simulation.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: PlatformConfig,
+    simulator: ArchitectureSimulator,
+}
+
+impl Platform {
+    /// Starts a fluent builder seeded with the paper's configuration.
+    #[must_use]
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::paper()
+    }
+
+    /// The paper's platform, built directly.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in defaults; the `Result` mirrors
+    /// [`PlatformBuilder::build`].
+    pub fn paper() -> Result<Self> {
+        PlatformBuilder::paper().build()
+    }
+
+    /// Builds a platform from a previously validated configuration (e.g. one
+    /// loaded through [`PlatformConfig::from_text`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlatformBuilder::build`].
+    pub fn from_config(config: PlatformConfig) -> Result<Self> {
+        PlatformBuilder { config }.build()
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The architecture simulator bound to this platform's hardware.
+    #[must_use]
+    pub fn simulator(&self) -> &ArchitectureSimulator {
+        &self.simulator
+    }
+
+    /// Simulates a network spec under the platform's precision schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/simulation errors.
+    pub fn simulate(&self, network: &NetworkSpec) -> Result<SimulationReport> {
+        self.simulator.simulate(network, self.config.schedule)
+    }
+
+    /// Simulates a network spec under an explicit precision schedule (for
+    /// precision sweeps that keep the rest of the platform fixed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/simulation errors.
+    pub fn simulate_with(
+        &self,
+        network: &NetworkSpec,
+        schedule: PrecisionSchedule,
+    ) -> Result<SimulationReport> {
+        self.simulator.simulate(network, schedule)
+    }
+
+    /// Shape of the tensor the acquisition path feeds to the first DNN layer
+    /// (`[1, h, w]`): the CA-compressed map when CA is enabled, the raw
+    /// photosite grid otherwise.
+    #[must_use]
+    pub fn acquired_shape(&self) -> [usize; 3] {
+        self.config.acquired_shape()
+    }
+
+    /// Opens a session running `workload` on this platform.
+    ///
+    /// The session owns the full sensor → CA → optical-core state, the
+    /// workload's **compiled plan** (pre-encoded MR weight bank, reused by
+    /// every later execution) and a workload-specific performance model, so
+    /// every [`Session::run`] yields a complete
+    /// [`Report`](crate::platform::Report).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor/CA/executor/plan construction errors and
+    /// mapping/simulation errors for the workload's performance spec.
+    pub fn session(&self, workload: Workload) -> Result<Session> {
+        self.session_seeded(workload, self.config.seed)
+    }
+
+    /// Opens a session like [`Platform::session`], but with an explicit
+    /// analog-noise seed instead of the platform's.
+    ///
+    /// A serving pool uses this to model physically distinct chips: shards
+    /// with different seeds draw decorrelated noise, while shards sharing
+    /// the platform seed (plus the frame-indexed noise streams of
+    /// [`Session::seek_frame`]) reproduce a single sequential session bit
+    /// for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::session`].
+    pub fn session_seeded(&self, workload: Workload, seed: u64) -> Result<Session> {
+        Session::open(self, workload, seed)
+    }
+
+    /// Spec of the acquisition pass itself: one optical weighted-sum layer
+    /// (the fused CA convolution, or the per-photosite readout without CA).
+    pub(crate) fn acquisition_spec(&self) -> Result<NetworkSpec> {
+        let (h, w) = (self.config.sensor.height, self.config.sensor.width);
+        let builder = match &self.config.ca {
+            Some(ca) => NetworkSpecBuilder::new("acquire+ca", [3, h, w]).conv(
+                1,
+                ca.pooling_window,
+                ca.pooling_window,
+                0,
+            ),
+            None => NetworkSpecBuilder::new("acquire", [1, h, w]).conv(1, 1, 1, 0),
+        };
+        Ok(builder.map_err(CoreError::from)?.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_indivisible_ca_window() {
+        let err = Platform::builder()
+            .sensor_resolution(10, 10)
+            .compressive_acquisition(CaConfig {
+                pooling_window: 4,
+                rgb_to_grayscale: true,
+            })
+            .build()
+            .expect_err("10 is not divisible by 4");
+        assert!(err.to_string().contains("divide the sensor resolution"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_sensor() {
+        assert!(Platform::builder().sensor_resolution(0, 8).build().is_err());
+    }
+
+    #[test]
+    fn presets_build_and_differ() {
+        let paper = PlatformBuilder::paper().build().expect("paper");
+        let low_power = PlatformBuilder::low_power().build().expect("low power");
+        let high_throughput = PlatformBuilder::high_throughput()
+            .build()
+            .expect("high throughput");
+        assert_eq!(
+            paper.config().schedule,
+            PrecisionSchedule::Uniform(Precision::w4a4())
+        );
+        assert_eq!(
+            low_power.config().schedule,
+            PrecisionSchedule::Uniform(Precision::w2a4())
+        );
+        assert!(matches!(
+            high_throughput.config().schedule,
+            PrecisionSchedule::Mixed { .. }
+        ));
+        // Low power compresses harder.
+        assert_eq!(low_power.acquired_shape(), [1, 64, 64]);
+        assert_eq!(paper.acquired_shape(), [1, 128, 128]);
+    }
+
+    #[test]
+    fn config_and_platform_agree_on_the_acquired_shape() {
+        let with_ca = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        assert_eq!(with_ca.config().acquired_shape(), [1, 8, 8]);
+        assert_eq!(with_ca.acquired_shape(), with_ca.config().acquired_shape());
+        let without = Platform::builder()
+            .sensor_resolution(16, 16)
+            .without_compressive_acquisition()
+            .build()
+            .expect("platform");
+        assert_eq!(without.acquired_shape(), [1, 16, 16]);
+    }
+
+    #[test]
+    fn platform_simulates_specs_directly() {
+        let platform = Platform::paper().expect("paper");
+        let report = platform.simulate(&NetworkSpec::lenet()).expect("ok");
+        assert!(report.kfps_per_watt() > 0.0);
+        let lower = platform
+            .simulate_with(
+                &NetworkSpec::lenet(),
+                PrecisionSchedule::Uniform(Precision::w2a4()),
+            )
+            .expect("ok");
+        assert!(lower.max_power.watts() < report.max_power.watts());
+    }
+}

@@ -1,694 +1,60 @@
-//! The one front door to the Lightator node: `Platform` → `Session` →
-//! `Report`.
+//! Live workload sessions: plan-compiled execution over the sensor → CA →
+//! optical-core datapath.
 //!
-//! The paper pitches a *versatile* near-sensor accelerator — one device that
-//! serves compressive acquisition, classic image-processing kernels and DNN
-//! inference. This module is the programmable front end over that device:
-//!
-//! * a [`Platform`] is built once from a validated configuration via the
-//!   fluent [`PlatformBuilder`] (presets [`PlatformBuilder::paper`],
-//!   [`PlatformBuilder::low_power`], [`PlatformBuilder::high_throughput`]);
-//! * a [`Session`] is opened on the platform for one typed [`Workload`]
-//!   (classification, raw/compressive acquisition, an image kernel, or a
-//!   video stream) and owns all sensor/CA/executor state;
-//! * every [`Session::run`] returns a unified [`Report`] carrying both the
-//!   functional outcome (class, logits, filtered frame) *and* the
-//!   architecture-level performance numbers (latency, power, energy, FPS,
-//!   KFPS/W) for the workload.
-//!
-//! [`Session::run_batch`] amortizes the per-frame weight encoding — the
-//! photonic analogue of programming the MR weight DACs once and streaming
-//! frames through — and [`Session::process_iter`] adapts a frame iterator to
-//! a report stream.
-//!
-//! [`Workload::VideoStream`] sessions run whole frame sequences through
-//! [`Session::run_stream`]: a per-block temporal delta gate (built on the
-//! DMVA selector/feedback model) skips the optical work of unchanged
-//! blocks, and the returned [`StreamReport`] carries frames processed,
-//! blocks skipped, simulated FPS, energy per frame and the speedup over
-//! dense per-frame execution:
-//!
-//! ```
-//! use lightator_core::platform::{ImageKernel, Platform, Workload};
-//! use lightator_core::stream::StreamConfig;
-//! use lightator_sensor::video::{SyntheticVideo, SyntheticVideoConfig};
-//!
-//! # fn main() -> Result<(), lightator_core::CoreError> {
-//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
-//! let mut session = platform.session(Workload::VideoStream {
-//!     kernel: ImageKernel::SobelX,
-//!     stream: StreamConfig { block_size: 2, delta_threshold: 0.05 },
-//! })?;
-//! let frames: Vec<_> =
-//!     SyntheticVideo::new(SyntheticVideoConfig::low_motion(16, 16, 6))
-//!         .expect("valid video")
-//!         .collect();
-//! let report = session.run_stream(&frames)?;
-//! assert_eq!(report.frames_processed(), 6);
-//! assert!(report.speedup_vs_dense() >= 1.0);
-//! # Ok(())
-//! # }
-//! ```
-//!
-//! ```
-//! use lightator_core::platform::{Platform, Workload};
-//! use lightator_sensor::frame::RgbFrame;
-//!
-//! # fn main() -> Result<(), lightator_core::CoreError> {
-//! let platform = Platform::builder().sensor_resolution(16, 16).build()?;
-//! let mut session = platform.session(Workload::Acquire)?;
-//! let scene = RgbFrame::filled(16, 16, [0.6, 0.3, 0.1])?;
-//! let report = session.run(&scene)?;
-//! assert!(report.fps() > 0.0);
-//! assert!(report.max_power().watts() > 0.0);
-//! # Ok(())
-//! # }
-//! ```
+//! Opening a [`Session`] **compiles** its workload once into a
+//! [`CompiledPlan`] — the pre-encoded MR weight bank, the CA operator and
+//! preallocated scratch buffers — and every execution entry point
+//! ([`Session::run`], [`Session::run_batch`], [`Session::run_stream`],
+//! [`Session::resume_stream`]) reuses that plan instead of re-encoding the
+//! quantized weights per call. Plan reuse is a pure-performance transform:
+//! encoding draws no analog noise, so plan-cached execution consumes the
+//! identical frame-indexed noise-draw order as the per-call-encode path
+//! (switchable for differential testing via [`Session::set_plan_reuse`])
+//! and stays bit-exact.
 
-use crate::ca::{CaConfig, CompressiveAcquisitor};
-use crate::config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
 use crate::error::{CoreError, Result};
 use crate::exec::{PhotonicAccuracy, PhotonicExecutor};
-use crate::sim::{ArchitectureSimulator, SimulationReport};
+use crate::plan::{CompiledPlan, PlanStats};
+use crate::platform::builder::Platform;
+use crate::platform::report::{
+    acquisition_outcome, check_model_input, classification_from_logits, filtered_from,
+    filtered_outcome, model_mismatch, Outcome, Report,
+};
+use crate::platform::workload::{network_spec_of, Workload};
+use crate::sim::SimulationReport;
 use crate::stream::{
-    StreamConfig, StreamFrame, StreamReport, StreamState, TemporalDifferencer, GATE_COST_FRACTION,
+    StreamFrame, StreamReport, StreamState, TemporalDifferencer, GATE_COST_FRACTION,
 };
 use lightator_nn::datasets::Dataset;
-use lightator_nn::layers::{Conv2d, LayerNode};
-use lightator_nn::model::Sequential;
-use lightator_nn::quant::{Precision, PrecisionSchedule};
-use lightator_nn::spec::{NetworkSpec, NetworkSpecBuilder};
+use lightator_nn::spec::NetworkSpecBuilder;
 use lightator_nn::tensor::Tensor;
-use lightator_photonics::noise::NoiseConfig;
-use lightator_photonics::units::{Energy, Power, Time};
-use lightator_sensor::array::{SensorArray, SensorArrayConfig};
+use lightator_sensor::array::SensorArray;
 use lightator_sensor::frame::RgbFrame;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 
-/// Complete, serialisable description of one Lightator platform: hardware,
-/// sensor, acquisition mode, precision schedule and the analog noise seed.
-///
-/// Build values through [`PlatformBuilder`]; round-trip them through
-/// [`PlatformConfig::to_text`] / [`PlatformConfig::from_text`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PlatformConfig {
-    /// Optical core, periphery, power, noise and timing parameters.
-    pub hardware: LightatorConfig,
-    /// The ADC-less sensor design in front of the optical core.
-    pub sensor: SensorArrayConfig,
-    /// Compressive-acquisition configuration (`None` bypasses the CA banks).
-    pub ca: Option<CaConfig>,
-    /// Precision schedule applied to every weighted layer.
-    pub schedule: PrecisionSchedule,
-    /// Seed of the analog-noise stream (deterministic runs for a fixed seed).
-    pub seed: u64,
-}
-
-/// Fluent builder for a [`Platform`].
-///
-/// All setters are chainable; [`PlatformBuilder::build`] validates the whole
-/// configuration once and returns rich [`CoreError::InvalidConfig`] errors
-/// naming the violated constraint.
-#[derive(Debug, Clone)]
-pub struct PlatformBuilder {
-    config: PlatformConfig,
-}
-
-impl Default for PlatformBuilder {
-    fn default() -> Self {
-        Self::paper()
-    }
-}
-
-impl PlatformBuilder {
-    /// The paper's platform: 96×6×9 optical core, 256×256 sensor, 2×2 CA,
-    /// uniform `[4:4]` precision, default analog noise.
-    #[must_use]
-    pub fn paper() -> Self {
-        Self {
-            config: PlatformConfig {
-                hardware: LightatorConfig::paper(),
-                sensor: SensorArrayConfig::paper_default()
-                    .expect("paper sensor defaults are valid"),
-                ca: Some(CaConfig::default()),
-                schedule: PrecisionSchedule::Uniform(Precision::w4a4()),
-                seed: 7,
-            },
-        }
-    }
-
-    /// Low-power preset: uniform `[2:4]` weights (gating half the DAC
-    /// slices) and aggressive 4×4 compressive acquisition.
-    #[must_use]
-    pub fn low_power() -> Self {
-        Self::paper()
-            .precision(PrecisionSchedule::Uniform(Precision::w2a4()))
-            .compressive_acquisition(CaConfig {
-                pooling_window: 4,
-                rgb_to_grayscale: true,
-            })
-    }
-
-    /// High-throughput preset: the paper's mixed `[4:4][2:4]` schedule
-    /// (first-layer fidelity, low-power deeper layers) with 2×2 CA — the
-    /// configuration family with the best KFPS/W in Table 1.
-    #[must_use]
-    pub fn high_throughput() -> Self {
-        Self::paper().precision(PrecisionSchedule::Mixed {
-            first: Precision::w4a4(),
-            rest: Precision::w2a4(),
-        })
-    }
-
-    /// Sets the optical-core geometry.
-    #[must_use]
-    pub fn geometry(mut self, geometry: OcGeometry) -> Self {
-        self.config.hardware.geometry = geometry;
-        self
-    }
-
-    /// Sets the electronic periphery block counts.
-    #[must_use]
-    pub fn periphery(mut self, periphery: PeripheryCounts) -> Self {
-        self.config.hardware.periphery = periphery;
-        self
-    }
-
-    /// Sets the platform timing parameters.
-    #[must_use]
-    pub fn timing(mut self, timing: TimingConfig) -> Self {
-        self.config.hardware.timing = timing;
-        self
-    }
-
-    /// Sets the analog noise / non-ideality configuration.
-    #[must_use]
-    pub fn noise(mut self, noise: NoiseConfig) -> Self {
-        self.config.hardware.noise = noise;
-        self
-    }
-
-    /// Sets the precision schedule applied to weighted layers.
-    #[must_use]
-    pub fn precision(mut self, schedule: PrecisionSchedule) -> Self {
-        self.config.schedule = schedule;
-        self
-    }
-
-    /// Enables compressive acquisition with the given configuration.
-    #[must_use]
-    pub fn compressive_acquisition(mut self, ca: CaConfig) -> Self {
-        self.config.ca = Some(ca);
-        self.config.hardware.use_compressive_acquisition = true;
-        self
-    }
-
-    /// Disables compressive acquisition (full-resolution raw readout).
-    #[must_use]
-    pub fn without_compressive_acquisition(mut self) -> Self {
-        self.config.ca = None;
-        self.config.hardware.use_compressive_acquisition = false;
-        self
-    }
-
-    /// Sets the sensor resolution (photosites), keeping the paper's pixel
-    /// and comparator designs.
-    #[must_use]
-    pub fn sensor_resolution(mut self, height: usize, width: usize) -> Self {
-        self.config.sensor.height = height;
-        self.config.sensor.width = width;
-        self
-    }
-
-    /// Sets the analog-noise seed.
-    #[must_use]
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.config.seed = seed;
-        self
-    }
-
-    /// Validates the configuration once and builds the platform.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidConfig`] describing the violated
-    /// constraint: invalid optical-core geometry or periphery, a zero-sized
-    /// sensor, a CA window that does not divide the sensor resolution, or a
-    /// degenerate CA configuration.
-    pub fn build(self) -> Result<Platform> {
-        let config = self.config;
-        config.hardware.validate()?;
-        if config.sensor.height == 0 || config.sensor.width == 0 {
-            return Err(CoreError::invalid_config(
-                "sensor_resolution",
-                (config.sensor.height * config.sensor.width) as f64,
-                format!(
-                    "the sensor needs at least one photosite per axis \
-                     (got {}x{})",
-                    config.sensor.height, config.sensor.width
-                ),
-            ));
-        }
-        if let Some(ca) = &config.ca {
-            ca.validate()?;
-            if !config.sensor.height.is_multiple_of(ca.pooling_window)
-                || !config.sensor.width.is_multiple_of(ca.pooling_window)
-            {
-                return Err(CoreError::invalid_config(
-                    "pooling_window",
-                    ca.pooling_window as f64,
-                    format!(
-                        "the CA pooling window must divide the sensor resolution \
-                         ({}x{} is not divisible by {})",
-                        config.sensor.height, config.sensor.width, ca.pooling_window
-                    ),
-                ));
-            }
-        }
-        let simulator = ArchitectureSimulator::new(config.hardware.clone())?;
-        Ok(Platform { config, simulator })
-    }
-}
-
-/// A validated Lightator platform: the single entry point for opening
-/// workload [`Session`]s and for architecture-level what-if simulation.
-#[derive(Debug, Clone)]
-pub struct Platform {
-    config: PlatformConfig,
-    simulator: ArchitectureSimulator,
-}
-
-impl Platform {
-    /// Starts a fluent builder seeded with the paper's configuration.
-    #[must_use]
-    pub fn builder() -> PlatformBuilder {
-        PlatformBuilder::paper()
-    }
-
-    /// The paper's platform, built directly.
-    ///
-    /// # Errors
-    ///
-    /// Never fails for the built-in defaults; the `Result` mirrors
-    /// [`PlatformBuilder::build`].
-    pub fn paper() -> Result<Self> {
-        PlatformBuilder::paper().build()
-    }
-
-    /// Builds a platform from a previously validated configuration (e.g. one
-    /// loaded through [`PlatformConfig::from_text`]).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`PlatformBuilder::build`].
-    pub fn from_config(config: PlatformConfig) -> Result<Self> {
-        PlatformBuilder { config }.build()
-    }
-
-    /// The validated configuration.
-    #[must_use]
-    pub fn config(&self) -> &PlatformConfig {
-        &self.config
-    }
-
-    /// The architecture simulator bound to this platform's hardware.
-    #[must_use]
-    pub fn simulator(&self) -> &ArchitectureSimulator {
-        &self.simulator
-    }
-
-    /// Simulates a network spec under the platform's precision schedule.
-    ///
-    /// # Errors
-    ///
-    /// Propagates mapping/simulation errors.
-    pub fn simulate(&self, network: &NetworkSpec) -> Result<SimulationReport> {
-        self.simulator.simulate(network, self.config.schedule)
-    }
-
-    /// Simulates a network spec under an explicit precision schedule (for
-    /// precision sweeps that keep the rest of the platform fixed).
-    ///
-    /// # Errors
-    ///
-    /// Propagates mapping/simulation errors.
-    pub fn simulate_with(
-        &self,
-        network: &NetworkSpec,
-        schedule: PrecisionSchedule,
-    ) -> Result<SimulationReport> {
-        self.simulator.simulate(network, schedule)
-    }
-
-    /// Shape of the tensor the acquisition path feeds to the first DNN layer
-    /// (`[1, h, w]`): the CA-compressed map when CA is enabled, the raw
-    /// photosite grid otherwise.
-    #[must_use]
-    pub fn acquired_shape(&self) -> [usize; 3] {
-        match &self.config.ca {
-            Some(ca) => [
-                1,
-                self.config.sensor.height / ca.pooling_window,
-                self.config.sensor.width / ca.pooling_window,
-            ],
-            None => [1, self.config.sensor.height, self.config.sensor.width],
-        }
-    }
-
-    /// Opens a session running `workload` on this platform.
-    ///
-    /// The session owns the full sensor → CA → optical-core state and a
-    /// workload-specific performance model, so every [`Session::run`] yields
-    /// a complete [`Report`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates sensor/CA/executor construction errors and
-    /// mapping/simulation errors for the workload's performance spec.
-    pub fn session(&self, workload: Workload) -> Result<Session> {
-        self.session_seeded(workload, self.config.seed)
-    }
-
-    /// Opens a session like [`Platform::session`], but with an explicit
-    /// analog-noise seed instead of the platform's.
-    ///
-    /// A serving pool uses this to model physically distinct chips: shards
-    /// with different seeds draw decorrelated noise, while shards sharing
-    /// the platform seed (plus the frame-indexed noise streams of
-    /// [`Session::seek_frame`]) reproduce a single sequential session bit
-    /// for bit.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Platform::session`].
-    pub fn session_seeded(&self, workload: Workload, seed: u64) -> Result<Session> {
-        let sensor = SensorArray::new(self.config.sensor.clone())?;
-        let acquisitor = self.config.ca.map(CompressiveAcquisitor::new).transpose()?;
-        let executor =
-            PhotonicExecutor::new(self.config.schedule, self.config.hardware.noise, seed)?;
-        let label = workload.label();
-        let acquired = self.acquired_shape();
-        let (spec, filter_model, stream) = match &workload {
-            Workload::Classify { model } => (network_spec_of(model, &label)?, None, None),
-            Workload::Acquire => (self.acquisition_spec()?, None, None),
-            Workload::ImageKernel { kernel } => (
-                NetworkSpecBuilder::new(&label, acquired)
-                    .conv(1, 3, 1, 1)
-                    .map_err(CoreError::from)?
-                    .build(),
-                Some(build_filter_model(*kernel, acquired, seed)?),
-                None,
-            ),
-            Workload::VideoStream { kernel, stream } => {
-                let window = self.config.ca.map_or(1, |ca| ca.pooling_window);
-                let differencer =
-                    TemporalDifferencer::new(*stream, acquired[1], acquired[2], window)?;
-                let tile_model = build_tile_model(*kernel, stream.block_size, seed)?;
-                let perf_acquire = self
-                    .simulator
-                    .simulate(&self.acquisition_spec()?, self.config.schedule)?;
-                let spec = NetworkSpecBuilder::new(&label, acquired)
-                    .conv(1, 3, 1, 1)
-                    .map_err(CoreError::from)?
-                    .build();
-                let pipeline = StreamPipeline {
-                    differencer,
-                    tile_model,
-                    state: None,
-                    perf_acquire,
-                    window,
-                };
-                (spec, None, Some(pipeline))
-            }
-        };
-        let perf = self.simulator.simulate(&spec, self.config.schedule)?;
-        Ok(Session {
-            sensor,
-            acquisitor,
-            executor,
-            workload,
-            filter_model,
-            stream,
-            perf,
-            label,
-        })
-    }
-
-    /// Spec of the acquisition pass itself: one optical weighted-sum layer
-    /// (the fused CA convolution, or the per-photosite readout without CA).
-    fn acquisition_spec(&self) -> Result<NetworkSpec> {
-        let (h, w) = (self.config.sensor.height, self.config.sensor.width);
-        let builder = match &self.config.ca {
-            Some(ca) => NetworkSpecBuilder::new("acquire+ca", [3, h, w]).conv(
-                1,
-                ca.pooling_window,
-                ca.pooling_window,
-                0,
-            ),
-            None => NetworkSpecBuilder::new("acquire", [1, h, w]).conv(1, 1, 1, 0),
-        };
-        Ok(builder.map_err(CoreError::from)?.build())
-    }
-}
-
-/// The typed workloads a [`Session`] can serve — the paper's "versatile
-/// image processing" surface.
-#[derive(Debug, Clone)]
-pub enum Workload {
-    /// DNN inference: classify acquired frames with a trained model.
-    Classify {
-        /// The trained (and typically weight-quantized) model.
-        model: Sequential,
-    },
-    /// Acquisition only: raw ADC-less readout, or the CA-compressed map when
-    /// the platform enables compressive acquisition.
-    Acquire,
-    /// A classic 3×3 image-processing kernel executed on the optical core.
-    ImageKernel {
-        /// The filter to apply.
-        kernel: ImageKernel,
-    },
-    /// A continuous video stream filtered by a 3×3 kernel under the
-    /// frame-delta gate: blocks whose scene delta stays below the
-    /// configured threshold ride the DMVA feedback path instead of waking
-    /// the optical core. Served through [`Session::run_stream`].
-    VideoStream {
-        /// The filter applied to every (recomputed) block.
-        kernel: ImageKernel,
-        /// Block grid and delta threshold of the temporal gate.
-        stream: StreamConfig,
-    },
-}
-
-impl Workload {
-    /// Short label used in reports and performance specs.
-    #[must_use]
-    pub fn label(&self) -> String {
-        match self {
-            Workload::Classify { .. } => "classify".to_string(),
-            Workload::Acquire => "acquire".to_string(),
-            Workload::ImageKernel { kernel } => format!("kernel:{}", kernel.name()),
-            Workload::VideoStream { kernel, .. } => format!("stream:{}", kernel.name()),
-        }
-    }
-}
-
-/// The 3×3 image-processing kernels the optical core serves directly
-/// (weights in MR transmissions, one stride per arm).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ImageKernel {
-    /// Pass-through (useful for calibration).
-    Identity,
-    /// 3×3 box blur.
-    BoxBlur,
-    /// 3×3 Gaussian blur.
-    GaussianBlur,
-    /// Sharpening filter.
-    Sharpen,
-    /// Horizontal Sobel edge detector.
-    SobelX,
-    /// Vertical Sobel edge detector.
-    SobelY,
-    /// Laplacian edge detector.
-    Laplacian,
-}
-
-impl ImageKernel {
-    /// Every supported kernel.
-    pub const ALL: [ImageKernel; 7] = [
-        ImageKernel::Identity,
-        ImageKernel::BoxBlur,
-        ImageKernel::GaussianBlur,
-        ImageKernel::Sharpen,
-        ImageKernel::SobelX,
-        ImageKernel::SobelY,
-        ImageKernel::Laplacian,
-    ];
-
-    /// Human-readable kernel name.
-    #[must_use]
-    pub fn name(&self) -> &'static str {
-        match self {
-            ImageKernel::Identity => "identity",
-            ImageKernel::BoxBlur => "box-blur",
-            ImageKernel::GaussianBlur => "gaussian-blur",
-            ImageKernel::Sharpen => "sharpen",
-            ImageKernel::SobelX => "sobel-x",
-            ImageKernel::SobelY => "sobel-y",
-            ImageKernel::Laplacian => "laplacian",
-        }
-    }
-
-    /// Row-major 3×3 coefficients, as programmed into one bank arm.
-    #[must_use]
-    pub fn coefficients(&self) -> [f32; 9] {
-        match self {
-            ImageKernel::Identity => [0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
-            ImageKernel::BoxBlur => [1.0 / 9.0; 9],
-            ImageKernel::GaussianBlur => {
-                let mut k = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
-                for v in &mut k {
-                    *v /= 16.0;
-                }
-                k
-            }
-            ImageKernel::Sharpen => [0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0],
-            ImageKernel::SobelX => [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0],
-            ImageKernel::SobelY => [-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0],
-            ImageKernel::Laplacian => [0.0, 1.0, 0.0, 1.0, -4.0, 1.0, 0.0, 1.0, 0.0],
-        }
-    }
-}
-
-/// What a workload produced for one frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Outcome {
-    /// A classification result.
-    Classification {
-        /// Predicted class (argmax of the logits).
-        class: usize,
-        /// Logit vector produced by the final layer.
-        logits: Vec<f32>,
-        /// Shape of the tensor fed to the first DNN layer.
-        dnn_input_shape: Vec<usize>,
-    },
-    /// An acquired (optionally CA-compressed) frame.
-    Acquisition {
-        /// Shape of the acquired tensor (`[1, h, w]`).
-        shape: Vec<usize>,
-        /// Acquired values, row-major.
-        data: Vec<f32>,
-    },
-    /// A filtered frame from an image kernel.
-    Filtered {
-        /// Name of the applied kernel.
-        kernel: String,
-        /// Shape of the filtered tensor (`[1, h, w]`).
-        shape: Vec<usize>,
-        /// Filtered values, row-major.
-        data: Vec<f32>,
-    },
-}
-
-/// Unified result of one [`Session::run`]: the functional outcome plus the
-/// architecture-level performance numbers for the workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Report {
-    /// Workload label (`classify`, `acquire`, `kernel:sobel-x`, ...).
-    pub workload: String,
-    /// What the workload produced.
-    pub outcome: Outcome,
-    /// Latency / power / energy of the workload on this platform.
-    pub perf: SimulationReport,
-}
-
-impl Report {
-    /// Predicted class, for classification outcomes.
-    #[must_use]
-    pub fn class(&self) -> Option<usize> {
-        match &self.outcome {
-            Outcome::Classification { class, .. } => Some(*class),
-            _ => None,
-        }
-    }
-
-    /// Logits, for classification outcomes.
-    #[must_use]
-    pub fn logits(&self) -> Option<&[f32]> {
-        match &self.outcome {
-            Outcome::Classification { logits, .. } => Some(logits),
-            _ => None,
-        }
-    }
-
-    /// Frame data, for acquisition and filtered outcomes.
-    #[must_use]
-    pub fn frame(&self) -> Option<(&[usize], &[f32])> {
-        match &self.outcome {
-            Outcome::Acquisition { shape, data } | Outcome::Filtered { shape, data, .. } => {
-                Some((shape, data))
-            }
-            Outcome::Classification { .. } => None,
-        }
-    }
-
-    /// End-to-end latency of the workload for one frame.
-    #[must_use]
-    pub fn latency(&self) -> Time {
-        self.perf.frame_latency
-    }
-
-    /// Peak platform power while serving the workload.
-    #[must_use]
-    pub fn max_power(&self) -> Power {
-        self.perf.max_power
-    }
-
-    /// Energy consumed per frame.
-    #[must_use]
-    pub fn energy(&self) -> Energy {
-        self.perf.frame_energy
-    }
-
-    /// Frames per second.
-    #[must_use]
-    pub fn fps(&self) -> f64 {
-        self.perf.fps()
-    }
-
-    /// Kilo-frames per second per watt — the paper's figure of merit.
-    #[must_use]
-    pub fn kfps_per_watt(&self) -> f64 {
-        self.perf.kfps_per_watt()
-    }
-}
-
-/// A live workload session: owns the sensor, the optional compressive
-/// acquisitor, the photonic executor and the workload's performance model.
+/// A live workload session: owns the sensor, the photonic executor, the
+/// workload's [`CompiledPlan`] and its performance model.
 #[derive(Debug, Clone)]
 pub struct Session {
     sensor: SensorArray,
-    acquisitor: Option<CompressiveAcquisitor>,
     executor: PhotonicExecutor,
+    plan: CompiledPlan,
     workload: Workload,
-    filter_model: Option<Sequential>,
     stream: Option<StreamPipeline>,
     perf: SimulationReport,
     label: String,
+    /// Whether executions reuse the compiled plan (default) or fall back to
+    /// the per-call-encode path — bit-identical either way.
+    plan_reuse: bool,
 }
 
 /// Everything a video-stream session adds on top of the frame path: the
-/// temporal gate, the per-block tile model, the carried stream state and
-/// the acquisition-side performance model.
+/// temporal gate, the carried stream state and the acquisition-side
+/// performance model. (The per-block tile model lives in the session's
+/// [`CompiledPlan`].)
 #[derive(Debug, Clone)]
 struct StreamPipeline {
     differencer: TemporalDifferencer,
-    /// One 3×3 conv over a `block+halo` tile (padding 0), so each computed
-    /// block produces exactly its output region.
-    tile_model: Sequential,
     /// Temporal references after the last processed frame; `None` before a
     /// stream starts.
     state: Option<StreamState>,
@@ -700,10 +66,92 @@ struct StreamPipeline {
 }
 
 impl Session {
+    /// Opens a session: validates the workload against the platform, lowers
+    /// it into a [`CompiledPlan`] and derives its performance model.
+    pub(crate) fn open(platform: &Platform, workload: Workload, seed: u64) -> Result<Self> {
+        let config = platform.config();
+        let sensor = SensorArray::new(config.sensor.clone())?;
+        let executor = PhotonicExecutor::new(config.schedule, config.hardware.noise, seed)?;
+        let label = workload.label();
+        let acquired = config.acquired_shape();
+        let kernel_spec = || -> Result<_> {
+            Ok(NetworkSpecBuilder::new(&label, acquired)
+                .conv(1, 3, 1, 1)
+                .map_err(CoreError::from)?
+                .build())
+        };
+        let (spec, stream) = match &workload {
+            Workload::Classify { model } => (network_spec_of(model, &label)?, None),
+            Workload::Acquire => (platform.acquisition_spec()?, None),
+            Workload::ImageKernel { .. } => (kernel_spec()?, None),
+            Workload::VideoStream { stream, .. } => {
+                let window = config.ca.map_or(1, |ca| ca.pooling_window);
+                let differencer =
+                    TemporalDifferencer::new(*stream, acquired[1], acquired[2], window)?;
+                let perf_acquire = platform
+                    .simulator()
+                    .simulate(&platform.acquisition_spec()?, config.schedule)?;
+                let pipeline = StreamPipeline {
+                    differencer,
+                    state: None,
+                    perf_acquire,
+                    window,
+                };
+                (kernel_spec()?, Some(pipeline))
+            }
+        };
+        let plan = CompiledPlan::compile(&workload, config, seed)?;
+        let perf = platform.simulator().simulate(&spec, config.schedule)?;
+        Ok(Session {
+            sensor,
+            executor,
+            plan,
+            workload,
+            stream,
+            perf,
+            label,
+            plan_reuse: true,
+        })
+    }
+
     /// The workload this session serves.
     #[must_use]
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// The compiled plan this session executes: CA operator, lowered
+    /// optical model and the pre-encoded MR weight bank, built once when
+    /// the session opened.
+    #[must_use]
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
+    }
+
+    /// Encode/reuse counters of the session's plan: a healthy session
+    /// reports exactly one encode however many frames it served.
+    #[must_use]
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan.stats()
+    }
+
+    /// Whether executions reuse the compiled plan (the default).
+    #[must_use]
+    pub fn plan_reuse(&self) -> bool {
+        self.plan_reuse
+    }
+
+    /// Switches between plan-cached execution (the default) and the
+    /// per-call-encode path that re-encodes the quantized MR weights on
+    /// every call.
+    ///
+    /// Both paths are **bit-identical** — weight encoding draws no analog
+    /// noise, so the frame-indexed noise-draw order is unchanged. The
+    /// switch exists for differential testing (the property suite asserts
+    /// the equivalence) and for benchmarking the reuse win
+    /// (`cargo bench -p lightator-bench --bench plan_reuse`).
+    pub fn set_plan_reuse(&mut self, enabled: bool) {
+        self.plan_reuse = enabled;
     }
 
     /// The workload's performance model on this platform (identical to the
@@ -716,7 +164,7 @@ impl Session {
     /// Whether the acquisition path compresses frames through the CA banks.
     #[must_use]
     pub fn uses_compressive_acquisition(&self) -> bool {
-        self.acquisitor.is_some()
+        self.plan.ca().is_some()
     }
 
     /// Acquires a scene into the tensor fed to the optical core: the fused
@@ -727,7 +175,7 @@ impl Session {
     ///
     /// Propagates sensor and CA errors.
     pub fn acquire(&self, scene: &RgbFrame) -> Result<Tensor> {
-        match &self.acquisitor {
+        match self.plan.ca() {
             Some(ca) => {
                 let compressed = ca.acquire(scene)?;
                 let data: Vec<f32> = compressed.data().iter().map(|&v| v as f32).collect();
@@ -747,8 +195,9 @@ impl Session {
         }
     }
 
-    /// Processes one frame end to end and reports both the functional result
-    /// and the workload's performance on this platform.
+    /// Processes one frame end to end through the cached plan and reports
+    /// both the functional result and the workload's performance on this
+    /// platform.
     ///
     /// # Errors
     ///
@@ -774,20 +223,46 @@ impl Session {
         let input = self.acquire(scene)?;
         let Self {
             executor,
+            plan,
             workload,
-            filter_model,
             perf,
             label,
+            plan_reuse,
             ..
         } = self;
         let outcome = match workload {
-            Workload::Classify { model } => classify_outcome(executor, model, &input)?,
-            Workload::Acquire => acquisition_outcome(&input),
+            Workload::Classify { model } => {
+                if input.shape() != model.input_shape() {
+                    return Err(model_mismatch(input.shape(), model.input_shape()));
+                }
+                let logits = if *plan_reuse {
+                    executor.forward_planned(plan, &input)?
+                } else {
+                    let model = plan
+                        .model_mut()
+                        .expect("classify plans carry the lowered model");
+                    executor.forward(model, &input)?
+                };
+                classification_from_logits(&logits, input.shape())?
+            }
+            Workload::Acquire => {
+                // Acquisition runs through the plan's cached CA operator;
+                // count the reuse even though no weight bank is involved.
+                if *plan_reuse {
+                    plan.record_hits(1);
+                }
+                acquisition_outcome(&input)
+            }
             Workload::ImageKernel { kernel } => {
-                let model = filter_model
-                    .as_mut()
-                    .expect("image-kernel sessions always carry a filter model");
-                filtered_outcome(executor, model, &input, kernel.name())?
+                if *plan_reuse {
+                    let filtered = executor.forward_planned(plan, &input)?;
+                    filtered_from(&filtered, kernel.name())
+                } else {
+                    let model = plan
+                        .model_mut()
+                        .expect("image-kernel plans carry the filter model");
+                    filtered_outcome(executor, model, &input, kernel.name())?
+                }
             }
             Workload::VideoStream { .. } => {
                 unreachable!("`ensure_frame_workload` rejects stream sessions before run_inner")
@@ -800,10 +275,11 @@ impl Session {
         })
     }
 
-    /// Processes a batch of frames, encoding the workload's quantized MR
-    /// weights once and streaming every frame through the shared encoding —
-    /// strictly faster than N sequential [`Session::run`] calls and
-    /// bit-identical to them for the same starting session state.
+    /// Processes a batch of frames through the cached plan: the quantized
+    /// MR weight bank was encoded once when the session opened and every
+    /// frame streams through the shared encoding — strictly faster than N
+    /// sequential [`Session::run`] calls and bit-identical to them for the
+    /// same starting session state.
     ///
     /// # Errors
     ///
@@ -831,35 +307,49 @@ impl Session {
             .collect::<Result<_>>()?;
         let Self {
             executor,
+            plan,
             workload,
-            filter_model,
             perf,
             label,
+            plan_reuse,
             ..
         } = self;
+        let forward_batch = |executor: &mut PhotonicExecutor,
+                             plan: &mut CompiledPlan,
+                             inputs: &[Tensor]|
+         -> Result<Vec<Tensor>> {
+            if *plan_reuse {
+                executor.forward_batch_planned(plan, inputs)
+            } else {
+                let model = plan
+                    .model_mut()
+                    .expect("weighted workloads carry a lowered model");
+                executor.forward_batch(model, inputs)
+            }
+        };
         let outcomes: Vec<Outcome> = match workload {
             Workload::Classify { model } => {
                 check_model_input(model, &inputs)?;
-                let logits = executor.forward_batch(model, &inputs)?;
+                let logits = forward_batch(executor, plan, &inputs)?;
                 inputs
                     .iter()
                     .zip(logits)
                     .map(|(input, l)| classification_from_logits(&l, input.shape()))
                     .collect::<Result<_>>()?
             }
-            Workload::Acquire => inputs.iter().map(acquisition_outcome).collect(),
+            Workload::Acquire => {
+                // Acquisition runs through the plan's cached CA operator;
+                // count the reuse even though no weight bank is involved.
+                if *plan_reuse {
+                    plan.record_hits(inputs.len() as u64);
+                }
+                inputs.iter().map(acquisition_outcome).collect()
+            }
             Workload::ImageKernel { kernel } => {
-                let model = filter_model
-                    .as_mut()
-                    .expect("image-kernel sessions always carry a filter model");
-                let filtered = executor.forward_batch(model, &inputs)?;
+                let filtered = forward_batch(executor, plan, &inputs)?;
                 filtered
-                    .into_iter()
-                    .map(|t| Outcome::Filtered {
-                        kernel: kernel.name().to_string(),
-                        shape: t.shape().to_vec(),
-                        data: t.data().to_vec(),
-                    })
+                    .iter()
+                    .map(|t| filtered_from(t, kernel.name()))
                     .collect()
             }
             Workload::VideoStream { .. } => {
@@ -1025,8 +515,9 @@ impl Session {
         Ok(report)
     }
 
-    /// Processes one stream frame: gate, per-block optical work, feedback
-    /// reuse, and the frame's gated performance numbers.
+    /// Processes one stream frame: gate, per-block optical work through the
+    /// cached plan, feedback reuse, and the frame's gated performance
+    /// numbers.
     fn stream_frame(&mut self, scene: &RgbFrame, index: u64) -> Result<StreamFrame> {
         // Gate first: the delta decision only reads the raw scene (the CRC
         // comparators sit before the optical path), so a fully-skipped
@@ -1061,7 +552,9 @@ impl Session {
         let Self {
             executor,
             stream,
+            plan,
             perf,
+            plan_reuse,
             ..
         } = self;
         let pipeline = stream.as_mut().expect("caller checked the workload");
@@ -1096,17 +589,40 @@ impl Session {
             copy_tensor_block(&mut state.ref_acquired, acquired, aw, br, bc, bs);
         }
 
-        // Run the computed blocks — however many there are — inside one
-        // frame's noise stream, in row-major block order.
-        let tiles: Vec<Tensor> = mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &compute)| compute)
-            .map(|(block, _)| {
-                gather_tile(&state.ref_acquired, ah, aw, bs, block / cols, block % cols)
-            })
-            .collect::<Result<_>>()?;
-        let outputs = executor.forward_frame_batch(&mut pipeline.tile_model, &tiles)?;
+        // Gather the computed blocks' tiles into the plan's reusable tile
+        // buffer and run them — however many there are — inside one frame's
+        // noise stream, in row-major block order.
+        let mut tiles = plan.take_tiles();
+        let mut used = 0usize;
+        for (block, &compute) in mask.iter().enumerate() {
+            if !compute {
+                continue;
+            }
+            let (br, bc) = (block / cols, block % cols);
+            if used < tiles.len() {
+                gather_tile_into(
+                    tiles[used].data_mut(),
+                    &state.ref_acquired,
+                    ah,
+                    aw,
+                    bs,
+                    br,
+                    bc,
+                );
+            } else {
+                tiles.push(gather_tile(&state.ref_acquired, ah, aw, bs, br, bc)?);
+            }
+            used += 1;
+        }
+        tiles.truncate(used);
+        let outputs = if *plan_reuse {
+            executor.forward_frame_batch_planned(plan, &tiles)
+        } else {
+            let model = plan.model_mut().expect("stream plans carry the tile model");
+            executor.forward_frame_batch(model, &tiles)
+        };
+        plan.return_tiles(tiles);
+        let outputs = outputs?;
 
         let mut output = state.prev_output.clone();
         let mut outputs = outputs.into_iter();
@@ -1172,15 +688,6 @@ impl Session {
     }
 }
 
-// Compile-time guarantee that the facade types can cross threads: the serve
-// crate moves cloned `Session`s into shard worker threads and shares the
-// `Platform` across clients.
-const _: () = {
-    const fn require_send_sync<T: Send + Sync>() {}
-    require_send_sync::<Platform>();
-    require_send_sync::<Session>();
-};
-
 /// Streaming adapter returned by [`Session::process_iter`].
 #[derive(Debug)]
 pub struct ProcessIter<'s, I> {
@@ -1199,69 +706,6 @@ where
         let frame = self.frames.next()?;
         Some(self.session.run(frame.borrow()))
     }
-}
-
-/// Validates a classify model against the acquired inputs once per batch.
-fn check_model_input(model: &Sequential, inputs: &[Tensor]) -> Result<()> {
-    for input in inputs {
-        if input.shape() != model.input_shape() {
-            return Err(model_mismatch(input.shape(), model.input_shape()));
-        }
-    }
-    Ok(())
-}
-
-fn model_mismatch(acquired: &[usize], expected: &[usize]) -> CoreError {
-    CoreError::ModelMismatch {
-        reason: format!(
-            "acquired tensor {acquired:?} does not match the model input {expected:?}; \
-             choose a sensor resolution and CA window that produce the model's input"
-        ),
-    }
-}
-
-fn classify_outcome(
-    executor: &mut PhotonicExecutor,
-    model: &mut Sequential,
-    input: &Tensor,
-) -> Result<Outcome> {
-    if input.shape() != model.input_shape() {
-        return Err(model_mismatch(input.shape(), model.input_shape()));
-    }
-    let logits = executor.forward(model, input)?;
-    classification_from_logits(&logits, input.shape())
-}
-
-fn classification_from_logits(logits: &Tensor, input_shape: &[usize]) -> Result<Outcome> {
-    let class = logits.argmax().ok_or(CoreError::ModelMismatch {
-        reason: "model produced an empty logit vector".to_string(),
-    })?;
-    Ok(Outcome::Classification {
-        class,
-        logits: logits.data().to_vec(),
-        dnn_input_shape: input_shape.to_vec(),
-    })
-}
-
-fn acquisition_outcome(input: &Tensor) -> Outcome {
-    Outcome::Acquisition {
-        shape: input.shape().to_vec(),
-        data: input.data().to_vec(),
-    }
-}
-
-fn filtered_outcome(
-    executor: &mut PhotonicExecutor,
-    model: &mut Sequential,
-    input: &Tensor,
-    kernel: &str,
-) -> Result<Outcome> {
-    let filtered = executor.forward(model, input)?;
-    Ok(Outcome::Filtered {
-        kernel: kernel.to_string(),
-        shape: filtered.shape().to_vec(),
-        data: filtered.data().to_vec(),
-    })
 }
 
 fn non_stream_error() -> CoreError {
@@ -1303,19 +747,20 @@ fn copy_tensor_block(
     }
 }
 
-/// Extracts a `block+halo` tile (`[1, bs+2, bs+2]`) from the acquired map,
-/// zero-filling outside the frame — exactly the receptive field a padded
-/// 3×3 convolution sees for that block.
-fn gather_tile(
+/// Writes a `block+halo` tile (`[1, bs+2, bs+2]`) of the acquired map into
+/// `data`, zero-filling outside the frame — exactly the receptive field a
+/// padded 3×3 convolution sees for that block.
+fn gather_tile_into(
+    data: &mut [f32],
     acquired: &Tensor,
     height: usize,
     width: usize,
     block_size: usize,
     block_row: usize,
     block_col: usize,
-) -> Result<Tensor> {
+) {
     let edge = block_size + 2;
-    let mut data = vec![0.0f32; edge * edge];
+    data.fill(0.0);
     for tr in 0..edge {
         let row = block_row * block_size + tr;
         if row == 0 || row > height {
@@ -1330,6 +775,23 @@ fn gather_tile(
             data[tr * edge + tc] = acquired.data()[row * width + col - 1];
         }
     }
+}
+
+/// Extracts a fresh `block+halo` tile tensor from the acquired map (the
+/// allocating fallback behind the plan's reusable tile buffer).
+fn gather_tile(
+    acquired: &Tensor,
+    height: usize,
+    width: usize,
+    block_size: usize,
+    block_row: usize,
+    block_col: usize,
+) -> Result<Tensor> {
+    let edge = block_size + 2;
+    let mut data = vec![0.0f32; edge * edge];
+    gather_tile_into(
+        &mut data, acquired, height, width, block_size, block_row, block_col,
+    );
     Ok(Tensor::from_vec(data, &[1, edge, edge])?)
 }
 
@@ -1349,85 +811,16 @@ fn scatter_tile(
     }
 }
 
-/// Builds the per-block tile model of a stream session: a 3×3 kernel with
-/// padding 0 over a `block+halo` tile, so its output is exactly the block.
-fn build_tile_model(kernel: ImageKernel, block_size: usize, seed: u64) -> Result<Sequential> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng)?;
-    conv.weight_mut()
-        .data_mut()
-        .copy_from_slice(&kernel.coefficients());
-    conv.bias_mut().data_mut()[0] = 0.0;
-    let edge = block_size + 2;
-    let mut model = Sequential::new(&[1, edge, edge]);
-    model.push(conv);
-    Ok(model)
-}
-
-/// Builds the single-conv model that executes a 3×3 image kernel on the
-/// optical core.
-fn build_filter_model(
-    kernel: ImageKernel,
-    input_shape: [usize; 3],
-    seed: u64,
-) -> Result<Sequential> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng)?;
-    conv.weight_mut()
-        .data_mut()
-        .copy_from_slice(&kernel.coefficients());
-    conv.bias_mut().data_mut()[0] = 0.0;
-    let mut model = Sequential::new(&input_shape);
-    model.push(conv);
-    Ok(model)
-}
-
-/// Derives the architecture-simulator spec of a trained [`Sequential`]
-/// model, so one session reports accuracy and performance from one place.
-fn network_spec_of(model: &Sequential, name: &str) -> Result<NetworkSpec> {
-    let shape = model.input_shape();
-    let input: [usize; 3] = match *shape {
-        [c, h, w] => [c, h, w],
-        [h, w] => [1, h, w],
-        [n] => [1, 1, n],
-        _ => {
-            return Err(CoreError::ModelMismatch {
-                reason: format!(
-                    "cannot derive a performance spec for a model with input shape {shape:?}"
-                ),
-            })
-        }
-    };
-    let mut builder = NetworkSpecBuilder::new(name, input);
-    for layer in model.layers() {
-        builder = match layer {
-            LayerNode::Conv2d(conv) => builder
-                .conv(
-                    conv.out_channels(),
-                    conv.kernel(),
-                    conv.stride(),
-                    conv.padding(),
-                )
-                .map_err(CoreError::from)?,
-            LayerNode::Linear(linear) => builder
-                .linear(linear.out_features())
-                .map_err(CoreError::from)?,
-            LayerNode::MaxPool2d(pool) => builder
-                .pool(pool.window(), false)
-                .map_err(CoreError::from)?,
-            LayerNode::AvgPool2d(pool) => {
-                builder.pool(pool.window(), true).map_err(CoreError::from)?
-            }
-            LayerNode::Activation(_) | LayerNode::Flatten(_) => builder,
-        };
-    }
-    Ok(builder.build())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ca::CaConfig;
+    use crate::platform::{ImageKernel, Platform};
     use lightator_nn::layers::{Activation, Flatten, Linear};
+    use lightator_nn::model::Sequential;
+    use lightator_photonics::noise::NoiseConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     fn tiny_model(input: [usize; 3], classes: usize) -> Sequential {
         let mut rng = SmallRng::seed_from_u64(5);
@@ -1531,6 +924,67 @@ mod tests {
             .expect("session");
         let got = batched.run_batch(&scenes).expect("ok");
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn sessions_compile_their_plan_once_and_count_reuse() {
+        // The tentpole contract: one encode at open, a cache hit per frame.
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .build()
+            .expect("platform");
+        let mut session = platform
+            .session(Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            })
+            .expect("session");
+        assert_eq!(session.plan_stats().encodes, 1);
+        assert_eq!(session.plan_stats().cache_hits, 0);
+        let scene = RgbFrame::filled(8, 8, [0.3, 0.6, 0.9]).expect("ok");
+        for _ in 0..3 {
+            session.run(&scene).expect("ok");
+        }
+        session.run_batch(&vec![scene; 4]).expect("ok");
+        let stats = session.plan_stats();
+        assert_eq!(stats.encodes, 1, "steady state never re-encodes");
+        assert_eq!(stats.cache_hits, 7, "3 runs + 4 batched frames");
+        assert!(session.plan_reuse());
+    }
+
+    #[test]
+    fn run_is_bit_identical_with_and_without_plan_reuse() {
+        // Regression for the plan refactor: `Session::run` now goes through
+        // the cached plan; it must reproduce the per-call-encode path bit
+        // for bit, analog noise included.
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .build()
+            .expect("noisy platform");
+        let scenes: Vec<RgbFrame> = (0..3)
+            .map(|i| RgbFrame::filled(8, 8, [0.1 + 0.25 * f64::from(i), 0.5, 0.8]).expect("ok"))
+            .collect();
+        for workload in [
+            Workload::Classify {
+                model: tiny_model([1, 4, 4], 3),
+            },
+            Workload::ImageKernel {
+                kernel: ImageKernel::Laplacian,
+            },
+            Workload::Acquire,
+        ] {
+            let mut planned = platform.session(workload.clone()).expect("session");
+            let mut unplanned = platform.session(workload).expect("session");
+            unplanned.set_plan_reuse(false);
+            assert!(!unplanned.plan_reuse());
+            for scene in &scenes {
+                assert_eq!(
+                    planned.run(scene).expect("ok"),
+                    unplanned.run(scene).expect("ok"),
+                    "plan-cached run diverged from per-call encode"
+                );
+            }
+            assert_eq!(unplanned.plan_stats().cache_hits, 0);
+        }
     }
 
     #[test]
@@ -1910,48 +1364,6 @@ mod tests {
     }
 
     #[test]
-    fn builder_rejects_indivisible_ca_window() {
-        let err = Platform::builder()
-            .sensor_resolution(10, 10)
-            .compressive_acquisition(CaConfig {
-                pooling_window: 4,
-                rgb_to_grayscale: true,
-            })
-            .build()
-            .expect_err("10 is not divisible by 4");
-        assert!(err.to_string().contains("divide the sensor resolution"));
-    }
-
-    #[test]
-    fn builder_rejects_zero_sensor() {
-        assert!(Platform::builder().sensor_resolution(0, 8).build().is_err());
-    }
-
-    #[test]
-    fn presets_build_and_differ() {
-        let paper = PlatformBuilder::paper().build().expect("paper");
-        let low_power = PlatformBuilder::low_power().build().expect("low power");
-        let high_throughput = PlatformBuilder::high_throughput()
-            .build()
-            .expect("high throughput");
-        assert_eq!(
-            paper.config().schedule,
-            PrecisionSchedule::Uniform(Precision::w4a4())
-        );
-        assert_eq!(
-            low_power.config().schedule,
-            PrecisionSchedule::Uniform(Precision::w2a4())
-        );
-        assert!(matches!(
-            high_throughput.config().schedule,
-            PrecisionSchedule::Mixed { .. }
-        ));
-        // Low power compresses harder.
-        assert_eq!(low_power.acquired_shape(), [1, 64, 64]);
-        assert_eq!(paper.acquired_shape(), [1, 128, 128]);
-    }
-
-    #[test]
     fn evaluate_rejects_non_classify_workloads() {
         let platform = small_platform(true, 8);
         let mut session = platform.session(Workload::Acquire).expect("session");
@@ -1963,19 +1375,5 @@ mod tests {
         )
         .expect("dataset");
         assert!(session.evaluate(&dataset, 2).is_err());
-    }
-
-    #[test]
-    fn platform_simulates_specs_directly() {
-        let platform = Platform::paper().expect("paper");
-        let report = platform.simulate(&NetworkSpec::lenet()).expect("ok");
-        assert!(report.kfps_per_watt() > 0.0);
-        let lower = platform
-            .simulate_with(
-                &NetworkSpec::lenet(),
-                PrecisionSchedule::Uniform(Precision::w2a4()),
-            )
-            .expect("ok");
-        assert!(lower.max_power.watts() < report.max_power.watts());
     }
 }

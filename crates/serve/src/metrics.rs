@@ -102,6 +102,11 @@ pub(crate) struct ShardMetrics {
     pub(crate) frames: AtomicU64,
     /// `batch_sizes[s - 1]` counts batches of exactly `s` frames.
     pub(crate) batch_sizes: Vec<AtomicU64>,
+    /// Weight-encoding passes of the shard session's compiled plan — a
+    /// healthy shard compiles once at spawn and stays at 1.
+    pub(crate) plan_encodes: AtomicU64,
+    /// Executions the shard served from its cached plan encoding.
+    pub(crate) plan_hits: AtomicU64,
 }
 
 /// Shared mutable telemetry behind the public snapshot.
@@ -143,6 +148,8 @@ impl MetricsInner {
                     batches: AtomicU64::new(0),
                     frames: AtomicU64::new(0),
                     batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+                    plan_encodes: AtomicU64::new(0),
+                    plan_hits: AtomicU64::new(0),
                 })
                 .collect(),
         }
@@ -169,6 +176,16 @@ impl MetricsInner {
             p95_queue_wait: self.queue_wait.quantile(0.95),
             p99_queue_wait: self.queue_wait.quantile(0.99),
             simulated_span: Time::from_ns(span_ns),
+            plan_encodes: self
+                .shards
+                .iter()
+                .map(|s| s.plan_encodes.load(Ordering::Relaxed))
+                .sum(),
+            plan_hits: self
+                .shards
+                .iter()
+                .map(|s| s.plan_hits.load(Ordering::Relaxed))
+                .sum(),
             shards: self
                 .shards
                 .iter()
@@ -181,6 +198,8 @@ impl MetricsInner {
                         .iter()
                         .map(|c| c.load(Ordering::Relaxed))
                         .collect(),
+                    plan_encodes: s.plan_encodes.load(Ordering::Relaxed),
+                    plan_hits: s.plan_hits.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -216,6 +235,12 @@ pub struct MetricsSnapshot {
     /// Simulated time between the first batch start and the latest batch
     /// completion — the denominator of [`MetricsSnapshot::throughput_fps`].
     pub simulated_span: Time,
+    /// Weight-encoding passes across all shard plans: each shard compiles
+    /// its workload group's plan exactly once at spawn, so this equals the
+    /// shard count in a healthy pool.
+    pub plan_encodes: u64,
+    /// Executions served from the shards' cached plan encodings.
+    pub plan_hits: u64,
     /// Per-shard batch statistics, one entry per worker thread.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -285,7 +310,9 @@ impl MetricsSnapshot {
             "throughput (frames/s, sim)",
             self.throughput_fps()
         );
-        let _ = writeln!(out, "per-shard batches (size: count):");
+        let _ = writeln!(out, "{:<26} {:>12}", "plan encodes", self.plan_encodes);
+        let _ = writeln!(out, "{:<26} {:>12}", "plan cache hits", self.plan_hits);
+        let _ = writeln!(out, "per-shard batches (size: count) and plan reuse:");
         for shard in &self.shards {
             let sizes: Vec<String> = shard
                 .batch_sizes
@@ -296,12 +323,16 @@ impl MetricsSnapshot {
                 .collect();
             let _ = writeln!(
                 out,
-                "  {:<16} {:>5} frames in {:>4} batches (mean {:.2}) [{}]",
+                "  {:<16} {:>5} frames in {:>4} batches (mean {:.2}) [{}] \
+                 plan: {} encode{}, {} hits",
                 shard.shard,
                 shard.frames,
                 shard.batches,
                 shard.mean_batch_size(),
-                sizes.join(", ")
+                sizes.join(", "),
+                shard.plan_encodes,
+                if shard.plan_encodes == 1 { "" } else { "s" },
+                shard.plan_hits,
             );
         }
         out
@@ -320,6 +351,11 @@ pub struct ShardSnapshot {
     /// `batch_sizes[s - 1]` counts batches of exactly `s` frames — the
     /// micro-batcher's batch-size distribution.
     pub batch_sizes: Vec<u64>,
+    /// Weight-encoding passes of this shard's compiled plan (1 in a
+    /// healthy shard: compiled once at spawn, never re-encoded).
+    pub plan_encodes: u64,
+    /// Executions this shard served from its cached plan encoding.
+    pub plan_hits: u64,
 }
 
 impl ShardSnapshot {

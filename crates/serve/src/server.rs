@@ -444,6 +444,47 @@ mod tests {
     }
 
     #[test]
+    fn shards_compile_their_plan_once_and_reuse_it_per_frame() {
+        let server = Server::builder(small_platform())
+            .shards(2)
+            .max_batch(3)
+            .queue_depth(64)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .build()
+            .expect("server");
+        let pendings: Vec<_> = (0..12)
+            .map(|i| {
+                server
+                    .submit(Request::Classify { frame: scene(i) })
+                    .expect("admitted")
+            })
+            .collect();
+        for pending in pendings {
+            assert!(pending.wait().is_ok());
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.shards.len(), 2);
+        for shard in &snapshot.shards {
+            assert_eq!(
+                shard.plan_encodes, 1,
+                "shard {} must compile its plan exactly once at spawn",
+                shard.shard
+            );
+        }
+        assert_eq!(snapshot.plan_encodes, 2);
+        assert_eq!(
+            snapshot.plan_hits, 12,
+            "every served frame must hit the cached plan"
+        );
+        let table = snapshot.table();
+        assert!(table.contains("plan encodes"));
+        assert!(table.contains("plan cache hits"));
+        assert!(table.contains("1 encode,"), "per-shard plan line:\n{table}");
+    }
+
+    #[test]
     fn stream_admission_rejects_empty_and_oversized_streams() {
         use lightator_core::stream::StreamConfig;
         let server = Server::builder(small_platform())

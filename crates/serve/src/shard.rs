@@ -80,6 +80,10 @@ pub(crate) fn run(mut ctx: ShardContext) {
     // requests instead occupy the chip for their gated `sim_time`.
     let frame_latency_ns = ctx.session.perf().frame_latency.ns().ceil().max(1.0) as u64;
     let mut busy_until_ns = 0u64;
+    // The workload group's plan was compiled exactly once when this shard's
+    // session opened (at spawn); publish the encode counter up front so an
+    // idle shard still reports its compile.
+    publish_plan_stats(&ctx);
     while let Some(batch) = ctx
         .queue
         .wait_batch(ctx.max_batch, ctx.flush_deadline_ns, &ctx.clock)
@@ -98,6 +102,10 @@ pub(crate) fn run(mut ctx: ShardContext) {
             busy_until_ns = run_frame_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns);
         }
 
+        // Every batch ran against the spawn-time plan: refresh the shard's
+        // encode/hit counters from the session's cumulative stats.
+        publish_plan_stats(&ctx);
+
         // Fair handoff: on few host CPUs, the worker that just finished
         // tends to win the queue lock again before its siblings wake,
         // concentrating frames on one virtual timeline. Yielding here lets
@@ -106,6 +114,15 @@ pub(crate) fn run(mut ctx: ShardContext) {
         // to the hardware they model.
         std::thread::yield_now();
     }
+}
+
+/// Mirrors the session's cumulative plan counters into the shard metrics.
+/// The counters are cumulative per session, so this is a store, not an add.
+fn publish_plan_stats(ctx: &ShardContext) {
+    let stats = ctx.session.plan_stats();
+    let shard = &ctx.metrics.shards[ctx.shard_index];
+    shard.plan_encodes.store(stats.encodes, Ordering::Relaxed);
+    shard.plan_hits.store(stats.cache_hits, Ordering::Relaxed);
 }
 
 /// Executes one drained batch of single-frame requests.

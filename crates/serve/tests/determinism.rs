@@ -340,3 +340,55 @@ fn pooled_runs_are_reproducible_across_servers() {
     };
     assert_eq!(run(), run());
 }
+
+/// Plan reuse is the default serving path: pooled execution must stay
+/// bit-identical to a sequential session **and** every shard must have
+/// compiled its workload group's plan exactly once at spawn, however the
+/// load was batched across shards.
+#[test]
+fn pooled_equals_sequential_with_plans_compiled_once_per_shard() {
+    let frames = scenes(9, 0x9A5);
+    let workload = || Workload::ImageKernel {
+        kernel: ImageKernel::GaussianBlur,
+    };
+    let expected = sequential_reports(workload(), &frames);
+
+    let server = Server::builder(noisy_platform())
+        .shards(3)
+        .max_batch(4)
+        .queue_depth(frames.len())
+        .workload(workload())
+        .build()
+        .expect("server");
+    let pendings: Vec<_> = frames
+        .iter()
+        .map(|frame| {
+            server
+                .submit(Request::ImageKernel {
+                    kernel: ImageKernel::GaussianBlur,
+                    frame: frame.clone(),
+                })
+                .expect("admitted")
+        })
+        .collect();
+    let got: Vec<Report> = pendings
+        .into_iter()
+        .map(|pending| pending.wait().expect("served"))
+        .collect();
+    assert_eq!(expected, got, "plan-cached pooled serving diverged");
+
+    let snapshot = server.shutdown();
+    for shard in &snapshot.shards {
+        assert_eq!(
+            shard.plan_encodes, 1,
+            "shard {} re-encoded its plan after spawn",
+            shard.shard
+        );
+    }
+    assert_eq!(snapshot.plan_encodes, 3, "one compile per shard");
+    assert_eq!(
+        snapshot.plan_hits,
+        frames.len() as u64,
+        "every pooled frame must ride the cached encoding"
+    );
+}
