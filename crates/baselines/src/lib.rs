@@ -9,6 +9,16 @@
 //!   (Eyeriss, YodaNN, AppCiP, ENVISION) and the RTX 3060 Ti GPU baseline,
 //!   modelled by sustained throughput and per-layer overhead.
 //!
+//! Both families are also available as execution
+//! [`Backend`](lightator_core::backend::Backend)s of the platform:
+//!
+//! * [`mod@reference`] — [`ElectronicReference`] executes compiled plans
+//!   digitally in fp32 while charging the electronic latency/power model;
+//! * [`roofline`] — [`RooflineBackend`] wraps the optical analytical
+//!   models (performance-only, no execution);
+//! * [`registry`] — the backend registry plus the Table-1 / Fig-10 row
+//!   descriptions the bench harness iterates.
+//!
 //! # Example
 //!
 //! ```
@@ -25,6 +35,12 @@
 
 pub mod electronic;
 pub mod optical;
+pub mod reference;
+pub mod registry;
+pub mod roofline;
 
 pub use electronic::ElectronicBaseline;
 pub use optical::{OpticalBaseline, OpticalComponentCounts, OpticalDeviceCosts};
+pub use reference::{ElectronicLowered, ElectronicReference};
+pub use registry::{Fig10Entry, Table1Entry};
+pub use roofline::RooflineBackend;

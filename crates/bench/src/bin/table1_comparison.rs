@@ -1,10 +1,13 @@
-//! Regenerates Table 1: comparison with optical accelerator baselines.
+//! Regenerates Table 1: comparison with optical accelerator baselines,
+//! resolved through the backend registry.
 //!
-//! The performance columns (node, max power, KFPS/W) are always printed.
-//! Pass `--accuracy` to additionally train the workloads on the synthetic
-//! datasets and evaluate every design's inference accuracy (slower; pass
-//! `--fast` to use the reduced settings).
+//! The performance columns (node, max power, KFPS/W) are always printed,
+//! and the per-backend throughput/efficiency numbers are written to
+//! `BENCH_table1_backends.json`. Pass `--accuracy` to additionally train
+//! the workloads on the synthetic datasets and evaluate every design's
+//! inference accuracy (slower; pass `--fast` to use the reduced settings).
 
+use lightator_bench::emit;
 use lightator_bench::table1::{self, AccuracyConfig};
 
 fn main() {
@@ -16,6 +19,17 @@ fn main() {
         Ok(rows) => print!("{}", table1::render_performance(&rows)),
         Err(err) => {
             eprintln!("table1 harness failed: {err}");
+            std::process::exit(1);
+        }
+    }
+
+    match table1::backend_metrics()
+        .map_err(|err| err.to_string())
+        .and_then(|metrics| emit::emit("table1_backends", &metrics).map_err(|err| err.to_string()))
+    {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => {
+            eprintln!("table1 backend metrics failed: {err}");
             std::process::exit(1);
         }
     }

@@ -2,9 +2,8 @@
 //! and Lightator on VGG16 and AlexNet.
 
 use crate::harness::platform;
-use lightator_baselines::electronic::ElectronicBaseline;
+use lightator_baselines::registry::fig10_registry;
 use lightator_core::CoreError;
-use lightator_nn::quant::{Precision, PrecisionSchedule};
 use lightator_nn::spec::NetworkSpec;
 use serde::{Deserialize, Serialize};
 
@@ -29,62 +28,56 @@ pub struct Fig10Data {
     pub alexnet_speedups: Vec<(String, f64)>,
 }
 
-/// Generates the Fig. 10 dataset.
+/// Generates the Fig. 10 dataset by iterating the backend registry: each
+/// entry's [`Backend::performance`] report provides the execution times
+/// (YodaNN's VGG16 column is substituted with VGG13, as encoded in the
+/// registry).
+///
+/// [`Backend::performance`]: lightator_core::backend::Backend::performance
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn generate() -> Result<Fig10Data, CoreError> {
     let platform = platform()?;
-    let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
-    let vgg16 = NetworkSpec::vgg16();
-    let vgg13 = NetworkSpec::vgg13();
     let alexnet = NetworkSpec::alexnet();
 
     let mut rows = Vec::new();
-    for design in ElectronicBaseline::fig10_designs() {
-        // YodaNN's VGG16 column is substituted with VGG13, as in the paper.
-        let vgg = if design.name() == "YodaNN" {
-            &vgg13
-        } else {
-            &vgg16
-        };
+    // (label, AlexNet ms, is-electronic) per entry, for the speed-up pass.
+    let mut alexnet_times = Vec::new();
+    for entry in fig10_registry() {
+        let vgg_ms = entry
+            .backend
+            .performance(&entry.vgg, platform.config())?
+            .frame_latency
+            .ms();
+        let alexnet_ms = entry
+            .backend
+            .performance(&alexnet, platform.config())?
+            .frame_latency
+            .ms();
         rows.push(Fig10Row {
-            accelerator: design.name().to_string(),
-            network: vgg.name().to_string(),
-            time_ms: design.execution_time(vgg).ms(),
+            accelerator: entry.label.clone(),
+            network: entry.vgg.name().to_string(),
+            time_ms: vgg_ms,
         });
         rows.push(Fig10Row {
-            accelerator: design.name().to_string(),
+            accelerator: entry.label.clone(),
             network: alexnet.name().to_string(),
-            time_ms: design.execution_time(&alexnet).ms(),
+            time_ms: alexnet_ms,
         });
+        alexnet_times.push((entry.label.clone(), alexnet_ms, entry.is_electronic()));
     }
 
-    let lightator_vgg16 = platform.simulate_with(&vgg16, schedule)?.frame_latency.ms();
-    let lightator_alexnet = platform
-        .simulate_with(&alexnet, schedule)?
-        .frame_latency
-        .ms();
-    rows.push(Fig10Row {
-        accelerator: "Lightator".to_string(),
-        network: "VGG16".to_string(),
-        time_ms: lightator_vgg16,
-    });
-    rows.push(Fig10Row {
-        accelerator: "Lightator".to_string(),
-        network: "AlexNet".to_string(),
-        time_ms: lightator_alexnet,
-    });
-
-    let alexnet_speedups = ElectronicBaseline::fig10_designs()
+    let lightator_alexnet = alexnet_times
         .iter()
-        .map(|d| {
-            (
-                d.name().to_string(),
-                d.execution_time(&alexnet).ms() / lightator_alexnet,
-            )
-        })
+        .find(|(label, _, _)| label == "Lightator")
+        .map(|(_, ms, _)| *ms)
+        .expect("the registry always ends with the Lightator entry");
+    let alexnet_speedups = alexnet_times
+        .iter()
+        .filter(|(_, _, electronic)| *electronic)
+        .map(|(label, ms, _)| (label.clone(), ms / lightator_alexnet))
         .collect();
 
     Ok(Fig10Data {

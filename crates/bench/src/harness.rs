@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment harness, built on the
 //! [`Platform`] facade.
 
+use lightator_baselines::registry::photonic_variants;
+use lightator_core::backend::Backend;
 use lightator_core::platform::Platform;
 use lightator_core::sim::ArchitectureSimulator;
 use lightator_core::CoreError;
@@ -9,20 +11,20 @@ use lightator_nn::quant::{Precision, PrecisionSchedule};
 /// The three uniform precisions evaluated throughout the paper.
 pub const PRECISIONS: [Precision; 3] = [Precision::w4a4(), Precision::w3a4(), Precision::w2a4()];
 
-/// The five Lightator variants of Table 1 (three uniform, two mixed).
+/// The five Lightator variants of Table 1 (three uniform, two mixed),
+/// resolved from the backend registry so the accuracy pass and the
+/// performance rows always agree on names and schedules.
 #[must_use]
 pub fn lightator_variants() -> Vec<(String, PrecisionSchedule)> {
-    let uniform = PRECISIONS
-        .iter()
-        .map(|&p| (format!("Lightator {p}"), PrecisionSchedule::Uniform(p)));
-    let mixed = [Precision::w3a4(), Precision::w2a4()].map(|rest| {
-        let schedule = PrecisionSchedule::Mixed {
-            first: Precision::w4a4(),
-            rest,
-        };
-        (format!("Lightator-MX {}", schedule.label()), schedule)
-    });
-    uniform.chain(mixed).collect()
+    photonic_variants()
+        .into_iter()
+        .map(|variant| {
+            let schedule = variant
+                .schedule()
+                .expect("registry variants pin a schedule");
+            (variant.name(), schedule)
+        })
+        .collect()
 }
 
 /// Builds the paper-default platform — the harness's single front door.

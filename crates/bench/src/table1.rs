@@ -2,10 +2,12 @@
 //! baselines and the GPU reference — process node, max power, KFPS/W and
 //! inference accuracy on the three (synthetic stand-in) datasets.
 
+use crate::emit::BenchMetric;
 use crate::harness::{lightator_variants, platform};
-use lightator_baselines::electronic::ElectronicBaseline;
 use lightator_baselines::optical::OpticalBaseline;
+use lightator_baselines::registry::{table1_registry, Table1Entry};
 use lightator_core::platform::{Platform, Workload};
+use lightator_core::sim::SimulationReport;
 use lightator_core::CoreError;
 use lightator_nn::datasets::{generate as generate_dataset, Dataset, SyntheticConfig};
 use lightator_nn::model::Sequential;
@@ -44,65 +46,82 @@ pub struct Table1Row {
     pub accuracy: DatasetAccuracies,
 }
 
+/// Resolves every registry entry's performance report on the MNIST-class
+/// network plus the watts of its Table-1 power column.
+///
+/// The registry encodes the paper's measurement split: the KFPS/W figure
+/// of merit runs LeNet, while rows with a power basis (the Lightator
+/// variants) report the platform peak on the VGG9/CIFAR workload (Table 1
+/// discussion, observations 1 and 5).
+fn registry_performance() -> Result<Vec<(Table1Entry, SimulationReport, f64)>, CoreError> {
+    let platform = platform()?;
+    let lenet = NetworkSpec::lenet();
+    table1_registry()
+        .into_iter()
+        .map(|entry| {
+            let report = entry.backend.performance(&lenet, platform.config())?;
+            let power_w = match &entry.power_basis {
+                Some((schedule, network)) => platform
+                    .simulator()
+                    .platform_max_power(network, *schedule)?
+                    .watts(),
+                None => report.max_power.watts(),
+            };
+            Ok((entry, report, power_w))
+        })
+        .collect()
+}
+
 /// Performance-only rows (no accuracy columns): fast enough for CI and
-/// criterion measurement.
+/// criterion measurement. One row per backend-registry entry.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn performance_rows() -> Result<Vec<Table1Row>, CoreError> {
-    let mut rows = Vec::new();
-    let lenet = NetworkSpec::lenet();
-    // The paper reports each design's maximum power for the VGG9/CIFAR
-    // workload and the efficiency figure of merit on the MNIST-class
-    // workload (Table 1 discussion, observations 1 and 5).
-    let vgg9 = NetworkSpec::vgg9(100);
-
-    // GPU baseline row (the paper reports only its power and accuracy).
-    let gpu = ElectronicBaseline::gpu_rtx3060ti();
-    rows.push(Table1Row {
-        design: "baseline GPU [32:32]".to_string(),
-        node_nm: Some(8),
-        max_power_w: Some(gpu.power().watts()),
-        kfps_per_watt: None,
-        accuracy: DatasetAccuracies::default(),
-    });
-
-    // Photonic baselines.
-    for design in OpticalBaseline::table1_designs() {
-        let precision = design.precision();
-        rows.push(Table1Row {
-            design: format!(
-                "{} [{}:{}]",
-                design.name(),
-                precision.weight_bits,
-                precision.activation_bits
-            ),
-            node_nm: design.process_node_nm(),
-            max_power_w: if design.name() == "HQNNA" {
-                None // the original paper does not report HQNNA's power
-            } else {
-                Some(design.max_power().watts())
-            },
-            kfps_per_watt: Some(design.kfps_per_watt(&lenet)),
+    Ok(registry_performance()?
+        .into_iter()
+        .map(|(entry, report, power_w)| Table1Row {
+            design: entry.label,
+            node_nm: entry.node_nm,
+            max_power_w: entry.reports_power.then_some(power_w),
+            kfps_per_watt: entry
+                .reports_throughput
+                .then(|| report.fps() / 1e3 / power_w),
             accuracy: DatasetAccuracies::default(),
-        });
-    }
+        })
+        .collect())
+}
 
-    // Lightator variants.
-    let platform = platform()?;
-    for (name, schedule) in lightator_variants() {
-        let report = platform.simulate_with(&lenet, schedule)?;
-        let max_power = platform.simulator().platform_max_power(&vgg9, schedule)?;
-        rows.push(Table1Row {
-            design: name,
-            node_nm: Some(45),
-            max_power_w: Some(max_power.watts()),
-            kfps_per_watt: Some(report.fps() / 1e3 / max_power.watts()),
-            accuracy: DatasetAccuracies::default(),
-        });
+/// Per-backend throughput/efficiency metrics for the
+/// `BENCH_table1_backends.json` artifact: every registry entry's LeNet
+/// frame rate plus, where the table reports it, the KFPS/W figure of
+/// merit. Metric names derive from the [`BackendId`] so they stay stable
+/// across label tweaks.
+///
+/// [`BackendId`]: lightator_core::backend::BackendId
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn backend_metrics() -> Result<Vec<BenchMetric>, CoreError> {
+    let mut metrics = Vec::new();
+    for (entry, report, power_w) in registry_performance()? {
+        let slug = entry.backend.id().as_str().replace(':', "_");
+        metrics.push(BenchMetric::new(
+            &format!("{slug}_fps"),
+            report.fps(),
+            "frames/s",
+        ));
+        if entry.reports_throughput {
+            metrics.push(BenchMetric::new(
+                &format!("{slug}_kfps_per_watt"),
+                report.fps() / 1e3 / power_w,
+                "KFPS/W",
+            ));
+        }
     }
-    Ok(rows)
+    Ok(metrics)
 }
 
 /// Configuration of the (expensive) accuracy pass.
@@ -412,6 +431,58 @@ mod tests {
             best_lightator > best_baseline,
             "Lightator best {best_lightator} vs baseline best {best_baseline}"
         );
+    }
+
+    #[test]
+    fn backend_metrics_cover_every_registry_entry() {
+        let metrics = backend_metrics().expect("ok");
+        // 11 fps metrics + 10 KFPS/W metrics (the GPU row reports none).
+        assert_eq!(
+            metrics.iter().filter(|m| m.name.ends_with("_fps")).count(),
+            11
+        );
+        assert_eq!(
+            metrics
+                .iter()
+                .filter(|m| m.name.ends_with("_kfps_per_watt"))
+                .count(),
+            10
+        );
+        assert!(metrics.iter().any(|m| m.name == "photonic_w4a4_fps"));
+        assert!(metrics
+            .iter()
+            .any(|m| m.name == "roofline_lightbulb_kfps_per_watt"));
+        assert!(!metrics
+            .iter()
+            .any(|m| m.name == "electronic_rtx-3060-ti_kfps_per_watt"));
+        // The emitted document is valid JSON with all metric names intact.
+        let json = crate::emit::render("table1_backends", "test", &metrics);
+        let names = crate::emit::validate(&json).expect("valid JSON");
+        assert_eq!(names.len(), metrics.len());
+    }
+
+    #[test]
+    fn registry_rows_match_the_direct_baseline_models() {
+        // The registry path must reproduce the hand-computed values the
+        // pre-registry harness emitted: the roofline rows match
+        // OpticalBaseline's own figure of merit, the GPU row its board
+        // power.
+        let rows = performance_rows().expect("ok");
+        let lenet = NetworkSpec::lenet();
+        for design in OpticalBaseline::table1_designs() {
+            let p = design.precision();
+            let label = format!(
+                "{} [{}:{}]",
+                design.name(),
+                p.weight_bits,
+                p.activation_bits
+            );
+            let row = rows.iter().find(|r| r.design == label).expect("row");
+            let kfps = row.kfps_per_watt.expect("reported");
+            assert!((kfps - design.kfps_per_watt(&lenet)).abs() < 1e-9);
+        }
+        let gpu = rows.iter().find(|r| r.design.contains("GPU")).expect("row");
+        assert_eq!(gpu.max_power_w, Some(200.0));
     }
 
     #[test]

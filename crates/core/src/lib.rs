@@ -15,6 +15,10 @@
 //! * [`sim`] — the architecture simulator producing latency, power and
 //!   KFPS/W (Table 1);
 //! * [`exec`] — functional photonic inference for accuracy measurements;
+//! * [`backend`] — **execution backends**: the [`Backend`] trait that lowers
+//!   workloads onto pluggable targets (the photonic core here; the
+//!   electronic-reference and analytical-roofline backends live in
+//!   `lightator-baselines`), resolved by [`BackendId`] when a session opens;
 //! * [`plan`] — **compiled execution plans**: the lowering pass that turns a
 //!   workload into a [`CompiledPlan`] (pre-encoded MR weight bank, CA
 //!   operator, resolved precision schedule, scratch buffers) built once per
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod ca;
 pub mod config;
 pub mod energy;
@@ -62,6 +67,7 @@ pub mod sim;
 pub mod stream;
 pub mod textcfg;
 
+pub use backend::{Backend, BackendId, LoweredPlan, PhotonicBackend};
 pub use ca::{CaConfig, CompressiveAcquisitor};
 pub use config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
 pub use energy::{ComponentPower, EnergyModel, SramModel};

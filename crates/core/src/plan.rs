@@ -295,13 +295,18 @@ impl CompiledPlan {
     }
 
     /// Records `hits` executions served from the cached encoding.
-    pub(crate) fn record_hits(&mut self, hits: u64) {
+    ///
+    /// Public so out-of-crate [`crate::backend::LoweredPlan`]
+    /// implementations (the electronic reference backend) can keep the
+    /// reuse counters honest.
+    pub fn record_hits(&mut self, hits: u64) {
         self.stats.cache_hits += hits;
     }
 
     /// Mutable access to the lowered model (the per-call-encode fallback
-    /// drives the legacy executor entry points with it).
-    pub(crate) fn model_mut(&mut self) -> Option<&mut Sequential> {
+    /// drives the legacy executor entry points with it; out-of-crate
+    /// backends execute it directly).
+    pub fn model_mut(&mut self) -> Option<&mut Sequential> {
         self.model.as_mut()
     }
 

@@ -7,6 +7,7 @@
 //! can assume a consistent device. The builder ships the paper's presets
 //! and chainable setters for every knob a deployment tunes.
 
+use crate::backend::{Backend, BackendId, PhotonicBackend};
 use crate::ca::CaConfig;
 use crate::config::{LightatorConfig, OcGeometry, PeripheryCounts, TimingConfig};
 use crate::error::{CoreError, Result};
@@ -18,6 +19,7 @@ use lightator_nn::spec::{NetworkSpec, NetworkSpecBuilder};
 use lightator_photonics::noise::NoiseConfig;
 use lightator_sensor::array::SensorArrayConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Complete, serialisable description of one Lightator platform: hardware,
 /// sensor, acquisition mode, precision schedule and the analog noise seed.
@@ -63,6 +65,7 @@ impl PlatformConfig {
 #[derive(Debug, Clone)]
 pub struct PlatformBuilder {
     config: PlatformConfig,
+    backends: Vec<Arc<dyn Backend>>,
 }
 
 impl Default for PlatformBuilder {
@@ -85,6 +88,7 @@ impl PlatformBuilder {
                 schedule: PrecisionSchedule::Uniform(Precision::w4a4()),
                 seed: 7,
             },
+            backends: Vec::new(),
         }
     }
 
@@ -178,6 +182,18 @@ impl PlatformBuilder {
         self
     }
 
+    /// Registers an execution backend, making its [`BackendId`] resolvable
+    /// through [`Platform::backend`] / [`Platform::session_on`].
+    ///
+    /// The photonic default is always resolvable and never needs
+    /// registration. Registering a backend whose id matches an earlier
+    /// registration (or `"photonic"`) overrides the earlier resolution.
+    #[must_use]
+    pub fn register_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
     /// Validates the configuration once and builds the platform.
     ///
     /// # Errors
@@ -187,7 +203,7 @@ impl PlatformBuilder {
     /// sensor, a CA window that does not divide the sensor resolution, or a
     /// degenerate CA configuration.
     pub fn build(self) -> Result<Platform> {
-        let config = self.config;
+        let Self { config, backends } = self;
         config.hardware.validate()?;
         if config.sensor.height == 0 || config.sensor.width == 0 {
             return Err(CoreError::invalid_config(
@@ -217,7 +233,11 @@ impl PlatformBuilder {
             }
         }
         let simulator = ArchitectureSimulator::new(config.hardware.clone())?;
-        Ok(Platform { config, simulator })
+        Ok(Platform {
+            config,
+            simulator,
+            backends,
+        })
     }
 }
 
@@ -227,6 +247,8 @@ impl PlatformBuilder {
 pub struct Platform {
     config: PlatformConfig,
     simulator: ArchitectureSimulator,
+    /// Registered execution backends (the photonic default is implicit).
+    backends: Vec<Arc<dyn Backend>>,
 }
 
 impl Platform {
@@ -253,7 +275,11 @@ impl Platform {
     ///
     /// Same as [`PlatformBuilder::build`].
     pub fn from_config(config: PlatformConfig) -> Result<Self> {
-        PlatformBuilder { config }.build()
+        PlatformBuilder {
+            config,
+            backends: Vec::new(),
+        }
+        .build()
     }
 
     /// The validated configuration.
@@ -329,6 +355,74 @@ impl Platform {
     /// Same as [`Platform::session`].
     pub fn session_seeded(&self, workload: Workload, seed: u64) -> Result<Session> {
         Session::open(self, workload, seed)
+    }
+
+    /// Opens a session like [`Platform::session`], but lowered onto the
+    /// backend registered under `backend` instead of the photonic default.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::session`], plus an error when the backend id is
+    /// unknown or names an analytical backend that cannot execute.
+    pub fn session_on(&self, workload: Workload, backend: &BackendId) -> Result<Session> {
+        self.session_seeded_on(workload, self.config.seed, backend)
+    }
+
+    /// Opens a session on an explicit backend with an explicit seed — the
+    /// combination a heterogeneous serving pool uses per shard.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Platform::session_on`].
+    pub fn session_seeded_on(
+        &self,
+        workload: Workload,
+        seed: u64,
+        backend: &BackendId,
+    ) -> Result<Session> {
+        Session::open_on(self, workload, seed, backend)
+    }
+
+    /// Resolves a registered backend by id.
+    ///
+    /// The photonic default resolves even on platforms that registered
+    /// nothing; registered backends take precedence over the implicit
+    /// default when ids collide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unknown id, listing the
+    /// resolvable ids.
+    pub fn backend(&self, id: &BackendId) -> Result<Arc<dyn Backend>> {
+        if let Some(backend) = self.backends.iter().find(|b| &b.id() == id) {
+            return Ok(Arc::clone(backend));
+        }
+        if id.is_photonic() {
+            return Ok(Arc::new(PhotonicBackend::new()));
+        }
+        let mut known: Vec<String> = self.backends.iter().map(|b| b.id().to_string()).collect();
+        known.insert(0, BackendId::photonic().to_string());
+        Err(CoreError::ModelMismatch {
+            reason: format!(
+                "no backend registered under `{id}` on this platform \
+                 (resolvable: {})",
+                known.join(", ")
+            ),
+        })
+    }
+
+    /// Ids of every backend this platform resolves: the implicit photonic
+    /// default followed by the registered backends, in registration order.
+    #[must_use]
+    pub fn backend_ids(&self) -> Vec<BackendId> {
+        let mut ids = vec![BackendId::photonic()];
+        for backend in &self.backends {
+            let id = backend.id();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        ids
     }
 
     /// Spec of the acquisition pass itself: one optical weighted-sum layer

@@ -8,7 +8,6 @@
 //! from one place.
 
 use crate::error::{CoreError, Result};
-use crate::exec::PhotonicExecutor;
 use crate::sim::SimulationReport;
 use lightator_nn::model::Sequential;
 use lightator_nn::tensor::Tensor;
@@ -167,14 +166,4 @@ pub(crate) fn filtered_from(filtered: &Tensor, kernel: &str) -> Outcome {
         shape: filtered.shape().to_vec(),
         data: filtered.data().to_vec(),
     }
-}
-
-pub(crate) fn filtered_outcome(
-    executor: &mut PhotonicExecutor,
-    model: &mut Sequential,
-    input: &Tensor,
-    kernel: &str,
-) -> Result<Outcome> {
-    let filtered = executor.forward(model, input)?;
-    Ok(filtered_from(&filtered, kernel))
 }

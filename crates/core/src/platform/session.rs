@@ -12,13 +12,14 @@
 //! (switchable for differential testing via [`Session::set_plan_reuse`])
 //! and stays bit-exact.
 
+use crate::backend::{BackendId, LoweredPlan};
 use crate::error::{CoreError, Result};
-use crate::exec::{PhotonicAccuracy, PhotonicExecutor};
+use crate::exec::PhotonicAccuracy;
 use crate::plan::{CompiledPlan, PlanStats};
 use crate::platform::builder::Platform;
 use crate::platform::report::{
     acquisition_outcome, check_model_input, classification_from_logits, filtered_from,
-    filtered_outcome, model_mismatch, Outcome, Report,
+    model_mismatch, Outcome, Report,
 };
 use crate::platform::workload::{network_spec_of, Workload};
 use crate::sim::SimulationReport;
@@ -32,20 +33,24 @@ use lightator_sensor::array::SensorArray;
 use lightator_sensor::frame::RgbFrame;
 use std::borrow::Borrow;
 
-/// A live workload session: owns the sensor, the photonic executor, the
-/// workload's [`CompiledPlan`] and its performance model.
+/// A live workload session: owns the sensor, the workload's lowered plan
+/// (the backend-specific executable form of its [`CompiledPlan`]) and its
+/// performance model.
+///
+/// Sessions open on the **photonic** backend by default and behave exactly
+/// as they did before backends existed; [`Platform::session_on`] lowers
+/// the same workload onto any registered [`crate::backend::Backend`]
+/// instead.
 #[derive(Debug, Clone)]
 pub struct Session {
     sensor: SensorArray,
-    executor: PhotonicExecutor,
-    plan: CompiledPlan,
+    /// The workload lowered onto this session's backend.
+    lowered: Box<dyn LoweredPlan>,
+    backend: BackendId,
     workload: Workload,
     stream: Option<StreamPipeline>,
     perf: SimulationReport,
     label: String,
-    /// Whether executions reuse the compiled plan (default) or fall back to
-    /// the per-call-encode path — bit-identical either way.
-    plan_reuse: bool,
 }
 
 /// Everything a video-stream session adds on top of the frame path: the
@@ -66,12 +71,32 @@ struct StreamPipeline {
 }
 
 impl Session {
-    /// Opens a session: validates the workload against the platform, lowers
-    /// it into a [`CompiledPlan`] and derives its performance model.
+    /// Opens a session on the default photonic backend: validates the
+    /// workload against the platform, lowers it into a [`CompiledPlan`] and
+    /// derives its performance model.
     pub(crate) fn open(platform: &Platform, workload: Workload, seed: u64) -> Result<Self> {
+        Self::open_on(platform, workload, seed, &BackendId::photonic())
+    }
+
+    /// Opens a session lowered onto an explicit backend.
+    pub(crate) fn open_on(
+        platform: &Platform,
+        workload: Workload,
+        seed: u64,
+        backend_id: &BackendId,
+    ) -> Result<Self> {
+        let backend = platform.backend(backend_id)?;
         let config = platform.config();
+        if !backend.supports(&workload) {
+            return Err(CoreError::ModelMismatch {
+                reason: format!(
+                    "backend `{}` does not support the `{}` workload",
+                    backend.id(),
+                    workload.label()
+                ),
+            });
+        }
         let sensor = SensorArray::new(config.sensor.clone())?;
-        let executor = PhotonicExecutor::new(config.schedule, config.hardware.noise, seed)?;
         let label = workload.label();
         let acquired = config.acquired_shape();
         let kernel_spec = || -> Result<_> {
@@ -88,9 +113,7 @@ impl Session {
                 let window = config.ca.map_or(1, |ca| ca.pooling_window);
                 let differencer =
                     TemporalDifferencer::new(*stream, acquired[1], acquired[2], window)?;
-                let perf_acquire = platform
-                    .simulator()
-                    .simulate(&platform.acquisition_spec()?, config.schedule)?;
+                let perf_acquire = backend.performance(&platform.acquisition_spec()?, config)?;
                 let pipeline = StreamPipeline {
                     differencer,
                     state: None,
@@ -100,17 +123,16 @@ impl Session {
                 (kernel_spec()?, Some(pipeline))
             }
         };
-        let plan = CompiledPlan::compile(&workload, config, seed)?;
-        let perf = platform.simulator().simulate(&spec, config.schedule)?;
+        let lowered = backend.lower(&workload, config, seed)?;
+        let perf = backend.performance(&spec, config)?;
         Ok(Session {
             sensor,
-            executor,
-            plan,
+            lowered,
+            backend: backend.id(),
             workload,
             stream,
             perf,
             label,
-            plan_reuse: true,
         })
     }
 
@@ -120,25 +142,33 @@ impl Session {
         &self.workload
     }
 
+    /// Id of the backend this session's workload was lowered onto
+    /// (`"photonic"` unless the session was opened through
+    /// [`Platform::session_on`]).
+    #[must_use]
+    pub fn backend(&self) -> &BackendId {
+        &self.backend
+    }
+
     /// The compiled plan this session executes: CA operator, lowered
     /// optical model and the pre-encoded MR weight bank, built once when
     /// the session opened.
     #[must_use]
     pub fn plan(&self) -> &CompiledPlan {
-        &self.plan
+        self.lowered.plan()
     }
 
     /// Encode/reuse counters of the session's plan: a healthy session
     /// reports exactly one encode however many frames it served.
     #[must_use]
     pub fn plan_stats(&self) -> PlanStats {
-        self.plan.stats()
+        self.lowered.plan().stats()
     }
 
     /// Whether executions reuse the compiled plan (the default).
     #[must_use]
     pub fn plan_reuse(&self) -> bool {
-        self.plan_reuse
+        self.lowered.plan_reuse()
     }
 
     /// Switches between plan-cached execution (the default) and the
@@ -151,7 +181,7 @@ impl Session {
     /// the equivalence) and for benchmarking the reuse win
     /// (`cargo bench -p lightator-bench --bench plan_reuse`).
     pub fn set_plan_reuse(&mut self, enabled: bool) {
-        self.plan_reuse = enabled;
+        self.lowered.set_plan_reuse(enabled);
     }
 
     /// The workload's performance model on this platform (identical to the
@@ -164,7 +194,7 @@ impl Session {
     /// Whether the acquisition path compresses frames through the CA banks.
     #[must_use]
     pub fn uses_compressive_acquisition(&self) -> bool {
-        self.plan.ca().is_some()
+        self.lowered.plan().ca().is_some()
     }
 
     /// Acquires a scene into the tensor fed to the optical core: the fused
@@ -175,7 +205,7 @@ impl Session {
     ///
     /// Propagates sensor and CA errors.
     pub fn acquire(&self, scene: &RgbFrame) -> Result<Tensor> {
-        match self.plan.ca() {
+        match self.lowered.plan().ca() {
             Some(ca) => {
                 let compressed = ca.acquire(scene)?;
                 let data: Vec<f32> = compressed.data().iter().map(|&v| v as f32).collect();
@@ -210,68 +240,54 @@ impl Session {
     /// [`Session::run_stream`].
     pub fn run(&mut self, scene: &RgbFrame) -> Result<Report> {
         self.ensure_frame_workload()?;
-        let index = self.executor.next_frame_index();
+        let index = self.lowered.next_frame_index();
         let result = self.run_inner(scene);
         // One frame, one index — success or failure. (Failures can bail
         // out before the executor advances, e.g. on a sensor error or a
         // model mismatch.)
-        self.executor.set_next_frame_index(index + 1);
+        self.lowered.set_next_frame_index(index + 1);
         result
     }
 
     fn run_inner(&mut self, scene: &RgbFrame) -> Result<Report> {
         let input = self.acquire(scene)?;
-        let Self {
-            executor,
-            plan,
-            workload,
-            perf,
-            label,
-            plan_reuse,
-            ..
-        } = self;
-        let outcome = match workload {
+        // Workload-level checks first (against the workload's own model),
+        // then hand the tensors to the backend's lowered plan.
+        let step = match &self.workload {
             Workload::Classify { model } => {
                 if input.shape() != model.input_shape() {
                     return Err(model_mismatch(input.shape(), model.input_shape()));
                 }
-                let logits = if *plan_reuse {
-                    executor.forward_planned(plan, &input)?
-                } else {
-                    let model = plan
-                        .model_mut()
-                        .expect("classify plans carry the lowered model");
-                    executor.forward(model, &input)?
-                };
-                classification_from_logits(&logits, input.shape())?
+                FrameStep::Classify
             }
-            Workload::Acquire => {
-                // Acquisition runs through the plan's cached CA operator;
-                // count the reuse even though no weight bank is involved.
-                if *plan_reuse {
-                    plan.record_hits(1);
-                }
-                acquisition_outcome(&input)
-            }
-            Workload::ImageKernel { kernel } => {
-                if *plan_reuse {
-                    let filtered = executor.forward_planned(plan, &input)?;
-                    filtered_from(&filtered, kernel.name())
-                } else {
-                    let model = plan
-                        .model_mut()
-                        .expect("image-kernel plans carry the filter model");
-                    filtered_outcome(executor, model, &input, kernel.name())?
-                }
-            }
+            Workload::Acquire => FrameStep::Acquire,
+            Workload::ImageKernel { kernel } => FrameStep::Kernel(kernel.name()),
             Workload::VideoStream { .. } => {
                 unreachable!("`ensure_frame_workload` rejects stream sessions before run_inner")
             }
         };
+        let outcome = match step {
+            FrameStep::Classify => {
+                let logits = self.lowered.forward(&input)?;
+                classification_from_logits(&logits, input.shape())?
+            }
+            FrameStep::Acquire => {
+                // Acquisition runs through the plan's cached CA operator;
+                // count the reuse even though no weight bank is involved.
+                if self.lowered.plan_reuse() {
+                    self.lowered.plan_mut().record_hits(1);
+                }
+                acquisition_outcome(&input)
+            }
+            FrameStep::Kernel(name) => {
+                let filtered = self.lowered.forward(&input)?;
+                filtered_from(&filtered, name)
+            }
+        };
         Ok(Report {
-            workload: label.clone(),
+            workload: self.label.clone(),
             outcome,
-            perf: perf.clone(),
+            perf: self.perf.clone(),
         })
     }
 
@@ -293,9 +309,9 @@ impl Session {
             // weight DACs for zero frames.
             return Ok(Vec::new());
         }
-        let index = self.executor.next_frame_index();
+        let index = self.lowered.next_frame_index();
         let result = self.run_batch_inner(scenes);
-        self.executor
+        self.lowered
             .set_next_frame_index(index + scenes.len() as u64);
         result
     }
@@ -305,63 +321,45 @@ impl Session {
             .iter()
             .map(|scene| self.acquire(scene))
             .collect::<Result<_>>()?;
-        let Self {
-            executor,
-            plan,
-            workload,
-            perf,
-            label,
-            plan_reuse,
-            ..
-        } = self;
-        let forward_batch = |executor: &mut PhotonicExecutor,
-                             plan: &mut CompiledPlan,
-                             inputs: &[Tensor]|
-         -> Result<Vec<Tensor>> {
-            if *plan_reuse {
-                executor.forward_batch_planned(plan, inputs)
-            } else {
-                let model = plan
-                    .model_mut()
-                    .expect("weighted workloads carry a lowered model");
-                executor.forward_batch(model, inputs)
-            }
-        };
-        let outcomes: Vec<Outcome> = match workload {
+        let step = match &self.workload {
             Workload::Classify { model } => {
                 check_model_input(model, &inputs)?;
-                let logits = forward_batch(executor, plan, &inputs)?;
+                FrameStep::Classify
+            }
+            Workload::Acquire => FrameStep::Acquire,
+            Workload::ImageKernel { kernel } => FrameStep::Kernel(kernel.name()),
+            Workload::VideoStream { .. } => {
+                unreachable!("`ensure_frame_workload` rejects stream sessions before batches")
+            }
+        };
+        let outcomes: Vec<Outcome> = match step {
+            FrameStep::Classify => {
+                let logits = self.lowered.forward_batch(&inputs)?;
                 inputs
                     .iter()
                     .zip(logits)
                     .map(|(input, l)| classification_from_logits(&l, input.shape()))
                     .collect::<Result<_>>()?
             }
-            Workload::Acquire => {
+            FrameStep::Acquire => {
                 // Acquisition runs through the plan's cached CA operator;
                 // count the reuse even though no weight bank is involved.
-                if *plan_reuse {
-                    plan.record_hits(inputs.len() as u64);
+                if self.lowered.plan_reuse() {
+                    self.lowered.plan_mut().record_hits(inputs.len() as u64);
                 }
                 inputs.iter().map(acquisition_outcome).collect()
             }
-            Workload::ImageKernel { kernel } => {
-                let filtered = forward_batch(executor, plan, &inputs)?;
-                filtered
-                    .iter()
-                    .map(|t| filtered_from(t, kernel.name()))
-                    .collect()
-            }
-            Workload::VideoStream { .. } => {
-                unreachable!("`ensure_frame_workload` rejects stream sessions before batches")
+            FrameStep::Kernel(name) => {
+                let filtered = self.lowered.forward_batch(&inputs)?;
+                filtered.iter().map(|t| filtered_from(t, name)).collect()
             }
         };
         Ok(outcomes
             .into_iter()
             .map(|outcome| Report {
-                workload: label.clone(),
+                workload: self.label.clone(),
                 outcome,
-                perf: perf.clone(),
+                perf: self.perf.clone(),
             })
             .collect())
     }
@@ -375,7 +373,7 @@ impl Session {
     /// around failed requests.
     #[must_use]
     pub fn next_frame_index(&self) -> u64 {
-        self.executor.next_frame_index()
+        self.lowered.next_frame_index()
     }
 
     /// Positions the session at global frame `index`.
@@ -387,7 +385,7 @@ impl Session {
     /// seeks each shard to the ticket of the batch it drained, which is what
     /// keeps pooled execution bit-identical to sequential execution.
     pub fn seek_frame(&mut self, index: u64) {
-        self.executor.set_next_frame_index(index);
+        self.lowered.set_next_frame_index(index);
     }
 
     /// Rejects the per-frame entry points on video-stream sessions.
@@ -505,11 +503,11 @@ impl Session {
         let dense_latency = pipeline.perf_acquire.frame_latency + self.perf.frame_latency;
         let dense_energy = pipeline.perf_acquire.frame_energy + self.perf.frame_energy;
         for frame in frames {
-            let index = self.executor.next_frame_index();
+            let index = self.lowered.next_frame_index();
             let result = self.stream_frame(frame.borrow(), index);
             // One frame, one index — success or failure, however many
             // block tiles the gate actually computed.
-            self.executor.set_next_frame_index(index + 1);
+            self.lowered.set_next_frame_index(index + 1);
             report.push(result?, dense_latency, dense_energy);
         }
         Ok(report)
@@ -550,11 +548,9 @@ impl Session {
             None
         };
         let Self {
-            executor,
+            lowered,
             stream,
-            plan,
             perf,
-            plan_reuse,
             ..
         } = self;
         let pipeline = stream.as_mut().expect("caller checked the workload");
@@ -592,7 +588,7 @@ impl Session {
         // Gather the computed blocks' tiles into the plan's reusable tile
         // buffer and run them — however many there are — inside one frame's
         // noise stream, in row-major block order.
-        let mut tiles = plan.take_tiles();
+        let mut tiles = lowered.plan_mut().take_tiles();
         let mut used = 0usize;
         for (block, &compute) in mask.iter().enumerate() {
             if !compute {
@@ -615,13 +611,8 @@ impl Session {
             used += 1;
         }
         tiles.truncate(used);
-        let outputs = if *plan_reuse {
-            executor.forward_frame_batch_planned(plan, &tiles)
-        } else {
-            let model = plan.model_mut().expect("stream plans carry the tile model");
-            executor.forward_frame_batch(model, &tiles)
-        };
-        plan.return_tiles(tiles);
+        let outputs = lowered.forward_frame_batch(&tiles);
+        lowered.plan_mut().return_tiles(tiles);
         let outputs = outputs?;
 
         let mut output = state.prev_output.clone();
@@ -676,8 +667,11 @@ impl Session {
     /// Returns [`CoreError::ModelMismatch`] for non-classify workloads and
     /// propagates photonic errors.
     pub fn evaluate(&mut self, dataset: &Dataset, limit: usize) -> Result<PhotonicAccuracy> {
-        match &mut self.workload {
-            Workload::Classify { model } => self.executor.evaluate(model, dataset, limit),
+        let Self {
+            lowered, workload, ..
+        } = self;
+        match workload {
+            Workload::Classify { model } => lowered.evaluate(model, dataset, limit),
             other => Err(CoreError::ModelMismatch {
                 reason: format!(
                     "accuracy evaluation needs a classify workload, not `{}`",
@@ -706,6 +700,15 @@ where
         let frame = self.frames.next()?;
         Some(self.session.run(frame.borrow()))
     }
+}
+
+/// What the frame entry points hand the lowered plan once the
+/// workload-level checks passed (borrow-splits `self.workload` from
+/// `self.lowered`).
+enum FrameStep {
+    Classify,
+    Acquire,
+    Kernel(&'static str),
 }
 
 fn non_stream_error() -> CoreError {

@@ -55,6 +55,12 @@ pub struct ServeConfig {
     /// [`ServeError::InvalidRequest`] so one client cannot monopolise a
     /// shard's timeline.
     pub max_stream_frames: usize,
+    /// Per-workload-group backend assignments: `(workload label, backend
+    /// id)` pairs, e.g. `("kernel:sobel-x", "electronic:eyeriss")`.
+    /// Workloads not listed here run on the photonic default. An explicit
+    /// [`crate::ServerBuilder::workload_on`] call overrides the assignment
+    /// for that registration. Serialised as `serve.backend.<label>` keys.
+    pub backends: Vec<(String, String)>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +72,7 @@ impl Default for ServeConfig {
             flush_deadline: Time::from_ns(0.0),
             seed_stride: 0,
             max_stream_frames: 256,
+            backends: Vec::new(),
         }
     }
 }
@@ -108,7 +115,34 @@ impl ServeConfig {
                 reason: "max_stream_frames must admit at least one frame per stream".into(),
             });
         }
+        for (label, backend) in &self.backends {
+            if label.is_empty() || backend.is_empty() {
+                return Err(ServeError::InvalidConfig {
+                    reason: "backend assignments need a workload label and a backend id".into(),
+                });
+            }
+            if self
+                .backends
+                .iter()
+                .filter(|(other, _)| other == label)
+                .count()
+                > 1
+            {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!("workload `{label}` is assigned a backend twice"),
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// The configured backend id for a workload label, if any.
+    #[must_use]
+    pub fn backend_for(&self, label: &str) -> Option<&str> {
+        self.backends
+            .iter()
+            .find(|(assigned, _)| assigned == label)
+            .map(|(_, backend)| backend.as_str())
     }
 
     /// Serialises the configuration to the `key = value` text format shared
@@ -127,6 +161,9 @@ impl ServeConfig {
         );
         write_line(&mut out, "serve.seed_stride", self.seed_stride);
         write_line(&mut out, "serve.max_stream_frames", self.max_stream_frames);
+        for (label, backend) in &self.backends {
+            write_line(&mut out, &format!("serve.backend.{label}"), backend);
+        }
         out
     }
 
@@ -160,6 +197,17 @@ impl ServeConfig {
                 "serve.seed_stride" => config.seed_stride = parse_u64(key, value)?,
                 "serve.max_stream_frames" => {
                     config.max_stream_frames = parse_usize(key, value)?;
+                }
+                assignment if assignment.starts_with("serve.backend.") => {
+                    let label = &assignment["serve.backend.".len()..];
+                    if label.is_empty() || value.is_empty() {
+                        return Err(malformed_value(
+                            assignment,
+                            "backend assignments need a workload label and a backend id",
+                        )
+                        .into());
+                    }
+                    config.backends.push((label.to_string(), value.to_string()));
                 }
                 unknown => {
                     return Err(malformed_value(
@@ -196,11 +244,54 @@ mod tests {
             flush_deadline: Time::from_us(2.5),
             seed_stride: 17,
             max_stream_frames: 48,
+            backends: Vec::new(),
         };
         assert_eq!(
             ServeConfig::from_text(&config.to_text()).expect("parse"),
             config
         );
+    }
+
+    #[test]
+    fn backend_assignments_round_trip_through_the_text_format() {
+        let config = ServeConfig {
+            shards: 2,
+            backends: vec![
+                ("kernel:sobel-x".into(), "electronic:eyeriss".into()),
+                ("classify".into(), "photonic".into()),
+            ],
+            ..ServeConfig::default()
+        };
+        let text = config.to_text();
+        assert!(text.contains("serve.backend.kernel:sobel-x = electronic:eyeriss"));
+        assert!(text.contains("serve.backend.classify = photonic"));
+        let parsed = ServeConfig::from_text(&text).expect("parse");
+        assert_eq!(parsed, config);
+        assert_eq!(
+            parsed.backend_for("kernel:sobel-x"),
+            Some("electronic:eyeriss")
+        );
+        assert_eq!(parsed.backend_for("acquire"), None);
+        assert!(parsed.validate().is_ok());
+    }
+
+    #[test]
+    fn malformed_backend_assignments_are_rejected() {
+        let err =
+            ServeConfig::from_text("serve.backend. = electronic:eyeriss").expect_err("empty label");
+        assert!(err.to_string().contains("workload label"));
+        let duplicated = ServeConfig {
+            backends: vec![
+                ("classify".into(), "photonic".into()),
+                ("classify".into(), "electronic:eyeriss".into()),
+            ],
+            ..ServeConfig::default()
+        };
+        assert!(duplicated
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("assigned a backend twice"));
     }
 
     #[test]

@@ -20,11 +20,17 @@
 //!   group (classify / acquire / image kernel / video stream — streams get
 //!   their own shard queue with weighted tickets, one frame index per
 //!   carried frame);
+//! * **heterogeneous backends**: each workload group can be pinned to a
+//!   registered execution backend ([`ServerBuilder::workload_on`], or
+//!   `serve.backend.<label>` keys in [`ServeConfig`]); groups are keyed by
+//!   `(workload, backend)` and [`Server::submit_on`] routes between two
+//!   registrations of the same workload;
 //! * **admission control** rejects with [`ServeError::Overloaded`] when a
 //!   queue is full instead of blocking forever;
 //! * **telemetry** ([`MetricsSnapshot`]) reports sustained throughput,
-//!   p50/p95/p99 queueing latency, queue depth and the per-shard
-//!   batch-size distribution;
+//!   p50/p95/p99/p99.9 queueing latency, queue depth, the per-shard
+//!   batch-size distribution, and per-backend frame/energy/plan totals
+//!   ([`metrics::BackendSnapshot`]);
 //! * **graceful shutdown** drains all in-flight work before the workers
 //!   exit.
 //!
@@ -74,6 +80,6 @@ mod shard;
 
 pub use config::ServeConfig;
 pub use error::{Result, ServeError};
-pub use metrics::{MetricsSnapshot, ShardSnapshot};
+pub use metrics::{BackendSnapshot, MetricsSnapshot, ShardSnapshot};
 pub use request::{Pending, Request, Response};
 pub use server::{Server, ServerBuilder};

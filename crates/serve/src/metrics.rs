@@ -10,7 +10,7 @@
 //! keeps the figures meaningful for the accelerator (KFPS-scale latencies)
 //! and independent of how many host CPUs happen to run the simulation.
 
-use lightator_photonics::units::Time;
+use lightator_photonics::units::{Energy, Time};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two buckets in [`LatencyHistogram`].
@@ -98,6 +98,8 @@ impl LatencyHistogram {
 #[derive(Debug)]
 pub(crate) struct ShardMetrics {
     pub(crate) label: String,
+    /// Id of the backend this shard's session was lowered onto.
+    pub(crate) backend: String,
     pub(crate) batches: AtomicU64,
     pub(crate) frames: AtomicU64,
     /// `batch_sizes[s - 1]` counts batches of exactly `s` frames.
@@ -107,6 +109,26 @@ pub(crate) struct ShardMetrics {
     pub(crate) plan_encodes: AtomicU64,
     /// Executions the shard served from its cached plan encoding.
     pub(crate) plan_hits: AtomicU64,
+    /// Simulated energy charged to this shard, stored as `f64` bits in
+    /// picojoules (updated only by the owning worker thread; read by
+    /// snapshots).
+    pub(crate) energy_pj_bits: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Adds `pj` picojoules of simulated energy to this shard's meter.
+    ///
+    /// Only the owning worker thread writes, so a load + store pair is
+    /// race-free; the atomic makes the concurrent snapshot reads defined.
+    pub(crate) fn add_energy_pj(&self, pj: f64) {
+        let current = f64::from_bits(self.energy_pj_bits.load(Ordering::Relaxed));
+        self.energy_pj_bits
+            .store((current + pj).to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn energy(&self) -> Energy {
+        Energy::from_pj(f64::from_bits(self.energy_pj_bits.load(Ordering::Relaxed)))
+    }
 }
 
 /// Shared mutable telemetry behind the public snapshot.
@@ -129,7 +151,9 @@ pub(crate) struct MetricsInner {
 }
 
 impl MetricsInner {
-    pub(crate) fn new(shard_labels: Vec<String>, max_batch: usize) -> Self {
+    /// `shard_labels` pairs each shard's display label with the id of the
+    /// backend its session runs on.
+    pub(crate) fn new(shard_labels: Vec<(String, String)>, max_batch: usize) -> Self {
         Self {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -143,13 +167,15 @@ impl MetricsInner {
             last_completion_ns: AtomicU64::new(0),
             shards: shard_labels
                 .into_iter()
-                .map(|label| ShardMetrics {
+                .map(|(label, backend)| ShardMetrics {
                     label,
+                    backend,
                     batches: AtomicU64::new(0),
                     frames: AtomicU64::new(0),
                     batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
                     plan_encodes: AtomicU64::new(0),
                     plan_hits: AtomicU64::new(0),
+                    energy_pj_bits: AtomicU64::new(0f64.to_bits()),
                 })
                 .collect(),
         }
@@ -163,6 +189,51 @@ impl MetricsInner {
         } else {
             last.saturating_sub(first) as f64
         };
+        let shards: Vec<ShardSnapshot> = self
+            .shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                shard: s.label.clone(),
+                backend: s.backend.clone(),
+                batches: s.batches.load(Ordering::Relaxed),
+                frames: s.frames.load(Ordering::Relaxed),
+                batch_sizes: s
+                    .batch_sizes
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                plan_encodes: s.plan_encodes.load(Ordering::Relaxed),
+                plan_hits: s.plan_hits.load(Ordering::Relaxed),
+                energy: s.energy(),
+            })
+            .collect();
+        // Fold the shard rows into one row per backend, in first-seen
+        // (registration) order.
+        let mut backends: Vec<BackendSnapshot> = Vec::new();
+        for shard in &shards {
+            let entry = match backends.iter_mut().find(|b| b.backend == shard.backend) {
+                Some(entry) => entry,
+                None => {
+                    backends.push(BackendSnapshot {
+                        backend: shard.backend.clone(),
+                        shards: 0,
+                        batches: 0,
+                        frames: 0,
+                        energy: Energy::from_pj(0.0),
+                        plan_encodes: 0,
+                        plan_hits: 0,
+                        simulated_span: Time::from_ns(span_ns),
+                    });
+                    backends.last_mut().expect("just pushed")
+                }
+            };
+            entry.shards += 1;
+            entry.batches += shard.batches;
+            entry.frames += shard.frames;
+            entry.energy += shard.energy;
+            entry.plan_encodes += shard.plan_encodes;
+            entry.plan_hits += shard.plan_hits;
+        }
         MetricsSnapshot {
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -175,33 +246,12 @@ impl MetricsInner {
             p50_queue_wait: self.queue_wait.quantile(0.50),
             p95_queue_wait: self.queue_wait.quantile(0.95),
             p99_queue_wait: self.queue_wait.quantile(0.99),
+            p99_9_queue_wait: self.queue_wait.quantile(0.999),
             simulated_span: Time::from_ns(span_ns),
-            plan_encodes: self
-                .shards
-                .iter()
-                .map(|s| s.plan_encodes.load(Ordering::Relaxed))
-                .sum(),
-            plan_hits: self
-                .shards
-                .iter()
-                .map(|s| s.plan_hits.load(Ordering::Relaxed))
-                .sum(),
-            shards: self
-                .shards
-                .iter()
-                .map(|s| ShardSnapshot {
-                    shard: s.label.clone(),
-                    batches: s.batches.load(Ordering::Relaxed),
-                    frames: s.frames.load(Ordering::Relaxed),
-                    batch_sizes: s
-                        .batch_sizes
-                        .iter()
-                        .map(|c| c.load(Ordering::Relaxed))
-                        .collect(),
-                    plan_encodes: s.plan_encodes.load(Ordering::Relaxed),
-                    plan_hits: s.plan_hits.load(Ordering::Relaxed),
-                })
-                .collect(),
+            plan_encodes: shards.iter().map(|s| s.plan_encodes).sum(),
+            plan_hits: shards.iter().map(|s| s.plan_hits).sum(),
+            backends,
+            shards,
         }
     }
 }
@@ -232,6 +282,9 @@ pub struct MetricsSnapshot {
     pub p95_queue_wait: Time,
     /// 99th-percentile simulated queueing latency.
     pub p99_queue_wait: Time,
+    /// 99.9th-percentile simulated queueing latency — the tail that SLOs
+    /// are written against.
+    pub p99_9_queue_wait: Time,
     /// Simulated time between the first batch start and the latest batch
     /// completion — the denominator of [`MetricsSnapshot::throughput_fps`].
     pub simulated_span: Time,
@@ -241,6 +294,10 @@ pub struct MetricsSnapshot {
     pub plan_encodes: u64,
     /// Executions served from the shards' cached plan encodings.
     pub plan_hits: u64,
+    /// Per-backend totals, one entry per distinct execution backend in
+    /// registration order — the telemetry a heterogeneous pool is compared
+    /// by.
+    pub backends: Vec<BackendSnapshot>,
     /// Per-shard batch statistics, one entry per worker thread.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -306,12 +363,35 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
+            "{:<26} {:>9.3} us",
+            "p99.9 queue wait",
+            self.p99_9_queue_wait.us()
+        );
+        let _ = writeln!(
+            out,
             "{:<26} {:>12.0}",
             "throughput (frames/s, sim)",
             self.throughput_fps()
         );
         let _ = writeln!(out, "{:<26} {:>12}", "plan encodes", self.plan_encodes);
         let _ = writeln!(out, "{:<26} {:>12}", "plan cache hits", self.plan_hits);
+        let _ = writeln!(out, "per-backend totals:");
+        for backend in &self.backends {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>5} frames on {} shard{}, {:>9.3} nJ, \
+                 {:>8.0} frames/s, plan: {} encode{}, {} hits",
+                backend.backend,
+                backend.frames,
+                backend.shards,
+                if backend.shards == 1 { "" } else { "s" },
+                backend.energy.nj(),
+                backend.throughput_fps(),
+                backend.plan_encodes,
+                if backend.plan_encodes == 1 { "" } else { "s" },
+                backend.plan_hits,
+            );
+        }
         let _ = writeln!(out, "per-shard batches (size: count) and plan reuse:");
         for shard in &self.shards {
             let sizes: Vec<String> = shard
@@ -339,11 +419,56 @@ impl MetricsSnapshot {
     }
 }
 
+/// Totals of every shard running on one execution backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSnapshot {
+    /// Backend id (e.g. `photonic`, `electronic:eyeriss`).
+    pub backend: String,
+    /// Worker threads whose sessions run on this backend.
+    pub shards: usize,
+    /// Batches executed across those shards.
+    pub batches: u64,
+    /// Frames served across those shards.
+    pub frames: u64,
+    /// Simulated energy charged to completed work on this backend.
+    pub energy: Energy,
+    /// Weight-encoding passes across this backend's shard plans.
+    pub plan_encodes: u64,
+    /// Executions served from this backend's cached plan encodings.
+    pub plan_hits: u64,
+    /// The server-wide simulated span the frame count is measured over
+    /// (shared across backends: all virtual chips run on one timeline).
+    pub simulated_span: Time,
+}
+
+impl BackendSnapshot {
+    /// Frames this backend served per simulated second of the server-wide
+    /// span.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        if self.simulated_span.seconds() == 0.0 {
+            return 0.0;
+        }
+        self.frames as f64 / self.simulated_span.seconds()
+    }
+
+    /// Mean simulated energy per served frame on this backend.
+    #[must_use]
+    pub fn energy_per_frame(&self) -> Energy {
+        if self.frames == 0 {
+            return Energy::from_pj(0.0);
+        }
+        Energy::from_pj(self.energy.pj() / self.frames as f64)
+    }
+}
+
 /// Batch statistics of one shard (worker thread).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardSnapshot {
-    /// Shard label: `<workload>/<index>`.
+    /// Shard label: `<workload>[@<backend>]/<index>`.
     pub shard: String,
+    /// Id of the backend this shard's session runs on.
+    pub backend: String,
     /// Batches executed.
     pub batches: u64,
     /// Frames served.
@@ -356,6 +481,8 @@ pub struct ShardSnapshot {
     pub plan_encodes: u64,
     /// Executions this shard served from its cached plan encoding.
     pub plan_hits: u64,
+    /// Simulated energy charged to work completed on this shard.
+    pub energy: Energy,
 }
 
 impl ShardSnapshot {
@@ -415,7 +542,7 @@ mod tests {
 
     #[test]
     fn snapshot_aggregates_counters() {
-        let inner = MetricsInner::new(vec!["classify/0".into()], 4);
+        let inner = MetricsInner::new(vec![("classify/0".into(), "photonic".into())], 4);
         inner.completed.fetch_add(7, Ordering::Relaxed);
         inner.served_frames.fetch_add(7, Ordering::Relaxed);
         inner.shards[0].batches.fetch_add(2, Ordering::Relaxed);
@@ -433,5 +560,72 @@ mod tests {
         let table = snap.table();
         assert!(table.contains("classify/0"));
         assert!(table.contains("4: 1"));
+    }
+
+    #[test]
+    fn p99_9_extends_the_quantile_ladder() {
+        let hist = LatencyHistogram::new();
+        // 998 fast samples and one slow outlier: p99 stays in the fast
+        // bucket, p99.9 must reach the outlier's bucket (rank 999 of 999).
+        for _ in 0..998 {
+            hist.record(10);
+        }
+        hist.record(1_000_000);
+        assert_eq!(hist.quantile(0.99).ns(), 16.0);
+        assert!(hist.quantile(0.999).ns() >= 1_000_000.0);
+
+        let inner = MetricsInner::new(vec![("acquire/0".into(), "photonic".into())], 1);
+        for _ in 0..998 {
+            inner.queue_wait.record(10);
+        }
+        inner.queue_wait.record(1_000_000);
+        let snap = inner.snapshot(0);
+        assert!(snap.p99_9_queue_wait.ns() >= snap.p99_queue_wait.ns());
+        assert!(snap.p99_9_queue_wait.ns() >= 1_000_000.0);
+        assert!(snap.table().contains("p99.9 queue wait"));
+    }
+
+    #[test]
+    fn snapshot_folds_shards_into_per_backend_totals() {
+        let inner = MetricsInner::new(
+            vec![
+                ("classify/0".into(), "photonic".into()),
+                ("classify/1".into(), "photonic".into()),
+                (
+                    "kernel:sobel-x@electronic:eyeriss/0".into(),
+                    "electronic:eyeriss".into(),
+                ),
+            ],
+            2,
+        );
+        inner.shards[0].frames.fetch_add(4, Ordering::Relaxed);
+        inner.shards[0].plan_encodes.fetch_add(1, Ordering::Relaxed);
+        inner.shards[0].add_energy_pj(100.0);
+        inner.shards[1].frames.fetch_add(2, Ordering::Relaxed);
+        inner.shards[1].plan_encodes.fetch_add(1, Ordering::Relaxed);
+        inner.shards[1].add_energy_pj(50.0);
+        inner.shards[2].frames.fetch_add(3, Ordering::Relaxed);
+        inner.shards[2].plan_encodes.fetch_add(1, Ordering::Relaxed);
+        inner.shards[2].add_energy_pj(9_000.0);
+        inner.first_start_ns.fetch_min(0, Ordering::Relaxed);
+        inner.last_completion_ns.fetch_max(1_000, Ordering::Relaxed);
+        let snap = inner.snapshot(0);
+        assert_eq!(snap.backends.len(), 2);
+        let photonic = &snap.backends[0];
+        assert_eq!(photonic.backend, "photonic");
+        assert_eq!(photonic.shards, 2);
+        assert_eq!(photonic.frames, 6);
+        assert!((photonic.energy.pj() - 150.0).abs() < 1e-9);
+        assert_eq!(photonic.plan_encodes, 2);
+        assert!((photonic.energy_per_frame().pj() - 25.0).abs() < 1e-9);
+        assert!(photonic.throughput_fps() > 0.0);
+        let electronic = &snap.backends[1];
+        assert_eq!(electronic.backend, "electronic:eyeriss");
+        assert_eq!(electronic.shards, 1);
+        assert_eq!(electronic.frames, 3);
+        assert!((electronic.energy.pj() - 9_000.0).abs() < 1e-9);
+        let table = snap.table();
+        assert!(table.contains("per-backend totals"));
+        assert!(table.contains("electronic:eyeriss"));
     }
 }

@@ -6,6 +6,7 @@ use crate::metrics::{MetricsInner, MetricsSnapshot, VirtualClock};
 use crate::queue::SharedQueue;
 use crate::request::{Pending, Request, RequestKind, ResponseSlot};
 use crate::shard::{self, ShardContext};
+use lightator_core::backend::BackendId;
 use lightator_core::platform::{Platform, Workload};
 use lightator_photonics::units::Time;
 use std::sync::atomic::Ordering;
@@ -19,7 +20,10 @@ use std::thread::JoinHandle;
 pub struct ServerBuilder {
     platform: Platform,
     config: ServeConfig,
-    workloads: Vec<Workload>,
+    /// Registered workloads, each with its explicit backend pin (if any);
+    /// `None` falls back to the [`ServeConfig::backends`] assignment for
+    /// the workload's label, then to the photonic default.
+    workloads: Vec<(Workload, Option<BackendId>)>,
 }
 
 impl ServerBuilder {
@@ -83,10 +87,22 @@ impl ServerBuilder {
     }
 
     /// Registers a workload: one shard group (queue + workers) will serve
-    /// requests routed to it.
+    /// requests routed to it. The group runs on the backend assigned in
+    /// [`ServeConfig::backends`] for the workload's label, or the photonic
+    /// default when no assignment exists.
     #[must_use]
     pub fn workload(mut self, workload: Workload) -> Self {
-        self.workloads.push(workload);
+        self.workloads.push((workload, None));
+        self
+    }
+
+    /// Registers a workload pinned to an explicit execution backend —
+    /// the heterogeneous-serving entry point. The same workload may be
+    /// registered on several *different* backends; each registration gets
+    /// its own shard group, and [`Server::submit_on`] routes between them.
+    #[must_use]
+    pub fn workload_on(mut self, workload: Workload, backend: BackendId) -> Self {
+        self.workloads.push((workload, Some(backend)));
         self
     }
 
@@ -111,29 +127,56 @@ impl ServerBuilder {
         let base_seed = self.platform.config().seed;
 
         // Open every session first so build is all-or-nothing: no threads
-        // are spawned if any workload is rejected by the platform.
+        // are spawned if any workload is rejected by the platform (or names
+        // an unknown / non-executing backend).
         let mut groups = Vec::new();
         let mut shard_labels = Vec::new();
         let mut shard_plans: Vec<(lightator_core::platform::Session, Arc<SharedQueue>, String)> =
             Vec::new();
-        for workload in &self.workloads {
+        for (workload, pinned) in &self.workloads {
             let kind = RequestKind::of_workload(workload);
             let label = workload.label();
-            if groups.iter().any(|g: &Group| g.kind == kind) {
+            let backend = match pinned {
+                Some(backend) => backend.clone(),
+                None => self
+                    .config
+                    .backend_for(&label)
+                    .map_or_else(BackendId::photonic, BackendId::new),
+            };
+            if groups
+                .iter()
+                .any(|g: &Group| g.kind == kind && g.backend == backend)
+            {
                 return Err(ServeError::InvalidConfig {
-                    reason: format!("workload `{label}` is registered twice"),
+                    reason: format!(
+                        "workload `{label}` is registered twice on backend `{backend}`"
+                    ),
                 });
             }
+            // Non-photonic groups carry the backend in their display label
+            // so shard telemetry stays unambiguous.
+            let group_label = if backend.is_photonic() {
+                label
+            } else {
+                format!("{label}@{backend}")
+            };
             let queue = Arc::new(SharedQueue::new(self.config.queue_depth));
             for index in 0..self.config.shards {
                 let seed =
                     base_seed.wrapping_add(self.config.seed_stride.wrapping_mul(index as u64));
-                let session = self.platform.session_seeded(workload.clone(), seed)?;
-                let shard_label = format!("{label}/{index}");
-                shard_labels.push(shard_label.clone());
+                let session = self
+                    .platform
+                    .session_seeded_on(workload.clone(), seed, &backend)?;
+                let shard_label = format!("{group_label}/{index}");
+                shard_labels.push((shard_label.clone(), backend.to_string()));
                 shard_plans.push((session, Arc::clone(&queue), shard_label));
             }
-            groups.push(Group { kind, label, queue });
+            groups.push(Group {
+                kind,
+                backend,
+                label: group_label,
+                queue,
+            });
         }
 
         let metrics = Arc::new(MetricsInner::new(shard_labels, self.config.max_batch));
@@ -179,10 +222,12 @@ impl ServerBuilder {
     }
 }
 
-/// One workload group: the routing key and the queue its shards drain.
+/// One workload group: the `(request kind, backend)` routing key and the
+/// queue its shards drain.
 #[derive(Debug)]
 struct Group {
     kind: RequestKind,
+    backend: BackendId,
     label: String,
     queue: Arc<SharedQueue>,
 }
@@ -236,7 +281,44 @@ impl Server {
     ///
     /// See above; also [`ServeError::ShuttingDown`] during shutdown.
     pub fn submit(&self, request: Request) -> Result<Pending> {
-        if let Request::VideoStream { frames, .. } = &request {
+        self.validate_request(&request)?;
+        let kind = request.kind();
+        // Default route: the photonic group for this kind if one exists,
+        // otherwise the first registered group (so a workload served only
+        // by, say, an electronic backend still answers plain submits).
+        let group = self
+            .groups
+            .iter()
+            .find(|g| g.kind == kind && g.backend.is_photonic())
+            .or_else(|| self.groups.iter().find(|g| g.kind == kind))
+            .ok_or_else(|| ServeError::UnknownWorkload {
+                label: request.label(),
+            })?;
+        self.admit(group, request)
+    }
+
+    /// Submits a request to the group serving its workload on an explicit
+    /// backend — the heterogeneous-routing companion of [`Server::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`]; [`ServeError::UnknownWorkload`] when the
+    /// workload is not registered *on that backend*.
+    pub fn submit_on(&self, backend: &BackendId, request: Request) -> Result<Pending> {
+        self.validate_request(&request)?;
+        let kind = request.kind();
+        let group = self
+            .groups
+            .iter()
+            .find(|g| g.kind == kind && &g.backend == backend)
+            .ok_or_else(|| ServeError::UnknownWorkload {
+                label: format!("{}@{}", request.label(), backend),
+            })?;
+        self.admit(group, request)
+    }
+
+    fn validate_request(&self, request: &Request) -> Result<()> {
+        if let Request::VideoStream { frames, .. } = request {
             if frames.is_empty() {
                 return Err(ServeError::InvalidRequest {
                     reason: "a video stream needs at least one frame".into(),
@@ -253,12 +335,10 @@ impl Server {
                 });
             }
         }
-        let kind = request.kind();
-        let group = self.groups.iter().find(|g| g.kind == kind).ok_or_else(|| {
-            ServeError::UnknownWorkload {
-                label: request.label(),
-            }
-        })?;
+        Ok(())
+    }
+
+    fn admit(&self, group: &Group, request: Request) -> Result<Pending> {
         let slot = Arc::new(ResponseSlot::new());
         let arrival_ns = self.clock.now();
         match group
@@ -294,6 +374,34 @@ impl Server {
     /// and [`ServeError::ResponseKind`] for non-stream requests.
     pub fn run_stream(&self, request: Request) -> Result<lightator_core::stream::StreamReport> {
         self.submit(request)?.wait_stream()
+    }
+
+    /// Submits a request to an explicit backend's group and blocks until
+    /// its report is ready.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit_on`], plus any execution error of the
+    /// frame.
+    pub fn run_on(
+        &self,
+        backend: &BackendId,
+        request: Request,
+    ) -> Result<lightator_core::platform::Report> {
+        self.submit_on(backend, request)?.wait()
+    }
+
+    /// The distinct execution backends this server's groups run on, in
+    /// registration order.
+    #[must_use]
+    pub fn backends(&self) -> Vec<BackendId> {
+        let mut backends: Vec<BackendId> = Vec::new();
+        for group in &self.groups {
+            if !backends.contains(&group.backend) {
+                backends.push(group.backend.clone());
+            }
+        }
+        backends
     }
 
     /// A point-in-time snapshot of the serving telemetry.
@@ -567,6 +675,173 @@ mod tests {
             .build()
             .expect_err("duplicate");
         assert!(err.to_string().contains("registered twice"));
+    }
+
+    fn heterogeneous_platform() -> Platform {
+        use lightator_baselines::electronic::ElectronicBaseline;
+        use lightator_baselines::reference::ElectronicReference;
+        Platform::builder()
+            .sensor_resolution(8, 8)
+            .compressive_acquisition(CaConfig::default())
+            .register_backend(std::sync::Arc::new(ElectronicReference::new(
+                ElectronicBaseline::eyeriss(),
+            )))
+            .build()
+            .expect("platform")
+    }
+
+    #[test]
+    fn heterogeneous_groups_route_by_backend_with_per_backend_telemetry() {
+        let eyeriss = BackendId::new("electronic:eyeriss");
+        let server = Server::builder(heterogeneous_platform())
+            .shards(1)
+            .max_batch(2)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .workload_on(
+                Workload::ImageKernel {
+                    kernel: ImageKernel::SobelX,
+                },
+                eyeriss.clone(),
+            )
+            .build()
+            .expect("server");
+        assert_eq!(
+            server.workloads(),
+            vec![
+                "classify".to_string(),
+                "kernel:sobel-x@electronic:eyeriss".to_string()
+            ]
+        );
+        assert_eq!(
+            server.backends(),
+            vec![BackendId::photonic(), eyeriss.clone()]
+        );
+
+        // Plain submits route to the kernel group even though it only
+        // exists on the electronic backend.
+        for i in 0..3 {
+            assert!(server
+                .run(Request::ImageKernel {
+                    kernel: ImageKernel::SobelX,
+                    frame: scene(i),
+                })
+                .is_ok());
+        }
+        // Explicit routing works, and naming an unregistered pairing is a
+        // typed error.
+        assert!(server
+            .run_on(
+                &eyeriss,
+                Request::ImageKernel {
+                    kernel: ImageKernel::SobelX,
+                    frame: scene(3),
+                },
+            )
+            .is_ok());
+        assert!(server
+            .run_on(
+                &BackendId::photonic(),
+                Request::Classify { frame: scene(4) }
+            )
+            .is_ok());
+        let err = server
+            .submit_on(&eyeriss, Request::Classify { frame: scene(5) })
+            .expect_err("classify is photonic-only");
+        assert_eq!(
+            err,
+            ServeError::UnknownWorkload {
+                label: "classify@electronic:eyeriss".into()
+            }
+        );
+
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.completed, 5);
+        assert_eq!(snapshot.backends.len(), 2);
+        let photonic = &snapshot.backends[0];
+        let electronic = &snapshot.backends[1];
+        assert_eq!(photonic.backend, "photonic");
+        assert_eq!(electronic.backend, "electronic:eyeriss");
+        assert_eq!(photonic.frames, 1);
+        assert_eq!(electronic.frames, 4);
+        assert!(photonic.energy.pj() > 0.0);
+        assert!(electronic.energy.pj() > 0.0);
+        // Eyeriss spends far more energy per frame than the optical core.
+        assert!(electronic.energy_per_frame().pj() > photonic.energy_per_frame().pj());
+        // Every group still compiles its plan exactly once per shard.
+        assert_eq!(electronic.plan_encodes, 1);
+        let table = snapshot.table();
+        assert!(table.contains("per-backend totals"), "table:\n{table}");
+        assert!(table.contains("electronic:eyeriss"), "table:\n{table}");
+        assert!(
+            table.contains("kernel:sobel-x@electronic:eyeriss/0"),
+            "table:\n{table}"
+        );
+    }
+
+    #[test]
+    fn config_backend_assignments_steer_plain_workload_registrations() {
+        let server = Server::builder(heterogeneous_platform())
+            .serve_config(ServeConfig {
+                backends: vec![("acquire".into(), "electronic:eyeriss".into())],
+                ..ServeConfig::default()
+            })
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        assert_eq!(
+            server.workloads(),
+            vec!["acquire@electronic:eyeriss".to_string()]
+        );
+        assert!(server.run(Request::Acquire { frame: scene(0) }).is_ok());
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.backends[0].backend, "electronic:eyeriss");
+        assert_eq!(snapshot.backends[0].frames, 1);
+    }
+
+    #[test]
+    fn unknown_and_non_executing_backends_fail_the_build() {
+        let err = Server::builder(small_platform())
+            .workload_on(Workload::Acquire, BackendId::new("electronic:eyeriss"))
+            .build()
+            .expect_err("not registered on this platform");
+        assert!(err.to_string().contains("no backend registered"));
+
+        use lightator_baselines::optical::OpticalBaseline;
+        use lightator_baselines::roofline::RooflineBackend;
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .register_backend(std::sync::Arc::new(RooflineBackend::new(
+                OpticalBaseline::lightbulb(),
+            )))
+            .build()
+            .expect("platform");
+        let roofline = platform.backend_ids()[1].clone();
+        let err = Server::builder(platform)
+            .workload_on(Workload::Acquire, roofline)
+            .build()
+            .expect_err("rooflines cannot execute");
+        assert!(err.to_string().contains("roofline"));
+    }
+
+    #[test]
+    fn same_workload_on_two_backends_is_two_groups_but_same_backend_twice_fails() {
+        let eyeriss = BackendId::new("electronic:eyeriss");
+        let server = Server::builder(heterogeneous_platform())
+            .workload(Workload::Acquire)
+            .workload_on(Workload::Acquire, eyeriss.clone())
+            .build()
+            .expect("two groups");
+        assert_eq!(server.workloads().len(), 2);
+        drop(server);
+
+        let err = Server::builder(heterogeneous_platform())
+            .workload_on(Workload::Acquire, eyeriss.clone())
+            .workload_on(Workload::Acquire, eyeriss)
+            .build()
+            .expect_err("duplicate pairing");
+        assert!(err.to_string().contains("registered twice on backend"));
     }
 
     #[test]

@@ -77,8 +77,11 @@ pub(crate) struct ShardContext {
 pub(crate) fn run(mut ctx: ShardContext) {
     // One frame of this workload occupies the virtual chip for its
     // simulated frame latency; a batch occupies it back to back. Stream
-    // requests instead occupy the chip for their gated `sim_time`.
+    // requests instead occupy the chip for their gated `sim_time`. Both
+    // figures come from the session's backend, so an electronic shard
+    // runs (and meters) on the electronic cost model.
     let frame_latency_ns = ctx.session.perf().frame_latency.ns().ceil().max(1.0) as u64;
+    let frame_energy_pj = ctx.session.perf().frame_energy.pj();
     let mut busy_until_ns = 0u64;
     // The workload group's plan was compiled exactly once when this shard's
     // session opened (at spawn); publish the encode counter up front so an
@@ -99,7 +102,13 @@ pub(crate) fn run(mut ctx: ShardContext) {
         {
             busy_until_ns = run_stream_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns);
         } else {
-            busy_until_ns = run_frame_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns);
+            busy_until_ns = run_frame_batch(
+                &mut ctx,
+                batch,
+                frame_latency_ns,
+                frame_energy_pj,
+                busy_until_ns,
+            );
         }
 
         // Every batch ran against the spawn-time plan: refresh the shard's
@@ -130,6 +139,7 @@ fn run_frame_batch(
     ctx: &mut ShardContext,
     batch: Vec<QueuedRequest>,
     frame_latency_ns: u64,
+    frame_energy_pj: f64,
     busy_until_ns: u64,
 ) -> u64 {
     let first_ticket = batch[0].ticket;
@@ -182,8 +192,17 @@ fn run_frame_batch(
     // client hangs.
     let session = &mut ctx.session;
     let metrics = &ctx.metrics;
+    let shard_index = ctx.shard_index;
     let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute_batch(session, metrics, first_ticket, &frames, &mut guard)
+        execute_batch(
+            session,
+            metrics,
+            shard_index,
+            frame_energy_pj,
+            first_ticket,
+            &frames,
+            &mut guard,
+        )
     }));
     if executed.is_err() {
         metrics
@@ -250,6 +269,9 @@ fn run_stream_batch(
         match executed {
             Ok(Ok(report)) => {
                 ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                // Streams meter their *gated* energy: skipped blocks spend
+                // the DMVA feedback path, not the optical core.
+                shard.add_energy_pj(report.energy.pj());
                 ctx.metrics
                     .served_frames
                     .fetch_add(report.frames_processed() as u64, Ordering::Relaxed);
@@ -278,14 +300,19 @@ fn run_stream_batch(
     busy_until_ns
 }
 
-/// Runs one drained batch and fulfils its slots in ticket order.
+/// Runs one drained batch and fulfils its slots in ticket order. Energy is
+/// charged to the shard per *completed* frame (rejected or errored frames
+/// never occupied the datapath).
 fn execute_batch(
     session: &mut Session,
     metrics: &MetricsInner,
+    shard_index: usize,
+    frame_energy_pj: f64,
     first_ticket: u64,
     frames: &[RgbFrame],
     guard: &mut SlotGuard,
 ) {
+    let shard = &metrics.shards[shard_index];
     session.seek_frame(first_ticket);
     match session.run_batch(frames) {
         Ok(reports) => {
@@ -295,6 +322,7 @@ fn execute_batch(
             metrics
                 .served_frames
                 .fetch_add(reports.len() as u64, Ordering::Relaxed);
+            shard.add_energy_pj(frame_energy_pj * reports.len() as f64);
             for report in reports {
                 guard.fulfil(Ok(Response::Frame(report)));
             }
@@ -309,6 +337,7 @@ fn execute_batch(
                     Ok(report) => {
                         metrics.completed.fetch_add(1, Ordering::Relaxed);
                         metrics.served_frames.fetch_add(1, Ordering::Relaxed);
+                        shard.add_energy_pj(frame_energy_pj);
                         guard.fulfil(Ok(Response::Frame(report)));
                     }
                     Err(err) => {

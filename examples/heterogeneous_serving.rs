@@ -1,0 +1,120 @@
+//! Heterogeneous serving: one server routing workload groups to different
+//! execution backends — classify on the photonic core, the Sobel kernel on
+//! the Eyeriss electronic reference — with per-backend telemetry.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_serving
+//! ```
+//!
+//! Both groups lower the *same* `CompiledPlan`; only the execution target
+//! (and therefore the latency/energy meters) differs. The metrics table at
+//! the end breaks throughput, energy and plan reuse down per backend.
+
+use std::sync::Arc;
+
+use lightator_suite::baselines::electronic::ElectronicBaseline;
+use lightator_suite::baselines::reference::ElectronicReference;
+use lightator_suite::core::ca::CaConfig;
+use lightator_suite::nn::layers::{Activation, Flatten, Linear};
+use lightator_suite::nn::model::Sequential;
+use lightator_suite::sensor::frame::RgbFrame;
+use lightator_suite::serve::{Request, ServeError, Server};
+use lightator_suite::{BackendId, ImageKernel, Platform, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SENSOR: usize = 8;
+const FRAMES: usize = 24;
+const SHARDS: usize = 2;
+
+fn classifier() -> Sequential {
+    let mut rng = SmallRng::seed_from_u64(5);
+    // 2x2 compressive acquisition halves the 8x8 sensor to [1, 4, 4].
+    let mut model = Sequential::new(&[1, 4, 4]);
+    model.push(Flatten::new());
+    model.push(Linear::new(16, 24, &mut rng).expect("linear"));
+    model.push(Activation::relu());
+    model.push(Linear::new(24, 4, &mut rng).expect("linear"));
+    model
+}
+
+fn main() -> Result<(), ServeError> {
+    // Register the electronic reference beside the implicit photonic
+    // default; both become resolvable session targets.
+    let platform = Platform::builder()
+        .sensor_resolution(SENSOR, SENSOR)
+        .compressive_acquisition(CaConfig::default())
+        .register_backend(Arc::new(ElectronicReference::new(
+            ElectronicBaseline::eyeriss(),
+        )))
+        .build()?;
+    let eyeriss = BackendId::new("electronic:eyeriss");
+
+    let server = Server::builder(platform)
+        .shards(SHARDS)
+        .max_batch(4)
+        .queue_depth(32)
+        .workload(Workload::Classify {
+            model: classifier(),
+        })
+        .workload_on(
+            Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            },
+            eyeriss.clone(),
+        )
+        .build()?;
+    println!(
+        "serving {:?} across backends {:?}\n",
+        server.workloads(),
+        server
+            .backends()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    for index in 0..FRAMES {
+        let data: Vec<f64> = (0..SENSOR * SENSOR * 3).map(|_| rng.gen::<f64>()).collect();
+        let frame = RgbFrame::new(SENSOR, SENSOR, data).expect("frame");
+        if index % 2 == 0 {
+            let report = server.run(Request::Classify { frame })?;
+            if index == 0 {
+                println!(
+                    "photonic classify: class {} in {:.3} us",
+                    report.class().expect("class"),
+                    report.latency().us()
+                );
+            }
+        } else {
+            let report = server.run_on(
+                &eyeriss,
+                Request::ImageKernel {
+                    kernel: ImageKernel::SobelX,
+                    frame,
+                },
+            )?;
+            if index == 1 {
+                println!(
+                    "electronic sobel-x:  frame in {:.3} us",
+                    report.latency().us()
+                );
+            }
+        }
+    }
+
+    let metrics = server.shutdown();
+    println!("\n== server metrics ==\n{}", metrics.table());
+    for backend in &metrics.backends {
+        println!(
+            "{}: {:.0} frames/s (sim), {:.3} nJ/frame",
+            backend.backend,
+            backend.throughput_fps(),
+            backend.energy_per_frame().nj()
+        );
+    }
+    assert_eq!(metrics.backends.len(), 2, "two backends served traffic");
+    assert_eq!(metrics.completed as usize, FRAMES);
+    Ok(())
+}

@@ -43,6 +43,7 @@ pub use lightator_photonics as photonics;
 pub use lightator_sensor as sensor;
 pub use lightator_serve as serve;
 
+pub use lightator_core::backend::{Backend, BackendId};
 pub use lightator_core::plan::{CompiledPlan, PlanStats};
 pub use lightator_core::platform::{
     ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
@@ -52,6 +53,6 @@ pub use lightator_sensor::video::{
     FrameSequence, MotionPattern, SyntheticVideo, SyntheticVideoConfig,
 };
 pub use lightator_serve::{
-    MetricsSnapshot, Pending, Request, Response, ServeConfig, ServeError, Server, ServerBuilder,
-    ShardSnapshot,
+    BackendSnapshot, MetricsSnapshot, Pending, Request, Response, ServeConfig, ServeError, Server,
+    ServerBuilder, ShardSnapshot,
 };
