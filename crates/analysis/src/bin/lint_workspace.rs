@@ -1,0 +1,114 @@
+//! Workspace determinism lint gate.
+//!
+//! ```text
+//! lint_workspace [--root PATH] [--config PATH] [--gate] [--no-emit]
+//! ```
+//!
+//! Scans every non-test `.rs` file under `--root` (default: this
+//! workspace), prints `path:line:col: rule: message` diagnostics, writes
+//! the `BENCH_lint_workspace.json` findings artifact and — with `--gate` —
+//! exits non-zero when unsuppressed findings remain, failing CI.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lightator_analysis::rules::AnalysisConfig;
+use lightator_analysis::scan::scan_workspace;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    gate: bool,
+    emit: bool,
+}
+
+const USAGE: &str = "usage: lint_workspace [--root PATH] [--config PATH] [--gate] [--no-emit]";
+
+fn parse_args() -> Result<Args, String> {
+    // The binary lives at crates/analysis; the workspace root is two up.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = Args {
+        root: default_root,
+        config: None,
+        gate: false,
+        emit: true,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = argv.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(value);
+            }
+            "--config" => {
+                let value = argv.next().ok_or("--config needs a path")?;
+                args.config = Some(PathBuf::from(value));
+            }
+            "--gate" => args.gate = true,
+            "--no-emit" => args.emit = false,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<AnalysisConfig, String> {
+    // An explicit --config must exist; the conventional analysis.cfg at the
+    // scanned root is used when present and silently defaulted otherwise.
+    let path = match &args.config {
+        Some(path) => path.clone(),
+        None => {
+            let conventional = args.root.join("analysis.cfg");
+            if !conventional.is_file() {
+                return Ok(AnalysisConfig::default());
+            }
+            conventional
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    AnalysisConfig::from_text(&text)
+        .map_err(|err| format!("cannot parse {}: {err}", path.display()))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config = load_config(&args)?;
+    let report = scan_workspace(&args.root, &config)
+        .map_err(|err| format!("cannot scan {}: {err}", args.root.display()))?;
+
+    for finding in &report.findings {
+        println!("{}", finding.render());
+    }
+    let unsuppressed = report.unsuppressed().len();
+    let suppressed = report.findings.len() - unsuppressed;
+    println!(
+        "lint_workspace: {} files scanned, {} findings ({} suppressed)",
+        report.files_scanned, unsuppressed, suppressed
+    );
+
+    if args.emit {
+        let path = lightator_analysis::report::write_artifact(&report)
+            .map_err(|err| format!("cannot write findings artifact: {err}"))?;
+        println!("lint_workspace: findings artifact at {}", path.display());
+    }
+
+    if args.gate && unsuppressed > 0 {
+        println!("lint_workspace: gate FAILED ({unsuppressed} unsuppressed findings)");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("lint_workspace: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

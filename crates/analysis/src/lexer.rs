@@ -1,0 +1,413 @@
+//! A hand-rolled Rust token scanner: just enough lexing to lint reliably.
+//!
+//! The lint rules only need to see identifiers and punctuation *outside*
+//! comments and literals — the classic failure mode of grep-based lints is
+//! flagging `unwrap()` inside a doc comment or a string. This lexer gets
+//! exactly that right, with zero dependencies:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string, byte-string, raw-string (`r#"…"#`, any hash depth) and char
+//!   literals, with escape handling;
+//! * `'a` lifetimes vs `'a'` char literals disambiguated;
+//! * 1-based line/column positions on every token.
+//!
+//! It deliberately does *not* build an AST: the rules in
+//! [`crate::scan`] pattern-match short token windows, which is robust to
+//! any surrounding syntax the scanner does not model.
+
+/// The coarse token classes the lint rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string or byte-string literal (`"…"`, `b"…"`).
+    Str,
+    /// A raw (byte) string literal (`r"…"`, `br#"…"#`).
+    RawStr,
+    /// A char or byte-char literal (`'x'`, `b'{'`).
+    Char,
+    /// A `//` comment, including doc comments.
+    LineComment,
+    /// A `/* … */` comment (nested comments are one token).
+    BlockComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind, source slice and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'src> {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'src str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(src: &'src str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek(0)?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(byte)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed).
+    fn string_body(&mut self) {
+        while let Some(byte) = self.bump() {
+            match byte {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `hashes` `#`s then `"` were consumed.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(byte) = self.bump() {
+            if byte == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some(b'#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether the bytes at the cursor start a raw string (`r"`, `r#…#"`),
+    /// returning the hash count.
+    fn raw_string_hashes(&self, from: usize) -> Option<usize> {
+        let mut hashes = 0;
+        loop {
+            match self.bytes.get(self.pos + from + hashes) {
+                Some(b'#') => hashes += 1,
+                Some(b'"') => return Some(hashes),
+                _ => return None,
+            }
+        }
+    }
+}
+
+fn is_ident_start(byte: u8) -> bool {
+    byte.is_ascii_alphabetic() || byte == b'_' || byte >= 0x80
+}
+
+fn is_ident_continue(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_' || byte >= 0x80
+}
+
+/// Lexes `source` into a flat token stream. Never fails: unterminated
+/// literals and comments extend to end of input, and unexpected bytes
+/// become [`TokenKind::Punct`] tokens.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    let mut lexer = Lexer::new(source);
+    let mut tokens = Vec::new();
+    while let Some(byte) = lexer.peek(0) {
+        let (start, line, col) = (lexer.pos, lexer.line, lexer.col);
+        let kind = match byte {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lexer.bump();
+                continue;
+            }
+            b'/' if lexer.peek(1) == Some(b'/') => {
+                lexer.bump_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if lexer.peek(1) == Some(b'*') => {
+                lexer.bump();
+                lexer.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lexer.peek(0), lexer.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            lexer.bump();
+                            lexer.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            lexer.bump();
+                            lexer.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            lexer.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lexer.bump();
+                lexer.string_body();
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) when an identifier follows and
+                // no closing quote makes it a char literal (`'a'`).
+                let is_lifetime = lexer.peek(1).is_some_and(is_ident_start)
+                    && lexer.peek(1) != Some(b'\\')
+                    && lexer.peek(2) != Some(b'\'');
+                lexer.bump();
+                if is_lifetime {
+                    lexer.bump_while(is_ident_continue);
+                    TokenKind::Lifetime
+                } else {
+                    if lexer.peek(0) == Some(b'\\') {
+                        lexer.bump();
+                        let escape = lexer.bump();
+                        // `'\u{…}'` escapes: consume through the brace.
+                        if escape == Some(b'u') && lexer.peek(0) == Some(b'{') {
+                            lexer.bump_while(|b| b != b'}');
+                            lexer.bump();
+                        }
+                    } else {
+                        lexer.bump();
+                    }
+                    if lexer.peek(0) == Some(b'\'') {
+                        lexer.bump();
+                    }
+                    TokenKind::Char
+                }
+            }
+            b'r' if lexer.raw_string_hashes(1).is_some() => {
+                let hashes = lexer.raw_string_hashes(1).unwrap_or(0);
+                for _ in 0..=hashes + 1 {
+                    lexer.bump(); // r, #*, "
+                }
+                lexer.raw_string_body(hashes);
+                TokenKind::RawStr
+            }
+            b'b' if lexer.peek(1) == Some(b'"') => {
+                lexer.bump();
+                lexer.bump();
+                lexer.string_body();
+                TokenKind::Str
+            }
+            b'b' if lexer.peek(1) == Some(b'r') && lexer.raw_string_hashes(2).is_some() => {
+                let hashes = lexer.raw_string_hashes(2).unwrap_or(0);
+                for _ in 0..=hashes + 2 {
+                    lexer.bump(); // b, r, #*, "
+                }
+                lexer.raw_string_body(hashes);
+                TokenKind::RawStr
+            }
+            b'b' if lexer.peek(1) == Some(b'\'') => {
+                lexer.bump();
+                lexer.bump();
+                if lexer.peek(0) == Some(b'\\') {
+                    lexer.bump();
+                }
+                lexer.bump();
+                if lexer.peek(0) == Some(b'\'') {
+                    lexer.bump();
+                }
+                TokenKind::Char
+            }
+            b if b.is_ascii_digit() => {
+                lexer.bump();
+                loop {
+                    match lexer.peek(0) {
+                        Some(b) if is_ident_continue(b) => {
+                            let exponent = b == b'e' || b == b'E';
+                            lexer.bump();
+                            // `1e-3` / `1E+3` exponent signs.
+                            if exponent
+                                && matches!(lexer.peek(0), Some(b'+') | Some(b'-'))
+                                && lexer.peek(1).is_some_and(|d| d.is_ascii_digit())
+                            {
+                                lexer.bump();
+                            }
+                        }
+                        // A `.` continues the number only before a digit
+                        // (so `0..len` and `x.0.abs()` lex as punctuation).
+                        Some(b'.') if lexer.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                            lexer.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                TokenKind::Number
+            }
+            b if is_ident_start(b) => {
+                lexer.bump();
+                lexer.bump_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ => {
+                lexer.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text: &lexer.src[start..lexer.pos],
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, &str)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let tokens = lex("let x = y.unwrap();");
+        assert_eq!(tokens[0].text, "let");
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[0].col, 1);
+        let unwrap = tokens.iter().find(|t| t.text == "unwrap").expect("token");
+        assert_eq!(unwrap.kind, TokenKind::Ident);
+        assert_eq!(unwrap.col, 11);
+    }
+
+    #[test]
+    fn comments_swallow_their_contents() {
+        let tokens = kinds("// Instant::now()\nx /* unwrap() /* nested */ still */ y");
+        assert_eq!(tokens[0].0, TokenKind::LineComment);
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|(k, _)| *k == TokenKind::Ident)
+                .count(),
+            2
+        );
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("nested")));
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_single_tokens() {
+        let tokens = kinds(r####"let s = "unwrap()"; let r = r#"HashMap "quoted""#; b"bytes";"####);
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("HashMap")));
+        assert!(!tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (*t == "unwrap" || *t == "HashMap")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let tokens = kinds(r#""a \" Instant::now() still inside" after"#);
+        assert_eq!(tokens[0].0, TokenKind::Str);
+        assert_eq!(tokens[1], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let tokens = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && *t == "'a"));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'x'"));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'\\n'"));
+    }
+
+    #[test]
+    fn byte_chars_are_char_tokens_not_strings() {
+        let tokens = kinds("self.expect(b'{')?;");
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "b'{'"));
+        assert!(!tokens.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let tokens = kinds("for i in 0..10 { let f = 1.5e-3; }");
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "0"));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "10"));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "1.5e-3"));
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|(k, t)| *k == TokenKind::Punct && *t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_and_column_track_newlines() {
+        let tokens = lex("a\n  b\n\tc");
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+        assert_eq!((tokens[2].line, tokens[2].col), (3, 2));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_end_of_input() {
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed\"").len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Machine-readable findings artifact: `BENCH_lint_workspace.json`.
+//!
+//! The lint gate writes its result in the same `BENCH_*.json` shape the
+//! bench harnesses emit (hand-rendered JSON, `bench`/`seed_commit`/
+//! `metrics` header), extended with a `findings` array carrying every
+//! diagnostic — suppressed ones included, so the artifact records exactly
+//! which escape hatches the tree uses. The written bytes are round-tripped
+//! through [`lightator_bench::emit::validate`] before the gate exits, and
+//! CI re-validates them with `python3 -m json.tool`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::rules::Rule;
+use crate::scan::{Finding, ScanReport};
+use lightator_bench::emit::{self, BenchMetric};
+
+/// Escapes a string for a JSON string literal (same escapes as the bench
+/// writer).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The summary metrics of a scan: files scanned, total/unsuppressed/
+/// suppressed finding counts, plus a per-rule unsuppressed count.
+#[must_use]
+pub fn metrics_of(report: &ScanReport) -> Vec<BenchMetric> {
+    let unsuppressed = report.unsuppressed().len();
+    let mut metrics = vec![
+        BenchMetric::new("files_scanned", report.files_scanned as f64, "files"),
+        BenchMetric::new("findings_total", report.findings.len() as f64, "findings"),
+        BenchMetric::new("findings_unsuppressed", unsuppressed as f64, "findings"),
+        BenchMetric::new(
+            "findings_suppressed",
+            (report.findings.len() - unsuppressed) as f64,
+            "findings",
+        ),
+    ];
+    for rule in Rule::ALL {
+        let count = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule && !f.suppressed)
+            .count();
+        metrics.push(BenchMetric::new(
+            &format!("rule.{}.unsuppressed", rule.name()),
+            count as f64,
+            "findings",
+        ));
+    }
+    metrics
+}
+
+fn render_finding(finding: &Finding) -> String {
+    format!(
+        "    {{ \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+         \"suppressed\": {}, \"message\": \"{}\" }}",
+        escape(finding.rule.name()),
+        escape(&finding.path),
+        finding.line,
+        finding.col,
+        finding.suppressed,
+        escape(&finding.message)
+    )
+}
+
+/// Renders the full artifact: the `BENCH_*` header and metrics followed by
+/// the `findings` array.
+#[must_use]
+pub fn render(report: &ScanReport, seed_commit: &str) -> String {
+    // Reuse the bench renderer for the header, then splice the findings
+    // array in before the closing brace so both documents stay one format.
+    let base = emit::render("lint_workspace", seed_commit, &metrics_of(report));
+    let mut out = base
+        .strip_suffix('}')
+        .map_or_else(|| base.clone(), |prefix| prefix.to_string());
+    // `  ]\n` of the metrics array is still there; continue the object.
+    let trimmed = out.trim_end().to_string();
+    out = trimmed;
+    out.push_str(",\n  \"findings\": [\n");
+    let rendered: Vec<String> = report.findings.iter().map(render_finding).collect();
+    out.push_str(&rendered.join(",\n"));
+    if !rendered.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Writes `BENCH_lint_workspace.json` into `LIGHTATOR_BENCH_DIR` (or the
+/// current directory), validates the written bytes with the bench JSON
+/// parser, and returns the path.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an artifact that fails validation (a bug in
+/// this module) is reported as [`std::io::ErrorKind::InvalidData`].
+pub fn write_artifact(report: &ScanReport) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("LIGHTATOR_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join("BENCH_lint_workspace.json");
+    let body = render(report, &emit::seed_commit());
+    std::fs::write(&path, &body)?;
+    let written = std::fs::read_to_string(&path)?;
+    emit::validate(&written).map_err(|reason| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("emitted {} does not parse: {reason}", path.display()),
+        )
+    })?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::AnalysisConfig;
+    use crate::scan::lint_source;
+
+    fn sample_report() -> ScanReport {
+        let source = "let a = x.unwrap();\n\
+                      let b = Instant::now(); // lightator: allow(no-wall-clock)\n";
+        ScanReport {
+            files_scanned: 1,
+            findings: lint_source("crates/core/src/lib.rs", source, &AnalysisConfig::default()),
+        }
+    }
+
+    #[test]
+    fn artifact_parses_with_the_bench_validator() {
+        let report = sample_report();
+        let json = render(&report, "deadbeef");
+        let names = emit::validate(&json).expect("valid JSON");
+        assert!(names.iter().any(|n| n == "files_scanned"));
+        assert!(names.iter().any(|n| n == "findings_unsuppressed"));
+        assert!(json.contains("\"findings\": ["));
+        assert!(json.contains("\"rule\": \"no-unwrap\""));
+        assert!(json.contains("\"suppressed\": true"));
+    }
+
+    #[test]
+    fn empty_reports_render_an_empty_findings_array() {
+        let report = ScanReport::default();
+        let json = render(&report, "deadbeef");
+        emit::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"findings\": [\n  ]"));
+    }
+
+    #[test]
+    fn metrics_count_suppressed_and_unsuppressed_separately() {
+        let metrics = metrics_of(&sample_report());
+        let value = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.value)
+                .unwrap_or(f64::NAN)
+        };
+        assert_eq!(value("findings_total"), 2.0);
+        assert_eq!(value("findings_unsuppressed"), 1.0);
+        assert_eq!(value("findings_suppressed"), 1.0);
+        assert_eq!(value("rule.no-unwrap.unsuppressed"), 1.0);
+        assert_eq!(value("rule.no-wall-clock.unsuppressed"), 0.0);
+    }
+
+    #[test]
+    fn messages_with_quotes_and_newlines_escape_cleanly() {
+        let mut report = sample_report();
+        report.findings[0].message = "a \"quoted\"\nmessage\twith\\escapes".to_string();
+        let json = render(&report, "deadbeef");
+        emit::validate(&json).expect("valid JSON");
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded-violation fixture for the lint gate's integration tests.
+//!
+//! This file is never compiled — it lives under `tests/fixtures/` (which
+//! the workspace scan skips) and exists only to be scanned with
+//! `--root …/fixtures/seeded`, where it must trip every rule exactly
+//! once per seeded site, plus one *suppressed* finding to prove the
+//! escape hatch is honoured.
+
+pub fn seeded_violations(x: Option<u32>) -> u32 {
+    let started = std::time::Instant::now(); // no-wall-clock
+    let mut table = std::collections::HashMap::new(); // no-hash-collections
+    table.insert(1u32, started.elapsed().as_nanos() as u32);
+    let mut rng = rand::rngs::SmallRng::from_entropy(); // no-unseeded-rng
+    let _ = rng;
+    unsafe { std::ptr::null::<u32>().read() }; // no-unsafe
+    x.unwrap() // no-unwrap
+}
+
+pub fn suppressed_site(x: Option<u32>) -> u32 {
+    // lightator: allow(no-unwrap)
+    x.expect("the fixture documents this invariant")
+}

@@ -30,7 +30,8 @@
 //! println!("Eyeriss runs AlexNet in {:.1} ms", t.ms());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod electronic;

@@ -1,5 +1,7 @@
 //! Ablation: compressive acquisition on/off and pooling-window sweep.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightator_core::ca::{CaConfig, CompressiveAcquisitor};
 use lightator_core::config::LightatorConfig;

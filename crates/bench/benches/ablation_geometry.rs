@@ -2,6 +2,8 @@
 //! latency, power and efficiency — the design-space the paper fixes at
 //! 96 banks × 6 arms × 9 MRs.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightator_core::config::{LightatorConfig, OcGeometry};
 use lightator_core::sim::ArchitectureSimulator;

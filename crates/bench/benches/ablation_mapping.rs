@@ -1,6 +1,8 @@
 //! Ablation: hardware-mapping efficiency across kernel sizes (paper §4,
 //! Fig. 6) — strides per bank, wasted MRs and mapping throughput.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightator_core::config::OcGeometry;
 use lightator_core::mapping::HardwareMapper;

@@ -1,6 +1,8 @@
 //! Ablation: analog non-idealities (VCSEL noise, detector noise, weight
 //! error, crosstalk) versus photonic MAC fidelity.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightator_core::oc::PhotonicMacUnit;
 use lightator_photonics::noise::NoiseConfig;

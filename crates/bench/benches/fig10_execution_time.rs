@@ -1,6 +1,8 @@
 //! Criterion bench regenerating Fig. 10 (execution time vs electronic
 //! accelerators).
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use lightator_bench::fig10;
 

@@ -1,5 +1,7 @@
 //! Criterion bench regenerating Fig. 9 (VGG9 layer-wise power breakdown).
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use lightator_bench::fig9;
 

@@ -15,6 +15,8 @@
 //! runs one short round — enough to exercise the harness and validate the
 //! emitted JSON without asserting the ratio on noisy shared runners.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lightator_bench::emit::{self, BenchMetric};
 use lightator_core::platform::{Platform, Session, Workload};

@@ -8,6 +8,8 @@
 //! per-call-encode sequential path (`set_plan_reuse(false)`), which must
 //! still come out ≥ 1.2× ahead.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lightator_core::platform::{Platform, Workload};
 use lightator_nn::layers::{Activation, Conv2d, Flatten, Linear};

@@ -1,6 +1,8 @@
 //! Criterion bench regenerating Table 1 (performance columns plus a reduced
 //! accuracy pass).
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use lightator_bench::table1::{self, AccuracyConfig};
 

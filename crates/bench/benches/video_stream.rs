@@ -4,6 +4,8 @@
 //! per-frame execution of the same frames — and measurably faster in wall
 //! clock too, because skipped blocks evaluate no photonic MACs.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lightator_core::platform::{ImageKernel, Platform, Workload};
 use lightator_core::stream::StreamConfig;

@@ -18,7 +18,8 @@
 //! value, units, seed commit) so the `headline_claims` bin and the
 //! `plan_reuse` bench leave a trackable perf trail across PRs.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod emit;

@@ -359,7 +359,10 @@ impl LoweredPlan for PhotonicLowered {
             let model = self
                 .plan
                 .model_mut()
-                .expect("weighted workloads carry a lowered model");
+                .ok_or_else(|| CoreError::ModelMismatch {
+                    reason: "plan lost its lowered model (weighted workloads always carry one)"
+                        .to_string(),
+                })?;
             self.executor.forward(model, input)
         }
     }
@@ -371,7 +374,10 @@ impl LoweredPlan for PhotonicLowered {
             let model = self
                 .plan
                 .model_mut()
-                .expect("weighted workloads carry a lowered model");
+                .ok_or_else(|| CoreError::ModelMismatch {
+                    reason: "plan lost its lowered model (weighted workloads always carry one)"
+                        .to_string(),
+                })?;
             self.executor.forward_batch(model, inputs)
         }
     }
@@ -384,7 +390,9 @@ impl LoweredPlan for PhotonicLowered {
             let model = self
                 .plan
                 .model_mut()
-                .expect("stream plans carry the tile model");
+                .ok_or_else(|| CoreError::ModelMismatch {
+                    reason: "plan lost its tile model (stream plans always carry one)".to_string(),
+                })?;
             self.executor.forward_frame_batch(model, inputs)
         }
     }

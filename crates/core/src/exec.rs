@@ -356,9 +356,13 @@ impl PhotonicExecutor {
         plan: &mut CompiledPlan,
         input: &Tensor,
     ) -> Result<Tensor> {
-        let (model, encodings, scratch) = plan
-            .exec_parts_mut()
-            .expect("check_plan_input rejected model-less plans");
+        let (model, encodings, scratch) =
+            plan.exec_parts_mut()
+                .ok_or_else(|| CoreError::ModelMismatch {
+                    reason: "plan lost its execution parts (check_plan_input admits only \
+                         model-carrying plans)"
+                        .to_string(),
+                })?;
         self.forward_rows(model, encodings, scratch, input)
     }
 

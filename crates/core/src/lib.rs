@@ -30,7 +30,11 @@
 //!   temporal gating on the DMVA feedback model, [`StreamReport`]
 //!   aggregation and the dense-baseline speedup accounting;
 //! * [`textcfg`] — dependency-free text round-trips for
-//!   [`platform::PlatformConfig`].
+//!   [`platform::PlatformConfig`];
+//! * [`verify`] — **static plan verification**: prove a [`CompiledPlan`]
+//!   and a [`Backend`] agree (capability, schedule, shapes, energy model)
+//!   before any frame executes; run by every session open and re-exported
+//!   by `lightator-analysis` as its semantic layer.
 //!
 //! # Example
 //!
@@ -50,7 +54,8 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
@@ -66,6 +71,7 @@ pub mod platform;
 pub mod sim;
 pub mod stream;
 pub mod textcfg;
+pub mod verify;
 
 pub use backend::{Backend, BackendId, LoweredPlan, PhotonicBackend};
 pub use ca::{CaConfig, CompressiveAcquisitor};
@@ -82,4 +88,7 @@ pub use platform::{
 pub use sim::{ArchitectureSimulator, LayerReport, SimulationReport};
 pub use stream::{
     StreamConfig, StreamFrame, StreamReport, StreamState, TemporalDifferencer, GATE_COST_FRACTION,
+};
+pub use verify::{
+    capability_matrix, performance_spec, verify_plan, verify_plan_structural, Capability, PlanCheck,
 };

@@ -15,7 +15,7 @@ use crate::platform::session::Session;
 use crate::platform::workload::Workload;
 use crate::sim::{ArchitectureSimulator, SimulationReport};
 use lightator_nn::quant::{Precision, PrecisionSchedule};
-use lightator_nn::spec::{NetworkSpec, NetworkSpecBuilder};
+use lightator_nn::spec::NetworkSpec;
 use lightator_photonics::noise::NoiseConfig;
 use lightator_sensor::array::SensorArrayConfig;
 use serde::{Deserialize, Serialize};
@@ -83,6 +83,8 @@ impl PlatformBuilder {
             config: PlatformConfig {
                 hardware: LightatorConfig::paper(),
                 sensor: SensorArrayConfig::paper_default()
+                    // The paper constants are fixed at compile time and
+                    // covered by sensor-crate tests. lightator: allow(no-unwrap)
                     .expect("paper sensor defaults are valid"),
                 ca: Some(CaConfig::default()),
                 schedule: PrecisionSchedule::Uniform(Precision::w4a4()),
@@ -428,17 +430,7 @@ impl Platform {
     /// Spec of the acquisition pass itself: one optical weighted-sum layer
     /// (the fused CA convolution, or the per-photosite readout without CA).
     pub(crate) fn acquisition_spec(&self) -> Result<NetworkSpec> {
-        let (h, w) = (self.config.sensor.height, self.config.sensor.width);
-        let builder = match &self.config.ca {
-            Some(ca) => NetworkSpecBuilder::new("acquire+ca", [3, h, w]).conv(
-                1,
-                ca.pooling_window,
-                ca.pooling_window,
-                0,
-            ),
-            None => NetworkSpecBuilder::new("acquire", [1, h, w]).conv(1, 1, 1, 0),
-        };
-        Ok(builder.map_err(CoreError::from)?.build())
+        crate::verify::acquisition_spec_of(&self.config)
     }
 }
 

@@ -124,6 +124,7 @@ impl Session {
             }
         };
         let lowered = backend.lower(&workload, config, seed)?;
+        crate::verify::verify_plan_structural(lowered.plan(), &workload, config, backend.as_ref())?;
         let perf = backend.performance(&spec, config)?;
         Ok(Session {
             sensor,
@@ -521,7 +522,12 @@ impl Session {
         // comparators sit before the optical path), so a fully-skipped
         // frame never pays for acquisition at all.
         let mask = {
-            let pipeline = self.stream.as_mut().expect("caller checked the workload");
+            let pipeline = self
+                .stream
+                .as_mut()
+                .ok_or_else(|| CoreError::ModelMismatch {
+                    reason: "stream frame submitted to a non-stream session".to_string(),
+                })?;
             let (rows, cols) = pipeline.differencer.grid();
             let bs = pipeline.differencer.config().block_size;
             let window = pipeline.window;
@@ -553,7 +559,9 @@ impl Session {
             perf,
             ..
         } = self;
-        let pipeline = stream.as_mut().expect("caller checked the workload");
+        let pipeline = stream.as_mut().ok_or_else(|| CoreError::ModelMismatch {
+            reason: "stream frame submitted to a non-stream session".to_string(),
+        })?;
         let (rows, cols) = pipeline.differencer.grid();
         let bs = pipeline.differencer.config().block_size;
         let (ah, aw) = (rows * bs, cols * bs);
@@ -564,6 +572,9 @@ impl Session {
                 ref_scene: scene.clone(),
                 ref_acquired: acquired
                     .clone()
+                    // The gate sees no reference scene on the first frame, so
+                    // every block computes and an acquisition always ran.
+                    // lightator: allow(no-unwrap)
                     .expect("the first frame of a stream computes every block"),
                 prev_output: Tensor::zeros(&[1, ah, aw]),
             },
@@ -580,6 +591,9 @@ impl Session {
             let (br, bc) = (block / cols, block % cols);
             let acquired = acquired
                 .as_ref()
+                // `acquired` is only `None` when the mask has no computed
+                // block, and this loop body runs only for computed blocks.
+                // lightator: allow(no-unwrap)
                 .expect("computed blocks imply an acquisition pass");
             copy_scene_block(&mut state.ref_scene, scene, br, bc, bs * pipeline.window)?;
             copy_tensor_block(&mut state.ref_acquired, acquired, aw, br, bc, bs);
@@ -621,6 +635,9 @@ impl Session {
             if !compute {
                 continue;
             }
+            // The tile batch was built from this same mask a few lines up,
+            // so the output iterator yields exactly one tile per computed
+            // block. lightator: allow(no-unwrap)
             let tile = outputs.next().expect("one output per computed tile");
             scatter_tile(&mut output, &tile, aw, bs, block / cols, block % cols);
         }
@@ -888,6 +905,9 @@ mod tests {
 
     #[test]
     fn mismatched_model_is_reported() {
+        // A classify model that cannot ingest acquired frames still opens
+        // (the evaluate path feeds dataset tensors directly); the mismatch
+        // surfaces when a frame is actually run.
         let platform = small_platform(true, 8);
         let model = tiny_model([1, 8, 8], 3);
         let mut session = platform

@@ -436,6 +436,7 @@ impl NetworkSpec {
             .and_then(|b| b.linear(120))
             .and_then(|b| b.linear(84))
             .and_then(|b| b.linear(10))
+            // lightator: allow(no-unwrap) — documented "Never panics".
             .expect("LeNet topology is statically valid")
             .build()
     }
@@ -461,6 +462,7 @@ impl NetworkSpec {
             .and_then(|b| b.linear(512))
             .and_then(|b| b.linear(512))
             .and_then(|b| b.linear(classes))
+            // lightator: allow(no-unwrap) — documented "Never panics".
             .expect("VGG9 topology is statically valid")
             .build()
     }
@@ -493,16 +495,19 @@ impl NetworkSpec {
             for _ in 0..reps {
                 builder = builder
                     .conv(widths[stage], 3, 1, 1)
+                    // lightator: allow(no-unwrap) — documented "Never panics".
                     .expect("VGG topology is statically valid");
             }
             builder = builder
                 .pool(2, false)
+                // lightator: allow(no-unwrap) — documented "Never panics".
                 .expect("VGG topology is statically valid");
         }
         builder
             .linear(4096)
             .and_then(|b| b.linear(4096))
             .and_then(|b| b.linear(1000))
+            // lightator: allow(no-unwrap) — documented "Never panics".
             .expect("VGG topology is statically valid")
             .build()
     }
@@ -526,6 +531,7 @@ impl NetworkSpec {
             .and_then(|b| b.linear(4096))
             .and_then(|b| b.linear(4096))
             .and_then(|b| b.linear(1000))
+            // lightator: allow(no-unwrap) — documented "Never panics".
             .expect("AlexNet topology is statically valid")
             .build()
     }

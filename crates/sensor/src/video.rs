@@ -169,6 +169,8 @@ impl SyntheticVideo {
     pub fn frame_at(&self, index: usize) -> RgbFrame {
         let c = &self.config;
         let mut frame = RgbFrame::filled(c.height, c.width, c.background)
+            // The constructor validated dimensions and colour range.
+            // lightator: allow(no-unwrap)
             .expect("validated configuration renders valid frames");
         match c.pattern {
             MotionPattern::Static => {}
@@ -181,6 +183,8 @@ impl SyntheticVideo {
                     for col in col0..col0 + size {
                         frame
                             .set_pixel(row, col, c.foreground)
+                            // row/col are reduced modulo the frame extent.
+                            // lightator: allow(no-unwrap)
                             .expect("square fits the frame");
                     }
                 }
@@ -201,6 +205,8 @@ impl SyntheticVideo {
                                     mix(c.background[2], c.foreground[2]),
                                 ],
                             )
+                            // A convex mix of validated colours is in range.
+                            // lightator: allow(no-unwrap)
                             .expect("mixed colours stay in range");
                     }
                 }

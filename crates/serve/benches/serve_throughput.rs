@@ -6,6 +6,8 @@
 //! count (target ≥ 2× at 4 shards) regardless of how many host CPUs run
 //! the simulation.
 
+// Bench targets: criterion_group! expands to undocumented functions.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lightator_core::ca::CaConfig;
 use lightator_core::platform::{Platform, Workload};

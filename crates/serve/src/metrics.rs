@@ -224,6 +224,8 @@ impl MetricsInner {
                         plan_hits: 0,
                         simulated_span: Time::from_ns(span_ns),
                     });
+                    // The entry was pushed on the preceding line.
+                    // lightator: allow(no-unwrap)
                     backends.last_mut().expect("just pushed")
                 }
             };

@@ -70,7 +70,7 @@ impl SharedQueue {
 
     /// Requests currently waiting in this queue.
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").deque.len()
+        self.state.lock().expect("queue poisoned").deque.len() // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
     }
 
     /// Admits one request, assigning it the group's next ticket and
@@ -88,7 +88,7 @@ impl SharedQueue {
         slot: Arc<ResponseSlot>,
     ) -> Result<u64> {
         let weight = payload.weight();
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().expect("queue poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         if state.shutdown {
             return Err(ServeError::ShuttingDown);
         }
@@ -114,7 +114,7 @@ impl SharedQueue {
     /// Begins shutdown: no further admissions, all waiting shards wake up
     /// and drain whatever is still queued before exiting.
     pub(crate) fn shutdown(&self) {
-        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.state.lock().expect("queue poisoned").shutdown = true; // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         self.ready.notify_all();
     }
 
@@ -132,7 +132,7 @@ impl SharedQueue {
         flush_deadline_ns: u64,
         clock: &VirtualClock,
     ) -> Option<Vec<QueuedRequest>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().expect("queue poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         loop {
             if !state.deque.is_empty() {
                 break;
@@ -140,7 +140,7 @@ impl SharedQueue {
             if state.shutdown {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue poisoned");
+            state = self.ready.wait(state).expect("queue poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         }
         let mut batch = Vec::with_capacity(max_batch);
         Self::drain_contiguous(&mut state, &mut batch, max_batch);
@@ -157,7 +157,7 @@ impl SharedQueue {
                 let (next, timeout) = self
                     .ready
                     .wait_timeout(state, STRAGGLER_BACKSTOP)
-                    .expect("queue poisoned");
+                    .expect("queue poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
                 state = next;
                 let was_empty = state.deque.is_empty();
                 Self::drain_contiguous(&mut state, &mut batch, max_batch);
@@ -182,7 +182,7 @@ impl SharedQueue {
             if !contiguous {
                 return;
             }
-            batch.push(state.deque.pop_front().expect("front checked above"));
+            batch.push(state.deque.pop_front().expect("front checked above")); // lightator: allow(no-unwrap) — loop guard checked the front
         }
     }
 }

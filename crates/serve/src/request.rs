@@ -182,19 +182,19 @@ impl ResponseSlot {
 
     /// Publishes the outcome and wakes the waiting client.
     pub(crate) fn fulfil(&self, outcome: Result<Response>) {
-        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        let mut slot = self.outcome.lock().expect("response slot poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         *slot = Some(outcome);
         self.done.notify_all();
     }
 
     /// Blocks until the outcome is published, then takes it.
     pub(crate) fn take(&self) -> Result<Response> {
-        let mut slot = self.outcome.lock().expect("response slot poisoned");
+        let mut slot = self.outcome.lock().expect("response slot poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.done.wait(slot).expect("response slot poisoned");
+            slot = self.done.wait(slot).expect("response slot poisoned"); // lightator: allow(no-unwrap) — poisoned lock means a shard panicked
         }
     }
 }

@@ -106,23 +106,83 @@ impl ServerBuilder {
         self
     }
 
-    /// Validates the configuration, opens every shard's session and spawns
-    /// the worker pool.
+    /// The backend id a workload registration resolves to: the explicit
+    /// pin, else the [`ServeConfig::backends`] assignment for the label,
+    /// else the photonic default.
+    fn resolved_backend(&self, label: &str, pinned: Option<&BackendId>) -> BackendId {
+        match pinned {
+            Some(backend) => backend.clone(),
+            None => self
+                .config
+                .backend_for(label)
+                .map_or_else(BackendId::photonic, BackendId::new),
+        }
+    }
+
+    /// Statically dry-runs the deployment without opening a session or
+    /// spawning a thread: validates the [`ServeConfig`], resolves every
+    /// workload's backend against the platform registry, rejects duplicate
+    /// `(workload, backend)` routing keys, lowers each group's plan once
+    /// and runs the full
+    /// [`verify_plan`](lightator_core::verify::verify_plan) contract on it
+    /// (capability, precision-schedule, shape and energy-model checks).
+    ///
+    /// [`ServerBuilder::build`] calls this first, so a bad deployment fails
+    /// before any shard spawns; call it directly to lint a `ServeConfig` at
+    /// startup without committing to a pool.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for an invalid serving
-    /// configuration, no registered workloads, or two workloads routing to
-    /// the same key; [`ServeError::Core`] when opening a session fails;
-    /// [`ServeError::WorkerSpawn`] when the OS refuses a worker thread (any
-    /// already-spawned workers are stopped and joined first).
-    pub fn build(self) -> Result<Server> {
+    /// configuration, no registered workloads or duplicate routing keys,
+    /// and [`ServeError::Core`] when a backend is unregistered, cannot
+    /// execute, or fails plan verification.
+    pub fn validate(&self) -> Result<()> {
         self.config.validate()?;
         if self.workloads.is_empty() {
             return Err(ServeError::InvalidConfig {
                 reason: "register at least one workload before build()".into(),
             });
         }
+        let config = self.platform.config();
+        let mut keys: Vec<(RequestKind, BackendId)> = Vec::new();
+        for (workload, pinned) in &self.workloads {
+            let kind = RequestKind::of_workload(workload);
+            let label = workload.label();
+            let backend_id = self.resolved_backend(&label, pinned.as_ref());
+            if keys.contains(&(kind, backend_id.clone())) {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!(
+                        "workload `{label}` is registered twice on backend `{backend_id}`"
+                    ),
+                });
+            }
+            let backend = self.platform.backend(&backend_id)?;
+            let lowered = backend.lower(workload, config, config.seed)?;
+            lightator_core::verify::verify_plan(
+                lowered.plan(),
+                workload,
+                config,
+                backend.as_ref(),
+            )?;
+            keys.push((kind, backend_id));
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration ([`ServerBuilder::validate`]), opens
+    /// every shard's session and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid serving
+    /// configuration, no registered workloads, or two workloads routing to
+    /// the same key; [`ServeError::Core`] when static validation or opening
+    /// a session fails; [`ServeError::WorkerSpawn`] when the OS refuses a
+    /// worker thread (any already-spawned workers are stopped and joined
+    /// first).
+    pub fn build(self) -> Result<Server> {
+        self.validate()?;
         let clock = Arc::new(VirtualClock::new());
         let base_seed = self.platform.config().seed;
 
@@ -136,23 +196,7 @@ impl ServerBuilder {
         for (workload, pinned) in &self.workloads {
             let kind = RequestKind::of_workload(workload);
             let label = workload.label();
-            let backend = match pinned {
-                Some(backend) => backend.clone(),
-                None => self
-                    .config
-                    .backend_for(&label)
-                    .map_or_else(BackendId::photonic, BackendId::new),
-            };
-            if groups
-                .iter()
-                .any(|g: &Group| g.kind == kind && g.backend == backend)
-            {
-                return Err(ServeError::InvalidConfig {
-                    reason: format!(
-                        "workload `{label}` is registered twice on backend `{backend}`"
-                    ),
-                });
-            }
+            let backend = self.resolved_backend(&label, pinned.as_ref());
             // Non-photonic groups carry the backend in their display label
             // so shard telemetry stays unambiguous.
             let group_label = if backend.is_photonic() {
@@ -823,6 +867,35 @@ mod tests {
             .build()
             .expect_err("rooflines cannot execute");
         assert!(err.to_string().contains("roofline"));
+    }
+
+    #[test]
+    fn validate_dry_runs_the_deployment_before_any_shard_spawns() {
+        // A ServeConfig naming an unregistered backend is rejected by the
+        // static dry-run alone — no session opened, no thread spawned.
+        let builder = Server::builder(small_platform())
+            .serve_config(ServeConfig {
+                backends: vec![("acquire".into(), "electronic:not-here".into())],
+                ..ServeConfig::default()
+            })
+            .workload(Workload::Acquire);
+        let err = builder.validate().expect_err("unregistered backend");
+        assert!(err.to_string().contains("no backend registered"));
+        // The same builder fails build() with the same diagnosis.
+        assert!(builder
+            .build()
+            .expect_err("build rejects too")
+            .to_string()
+            .contains("no backend registered"));
+
+        // A clean deployment passes the dry-run without building a pool.
+        Server::builder(small_platform())
+            .workload(Workload::Acquire)
+            .workload(Workload::ImageKernel {
+                kernel: ImageKernel::SobelX,
+            })
+            .validate()
+            .expect("clean deployment verifies");
     }
 
     #[test]

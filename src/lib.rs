@@ -11,7 +11,9 @@
 //! * [`baselines`] — photonic and electronic baseline accelerator models;
 //! * [`bench`](mod@bench) — the experiment harness regenerating Table 1 and Figs. 8–10;
 //! * [`serve`] — the sharded, micro-batching inference server turning
-//!   per-batch wins into system-level throughput.
+//!   per-batch wins into system-level throughput;
+//! * [`analysis`] — the determinism lint and static plan verifier backing
+//!   the `lint_workspace` CI gate.
 //!
 //! # Quickstart
 //!
@@ -32,9 +34,11 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use lightator_analysis as analysis;
 pub use lightator_baselines as baselines;
 pub use lightator_bench as bench;
 pub use lightator_core as core;
