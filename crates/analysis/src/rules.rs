@@ -107,12 +107,18 @@ impl Default for AnalysisConfig {
             ("sim", vec!["core", "photonics", "sensor", "nn"]),
             ("metering", vec!["bench", "serve"]),
             ("baselines", vec!["baselines"]),
+            // Tracing is simulated-time only; the lone wall-clock read (the
+            // export annotation) carries an explicit suppression.
+            ("telemetry", vec!["telemetry"]),
             ("tooling", vec!["analysis", "suite"]),
         ];
         let rules = [
             // Wall-clock metering is the one legitimate host-time consumer,
             // so the `metering` class is exempt from no-wall-clock.
-            (Rule::NoWallClock, vec!["sim", "baselines", "tooling"]),
+            (
+                Rule::NoWallClock,
+                vec!["sim", "baselines", "telemetry", "tooling"],
+            ),
             (Rule::NoHashCollections, vec!["all"]),
             (Rule::NoUnseededRng, vec!["all"]),
             (Rule::NoUnwrap, vec!["all"]),
@@ -258,6 +264,10 @@ mod tests {
         assert!(config.applies(Rule::NoWallClock, "core"));
         assert!(!config.applies(Rule::NoWallClock, "bench"));
         assert!(!config.applies(Rule::NoWallClock, "serve"));
+        // The telemetry crate traces in simulated time only, so it is held
+        // to the wall-clock ban like the simulation crates.
+        assert_eq!(config.class_of("telemetry"), Some("telemetry"));
+        assert!(config.applies(Rule::NoWallClock, "telemetry"));
         // Everything else applies everywhere.
         for crate_name in ["core", "bench", "serve", "analysis", "unknown"] {
             assert!(config.applies(Rule::NoHashCollections, crate_name));

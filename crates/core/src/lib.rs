@@ -31,6 +31,10 @@
 //!   aggregation and the dense-baseline speedup accounting;
 //! * [`textcfg`] — dependency-free text round-trips for
 //!   [`platform::PlatformConfig`];
+//! * [`trace`] — per-stage trace attribution: pure derivation of
+//!   acquire/CA/weight-encode/MAC-rows/readout [`StageSpan`]s from a
+//!   [`SimulationReport`], feeding `lightator-telemetry` sinks without
+//!   touching execution state;
 //! * [`verify`] — **static plan verification**: prove a [`CompiledPlan`]
 //!   and a [`Backend`] agree (capability, schedule, shapes, energy model)
 //!   before any frame executes; run by every session open and re-exported
@@ -71,6 +75,7 @@ pub mod platform;
 pub mod sim;
 pub mod stream;
 pub mod textcfg;
+pub mod trace;
 pub mod verify;
 
 pub use backend::{Backend, BackendId, LoweredPlan, PhotonicBackend};
@@ -85,10 +90,11 @@ pub use plan::{CompiledPlan, EncodedWeights, PlanStats};
 pub use platform::{
     ImageKernel, Outcome, Platform, PlatformBuilder, PlatformConfig, Report, Session, Workload,
 };
-pub use sim::{ArchitectureSimulator, LayerReport, SimulationReport};
+pub use sim::{ArchitectureSimulator, LayerPhases, LayerReport, SimulationReport};
 pub use stream::{
     StreamConfig, StreamFrame, StreamReport, StreamState, TemporalDifferencer, GATE_COST_FRACTION,
 };
+pub use trace::{frame_stages, stage_breakdown, StageSpan};
 pub use verify::{
     capability_matrix, performance_spec, verify_plan, verify_plan_structural, Capability, PlanCheck,
 };

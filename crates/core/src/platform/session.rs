@@ -31,7 +31,9 @@ use lightator_nn::spec::NetworkSpecBuilder;
 use lightator_nn::tensor::Tensor;
 use lightator_sensor::array::SensorArray;
 use lightator_sensor::frame::RgbFrame;
+use lightator_telemetry::{TraceEvent, TraceSink};
 use std::borrow::Borrow;
+use std::sync::Arc;
 
 /// A live workload session: owns the sensor, the workload's lowered plan
 /// (the backend-specific executable form of its [`CompiledPlan`]) and its
@@ -51,6 +53,16 @@ pub struct Session {
     stream: Option<StreamPipeline>,
     perf: SimulationReport,
     label: String,
+    tracer: Option<Tracer>,
+}
+
+/// An attached trace sink plus the session's simulated-time cursor: frames
+/// are laid end to end on the session's own timeline, so a session's trace
+/// is a replayable schedule independent of wall-clock interleaving.
+#[derive(Debug, Clone)]
+struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    now_ns: f64,
 }
 
 /// Everything a video-stream session adds on top of the frame path: the
@@ -134,7 +146,32 @@ impl Session {
             stream,
             perf,
             label,
+            tracer: None,
         })
+    }
+
+    /// Attaches a trace sink: every later frame emits per-frame and
+    /// per-stage spans (timestamped in the session's simulated time) plus
+    /// plan-cache events into `sink`.
+    ///
+    /// Tracing is **observationally pure** — emission only reads the
+    /// already-computed performance model and plan counters, so a traced
+    /// run produces bit-identical outputs to an untraced one (the property
+    /// suite asserts this with analog noise on).
+    pub fn attach_recorder(&mut self, sink: Arc<dyn TraceSink>) {
+        self.tracer = Some(Tracer { sink, now_ns: 0.0 });
+    }
+
+    /// Detaches the trace sink, returning it if one was attached. The
+    /// simulated-time cursor resets; re-attaching starts a fresh timeline.
+    pub fn detach_recorder(&mut self) -> Option<Arc<dyn TraceSink>> {
+        self.tracer.take().map(|tracer| tracer.sink)
+    }
+
+    /// Whether a trace sink is attached.
+    #[must_use]
+    pub fn has_recorder(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// The workload this session serves.
@@ -242,11 +279,15 @@ impl Session {
     pub fn run(&mut self, scene: &RgbFrame) -> Result<Report> {
         self.ensure_frame_workload()?;
         let index = self.lowered.next_frame_index();
+        let stats_before = self.tracer.as_ref().map(|_| self.lowered.plan().stats());
         let result = self.run_inner(scene);
         // One frame, one index — success or failure. (Failures can bail
         // out before the executor advances, e.g. on a sensor error or a
         // model mismatch.)
         self.lowered.set_next_frame_index(index + 1);
+        if let Some(before) = stats_before {
+            self.trace_frames(index, 1, before, result.is_ok());
+        }
         result
     }
 
@@ -311,9 +352,13 @@ impl Session {
             return Ok(Vec::new());
         }
         let index = self.lowered.next_frame_index();
+        let stats_before = self.tracer.as_ref().map(|_| self.lowered.plan().stats());
         let result = self.run_batch_inner(scenes);
         self.lowered
             .set_next_frame_index(index + scenes.len() as u64);
+        if let Some(before) = stats_before {
+            self.trace_frames(index, scenes.len(), before, result.is_ok());
+        }
         result
     }
 
@@ -363,6 +408,139 @@ impl Session {
                 perf: self.perf.clone(),
             })
             .collect())
+    }
+
+    /// Emits the trace of `count` frames starting at global index
+    /// `first_index`: per-frame spans, their stage decomposition and the
+    /// plan-cache delta since `before`. Reads only the performance model
+    /// and the plan counters — never executor or RNG state.
+    fn trace_frames(&mut self, first_index: u64, count: usize, before: PlanStats, ok: bool) {
+        let Self {
+            tracer,
+            lowered,
+            perf,
+            label,
+            ..
+        } = self;
+        let Some(tracer) = tracer.as_mut() else {
+            return;
+        };
+        let track = format!("session:{label}");
+        if ok {
+            let stages = crate::trace::frame_stages(perf);
+            for offset in 0..count {
+                let start = tracer.now_ns;
+                let dur = perf.frame_latency.ns();
+                tracer.sink.record(
+                    TraceEvent::span("frame", label, &track, start, dur, perf.frame_energy.pj())
+                        .with_arg("frame", first_index + offset as u64),
+                );
+                let mut cursor = start;
+                for stage in &stages {
+                    tracer.sink.record(TraceEvent::span(
+                        "stage",
+                        stage.stage,
+                        &track,
+                        cursor,
+                        stage.latency.ns(),
+                        stage.energy.pj(),
+                    ));
+                    cursor += stage.latency.ns();
+                }
+                tracer.now_ns = start + dur;
+            }
+        } else {
+            for offset in 0..count {
+                tracer.sink.record(
+                    TraceEvent::instant("frame", "frame-error", &track, tracer.now_ns)
+                        .with_arg("frame", first_index + offset as u64),
+                );
+            }
+        }
+        let after = lowered.plan().stats();
+        let hits = after.cache_hits.saturating_sub(before.cache_hits);
+        if hits > 0 {
+            tracer.sink.record(
+                TraceEvent::instant("plan", "plan-hit", &track, tracer.now_ns)
+                    .with_arg("count", hits),
+            );
+            tracer.sink.record(TraceEvent::counter(
+                "plan",
+                "plan_cache_hits",
+                &track,
+                tracer.now_ns,
+                after.cache_hits as f64,
+            ));
+        }
+        let encodes = after.encodes.saturating_sub(before.encodes);
+        if encodes > 0 {
+            tracer.sink.record(
+                TraceEvent::instant("plan", "plan-encode", &track, tracer.now_ns)
+                    .with_arg("count", encodes),
+            );
+            tracer.sink.record(TraceEvent::counter(
+                "plan",
+                "plan_encodes",
+                &track,
+                tracer.now_ns,
+                after.encodes as f64,
+            ));
+        }
+    }
+
+    /// Emits the trace of one gated stream frame: the frame span plus the
+    /// acquisition and compute stages, each scaled by the frame's duty
+    /// cycle (computed fraction + [`GATE_COST_FRACTION`] feedback floor),
+    /// so stage sums reproduce the frame's gated latency and energy.
+    fn trace_stream_frame(&mut self, frame: &StreamFrame, perf_acquire: &SimulationReport) {
+        let Self {
+            tracer,
+            perf,
+            label,
+            ..
+        } = self;
+        let Some(tracer) = tracer.as_mut() else {
+            return;
+        };
+        let track = format!("session:{label}");
+        let blocks = frame.computed_blocks + frame.skipped_blocks;
+        let fraction = if blocks == 0 {
+            0.0
+        } else {
+            frame.computed_blocks as f64 / blocks as f64
+        };
+        let duty = fraction + GATE_COST_FRACTION * (1.0 - fraction);
+        let start = tracer.now_ns;
+        tracer.sink.record(
+            TraceEvent::span(
+                "frame",
+                label,
+                &track,
+                start,
+                frame.latency.ns(),
+                frame.energy.pj(),
+            )
+            .with_arg("frame", frame.index)
+            .with_arg("computed_blocks", frame.computed_blocks)
+            .with_arg("skipped_blocks", frame.skipped_blocks),
+        );
+        let mut cursor = start;
+        for stage in crate::trace::frame_stages(perf_acquire)
+            .iter()
+            .chain(crate::trace::frame_stages(perf).iter())
+        {
+            let dur = stage.latency.ns() * duty;
+            tracer.sink.record(TraceEvent::span(
+                "stage",
+                stage.stage,
+                &track,
+                cursor,
+                dur,
+                stage.energy.pj() * duty,
+            ));
+            cursor += dur;
+        }
+        tracer.now_ns = start + frame.latency.ns();
     }
 
     /// Index of the global frame the next [`Session::run`] executes as.
@@ -503,13 +681,30 @@ impl Session {
         let mut report = StreamReport::new(self.label.clone(), pipeline.differencer.blocks());
         let dense_latency = pipeline.perf_acquire.frame_latency + self.perf.frame_latency;
         let dense_energy = pipeline.perf_acquire.frame_energy + self.perf.frame_energy;
+        let perf_acquire = self.tracer.is_some().then(|| pipeline.perf_acquire.clone());
         for frame in frames {
             let index = self.lowered.next_frame_index();
             let result = self.stream_frame(frame.borrow(), index);
             // One frame, one index — success or failure, however many
             // block tiles the gate actually computed.
             self.lowered.set_next_frame_index(index + 1);
-            report.push(result?, dense_latency, dense_energy);
+            let frame = match result {
+                Ok(frame) => frame,
+                Err(err) => {
+                    if let Some(tracer) = self.tracer.as_mut() {
+                        let track = format!("session:{}", self.label);
+                        tracer.sink.record(
+                            TraceEvent::instant("frame", "frame-error", &track, tracer.now_ns)
+                                .with_arg("frame", index),
+                        );
+                    }
+                    return Err(err);
+                }
+            };
+            if let Some(perf_acquire) = perf_acquire.as_ref() {
+                self.trace_stream_frame(&frame, perf_acquire);
+            }
+            report.push(frame, dense_latency, dense_energy);
         }
         Ok(report)
     }

@@ -15,6 +15,32 @@ use lightator_nn::spec::{LayerSpec, NetworkSpec};
 use lightator_photonics::units::{Energy, Power, Time};
 use serde::{Deserialize, Serialize};
 
+/// The three timing phases a layer's latency decomposes into.
+///
+/// For an optically mapped layer: DAC weight encoding (reload passes), the
+/// optical MAC-row sweep, and electronic readout/activation. Layers that
+/// stay in the electronic periphery (max pool) spend everything in the
+/// readout phase. The phases sum exactly to the layer's
+/// [`latency`](LayerReport::latency), which per-stage trace attribution
+/// relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerPhases {
+    /// Electronic DAC weight-reload time.
+    pub weight_encode: Time,
+    /// Optical MAC-row compute time.
+    pub mac: Time,
+    /// Electronic post-processing (readout, activation, buffering) time.
+    pub readout: Time,
+}
+
+impl LayerPhases {
+    /// Sum of the three phases — the layer latency.
+    #[must_use]
+    pub fn total(&self) -> Time {
+        self.weight_encode + self.mac + self.readout
+    }
+}
+
 /// Per-layer simulation result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerReport {
@@ -26,6 +52,8 @@ pub struct LayerReport {
     pub mapping: Option<LayerMapping>,
     /// Execution latency of the layer.
     pub latency: Time,
+    /// Phase decomposition of `latency` (weight-encode / MAC rows / readout).
+    pub phases: LayerPhases,
     /// Component power while the layer executes.
     pub power: ComponentPower,
     /// Energy consumed by the layer (power × latency).
@@ -118,8 +146,8 @@ impl ArchitectureSimulator {
         &self.energy
     }
 
-    /// Latency of one optically mapped layer.
-    fn layer_latency(&self, layer: &LayerSpec, mapping: &LayerMapping) -> Time {
+    /// Phase timing of one optically mapped layer.
+    fn layer_phases(&self, layer: &LayerSpec, mapping: &LayerMapping) -> LayerPhases {
         let timing = &self.config.timing;
         let optical_cycle = self.config.power.optical_cycle();
         let electronic_cycle = self.config.power.electronic_cycle();
@@ -134,17 +162,26 @@ impl ArchitectureSimulator {
         let outputs = layer.output_elements();
         let post = electronic_cycle
             * (outputs.div_ceil(1024) * timing.electronic_post_cycles_per_kilo_output) as f64;
-        compute + reload + post
+        LayerPhases {
+            weight_encode: reload,
+            mac: compute,
+            readout: post,
+        }
     }
 
-    /// Latency of a layer that stays in the electronic periphery (max pool).
-    fn electronic_layer_latency(&self, layer: &LayerSpec) -> Time {
+    /// Phase timing of a layer that stays in the electronic periphery (max
+    /// pool): everything is post-processing.
+    fn electronic_layer_phases(&self, layer: &LayerSpec) -> LayerPhases {
         let electronic_cycle = self.config.power.electronic_cycle();
         let outputs = layer.output_elements();
-        electronic_cycle
-            * (outputs.div_ceil(1024)
-                * self.config.timing.electronic_post_cycles_per_kilo_output
-                * 2) as f64
+        LayerPhases {
+            weight_encode: Time::zero(),
+            mac: Time::zero(),
+            readout: electronic_cycle
+                * (outputs.div_ceil(1024)
+                    * self.config.timing.electronic_post_cycles_per_kilo_output
+                    * 2) as f64,
+        }
     }
 
     /// Power of an electronically executed layer: controller + buffers only.
@@ -179,19 +216,20 @@ impl ArchitectureSimulator {
         for (index, (layer, mapping)) in network.layers().iter().zip(&mappings).enumerate() {
             let precision = schedule.for_layer(weighted_index);
             let is_first_layer = index == 0;
-            let (latency, power) = match mapping {
+            let (phases, power) = match mapping {
                 Some(mapping) => (
-                    self.layer_latency(layer, mapping),
+                    self.layer_phases(layer, mapping),
                     self.energy.layer_power(mapping, precision, is_first_layer),
                 ),
                 None => (
-                    self.electronic_layer_latency(layer),
+                    self.electronic_layer_phases(layer),
                     self.electronic_layer_power(),
                 ),
             };
             if layer.is_weighted() {
                 weighted_index += 1;
             }
+            let latency = phases.total();
             let energy = Energy::from_pj(power.total().watts() * latency.seconds() * 1e12);
             frame_latency += latency;
             frame_energy += energy;
@@ -201,6 +239,7 @@ impl ArchitectureSimulator {
                 kind: layer.kind_name().to_string(),
                 mapping: *mapping,
                 latency,
+                phases,
                 power,
                 energy,
                 macs: layer.mac_count(),
@@ -487,6 +526,30 @@ mod tests {
             )
             .expect("ok");
         assert!(report.average_power.watts() <= report.max_power.watts() + 1e-9);
+    }
+
+    #[test]
+    fn layer_phases_sum_exactly_to_layer_latency() {
+        let report = simulator()
+            .simulate(
+                &NetworkSpec::lenet(),
+                PrecisionSchedule::Uniform(Precision::w4a4()),
+            )
+            .expect("ok");
+        for layer in &report.layers {
+            assert_eq!(
+                layer.phases.total().ns(),
+                layer.latency.ns(),
+                "layer {} phase decomposition must be exact",
+                layer.index
+            );
+            if layer.mapping.is_none() {
+                assert!(layer.phases.weight_encode.is_zero());
+                assert!(layer.phases.mac.is_zero());
+            } else {
+                assert!(layer.phases.mac.ns() > 0.0);
+            }
+        }
     }
 
     #[test]

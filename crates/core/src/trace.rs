@@ -1,0 +1,194 @@
+//! Per-stage trace attribution derived from the performance model.
+//!
+//! The simulator already knows where a frame's time and energy go — the
+//! [`SimulationReport`] carries per-layer
+//! latencies, phase decompositions and energies. This module turns that
+//! knowledge into the stage vocabulary the paper argues with (acquisition /
+//! CA / weight-encode / MAC rows / readout) as [`StageSpan`]s that
+//! instrumentation points replay into a
+//! [`TraceSink`](lightator_telemetry::TraceSink).
+//!
+//! Everything here is a pure function of an already-computed report:
+//! deriving stages reads no RNG, no executor state and no clock, which is
+//! how tracing stays observationally pure (recording a trace changes no
+//! output bit of any run).
+
+use crate::sim::SimulationReport;
+use lightator_photonics::units::{Energy, Time};
+use lightator_telemetry::StageBreakdown;
+
+/// One attributed stage of a frame: a name, its share of the frame's
+/// simulated latency and its share of the frame's energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpan {
+    /// Stage name (`acquire`, `ca`, `weight_encode`, `mac_rows`,
+    /// `readout`, or `execute` for opaque backends).
+    pub stage: &'static str,
+    /// Simulated time the stage occupies.
+    pub latency: Time,
+    /// Energy attributed to the stage.
+    pub energy: Energy,
+}
+
+/// Decomposes one frame of `perf` into sequential stages.
+///
+/// * Acquisition networks (name `acquire`/`acquire+ca`) become a single
+///   `acquire` or `ca` stage carrying the frame totals — the CA pass is one
+///   fused optical operation.
+/// * Layered networks contribute per-layer `weight_encode` / `mac_rows` /
+///   `readout` stages from the layer's [`phases`](crate::sim::LayerReport::phases),
+///   with energy split by phase time at the layer's power and the readout
+///   stage taking the exact remainder, so the stages sum bit-exactly to the
+///   layer (and therefore frame) totals.
+/// * Backends that expose no layer reports (the analytical baselines)
+///   collapse to a single `execute` stage.
+#[must_use]
+pub fn frame_stages(perf: &SimulationReport) -> Vec<StageSpan> {
+    if perf.network.starts_with("acquire") {
+        let stage = if perf.network.contains("+ca") {
+            "ca"
+        } else {
+            "acquire"
+        };
+        return vec![StageSpan {
+            stage,
+            latency: perf.frame_latency,
+            energy: perf.frame_energy,
+        }];
+    }
+    if perf.layers.is_empty() {
+        return vec![StageSpan {
+            stage: "execute",
+            latency: perf.frame_latency,
+            energy: perf.frame_energy,
+        }];
+    }
+    let mut spans = Vec::with_capacity(perf.layers.len() * 3);
+    for layer in &perf.layers {
+        let power_w = layer.power.total().watts();
+        let we = layer.phases.weight_encode;
+        let mac = layer.phases.mac;
+        let we_energy = Energy::from_pj(power_w * we.seconds() * 1e12);
+        let mac_energy = Energy::from_pj(power_w * mac.seconds() * 1e12);
+        // Readout absorbs the remainder, so the three stages reproduce the
+        // layer energy exactly (and the frame energy, which is the sum of
+        // layer energies, exactly too).
+        let readout_energy = layer.energy - we_energy - mac_energy;
+        push_stage(&mut spans, "weight_encode", we, we_energy);
+        push_stage(&mut spans, "mac_rows", mac, mac_energy);
+        push_stage(&mut spans, "readout", layer.phases.readout, readout_energy);
+    }
+    spans
+}
+
+/// Appends a stage unless it is entirely empty (zero time and zero energy),
+/// which is how unmapped layers avoid degenerate `weight_encode`/`mac_rows`
+/// entries.
+fn push_stage(spans: &mut Vec<StageSpan>, stage: &'static str, latency: Time, energy: Energy) {
+    if latency.is_zero() && energy.is_zero() {
+        return;
+    }
+    spans.push(StageSpan {
+        stage,
+        latency,
+        energy,
+    });
+}
+
+/// Rolls one frame of `perf` up into a [`StageBreakdown`] on `track`
+/// (category `"stage"`).
+#[must_use]
+pub fn stage_breakdown(track: &str, perf: &SimulationReport) -> StageBreakdown {
+    let mut breakdown = StageBreakdown::new();
+    for span in frame_stages(perf) {
+        breakdown.add(
+            track,
+            "stage",
+            span.stage,
+            span.latency.ns(),
+            span.energy.pj(),
+        );
+    }
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LightatorConfig;
+    use crate::sim::ArchitectureSimulator;
+    use lightator_nn::quant::{Precision, PrecisionSchedule};
+    use lightator_nn::spec::{NetworkSpec, NetworkSpecBuilder};
+
+    fn lenet_report() -> SimulationReport {
+        ArchitectureSimulator::new(LightatorConfig::paper())
+            .expect("valid")
+            .simulate(
+                &NetworkSpec::lenet(),
+                PrecisionSchedule::Uniform(Precision::w4a4()),
+            )
+            .expect("ok")
+    }
+
+    #[test]
+    fn stage_sums_reproduce_the_frame_totals_exactly() {
+        let perf = lenet_report();
+        let stages = frame_stages(&perf);
+        assert!(stages.len() >= perf.layers.len());
+        let time: f64 = stages.iter().map(|s| s.latency.ns()).sum();
+        let energy: f64 = stages.iter().map(|s| s.energy.pj()).sum();
+        assert!(
+            (time - perf.frame_latency.ns()).abs() <= 1e-9 * perf.frame_latency.ns(),
+            "stage time {time} vs frame {}",
+            perf.frame_latency.ns()
+        );
+        assert!(
+            (energy - perf.frame_energy.pj()).abs() <= 1e-9 * perf.frame_energy.pj(),
+            "stage energy {energy} vs frame {}",
+            perf.frame_energy.pj()
+        );
+    }
+
+    #[test]
+    fn acquisition_networks_collapse_to_one_stage() {
+        let sim = ArchitectureSimulator::new(LightatorConfig::paper()).expect("valid");
+        let spec = NetworkSpecBuilder::new("acquire+ca", [3, 16, 16])
+            .conv(1, 2, 2, 0)
+            .expect("conv")
+            .build();
+        let perf = sim
+            .simulate(&spec, PrecisionSchedule::Uniform(Precision::w4a4()))
+            .expect("ok");
+        let stages = frame_stages(&perf);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].stage, "ca");
+        assert_eq!(stages[0].latency.ns(), perf.frame_latency.ns());
+        assert_eq!(stages[0].energy.pj(), perf.frame_energy.pj());
+    }
+
+    #[test]
+    fn layerless_reports_collapse_to_execute() {
+        let mut perf = lenet_report();
+        perf.network = "roofline".to_string();
+        perf.layers.clear();
+        let stages = frame_stages(&perf);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].stage, "execute");
+    }
+
+    #[test]
+    fn breakdown_rolls_stages_up_per_name() {
+        let perf = lenet_report();
+        let breakdown = stage_breakdown("session:classify", &perf);
+        assert!(breakdown.rows().iter().any(|r| r.stage == "mac_rows"));
+        assert!(breakdown.rows().iter().any(|r| r.stage == "readout"));
+        assert!(
+            (breakdown.total_energy_pj() - perf.frame_energy.pj()).abs()
+                <= 1e-9 * perf.frame_energy.pj()
+        );
+        assert!(breakdown
+            .rows()
+            .iter()
+            .all(|r| r.track == "session:classify"));
+    }
+}

@@ -31,6 +31,11 @@
 //!   p50/p95/p99/p99.9 queueing latency, queue depth, the per-shard
 //!   batch-size distribution, and per-backend frame/energy/plan totals
 //!   ([`metrics::BackendSnapshot`]);
+//! * **tracing** ([`ServerBuilder::trace_recorder`]) replays every
+//!   request's lifecycle (admit → queue → batch-form → execute → respond)
+//!   and per-frame stage decomposition onto a shared
+//!   [`TraceRecorder`](lightator_telemetry::TraceRecorder), timestamped in
+//!   simulated time and exportable as a Perfetto-loadable `trace.json`;
 //! * **graceful shutdown** drains all in-flight work before the workers
 //!   exit.
 //!
@@ -81,6 +86,6 @@ mod shard;
 
 pub use config::ServeConfig;
 pub use error::{Result, ServeError};
-pub use metrics::{BackendSnapshot, MetricsSnapshot, ShardSnapshot};
+pub use metrics::{BackendSnapshot, MetricsSnapshot, ShardSnapshot, StageTotals};
 pub use request::{Pending, Request, Response};
 pub use server::{Server, ServerBuilder};

@@ -11,6 +11,7 @@
 //! and independent of how many host CPUs happen to run the simulation.
 
 use lightator_photonics::units::{Energy, Time};
+pub use lightator_telemetry::StageTotals;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two buckets in [`LatencyHistogram`].
@@ -254,6 +255,7 @@ impl MetricsInner {
             plan_hits: shards.iter().map(|s| s.plan_hits).sum(),
             backends,
             shards,
+            stages: Vec::new(),
         }
     }
 }
@@ -302,6 +304,11 @@ pub struct MetricsSnapshot {
     pub backends: Vec<BackendSnapshot>,
     /// Per-shard batch statistics, one entry per worker thread.
     pub shards: Vec<ShardSnapshot>,
+    /// Per-stage sim-time/energy attribution rows from the attached
+    /// [`TraceRecorder`](lightator_telemetry::TraceRecorder), sorted by
+    /// (track, category, stage). Empty unless the server was built with
+    /// [`trace_recorder`](crate::server::ServerBuilder::trace_recorder).
+    pub stages: Vec<StageTotals>,
 }
 
 impl MetricsSnapshot {
@@ -416,6 +423,37 @@ impl MetricsSnapshot {
                 if shard.plan_encodes == 1 { "" } else { "s" },
                 shard.plan_hits,
             );
+        }
+        let stage_rows: Vec<&StageTotals> = self
+            .stages
+            .iter()
+            .filter(|row| row.category == "stage")
+            .collect();
+        if !stage_rows.is_empty() {
+            let total_ns: f64 = stage_rows.iter().map(|r| r.sim_ns).sum();
+            let total_pj: f64 = stage_rows.iter().map(|r| r.energy_pj).sum();
+            let _ = writeln!(out, "per-stage attribution (simulated time, energy):");
+            for row in stage_rows {
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:<14} {:>7} x {:>12.3} us {:>5.1}% {:>12.3} nJ {:>5.1}%",
+                    row.track,
+                    row.stage,
+                    row.count,
+                    row.sim_ns / 1e3,
+                    if total_ns > 0.0 {
+                        100.0 * row.sim_ns / total_ns
+                    } else {
+                        0.0
+                    },
+                    row.energy_pj / 1e3,
+                    if total_pj > 0.0 {
+                        100.0 * row.energy_pj / total_pj
+                    } else {
+                        0.0
+                    },
+                );
+            }
         }
         out
     }
@@ -585,6 +623,40 @@ mod tests {
         assert!(snap.p99_9_queue_wait.ns() >= snap.p99_queue_wait.ns());
         assert!(snap.p99_9_queue_wait.ns() >= 1_000_000.0);
         assert!(snap.table().contains("p99.9 queue wait"));
+    }
+
+    #[test]
+    fn table_appends_stage_attribution_when_rows_are_present() {
+        let inner = MetricsInner::new(vec![("classify/0".into(), "photonic".into())], 2);
+        let mut snap = inner.snapshot(0);
+        assert!(!snap.table().contains("per-stage attribution"));
+        snap.stages = vec![
+            StageTotals {
+                track: "shard:classify/0".into(),
+                category: "stage".into(),
+                stage: "mac_rows".into(),
+                count: 4,
+                sim_ns: 3_000.0,
+                energy_pj: 9_000.0,
+            },
+            StageTotals {
+                track: "shard:classify/0".into(),
+                category: "request".into(),
+                stage: "queue".into(),
+                count: 4,
+                sim_ns: 500.0,
+                energy_pj: 0.0,
+            },
+        ];
+        let table = snap.table();
+        let section = table
+            .split("per-stage attribution")
+            .nth(1)
+            .expect("attribution section present");
+        assert!(section.contains("mac_rows"), "table:\n{table}");
+        // Only category `stage` rows enter the attribution section.
+        assert!(!section.contains("queue"), "table:\n{table}");
+        assert!(section.contains("100.0%"), "table:\n{table}");
     }
 
     #[test]

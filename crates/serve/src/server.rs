@@ -9,6 +9,7 @@ use crate::shard::{self, ShardContext};
 use lightator_core::backend::BackendId;
 use lightator_core::platform::{Platform, Workload};
 use lightator_photonics::units::Time;
+use lightator_telemetry::{TraceEvent, TraceRecorder, TraceSink};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,6 +25,9 @@ pub struct ServerBuilder {
     /// `None` falls back to the [`ServeConfig::backends`] assignment for
     /// the workload's label, then to the photonic default.
     workloads: Vec<(Workload, Option<BackendId>)>,
+    /// Optional shared trace recorder every shard (and the router) writes
+    /// into.
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl ServerBuilder {
@@ -35,7 +39,21 @@ impl ServerBuilder {
             platform,
             config: ServeConfig::default(),
             workloads: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a shared [`TraceRecorder`]: every shard replays its request
+    /// lifecycle (queue → batch-form → execute → respond) and per-frame
+    /// stage decomposition onto it, the router marks admissions, and
+    /// [`Server::metrics`] / [`Server::shutdown`] surface the recorder's
+    /// per-stage rollup in [`MetricsSnapshot::stages`]. All timestamps are
+    /// simulated time on the serve timeline, so the trace is deterministic
+    /// and replayable.
+    #[must_use]
+    pub fn trace_recorder(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Sets the number of worker threads (virtual chips) per workload
@@ -235,6 +253,7 @@ impl ServerBuilder {
                 shard_index,
                 max_batch: self.config.max_batch,
                 flush_deadline_ns,
+                tracer: self.recorder.clone(),
             };
             let spawned = std::thread::Builder::new()
                 .name(format!("lightator-serve:{shard_label}"))
@@ -262,6 +281,7 @@ impl ServerBuilder {
             clock,
             metrics,
             config: self.config,
+            recorder: self.recorder,
         })
     }
 }
@@ -291,6 +311,7 @@ pub struct Server {
     clock: Arc<VirtualClock>,
     metrics: Arc<MetricsInner>,
     config: ServeConfig,
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl Server {
@@ -389,10 +410,25 @@ impl Server {
             .queue
             .push(request.into_payload(), arrival_ns, Arc::clone(&slot))
         {
-            Ok(_ticket) => Ok(Pending::new(slot)),
+            Ok(ticket) => {
+                if let Some(recorder) = &self.recorder {
+                    recorder.record(
+                        TraceEvent::instant("request", "admit", "router", arrival_ns as f64)
+                            .with_arg("group", &group.label)
+                            .with_arg("ticket", ticket),
+                    );
+                }
+                Ok(Pending::new(slot))
+            }
             Err(err) => {
                 if matches!(err, ServeError::Overloaded { .. }) {
                     self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Some(recorder) = &self.recorder {
+                        recorder.record(
+                            TraceEvent::instant("request", "reject", "router", arrival_ns as f64)
+                                .with_arg("group", &group.label),
+                        );
+                    }
                 }
                 Err(err)
             }
@@ -448,10 +484,14 @@ impl Server {
         backends
     }
 
-    /// A point-in-time snapshot of the serving telemetry.
+    /// A point-in-time snapshot of the serving telemetry. When a
+    /// [`TraceRecorder`] is attached, [`MetricsSnapshot::stages`] carries
+    /// its per-stage rollup.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.queued())
+        let mut snapshot = self.metrics.snapshot(self.queued());
+        self.fill_stages(&mut snapshot);
+        snapshot
     }
 
     /// Requests currently queued across all workload groups.
@@ -465,7 +505,22 @@ impl Server {
     #[must_use]
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop_workers();
-        self.metrics.snapshot(0)
+        let mut snapshot = self.metrics.snapshot(0);
+        self.fill_stages(&mut snapshot);
+        snapshot
+    }
+
+    /// The attached trace recorder, if the server was built with
+    /// [`ServerBuilder::trace_recorder`].
+    #[must_use]
+    pub fn trace_recorder(&self) -> Option<&Arc<TraceRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    fn fill_stages(&self, snapshot: &mut MetricsSnapshot) {
+        if let Some(recorder) = &self.recorder {
+            snapshot.stages = recorder.breakdown().rows().to_vec();
+        }
     }
 
     fn stop_workers(&mut self) {
@@ -968,6 +1023,110 @@ mod tests {
             })
             .sum();
         assert_eq!(frames_via_sizes, 16);
+    }
+
+    #[test]
+    fn attached_recorder_captures_request_lifecycle_and_stage_attribution() {
+        use lightator_core::stream::StreamConfig;
+        let recorder = Arc::new(TraceRecorder::new());
+        let server = Server::builder(small_platform())
+            .shards(1)
+            .max_batch(2)
+            .trace_recorder(Arc::clone(&recorder))
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .workload(Workload::VideoStream {
+                kernel: ImageKernel::SobelX,
+                stream: StreamConfig {
+                    block_size: 2,
+                    delta_threshold: 0.05,
+                },
+            })
+            .build()
+            .expect("server");
+        for i in 0..4 {
+            assert!(server.run(Request::Classify { frame: scene(i) }).is_ok());
+        }
+        assert!(server
+            .run_stream(Request::VideoStream {
+                kernel: ImageKernel::SobelX,
+                frames: vec![scene(0); 3],
+            })
+            .is_ok());
+        assert!(server.trace_recorder().is_some());
+        let snapshot = server.shutdown();
+
+        let events = recorder.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        for lifecycle in ["admit", "queue", "batch-form", "execute", "respond"] {
+            assert!(names.contains(&lifecycle), "missing `{lifecycle}` event");
+        }
+        assert!(
+            events.iter().any(|e| e.track == "router"),
+            "admissions land on the router track"
+        );
+        assert!(
+            events.iter().any(|e| e.track == "shard:classify/0"),
+            "shard events carry the shard label"
+        );
+
+        // The recorder's stage rollup reached the snapshot, and its energy
+        // agrees with the shard energy meters for the classify track (one
+        // frame's worth of stages per served frame).
+        assert!(!snapshot.stages.is_empty());
+        let classify_stage_pj: f64 = snapshot
+            .stages
+            .iter()
+            .filter(|r| r.track == "shard:classify/0" && r.category == "stage")
+            .map(|r| r.energy_pj)
+            .sum();
+        let classify_meter_pj = snapshot.shards[0].energy.pj();
+        assert!(
+            (classify_stage_pj - classify_meter_pj).abs() <= 1e-6 * classify_meter_pj,
+            "stage energy {classify_stage_pj} vs meter {classify_meter_pj}"
+        );
+        assert!(snapshot.table().contains("per-stage attribution"));
+        // Stream execution is attributed too (gated energy on its shard).
+        assert!(snapshot
+            .stages
+            .iter()
+            .any(|r| r.track.starts_with("shard:stream:sobel-x") && r.stage == "execute"));
+    }
+
+    #[test]
+    fn metrics_are_identical_with_and_without_a_recorder() {
+        // Observational purity at the serving layer: the recorder changes
+        // no metric and no report.
+        let run_once = |recorder: Option<Arc<TraceRecorder>>| {
+            let mut builder = Server::builder(small_platform())
+                .shards(1)
+                .max_batch(2)
+                .workload(Workload::Classify {
+                    model: tiny_model(),
+                });
+            if let Some(recorder) = recorder {
+                builder = builder.trace_recorder(recorder);
+            }
+            let server = builder.build().expect("server");
+            let reports: Vec<_> = (0..6)
+                .map(|i| {
+                    server
+                        .run(Request::Classify { frame: scene(i) })
+                        .expect("served")
+                })
+                .collect();
+            let mut snapshot = server.shutdown();
+            snapshot.stages.clear();
+            (reports, snapshot)
+        };
+        let (plain_reports, plain) = run_once(None);
+        let (traced_reports, traced) = run_once(Some(Arc::new(TraceRecorder::new())));
+        assert_eq!(plain_reports, traced_reports);
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.served_frames, traced.served_frames);
+        assert_eq!(plain.shards[0].frames, traced.shards[0].frames);
+        assert_eq!(plain.shards[0].energy, traced.shards[0].energy);
     }
 
     #[test]

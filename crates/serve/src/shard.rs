@@ -15,6 +15,7 @@ use crate::queue::{QueuedRequest, SharedQueue};
 use crate::request::{Payload, Response, ResponseSlot};
 use lightator_core::platform::Session;
 use lightator_sensor::frame::RgbFrame;
+use lightator_telemetry::{TraceEvent, TraceRecorder, TraceSink};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -71,6 +72,9 @@ pub(crate) struct ShardContext {
     pub(crate) shard_index: usize,
     pub(crate) max_batch: usize,
     pub(crate) flush_deadline_ns: u64,
+    /// Optional trace sink shared by the whole pool; events land on this
+    /// shard's `shard:<label>` track, timestamped on the serve timeline.
+    pub(crate) tracer: Option<Arc<TraceRecorder>>,
 }
 
 /// The worker loop. Returns when the group's queue shut down and drained.
@@ -82,6 +86,14 @@ pub(crate) fn run(mut ctx: ShardContext) {
     // runs (and meters) on the electronic cost model.
     let frame_latency_ns = ctx.session.perf().frame_latency.ns().ceil().max(1.0) as u64;
     let frame_energy_pj = ctx.session.perf().frame_energy.pj();
+    // Trace bookkeeping: the shard's Perfetto track and its per-frame stage
+    // decomposition. Both are pure functions of the spawn-time perf model,
+    // computed once so the serving path only replays them.
+    let track = format!("shard:{}", ctx.metrics.shards[ctx.shard_index].label);
+    let stages = ctx
+        .tracer
+        .as_ref()
+        .map(|_| lightator_core::frame_stages(ctx.session.perf()));
     let mut busy_until_ns = 0u64;
     // The workload group's plan was compiled exactly once when this shard's
     // session opened (at spawn); publish the encode counter up front so an
@@ -100,7 +112,8 @@ pub(crate) fn run(mut ctx: ShardContext) {
             .iter()
             .any(|r| matches!(r.payload, Payload::Stream(_)))
         {
-            busy_until_ns = run_stream_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns);
+            busy_until_ns =
+                run_stream_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns, &track);
         } else {
             busy_until_ns = run_frame_batch(
                 &mut ctx,
@@ -108,6 +121,8 @@ pub(crate) fn run(mut ctx: ShardContext) {
                 frame_latency_ns,
                 frame_energy_pj,
                 busy_until_ns,
+                &track,
+                stages.as_deref().unwrap_or(&[]),
             );
         }
 
@@ -141,6 +156,8 @@ fn run_frame_batch(
     frame_latency_ns: u64,
     frame_energy_pj: f64,
     busy_until_ns: u64,
+    track: &str,
+    stages: &[lightator_core::StageSpan],
 ) -> u64 {
     let first_ticket = batch[0].ticket;
     let newest_arrival_ns = batch.iter().map(|r| r.arrival_ns).max().unwrap_or(0);
@@ -161,6 +178,17 @@ fn run_frame_batch(
         })
         .unzip();
     let mut guard = SlotGuard::new(handles);
+
+    if let Some(tracer) = &ctx.tracer {
+        trace_frame_batch(
+            tracer.as_ref(),
+            track,
+            stages,
+            guard.handles(),
+            start_ns,
+            frame_latency_ns,
+        );
+    }
 
     // Publish the batch on the timelines *before* fulfilling any slot:
     // a closed-loop client wakes inside `fulfil` and stamps its next
@@ -213,6 +241,74 @@ fn run_frame_batch(
     completion_ns
 }
 
+/// Replays one frame batch onto the trace: the request lifecycle (queue →
+/// batch-form → execute → respond) plus each frame's stage decomposition,
+/// all timestamped on the shard's simulated timeline. Everything emitted
+/// here is derived from already-computed quantities (arrival/start times
+/// and the spawn-time perf model), so tracing never perturbs execution.
+/// The stage spans describe the chip occupancy of the whole batch; a frame
+/// that later errors still occupied its slot on the timeline.
+fn trace_frame_batch(
+    tracer: &TraceRecorder,
+    track: &str,
+    stages: &[lightator_core::StageSpan],
+    handles: &[RequestHandle],
+    start_ns: u64,
+    frame_latency_ns: u64,
+) {
+    tracer.record(
+        TraceEvent::instant("request", "batch-form", track, start_ns as f64)
+            .with_arg("batch", handles.len()),
+    );
+    for (ticket, arrival_ns, _) in handles {
+        tracer.record(
+            TraceEvent::span(
+                "request",
+                "queue",
+                track,
+                *arrival_ns as f64,
+                start_ns.saturating_sub(*arrival_ns) as f64,
+                0.0,
+            )
+            .with_arg("ticket", ticket),
+        );
+    }
+    tracer.record(
+        TraceEvent::span(
+            "request",
+            "execute",
+            track,
+            start_ns as f64,
+            (frame_latency_ns * handles.len() as u64) as f64,
+            0.0,
+        )
+        .with_arg("frames", handles.len()),
+    );
+    for (i, (ticket, _, _)) in handles.iter().enumerate() {
+        let mut cursor = (start_ns + i as u64 * frame_latency_ns) as f64;
+        for stage in stages {
+            tracer.record(TraceEvent::span(
+                "stage",
+                stage.stage,
+                track,
+                cursor,
+                stage.latency.ns(),
+                stage.energy.pj(),
+            ));
+            cursor += stage.latency.ns();
+        }
+        tracer.record(
+            TraceEvent::instant(
+                "request",
+                "respond",
+                track,
+                (start_ns + (i as u64 + 1) * frame_latency_ns) as f64,
+            )
+            .with_arg("ticket", ticket),
+        );
+    }
+}
+
 /// Executes one drained batch of video-stream requests, one request at a
 /// time: each stream seeks to its ticket, runs under the delta gate, and
 /// occupies the virtual chip for its *gated* simulated time — the serving
@@ -222,6 +318,7 @@ fn run_stream_batch(
     batch: Vec<QueuedRequest>,
     frame_latency_ns: u64,
     mut busy_until_ns: u64,
+    track: &str,
 ) -> u64 {
     let shard = &ctx.metrics.shards[ctx.shard_index];
     shard.batches.fetch_add(1, Ordering::Relaxed);
@@ -265,6 +362,49 @@ fn run_stream_batch(
             .fetch_max(completion_ns, Ordering::Relaxed);
         busy_until_ns = completion_ns;
         ctx.clock.advance_to(completion_ns);
+
+        if let Some(tracer) = &ctx.tracer {
+            // Stream lifecycle: queue → execute → respond. The execute span
+            // carries the *gated* simulated time and energy; the per-frame
+            // fine structure lives on the session track when a recorder is
+            // attached to a standalone session.
+            tracer.record(
+                TraceEvent::span(
+                    "request",
+                    "queue",
+                    track,
+                    arrival_ns as f64,
+                    start_ns.saturating_sub(arrival_ns) as f64,
+                    0.0,
+                )
+                .with_arg("ticket", ticket),
+            );
+            let energy_pj = match &executed {
+                Ok(Ok(report)) => report.energy.pj(),
+                _ => 0.0,
+            };
+            tracer.record(
+                TraceEvent::span(
+                    "stage",
+                    "execute",
+                    track,
+                    start_ns as f64,
+                    completion_ns.saturating_sub(start_ns) as f64,
+                    energy_pj,
+                )
+                .with_arg("ticket", ticket)
+                .with_arg("stream_frames", weight),
+            );
+            let outcome = if matches!(&executed, Ok(Ok(_))) {
+                "respond"
+            } else {
+                "stream-error"
+            };
+            tracer.record(
+                TraceEvent::instant("request", outcome, track, completion_ns as f64)
+                    .with_arg("ticket", ticket),
+            );
+        }
 
         match executed {
             Ok(Ok(report)) => {

@@ -9,6 +9,7 @@
 //! a closed loop against a 2-shard-per-workload pool, then the example
 //! prints the server's metrics table and the shard-scaling headline.
 
+use lightator_suite::bench::emit::{self, BenchMetric};
 use lightator_suite::core::ca::CaConfig;
 use lightator_suite::nn::layers::{Activation, Flatten, Linear};
 use lightator_suite::nn::model::Sequential;
@@ -111,5 +112,24 @@ fn main() -> Result<(), ServeError> {
         CLIENTS * FRAMES_PER_CLIENT,
         "every submitted frame is served before shutdown returns"
     );
+
+    // Machine-readable artifact for the perf trajectory, next to the other
+    // BENCH_*.json documents.
+    let path = emit::emit(
+        "serve_metrics",
+        &[
+            BenchMetric::new("completed_requests", metrics.completed as f64, "requests"),
+            BenchMetric::new("rejected_requests", metrics.rejected as f64, "requests"),
+            BenchMetric::new("errored_requests", metrics.errored as f64, "requests"),
+            BenchMetric::new("served_frames", metrics.served_frames as f64, "frames"),
+            BenchMetric::new("throughput_fps", metrics.throughput_fps(), "frames/s"),
+            BenchMetric::new("p50_queue_wait_us", metrics.p50_queue_wait.us(), "us"),
+            BenchMetric::new("p99_queue_wait_us", metrics.p99_queue_wait.us(), "us"),
+            BenchMetric::new("plan_encodes", metrics.plan_encodes as f64, "encodes"),
+            BenchMetric::new("plan_cache_hits", metrics.plan_hits as f64, "hits"),
+        ],
+    )
+    .expect("emit BENCH_serve_metrics.json");
+    println!("wrote {}", path.display());
     Ok(())
 }

@@ -12,6 +12,8 @@
 //! * [`bench`](mod@bench) — the experiment harness regenerating Table 1 and Figs. 8–10;
 //! * [`serve`] — the sharded, micro-batching inference server turning
 //!   per-batch wins into system-level throughput;
+//! * [`telemetry`] — deterministic simulated-time tracing: ring-buffer
+//!   recorder, per-stage energy/latency attribution and Perfetto export;
 //! * [`analysis`] — the determinism lint and static plan verifier backing
 //!   the `lint_workspace` CI gate.
 //!
@@ -46,6 +48,7 @@ pub use lightator_nn as nn;
 pub use lightator_photonics as photonics;
 pub use lightator_sensor as sensor;
 pub use lightator_serve as serve;
+pub use lightator_telemetry as telemetry;
 
 pub use lightator_core::backend::{Backend, BackendId};
 pub use lightator_core::plan::{CompiledPlan, PlanStats};
