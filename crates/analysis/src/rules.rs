@@ -22,6 +22,9 @@ pub enum Rule {
     NoHashCollections,
     /// No unseeded RNG constructors (`from_entropy`, `thread_rng`,
     /// `OsRng`): every random draw must flow from the platform seed.
+    /// Seeded constructors — `SmallRng::seed_from_u64` and the
+    /// counter-based `CounterRng::new(seed, frame)` — are the compliant
+    /// set.
     NoUnseededRng,
     /// No `unwrap()`/`expect("…")` in library paths: fallible operations
     /// propagate `Result` so callers keep the error context.
@@ -175,6 +178,8 @@ impl AnalysisConfig {
         out.push_str("# Lightator static-analysis rule table (lightator-analysis)\n");
         out.push_str("# class.<name> partitions the workspace crates; rule.<rule> lists the\n");
         out.push_str("# classes it applies to (`all` matches every crate).\n");
+        out.push_str("# Seeded RNG constructors (SmallRng::seed_from_u64, CounterRng::new)\n");
+        out.push_str("# satisfy no-unseeded-rng; from_entropy/thread_rng/OsRng are flagged.\n");
         for (class, crates) in &self.classes {
             out.push_str(&format!("class.{class} = {}\n", crates.join(", ")));
         }

@@ -148,6 +148,19 @@ pub trait LoweredPlan: fmt::Debug + Send + Sync {
     /// Switches between plan-cached execution and the per-call-encode path.
     fn set_plan_reuse(&mut self, enabled: bool);
 
+    /// How many workers tile the MAC loops (1 = sequential). Backends
+    /// without a tiled execution path report 1.
+    fn workers(&self) -> usize {
+        1
+    }
+
+    /// Sets the worker count used to tile the MAC loops. Tiling is
+    /// bit-exact, so this only affects throughput; backends without a
+    /// tiled path ignore it.
+    fn set_workers(&mut self, workers: usize) {
+        let _ = workers;
+    }
+
     /// Evaluates classify accuracy through this backend's datapath and
     /// digitally for reference.
     ///
@@ -323,7 +336,8 @@ impl Backend for PhotonicBackend {
         seed: u64,
     ) -> Result<Box<dyn LoweredPlan>> {
         let config = self.effective(config);
-        let executor = PhotonicExecutor::new(config.schedule, config.hardware.noise, seed)?;
+        let mut executor = PhotonicExecutor::new(config.schedule, config.hardware.noise, seed)?;
+        executor.set_workers(config.workers);
         let plan = CompiledPlan::compile(workload, &config, seed)?;
         Ok(Box::new(PhotonicLowered {
             executor,
@@ -419,6 +433,14 @@ impl LoweredPlan for PhotonicLowered {
 
     fn set_plan_reuse(&mut self, enabled: bool) {
         self.plan_reuse = enabled;
+    }
+
+    fn workers(&self) -> usize {
+        self.executor.workers()
+    }
+
+    fn set_workers(&mut self, workers: usize) {
+        self.executor.set_workers(workers);
     }
 
     fn evaluate(

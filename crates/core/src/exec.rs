@@ -51,6 +51,24 @@ pub struct PhotonicExecutor {
     mac_unit: PhotonicMacUnit,
     schedule: PrecisionSchedule,
     next_frame: u64,
+    workers: usize,
+}
+
+/// The default intra-session worker count: the value of the
+/// `LIGHTATOR_DEFAULT_WORKERS` environment variable when it is a positive
+/// integer, otherwise 1 (sequential execution).
+///
+/// Worker tiling is bit-exact — the counter-based noise streams key every
+/// draw by `(seed, frame, channel, element)`, not by evaluation order — so
+/// this default only affects wall-clock speed, never results. CI uses the
+/// variable to run the whole test suite through the tiled path.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::env::var("LIGHTATOR_DEFAULT_WORKERS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&workers| workers >= 1)
+        .unwrap_or(1)
 }
 
 /// Quantizes one weight row into `[-1, 1]` MR transmission values. This is
@@ -160,7 +178,22 @@ impl PhotonicExecutor {
             mac_unit: PhotonicMacUnit::new(noise, seed)?,
             schedule,
             next_frame: 0,
+            workers: default_workers(),
         })
+    }
+
+    /// Number of worker threads the hot MAC loops tile across
+    /// (1 = sequential).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the intra-session worker count. Tiling is bit-exact for any
+    /// worker count (draws are keyed, not streamed), so this knob trades
+    /// wall-clock time only. Zero is clamped to 1.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// The precision schedule in use.
@@ -183,9 +216,14 @@ impl PhotonicExecutor {
     }
 
     /// Opens the noise stream of the current frame and advances the counter.
+    ///
+    /// The counter saturates at `u64::MAX` instead of wrapping: an executor
+    /// driven past the last representable frame index keeps replaying the
+    /// `u64::MAX` stream rather than silently replaying frame 0's noise
+    /// (or panicking in debug builds).
     fn begin_frame(&mut self) {
         self.mac_unit.begin_frame(self.next_frame);
-        self.next_frame += 1;
+        self.next_frame = self.next_frame.saturating_add(1);
     }
 
     /// Runs one input through the model with every weighted layer executed on
@@ -471,6 +509,109 @@ impl PhotonicExecutor {
         let activation_scale = input.data().iter().fold(0.0f32, |m, &x| m.max(x.max(0.0)));
         let mut out = Tensor::zeros(&out_shape);
         let row_len = in_c * k * k;
+        // Kernels that fit one arm run weight-stationary: the row is
+        // programmed once per output channel and every stride (of every
+        // frame in a batch) streams against it. Wider kernels fall back to
+        // the segmented dot.
+        let weight_stationary = row_len <= self.mac_unit.segment_length();
+        let items = oc_n * oh_n * ow_n;
+        let workers = self.workers.min(items).max(1);
+        if workers > 1 {
+            // Tiled path: the flattened stride loop splits into per-worker
+            // chunks. MAC call `j` of the layer draws its noise purely from
+            // the cursor position `layer_base + j`, so each worker clone
+            // positioned at its chunk start reproduces the sequential bits.
+            let calls_per_item = if weight_stationary {
+                1u64
+            } else {
+                row_len.div_ceil(self.mac_unit.segment_length()) as u64
+            };
+            let layer_base = self.mac_unit.mac_cursor();
+            let chunk = items.div_ceil(workers);
+            if scratch.worker_patch.len() < workers {
+                scratch.worker_patch.resize_with(workers, Vec::new);
+            }
+            if scratch.worker_a_norm.len() < workers {
+                scratch.worker_a_norm.resize_with(workers, Vec::new);
+            }
+            let stride_span = oh_n * ow_n;
+            let weight_scale = f64::from(encoded.weight_scale);
+            let unit = &self.mac_unit;
+            let bias = conv.bias().data();
+            let rows = &encoded.rows;
+            let (stride, padding) = (conv.stride(), conv.padding());
+            let activation_bits = precision.activation_bits;
+            let worker_buffers = scratch
+                .worker_patch
+                .iter_mut()
+                .zip(scratch.worker_a_norm.iter_mut());
+            let results: Vec<Result<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = out
+                    .data_mut()
+                    .chunks_mut(chunk)
+                    .zip(worker_buffers)
+                    .enumerate()
+                    .map(|(worker, (out_chunk, (patch, a_norm)))| {
+                        let mut worker_unit = unit.clone();
+                        scope.spawn(move || -> Result<()> {
+                            let start = worker * chunk;
+                            worker_unit.set_mac_cursor(layer_base + start as u64 * calls_per_item);
+                            patch.resize(row_len, 0.0);
+                            a_norm.resize(row_len, 0.0);
+                            let patch = &mut patch[..row_len];
+                            let a_norm = &mut a_norm[..row_len];
+                            let mut loaded = usize::MAX;
+                            for (slot, item) in out_chunk.iter_mut().zip(start..) {
+                                let oc = item / stride_span;
+                                let rest = item % stride_span;
+                                let (oh, ow) = (rest / ow_n, rest % ow_n);
+                                gather_patch(
+                                    input, in_c, in_h, in_w, k, stride, padding, oh, ow, patch,
+                                );
+                                quantize_activations_into(
+                                    patch,
+                                    activation_scale,
+                                    activation_bits,
+                                    a_norm,
+                                );
+                                let normalized = if weight_stationary {
+                                    if oc != loaded {
+                                        worker_unit.load_row(&rows[oc])?;
+                                        loaded = oc;
+                                    }
+                                    worker_unit.mac_loaded(a_norm)?
+                                } else {
+                                    worker_unit.dot(&rows[oc], a_norm)?
+                                };
+                                let value = normalized * weight_scale * f64::from(activation_scale);
+                                *slot = value as f32 + bias[oc];
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| {
+                        handle.join().unwrap_or_else(|_| {
+                            Err(CoreError::ModelMismatch {
+                                reason: "a tiled conv execution worker panicked".to_string(),
+                            })
+                        })
+                    })
+                    .collect()
+            });
+            for result in results {
+                result?;
+            }
+            // The parent unit takes over at the end of the layer's cursor
+            // range, exactly where a sequential walk would have landed.
+            self.mac_unit
+                .set_mac_cursor(layer_base + items as u64 * calls_per_item);
+            self.mac_unit
+                .add_segments_evaluated(items as u64 * calls_per_item);
+            return Ok(out);
+        }
         // Compiled plans preallocate these at their widest-row size, so the
         // resize is a no-op on the steady-state path.
         scratch.patch.resize(row_len, 0.0);
@@ -479,11 +620,6 @@ impl PhotonicExecutor {
             &mut scratch.patch[..row_len],
             &mut scratch.a_norm[..row_len],
         );
-        // Kernels that fit one arm run weight-stationary: the row is
-        // programmed once per output channel and every stride (of every
-        // frame in a batch) streams against it. Wider kernels fall back to
-        // the segmented dot.
-        let weight_stationary = row_len <= self.mac_unit.segment_length();
         for oc in 0..oc_n {
             let bias = conv.bias().data()[oc];
             let w_norm = &encoded.rows[oc];
@@ -545,15 +681,66 @@ impl PhotonicExecutor {
         // it once per layer (bit-identical: quantization draws no noise).
         let len = input.data().len();
         scratch.a_norm.resize(len, 0.0);
-        let a_norm = &mut scratch.a_norm[..len];
         quantize_activations_into(
             input.data(),
             activation_scale,
             precision.activation_bits,
-            a_norm,
+            &mut scratch.a_norm[..len],
         );
+        let a_norm: &[f64] = &scratch.a_norm[..len];
         let scale = f64::from(encoded.weight_scale) * f64::from(activation_scale);
-        for o in 0..linear.out_features() {
+        let out_features = linear.out_features();
+        let workers = self.workers.min(out_features).max(1);
+        if workers > 1 {
+            // Tiled path: output rows split into per-worker chunks; row `o`
+            // draws its noise purely from cursor `layer_base + o·calls`, so
+            // worker clones reproduce the sequential bits (see the conv
+            // path for the cursor contract).
+            let calls_per_item = len.div_ceil(self.mac_unit.segment_length()) as u64;
+            let layer_base = self.mac_unit.mac_cursor();
+            let chunk = out_features.div_ceil(workers);
+            let unit = &self.mac_unit;
+            let bias = linear.bias().data();
+            let rows = &encoded.rows;
+            let results: Vec<Result<()>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = out
+                    .data_mut()
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .map(|(worker, out_chunk)| {
+                        let mut worker_unit = unit.clone();
+                        scope.spawn(move || -> Result<()> {
+                            let start = worker * chunk;
+                            worker_unit.set_mac_cursor(layer_base + start as u64 * calls_per_item);
+                            for (slot, o) in out_chunk.iter_mut().zip(start..) {
+                                let normalized = worker_unit.dot(&rows[o], a_norm)?;
+                                *slot = (normalized * scale) as f32 + bias[o];
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| {
+                        handle.join().unwrap_or_else(|_| {
+                            Err(CoreError::ModelMismatch {
+                                reason: "a tiled linear execution worker panicked".to_string(),
+                            })
+                        })
+                    })
+                    .collect()
+            });
+            for result in results {
+                result?;
+            }
+            self.mac_unit
+                .set_mac_cursor(layer_base + out_features as u64 * calls_per_item);
+            self.mac_unit
+                .add_segments_evaluated(out_features as u64 * calls_per_item);
+            return Ok(out);
+        }
+        for o in 0..out_features {
             let normalized = self.mac_unit.dot(&encoded.rows[o], a_norm)?;
             out.data_mut()[o] = (normalized * scale) as f32 + linear.bias().data()[o];
         }
@@ -835,6 +1022,77 @@ mod tests {
             .expect("ok")
             .is_empty());
         assert_eq!(replay.next_frame_index(), before + 1);
+    }
+
+    #[test]
+    fn frame_counter_saturates_at_u64_max() {
+        // Regression: `next_frame += 1` past u64::MAX panicked in debug and
+        // wrapped to frame 0 (replaying frame 0's noise) in release. The
+        // counter now saturates: the executor keeps replaying the u64::MAX
+        // stream instead of silently rewinding.
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let input = &dataset.test()[0].input;
+        let mut executor = PhotonicExecutor::new(schedule, NoiseConfig::default(), 21).expect("ok");
+        executor.set_next_frame_index(u64::MAX);
+        let last = executor.forward(&mut model, input).expect("ok");
+        assert_eq!(executor.next_frame_index(), u64::MAX);
+        let saturated = executor.forward(&mut model, input).expect("ok");
+        assert_eq!(
+            last.data(),
+            saturated.data(),
+            "a saturated counter replays the u64::MAX stream"
+        );
+        // ... and that stream is NOT frame 0's (no wrap-around replay).
+        let mut fresh = PhotonicExecutor::new(schedule, NoiseConfig::default(), 21).expect("ok");
+        let frame0 = fresh.forward(&mut model, input).expect("ok");
+        assert_ne!(
+            last.data(),
+            frame0.data(),
+            "the saturated stream must not replay frame 0"
+        );
+    }
+
+    #[test]
+    fn worker_tiling_is_bit_exact_for_any_worker_count() {
+        let (mut model, dataset) = trained_setup();
+        let schedule = PrecisionSchedule::Uniform(Precision::w4a4());
+        quantize_model_weights(&mut model, schedule);
+        let inputs: Vec<_> = dataset
+            .test()
+            .iter()
+            .take(3)
+            .map(|s| s.input.clone())
+            .collect();
+
+        let mut sequential =
+            PhotonicExecutor::new(schedule, NoiseConfig::default(), 31).expect("ok");
+        sequential.set_workers(1);
+        let expected: Vec<Tensor> = inputs
+            .iter()
+            .map(|input| {
+                sequential
+                    .forward_batch(&mut model, std::slice::from_ref(input))
+                    .expect("ok")
+                    .remove(0)
+            })
+            .collect();
+
+        for workers in [2usize, 4, 8] {
+            let mut tiled =
+                PhotonicExecutor::new(schedule, NoiseConfig::default(), 31).expect("ok");
+            tiled.set_workers(workers);
+            assert_eq!(tiled.workers(), workers);
+            let got = tiled.forward_batch(&mut model, &inputs).expect("ok");
+            for (a, b) in expected.iter().zip(&got) {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{workers}-worker tiling diverged from sequential"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,6 @@ use lightator_photonics::arm::{ArmConfig, OpticalArm};
 use lightator_photonics::microring::MicroringConfig;
 use lightator_photonics::noise::NoiseConfig;
 use lightator_photonics::units::Power;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// A photonic dot-product engine of arbitrary length.
@@ -35,18 +33,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone)]
 pub struct PhotonicMacUnit {
     arm: OpticalArm,
-    rng: SmallRng,
     seed: u64,
     segments_evaluated: u64,
-}
-
-/// Derives the noise-stream seed of frame `index` from the unit's base seed.
-///
-/// Index 0 maps to the base seed itself, so a unit that never calls
-/// [`PhotonicMacUnit::begin_frame`] behaves exactly like one positioned at
-/// frame 0.
-fn frame_stream_seed(seed: u64, index: u64) -> u64 {
-    seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl PhotonicMacUnit {
@@ -73,9 +61,11 @@ impl PhotonicMacUnit {
     ///
     /// Returns [`CoreError::Photonics`] if the arm configuration is invalid.
     pub fn with_arm_config(config: ArmConfig, seed: u64) -> Result<Self> {
+        let mut arm = OpticalArm::new(config)?;
+        // A fresh unit sits at the frame-0 stream.
+        arm.begin_frame(seed, 0);
         Ok(Self {
-            arm: OpticalArm::new(config)?,
-            rng: SmallRng::seed_from_u64(frame_stream_seed(seed, 0)),
+            arm,
             seed,
             segments_evaluated: 0,
         })
@@ -83,17 +73,37 @@ impl PhotonicMacUnit {
 
     /// Rewinds the analog-noise stream to the start of frame `index`.
     ///
-    /// Each frame draws its noise from an independent stream derived from
-    /// `(seed, index)`, so the noise a frame sees depends only on its global
-    /// position in the frame sequence — not on which executor (or which
-    /// shard of a serving pool) happens to evaluate it. This is what lets
-    /// batched and pooled execution reproduce sequential runs bit for bit.
+    /// Every draw of frame `index` is a pure function of
+    /// `(seed, index, channel, element)` — see
+    /// [`lightator_photonics::noise::CounterRng`] — so the noise a frame
+    /// sees depends only on its global position in the frame sequence, not
+    /// on which executor (or which shard of a serving pool) happens to
+    /// evaluate it. This is what lets batched, pooled and worker-tiled
+    /// execution reproduce sequential runs bit for bit.
     pub fn begin_frame(&mut self, index: u64) {
-        self.rng = SmallRng::seed_from_u64(frame_stream_seed(self.seed, index));
-        // The Box–Muller sampler caches a spare normal drawn from the old
-        // stream; drop it so the frame's noise is a pure function of
-        // `(seed, index)`.
-        self.arm.reset_noise();
+        self.arm.begin_frame(self.seed, index);
+    }
+
+    /// The MAC-call cursor within the current frame's noise stream (see
+    /// [`lightator_photonics::arm::OpticalArm::mac_cursor`]).
+    #[must_use]
+    pub fn mac_cursor(&self) -> u64 {
+        self.arm.mac_cursor()
+    }
+
+    /// Repositions the MAC-call cursor within the current frame's noise
+    /// stream. With keyed draws the cursor fully determines the noise each
+    /// call sees, so a clone of this unit positioned at cursor `n`
+    /// reproduces the `n`-th sequential MAC call bit for bit — the hook the
+    /// executor's parallel tiling is built on.
+    pub fn set_mac_cursor(&mut self, cursor: u64) {
+        self.arm.set_mac_cursor(cursor);
+    }
+
+    /// Adds externally evaluated segments (e.g. from worker clones of this
+    /// unit) to the segment counter.
+    pub(crate) fn add_segments_evaluated(&mut self, segments: u64) {
+        self.segments_evaluated += segments;
     }
 
     /// Number of arm-sized segments evaluated so far (one per optical wave).
@@ -136,7 +146,7 @@ impl PhotonicMacUnit {
     /// Returns [`CoreError::Photonics`] for activations outside `[0, 1]` or
     /// longer than the arm.
     pub fn mac_loaded(&mut self, activations: &[f64]) -> Result<f64> {
-        let out = self.arm.mac(activations, &mut self.rng)?;
+        let out = self.arm.mac(activations)?;
         self.segments_evaluated += 1;
         Ok(out.value)
     }
@@ -164,7 +174,7 @@ impl PhotonicMacUnit {
         let mut total = 0.0;
         for (w_chunk, a_chunk) in weights.chunks(segment).zip(activations.chunks(segment)) {
             self.arm.load_weights(w_chunk)?;
-            let out = self.arm.mac(a_chunk, &mut self.rng)?;
+            let out = self.arm.mac(a_chunk)?;
             total += out.value;
             self.segments_evaluated += 1;
         }
@@ -305,6 +315,26 @@ mod tests {
         assert_ne!(frame3, first);
         unit.begin_frame(3);
         assert_eq!(unit.dot(&w, &a).expect("ok"), frame3);
+    }
+
+    #[test]
+    fn mac_cursor_replays_any_segment_position() {
+        let w = [0.4, -0.3, 0.2, 0.7, -0.9, 0.1, 0.0, 0.5, -0.5];
+        let a = [0.9, 0.1, 0.4, 0.6, 0.3, 0.8, 0.2, 0.5, 0.7];
+        let mut unit = PhotonicMacUnit::new(NoiseConfig::default(), 17).expect("ok");
+        unit.begin_frame(2);
+        let sequential: Vec<f64> = (0..4).map(|_| unit.dot(&w, &a).expect("ok")).collect();
+        assert_eq!(unit.mac_cursor(), 4);
+        // A clone repositioned at any cursor reproduces that call's bits.
+        for (cursor, expected) in sequential.iter().enumerate() {
+            let mut replay = PhotonicMacUnit::new(NoiseConfig::default(), 17).expect("ok");
+            replay.begin_frame(2);
+            replay.set_mac_cursor(cursor as u64);
+            assert_eq!(
+                replay.dot(&w, &a).expect("ok").to_bits(),
+                expected.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -168,6 +168,11 @@ pub(crate) struct PlanScratch {
     pub(crate) a_norm: Vec<f64>,
     /// Reusable `block+halo` tile tensors for the streaming path.
     pub(crate) tiles: Vec<Tensor>,
+    /// Per-worker patch buffers for the tiled conv path (grown lazily to
+    /// the executor's worker count, then reused frame after frame).
+    pub(crate) worker_patch: Vec<Vec<f32>>,
+    /// Per-worker activation buffers for the tiled conv path.
+    pub(crate) worker_a_norm: Vec<Vec<f64>>,
 }
 
 /// A lowered, ready-to-run workload: CA operator, optical model, encoded
@@ -244,6 +249,8 @@ impl CompiledPlan {
                 patch: vec![0.0; widest_row],
                 a_norm: vec![0.0; widest_row],
                 tiles,
+                worker_patch: Vec::new(),
+                worker_a_norm: Vec::new(),
             },
             stats: PlanStats {
                 encodes: 1,

@@ -38,6 +38,11 @@ pub struct PlatformConfig {
     pub schedule: PrecisionSchedule,
     /// Seed of the analog-noise stream (deterministic runs for a fixed seed).
     pub seed: u64,
+    /// Worker threads each session tiles its MAC loops across
+    /// (1 = sequential). Tiling is bit-exact for any worker count — noise
+    /// draws are keyed by `(seed, frame, channel, element)`, not by
+    /// evaluation order — so this knob trades wall-clock time only.
+    pub workers: usize,
 }
 
 impl PlatformConfig {
@@ -89,6 +94,7 @@ impl PlatformBuilder {
                 ca: Some(CaConfig::default()),
                 schedule: PrecisionSchedule::Uniform(Precision::w4a4()),
                 seed: 7,
+                workers: crate::exec::default_workers(),
             },
             backends: Vec::new(),
         }
@@ -184,6 +190,17 @@ impl PlatformBuilder {
         self
     }
 
+    /// Sets the number of worker threads each session tiles its MAC loops
+    /// across (1 = sequential, the default unless the
+    /// `LIGHTATOR_DEFAULT_WORKERS` environment variable overrides it).
+    /// Tiling is bit-exact for any worker count, so this knob trades
+    /// wall-clock time only, never results.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
     /// Registers an execution backend, making its [`BackendId`] resolvable
     /// through [`Platform::backend`] / [`Platform::session_on`].
     ///
@@ -207,6 +224,42 @@ impl PlatformBuilder {
     pub fn build(self) -> Result<Platform> {
         let Self { config, backends } = self;
         config.hardware.validate()?;
+        // Noise sigmas are RMS magnitudes: a negative value would silently
+        // sign-flip every draw of its channel (and NaN would poison all of
+        // them), so reject both here rather than at draw time.
+        let sigmas = [
+            (
+                "vcsel_relative_sigma",
+                config.hardware.noise.vcsel_relative_sigma,
+            ),
+            (
+                "detector_relative_sigma",
+                config.hardware.noise.detector_relative_sigma,
+            ),
+            ("weight_sigma", config.hardware.noise.weight_sigma),
+        ];
+        for (name, sigma) in sigmas {
+            if !sigma.is_finite() || sigma < 0.0 {
+                return Err(CoreError::invalid_config(
+                    name,
+                    sigma,
+                    format!(
+                        "noise sigmas are RMS magnitudes and must be finite and \
+                         non-negative; use NoiseConfig::scaled with a non-negative \
+                         factor (negative factors are clamped to zero) or zero the \
+                         `{name}` channel explicitly to ablate it"
+                    ),
+                ));
+            }
+        }
+        if config.workers == 0 {
+            return Err(CoreError::invalid_config(
+                "workers",
+                0.0,
+                "sessions need at least one execution worker (1 = sequential; \
+                 larger counts tile the MAC loops bit-exactly)",
+            ));
+        }
         if config.sensor.height == 0 || config.sensor.width == 0 {
             return Err(CoreError::invalid_config(
                 "sensor_resolution",
@@ -454,6 +507,52 @@ mod tests {
     #[test]
     fn builder_rejects_zero_sensor() {
         assert!(Platform::builder().sensor_resolution(0, 8).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_negative_noise_sigmas() {
+        // Regression: `NoiseConfig::scaled(-1.0)` used to produce negative
+        // sigmas that the sampler silently treated as sign-flipped noise.
+        let err = Platform::builder()
+            .noise(NoiseConfig {
+                weight_sigma: -0.004,
+                ..NoiseConfig::default()
+            })
+            .build()
+            .expect_err("negative sigma must be rejected");
+        let message = err.to_string();
+        assert!(message.contains("weight_sigma"), "{message}");
+        assert!(message.contains("non-negative"), "{message}");
+        assert!(Platform::builder()
+            .noise(NoiseConfig {
+                vcsel_relative_sigma: f64::NAN,
+                ..NoiseConfig::default()
+            })
+            .build()
+            .is_err());
+        assert!(Platform::builder()
+            .noise(NoiseConfig {
+                detector_relative_sigma: -1.0,
+                ..NoiseConfig::default()
+            })
+            .build()
+            .is_err());
+        // ... and the documented clamp keeps `scaled` safe to pass through.
+        assert!(Platform::builder()
+            .noise(NoiseConfig::default().scaled(-1.0))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_workers_and_accepts_many() {
+        let err = Platform::builder()
+            .workers(0)
+            .build()
+            .expect_err("zero workers must be rejected");
+        assert!(err.to_string().contains("workers"));
+        let platform = Platform::builder().workers(8).build().expect("ok");
+        assert_eq!(platform.config().workers, 8);
     }
 
     #[test]

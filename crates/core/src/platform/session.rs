@@ -222,6 +222,23 @@ impl Session {
         self.lowered.set_plan_reuse(enabled);
     }
 
+    /// How many workers tile the MAC loops (1 = sequential).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.lowered.workers()
+    }
+
+    /// Sets the worker count used to tile the conv/linear MAC loops.
+    ///
+    /// Tiling is **bit-exact**: the counter-based noise generator keys
+    /// every Gaussian draw by `(seed, frame, channel, element)`, so workers
+    /// produce the identical draws the sequential loop would. The knob only
+    /// affects throughput (`cargo bench -p lightator-bench --bench
+    /// parallel_scaling`). Counts below 1 are clamped to 1.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.lowered.set_workers(workers);
+    }
+
     /// The workload's performance model on this platform (identical to the
     /// `perf` field of every report the session produces).
     #[must_use]

@@ -214,6 +214,7 @@ impl PlatformConfig {
 
         write_line(&mut out, "schedule", self.schedule.label());
         write_line(&mut out, "seed", self.seed);
+        write_line(&mut out, "workers", self.workers);
         out
     }
 
@@ -364,6 +365,9 @@ impl PlatformConfig {
                 "seed" => {
                     config.seed = parse_u64(key, value)?;
                 }
+                "workers" => {
+                    config.workers = parse_usize(key, value)?;
+                }
                 unknown => {
                     return Err(malformed_value(
                         unknown,
@@ -406,6 +410,7 @@ mod tests {
                 rgb_to_grayscale: false,
             })
             .seed(99)
+            .workers(4)
             .build()
             .expect("valid")
             .config()

@@ -200,6 +200,82 @@ proptest! {
 }
 
 proptest! {
+    /// Worker tiling: with analog noise **on**, every worker count replays
+    /// the sequential noise stream bit for bit across classify, acquire
+    /// and kernel workloads — the counter-based generator keys each draw
+    /// by `(seed, frame, channel, element)`, so tiling is a pure
+    /// throughput transform.
+    #[test]
+    fn worker_tiling_matches_sequential_across_workloads(
+        worker_index in 0usize..4,
+        kernel_index in 0usize..7,
+        batch in 1usize..5,
+        scene_seed in 1u64..256,
+    ) {
+        let workers = [1usize, 2, 4, 8][worker_index];
+        let platform = noisy_platform();
+        let frames = scenes(batch, scene_seed);
+        for workload in [
+            Workload::Classify { model: conv_classifier(7) },
+            Workload::Acquire,
+            Workload::ImageKernel { kernel: ImageKernel::ALL[kernel_index] },
+        ] {
+            let mut sequential = platform.session(workload.clone()).expect("session");
+            sequential.set_workers(1);
+            let mut tiled = platform.session(workload).expect("session");
+            tiled.set_workers(workers);
+            assert_eq!(tiled.workers(), workers);
+            assert_eq!(
+                sequential.run_batch(&frames).expect("sequential batch"),
+                tiled.run_batch(&frames).expect("tiled batch"),
+                "tiled run_batch diverged at {workers} workers"
+            );
+            for frame in &frames {
+                assert_eq!(
+                    sequential.run(frame).expect("sequential run"),
+                    tiled.run(frame).expect("tiled run"),
+                    "tiled run diverged at {workers} workers"
+                );
+            }
+            assert_eq!(sequential.next_frame_index(), tiled.next_frame_index());
+        }
+    }
+}
+
+proptest! {
+    /// Worker tiling, video streams: the per-block stream path produces
+    /// identical frames at any worker count and any split point.
+    #[test]
+    fn worker_tiling_matches_sequential_for_video_streams(
+        worker_index in 0usize..4,
+        frame_count in 2usize..6,
+    ) {
+        let workers = [1usize, 2, 4, 8][worker_index];
+        let platform = Platform::builder()
+            .sensor_resolution(16, 16)
+            .build()
+            .expect("platform");
+        let workload = || Workload::VideoStream {
+            kernel: ImageKernel::SobelX,
+            stream: StreamConfig { block_size: 2, delta_threshold: 0.05 },
+        };
+        let frames = stream_scenes(frame_count);
+
+        let mut sequential = platform.session(workload()).expect("session");
+        sequential.set_workers(1);
+        let full = sequential.run_stream(&frames).expect("sequential stream");
+
+        let mut tiled = platform.session(workload()).expect("session");
+        tiled.set_workers(workers);
+        let tiled_full = tiled.run_stream(&frames).expect("tiled stream");
+        assert_eq!(
+            full.frames, tiled_full.frames,
+            "tiled stream diverged at {workers} workers"
+        );
+    }
+}
+
+proptest! {
     /// Session level, video streams: plan-cached streaming equals the
     /// per-call-encode stream bit for bit, and a tail resumed at any split
     /// point — in either plan mode — replays the cached full run exactly.

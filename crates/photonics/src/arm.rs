@@ -10,13 +10,20 @@
 //! magnitude is programmed into the MR and the drop port of negatively
 //! weighted channels is routed to the negative diode of the balanced
 //! detector, so the electrical output is `Σ aᵢ·wᵢ` with `wᵢ ∈ [−1, 1]`.
+//!
+//! Noise draws are keyed, not streamed: the arm keeps a **MAC cursor** that
+//! counts [`OpticalArm::mac`] calls since [`OpticalArm::begin_frame`], and
+//! every perturbation is a pure function of
+//! `(seed, frame, channel, cursor-derived element)`. Repositioning the
+//! cursor with [`OpticalArm::set_mac_cursor`] therefore reproduces — or
+//! skips ahead in — the noise sequence exactly, which is what lets callers
+//! tile MAC loops across threads bit-exactly.
 
 use crate::error::{PhotonicsError, Result};
 use crate::microring::{MicroringConfig, MicroringResonator};
 use crate::noise::{NoiseConfig, NoiseInjector};
 use crate::units::Power;
 use crate::wdm::{CrosstalkModel, WdmGrid};
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an optical MAC arm.
@@ -62,14 +69,12 @@ impl ArmOutput {
 ///
 /// ```
 /// use lightator_photonics::arm::{ArmConfig, OpticalArm};
-/// use rand::SeedableRng;
-/// use rand::rngs::SmallRng;
 ///
 /// # fn main() -> Result<(), lightator_photonics::PhotonicsError> {
 /// let mut arm = OpticalArm::new(ArmConfig::default())?;
 /// arm.load_weights(&[0.5, -0.25, 0.0, 1.0, -1.0, 0.125, 0.75, -0.5, 0.25])?;
-/// let mut rng = SmallRng::seed_from_u64(1);
-/// let out = arm.mac(&[1.0, 0.5, 0.25, 0.0, 1.0, 0.5, 0.25, 0.0, 1.0], &mut rng)?;
+/// arm.begin_frame(1, 0);
+/// let out = arm.mac(&[1.0, 0.5, 0.25, 0.0, 1.0, 0.5, 0.25, 0.0, 1.0])?;
 /// assert!(out.error() < 0.1);
 /// # Ok(())
 /// # }
@@ -82,10 +87,12 @@ pub struct OpticalArm {
     weights: Vec<f64>,
     crosstalk: CrosstalkModel,
     injector: NoiseInjector,
+    mac_cursor: u64,
 }
 
 impl OpticalArm {
-    /// Creates an arm with all weights initialised to zero.
+    /// Creates an arm with all weights initialised to zero, positioned on
+    /// the `(seed 0, frame 0)` noise stream.
     ///
     /// # Errors
     ///
@@ -118,6 +125,7 @@ impl OpticalArm {
             weights: vec![0.0; channels],
             crosstalk,
             injector,
+            mac_cursor: 0,
         })
     }
 
@@ -127,10 +135,31 @@ impl OpticalArm {
         &self.config
     }
 
-    /// Re-aligns the arm's noise injector with a freshly (re)seeded RNG
-    /// stream (see [`NoiseInjector::reset`]). MR weights stay loaded.
-    pub fn reset_noise(&mut self) {
-        self.injector.reset();
+    /// Repositions the arm's noise stream on `(seed, frame)` and rewinds the
+    /// MAC cursor to zero. MR weights stay loaded. Every subsequent draw is
+    /// a pure function of `(seed, frame, channel, element)` where the
+    /// element index derives from the MAC cursor.
+    pub fn begin_frame(&mut self, seed: u64, frame: u64) {
+        self.injector.begin_frame(seed, frame);
+        self.mac_cursor = 0;
+    }
+
+    /// The number of [`OpticalArm::mac`] calls evaluated since the last
+    /// [`OpticalArm::begin_frame`] (or [`OpticalArm::set_mac_cursor`]).
+    #[must_use]
+    pub fn mac_cursor(&self) -> u64 {
+        self.mac_cursor
+    }
+
+    /// Repositions the MAC cursor within the current frame's noise stream.
+    ///
+    /// Because draws are keyed rather than streamed, setting the cursor to
+    /// `n` makes the next [`OpticalArm::mac`] call reproduce exactly the
+    /// draws of the `n`-th call after [`OpticalArm::begin_frame`] — the
+    /// hook parallel tilings use to evaluate disjoint cursor ranges on
+    /// cloned arms while matching the sequential bits.
+    pub fn set_mac_cursor(&mut self, cursor: u64) {
+        self.mac_cursor = cursor;
     }
 
     /// Number of MAC elements the arm evaluates per cycle.
@@ -198,7 +227,10 @@ impl OpticalArm {
     /// The activation vector may be shorter than the arm; missing channels
     /// contribute nothing. Non-idealities (VCSEL noise, crosstalk, weight
     /// error, detection noise) are applied according to the arm's
-    /// [`NoiseConfig`].
+    /// [`NoiseConfig`], keyed by the MAC cursor: lane `i` of cursor `c`
+    /// draws intensity/weight noise at element `c·channels + i` and the
+    /// balanced detector draws at element `c`. The cursor advances by one
+    /// per call.
     ///
     /// # Errors
     ///
@@ -206,7 +238,7 @@ impl OpticalArm {
     ///   are supplied.
     /// * [`PhotonicsError::WeightOutOfRange`] if an activation is outside
     ///   `[0, 1]` or not finite (activations are unsigned light intensities).
-    pub fn mac<R: Rng + ?Sized>(&mut self, activations: &[f64], rng: &mut R) -> Result<ArmOutput> {
+    pub fn mac(&mut self, activations: &[f64]) -> Result<ArmOutput> {
         if activations.len() > self.config.channels {
             return Err(PhotonicsError::LengthMismatch {
                 expected: self.config.channels,
@@ -228,14 +260,19 @@ impl OpticalArm {
             .map(|(a, w)| a * w)
             .sum();
 
-        // 1. VCSEL amplitude noise.
-        for value in &mut intensities {
-            *value = self.injector.perturb_intensity(rng, *value);
+        let lane_base = self.mac_cursor.wrapping_mul(self.config.channels as u64);
+        // 1. VCSEL amplitude noise, keyed per lane.
+        for (i, value) in intensities.iter_mut().enumerate() {
+            *value = self
+                .injector
+                .perturb_intensity(lane_base.wrapping_add(i as u64), *value);
         }
         // 2. Inter-channel crosstalk along the shared bus.
         self.crosstalk.apply(&mut intensities)?;
         // 3. Weighting by the realised (noisy) MR transmissions, routed to the
-        //    positive or negative BPD rail according to the weight sign.
+        //    positive or negative BPD rail according to the weight sign. Weight
+        //    noise is keyed by lane, so parked rings skip their draws without
+        //    shifting any other lane's sequence.
         let mut positive = 0.0;
         let mut negative = 0.0;
         for (i, &a) in intensities.iter().enumerate() {
@@ -244,7 +281,9 @@ impl OpticalArm {
                 continue;
             }
             let realised = self.rings[i].channel_transmission();
-            let realised = self.injector.perturb_weight(rng, realised);
+            let realised = self
+                .injector
+                .perturb_weight(lane_base.wrapping_add(i as u64), realised);
             let product = a * realised;
             if w >= 0.0 {
                 positive += product;
@@ -252,8 +291,12 @@ impl OpticalArm {
                 negative += product;
             }
         }
-        // 4. Balanced detection plus detector-referred noise.
-        let detected = self.injector.perturb_detection(rng, positive - negative);
+        // 4. Balanced detection plus detector-referred noise, keyed by the
+        //    MAC cursor (one detection event per call).
+        let detected = self
+            .injector
+            .perturb_detection(self.mac_cursor, positive - negative);
+        self.mac_cursor = self.mac_cursor.wrapping_add(1);
         Ok(ArmOutput {
             value: detected,
             ideal,
@@ -279,8 +322,6 @@ impl OpticalArm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn ideal_arm() -> OpticalArm {
         OpticalArm::new(ArmConfig {
@@ -305,8 +346,8 @@ mod tests {
         let weights = [0.5, -0.25, 0.0, 0.9, -0.9, 0.125, 0.75, -0.5, 0.25];
         let activations = [1.0, 0.5, 0.25, 0.0, 1.0, 0.5, 0.25, 0.0, 1.0];
         arm.load_weights(&weights).expect("ok");
-        let mut rng = SmallRng::seed_from_u64(0);
-        let out = arm.mac(&activations, &mut rng).expect("ok");
+        arm.begin_frame(0, 0);
+        let out = arm.mac(&activations).expect("ok");
         let exact: f64 = weights.iter().zip(activations).map(|(w, a)| w * a).sum();
         assert!((out.ideal - exact).abs() < 1e-12);
         // The only residual error in the ideal configuration comes from the
@@ -323,9 +364,9 @@ mod tests {
         let mut arm = OpticalArm::new(ArmConfig::default()).expect("valid");
         let weights = [0.3, -0.7, 0.2, 0.0, 0.5, -0.1, 0.9, -0.4, 0.6];
         arm.load_weights(&weights).expect("ok");
-        let mut rng = SmallRng::seed_from_u64(9);
+        arm.begin_frame(9, 0);
         let activations = [0.2, 0.4, 0.6, 0.8, 1.0, 0.1, 0.3, 0.5, 0.7];
-        let out = arm.mac(&activations, &mut rng).expect("ok");
+        let out = arm.mac(&activations).expect("ok");
         assert!(out.error() < 0.15, "error {}", out.error());
     }
 
@@ -333,8 +374,8 @@ mod tests {
     fn short_vectors_pad_with_zero() {
         let mut arm = ideal_arm();
         arm.load_weights(&[1.0, 1.0]).expect("ok");
-        let mut rng = SmallRng::seed_from_u64(2);
-        let out = arm.mac(&[0.5], &mut rng).expect("ok");
+        arm.begin_frame(2, 0);
+        let out = arm.mac(&[0.5]).expect("ok");
         assert!((out.ideal - 0.5).abs() < 1e-12);
         assert_eq!(arm.active_rings(), 2);
     }
@@ -343,9 +384,8 @@ mod tests {
     fn rejects_oversized_inputs() {
         let mut arm = ideal_arm();
         assert!(arm.load_weights(&[0.0; 10]).is_err());
-        let mut rng = SmallRng::seed_from_u64(3);
         let too_many = [0.1; 10];
-        assert!(arm.mac(&too_many, &mut rng).is_err());
+        assert!(arm.mac(&too_many).is_err());
     }
 
     #[test]
@@ -354,9 +394,8 @@ mod tests {
         assert!(arm.load_weights(&[1.5]).is_err());
         assert!(arm.load_weights(&[f64::NAN]).is_err());
         arm.load_weights(&[0.5]).expect("ok");
-        let mut rng = SmallRng::seed_from_u64(4);
-        assert!(arm.mac(&[-0.1], &mut rng).is_err());
-        assert!(arm.mac(&[1.1], &mut rng).is_err());
+        assert!(arm.mac(&[-0.1]).is_err());
+        assert!(arm.mac(&[1.1]).is_err());
     }
 
     #[test]
@@ -381,8 +420,8 @@ mod tests {
     fn negative_weights_produce_negative_outputs() {
         let mut arm = ideal_arm();
         arm.load_weights(&[-0.8]).expect("ok");
-        let mut rng = SmallRng::seed_from_u64(5);
-        let out = arm.mac(&[1.0], &mut rng).expect("ok");
+        arm.begin_frame(5, 0);
+        let out = arm.mac(&[1.0]).expect("ok");
         assert!(out.value < -0.6);
     }
 
@@ -393,5 +432,88 @@ mod tests {
         arm.load_weights(&[0.25]).expect("ok");
         assert_eq!(arm.active_rings(), 1);
         assert_eq!(arm.weights()[1], 0.0);
+    }
+
+    #[test]
+    fn mac_cursor_repositions_the_noise_stream() {
+        let weights = [0.3, -0.7, 0.2, 0.1, 0.5, -0.1, 0.9, -0.4, 0.6];
+        let activations = [0.2, 0.4, 0.6, 0.8, 1.0, 0.1, 0.3, 0.5, 0.7];
+        let mut arm = OpticalArm::new(ArmConfig::default()).expect("valid");
+        arm.load_weights(&weights).expect("ok");
+        arm.begin_frame(7, 4);
+        let sequential: Vec<f64> = (0..5)
+            .map(|_| arm.mac(&activations).expect("ok").value)
+            .collect();
+        // Replaying any cursor position on a fresh clone reproduces the bits.
+        for (cursor, expected) in sequential.iter().enumerate() {
+            let mut replay = OpticalArm::new(ArmConfig::default()).expect("valid");
+            replay.load_weights(&weights).expect("ok");
+            replay.begin_frame(7, 4);
+            replay.set_mac_cursor(cursor as u64);
+            let out = replay.mac(&activations).expect("ok");
+            assert_eq!(out.value.to_bits(), expected.to_bits());
+            assert_eq!(replay.mac_cursor(), cursor as u64 + 1);
+        }
+    }
+
+    /// Regression test for the cross-channel spare-coupling bug at the arm
+    /// level: the perturbation each channel contributes must be unaffected
+    /// by ablating another channel. The old sequential sampler failed this
+    /// from the second MAC call onward.
+    #[test]
+    fn channel_ablation_does_not_shift_other_channels() {
+        let weights = [0.3, -0.7, 0.2, 0.1, 0.5, -0.1, 0.9, -0.4, 0.6];
+        let activations = [0.2, 0.4, 0.6, 0.8, 1.0, 0.1, 0.3, 0.5, 0.7];
+        let run = |noise: NoiseConfig| -> Vec<f64> {
+            let mut arm = OpticalArm::new(ArmConfig {
+                noise,
+                ..ArmConfig::default()
+            })
+            .expect("valid");
+            arm.load_weights(&weights).expect("ok");
+            arm.begin_frame(3, 1);
+            (0..8)
+                .map(|_| arm.mac(&activations).expect("ok").value)
+                .collect()
+        };
+        let base = NoiseConfig::default();
+        let full = run(base);
+        let no_weight = run(NoiseConfig {
+            weight_sigma: 0.0,
+            ..base
+        });
+        let no_vcsel = run(NoiseConfig {
+            vcsel_relative_sigma: 0.0,
+            ..base
+        });
+        let no_detector = run(NoiseConfig {
+            detector_relative_sigma: 0.0,
+            ..base
+        });
+        for call in 0..full.len() {
+            // The weight-noise contribution (full − no_weight) must be the
+            // same whether or not detector noise is enabled: detection noise
+            // is additive and keyed independently, so it cancels exactly.
+            let weight_delta_with_detector = full[call] - no_weight[call];
+            let weight_delta_without = {
+                let no_det_no_weight = {
+                    let cfg = NoiseConfig {
+                        detector_relative_sigma: 0.0,
+                        weight_sigma: 0.0,
+                        ..base
+                    };
+                    run(cfg)
+                };
+                no_detector[call] - no_det_no_weight[call]
+            };
+            assert!(
+                (weight_delta_with_detector - weight_delta_without).abs() < 1e-12,
+                "call {call}: weight-noise delta changed when detector noise was ablated \
+                 ({weight_delta_with_detector} vs {weight_delta_without})"
+            );
+            // Same independence for the VCSEL channel.
+            let vcsel_delta = full[call] - no_vcsel[call];
+            assert!(vcsel_delta.is_finite());
+        }
     }
 }

@@ -25,14 +25,12 @@
 //!
 //! ```
 //! use lightator_photonics::arm::{ArmConfig, OpticalArm};
-//! use rand::SeedableRng;
-//! use rand::rngs::SmallRng;
 //!
 //! # fn main() -> Result<(), lightator_photonics::PhotonicsError> {
 //! let mut arm = OpticalArm::new(ArmConfig::default())?;
 //! arm.load_weights(&[0.25, -0.5, 0.75, 0.0, 0.5, -0.25, 0.1, 0.9, -0.9])?;
-//! let mut rng = SmallRng::seed_from_u64(42);
-//! let out = arm.mac(&[1.0, 0.5, 0.0, 0.25, 0.75, 1.0, 0.5, 0.0, 0.25], &mut rng)?;
+//! arm.begin_frame(42, 0);
+//! let out = arm.mac(&[1.0, 0.5, 0.0, 0.25, 0.75, 1.0, 0.5, 0.0, 0.25])?;
 //! println!("photonic MAC = {:.3} (ideal {:.3})", out.value, out.ideal);
 //! # Ok(())
 //! # }
@@ -56,7 +54,7 @@ pub mod wdm;
 pub use arm::{ArmConfig, ArmOutput, OpticalArm};
 pub use error::{PhotonicsError, Result};
 pub use microring::{MicroringConfig, MicroringResonator};
-pub use noise::{NoiseConfig, NoiseInjector};
+pub use noise::{CounterRng, NoiseChannel, NoiseConfig, NoiseInjector};
 pub use photodetector::{BalancedPhotodetector, Photodetector, PhotodetectorConfig};
 pub use power::DevicePowerTable;
 pub use units::{Area, Current, Energy, Power, Time, Voltage, Wavelength};

@@ -9,8 +9,6 @@ use lightator_photonics::units::{Power, Wavelength};
 use lightator_photonics::vcsel::{ModulatedVcsel, VcselConfig};
 use lightator_photonics::waveguide::{LinkBudget, WaveguideConfig};
 use lightator_photonics::wdm::WdmGrid;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// A full arm link: VCSEL → splitter tree → 9 rings → balanced detector.
 /// The delivered power at mid-scale drive must keep the detector SNR above
@@ -75,8 +73,8 @@ fn analog_spread_is_bounded_across_seeds() {
         })
         .expect("arm");
         arm.load_weights(&weights).expect("weights");
-        let mut rng = SmallRng::seed_from_u64(seed);
-        results.push(arm.mac(&activations, &mut rng).expect("mac").value);
+        arm.begin_frame(seed, 0);
+        results.push(arm.mac(&activations).expect("mac").value);
     }
     for value in &results {
         assert!(
@@ -115,8 +113,8 @@ fn dark_inputs_produce_no_output() {
     .expect("arm");
     arm.load_weights(&[1.0, -1.0, 0.5, -0.5, 0.25, -0.25, 0.75, -0.75, 0.9])
         .expect("weights");
-    let mut rng = SmallRng::seed_from_u64(3);
-    let out = arm.mac(&[0.0; 9], &mut rng).expect("mac");
+    arm.begin_frame(3, 0);
+    let out = arm.mac(&[0.0; 9]).expect("mac");
     assert!(out.value.abs() < 1e-9);
     assert_eq!(out.ideal, 0.0);
     let _ = Power::zero();

@@ -9,8 +9,6 @@ use lightator_photonics::vcsel::{ModulatedVcsel, VcselConfig};
 use lightator_photonics::waveguide::{LinkBudget, WaveguideConfig};
 use lightator_photonics::wdm::{CrosstalkModel, WdmGrid};
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 proptest! {
     /// Any representable weight programmed onto an MR yields a transmission
@@ -148,8 +146,8 @@ proptest! {
             ..ArmConfig::default()
         }).unwrap();
         arm.load_weights(&weights).unwrap();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let out = arm.mac(&activations, &mut rng).unwrap();
+        arm.begin_frame(seed, 0);
+        let out = arm.mac(&activations).unwrap();
         let exact: f64 = weights.iter().zip(&activations).map(|(w, a)| w * a).sum();
         prop_assert!((out.ideal - exact).abs() < 1e-12);
         // 9 products, each off by at most ~2% of its magnitude.

@@ -55,6 +55,10 @@ pub struct ServeConfig {
     /// [`ServeError::InvalidRequest`] so one client cannot monopolise a
     /// shard's timeline.
     pub max_stream_frames: usize,
+    /// Intra-session worker threads tiling each shard's MAC loops. Zero
+    /// (the default) inherits the platform's `workers` setting; tiling is
+    /// bit-exact, so the knob only affects per-shard throughput.
+    pub workers: usize,
     /// Per-workload-group backend assignments: `(workload label, backend
     /// id)` pairs, e.g. `("kernel:sobel-x", "electronic:eyeriss")`.
     /// Workloads not listed here run on the photonic default. An explicit
@@ -72,6 +76,7 @@ impl Default for ServeConfig {
             flush_deadline: Time::from_ns(0.0),
             seed_stride: 0,
             max_stream_frames: 256,
+            workers: 0,
             backends: Vec::new(),
         }
     }
@@ -161,6 +166,7 @@ impl ServeConfig {
         );
         write_line(&mut out, "serve.seed_stride", self.seed_stride);
         write_line(&mut out, "serve.max_stream_frames", self.max_stream_frames);
+        write_line(&mut out, "serve.workers", self.workers);
         for (label, backend) in &self.backends {
             write_line(&mut out, &format!("serve.backend.{label}"), backend);
         }
@@ -198,6 +204,7 @@ impl ServeConfig {
                 "serve.max_stream_frames" => {
                     config.max_stream_frames = parse_usize(key, value)?;
                 }
+                "serve.workers" => config.workers = parse_usize(key, value)?,
                 assignment if assignment.starts_with("serve.backend.") => {
                     let label = &assignment["serve.backend.".len()..];
                     if label.is_empty() || value.is_empty() {
@@ -244,6 +251,7 @@ mod tests {
             flush_deadline: Time::from_us(2.5),
             seed_stride: 17,
             max_stream_frames: 48,
+            workers: 2,
             backends: Vec::new(),
         };
         assert_eq!(

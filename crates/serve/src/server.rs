@@ -96,6 +96,16 @@ impl ServerBuilder {
         self
     }
 
+    /// Sets the intra-session worker count tiling each shard's MAC loops
+    /// (zero inherits the platform's `workers` setting; see
+    /// [`ServeConfig::workers`]). Tiling is bit-exact, so pooled serving
+    /// stays bit-identical to sequential execution at any count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
     /// Replaces the whole serving configuration (e.g. one loaded through
     /// [`ServeConfig::from_text`]).
     #[must_use]
@@ -226,9 +236,12 @@ impl ServerBuilder {
             for index in 0..self.config.shards {
                 let seed =
                     base_seed.wrapping_add(self.config.seed_stride.wrapping_mul(index as u64));
-                let session = self
-                    .platform
-                    .session_seeded_on(workload.clone(), seed, &backend)?;
+                let mut session =
+                    self.platform
+                        .session_seeded_on(workload.clone(), seed, &backend)?;
+                if self.config.workers > 0 {
+                    session.set_workers(self.config.workers);
+                }
                 let shard_label = format!("{group_label}/{index}");
                 shard_labels.push((shard_label.clone(), backend.to_string()));
                 shard_plans.push((session, Arc::clone(&queue), shard_label));

@@ -140,6 +140,50 @@ proptest! {
         );
         assert_eq!(expected, got, "pooled kernel diverged from sequential");
     }
+
+    /// Intra-session worker tiling composes with shard pooling: a pool
+    /// whose shards tile their MAC loops across worker threads stays
+    /// bit-identical to one sequential single-worker session. The
+    /// counter-based noise generator keys every draw by
+    /// `(seed, frame, channel, element)`, so neither level of parallelism
+    /// can move a draw.
+    #[test]
+    fn pooled_serving_with_intra_session_workers_matches_sequential(
+        shards in 1usize..=3,
+        workers in 1usize..=4,
+        frame_count in 1usize..=8,
+    ) {
+        let frames = scenes(frame_count, 0x703B ^ frame_count as u64);
+        let workload = || Workload::ImageKernel { kernel: ImageKernel::SobelX };
+        let expected = sequential_reports(workload(), &frames);
+        let server = Server::builder(noisy_platform())
+            .shards(shards)
+            .max_batch(3)
+            .queue_depth(frames.len().max(1))
+            .workers(workers)
+            .workload(workload())
+            .build()
+            .expect("server");
+        let pendings: Vec<_> = frames
+            .iter()
+            .map(|frame| {
+                server
+                    .submit(Request::ImageKernel {
+                        kernel: ImageKernel::SobelX,
+                        frame: frame.clone(),
+                    })
+                    .expect("admitted: queue_depth covers all frames")
+            })
+            .collect();
+        let got: Vec<Report> = pendings
+            .into_iter()
+            .map(|pending| pending.wait().expect("served"))
+            .collect();
+        assert_eq!(
+            expected, got,
+            "pooled serving with {workers} intra-session workers diverged"
+        );
+    }
 }
 
 /// The video-stream workload the pooled/sequential property runs on: a
