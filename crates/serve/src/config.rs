@@ -19,9 +19,52 @@
 
 use crate::error::{Result, ServeError};
 use lightator_core::textcfg::{
-    malformed_value, parse_f64, parse_u64, parse_usize, split_key_value, write_line,
+    malformed_value, parse_bool, parse_f64, parse_u64, parse_usize, split_key_value, write_line,
 };
 use lightator_photonics::units::Time;
+
+/// Largest simulated duration (in ns) a config may carry: beyond 2^53 ns a
+/// `f64` no longer represents every nanosecond exactly, so converting to
+/// the u64 nanosecond clock would silently garble the value.
+const MAX_CONFIG_NS: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Latency-SLO controller settings for the adaptive micro-batcher.
+///
+/// When a [`ServeConfig`] carries an `slo`, every shard runs an AIMD-style
+/// controller around its batch formation: while the observed queue wait of
+/// drained batches stays at or under [`SloConfig::target_queue_wait`], the
+/// shard *additively* grows its batch-size limit (toward
+/// [`SloConfig::max_batch`]) and stretches its flush deadline — bigger
+/// batches amortise the per-batch weight-encode cost into more frames.
+/// When a batch overshoots the target, the controller *multiplicatively*
+/// halves the flush deadline, and halves the batch limit too (toward
+/// [`SloConfig::min_batch`]) unless the overshooting batch was full — a
+/// full, late batch signals queueing backlog, which bigger batches drain
+/// faster, so the limit grows instead. Serialised as the
+/// `serve.slo.target_queue_wait_ns` / `serve.slo.min_batch` /
+/// `serve.slo.max_batch` text keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Queue-wait target (simulated time, arrival → batch start) the
+    /// controller steers each shard's p99-ish batch wait toward.
+    pub target_queue_wait: Time,
+    /// Lower bound of the adaptive batch-size limit.
+    pub min_batch: usize,
+    /// Upper bound of the adaptive batch-size limit. This — not
+    /// [`ServeConfig::max_batch`] — caps batch sizes when the controller is
+    /// active.
+    pub max_batch: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            target_queue_wait: Time::from_us(2.0),
+            min_batch: 1,
+            max_batch: 64,
+        }
+    }
+}
 
 /// Complete description of one serving deployment: how many shards serve
 /// each workload group, how requests batch, and how much queueing the
@@ -65,6 +108,29 @@ pub struct ServeConfig {
     /// [`crate::ServerBuilder::workload_on`] call overrides the assignment
     /// for that registration. Serialised as `serve.backend.<label>` keys.
     pub backends: Vec<(String, String)>,
+    /// Latency-SLO controller for adaptive batching. `None` (the default)
+    /// keeps the fixed [`ServeConfig::max_batch`] /
+    /// [`ServeConfig::flush_deadline`] batcher; `Some` makes every shard
+    /// adapt its batch-size limit and flush deadline between
+    /// [`SloConfig::min_batch`] and [`SloConfig::max_batch`] to hold
+    /// [`SloConfig::target_queue_wait`]. Serialised as the
+    /// `serve.slo.target_queue_wait_ns`, `serve.slo.min_batch` and
+    /// `serve.slo.max_batch` text keys (writing any one of them enables the
+    /// controller; the others keep [`SloConfig::default`]).
+    pub slo: Option<SloConfig>,
+    /// Work stealing between a workload group's shards (the
+    /// `serve.steal` text key). When `true` (the default) admission routes
+    /// runs of consecutive tickets onto per-shard sub-deques and an idle
+    /// shard drains the front run of its fullest sibling — work moves, frame
+    /// indices don't, so report bits stay identical to sequential
+    /// execution. `false` keeps a single shared deque per group.
+    pub steal: bool,
+    /// Consecutive priority-first drains allowed before a shard must take
+    /// the queue head even if it is batch-lane (the `serve.interactive_weight`
+    /// text key). Bounds batch-lane starvation under interactive floods:
+    /// out of every `interactive_weight + 1` mixed drains, at least one
+    /// starts at the head. Values are clamped to at least 1.
+    pub interactive_weight: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +144,9 @@ impl Default for ServeConfig {
             max_stream_frames: 256,
             workers: 0,
             backends: Vec::new(),
+            slo: None,
+            steal: true,
+            interactive_weight: 4,
         }
     }
 }
@@ -88,8 +157,9 @@ impl ServeConfig {
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] naming the violated
-    /// constraint: zero shards, a zero batch bound, a zero queue depth, or
-    /// a non-finite/negative flush deadline.
+    /// constraint: zero shards, a zero batch bound, a zero queue depth, a
+    /// non-finite/negative/oversized flush deadline, or inconsistent SLO
+    /// bounds.
     pub fn validate(&self) -> Result<()> {
         if self.shards == 0 {
             return Err(ServeError::InvalidConfig {
@@ -110,9 +180,49 @@ impl ServeConfig {
             return Err(ServeError::InvalidConfig {
                 reason: format!(
                     "flush_deadline must be a finite, non-negative simulated time \
-                     (got {} ns)",
+                     (got {} ns); NaN or infinite deadlines would silently \
+                     convert to 0 ns on the integer clock",
                     self.flush_deadline.ns()
                 ),
+            });
+        }
+        if self.flush_deadline.ns() > MAX_CONFIG_NS {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "flush_deadline of {} ns exceeds 2^53 ns (~104 simulated \
+                     days), past which f64 cannot represent every nanosecond \
+                     and the u64 clock conversion garbles the value",
+                    self.flush_deadline.ns()
+                ),
+            });
+        }
+        if let Some(slo) = &self.slo {
+            let target = slo.target_queue_wait.ns();
+            if !target.is_finite() || target <= 0.0 || target > MAX_CONFIG_NS {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!(
+                        "slo.target_queue_wait must be a finite, positive \
+                         simulated time no larger than 2^53 ns (got {target} ns)"
+                    ),
+                });
+            }
+            if slo.min_batch == 0 {
+                return Err(ServeError::InvalidConfig {
+                    reason: "slo.min_batch must admit at least one frame per batch".into(),
+                });
+            }
+            if slo.max_batch < slo.min_batch {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!(
+                        "slo.max_batch ({}) must be at least slo.min_batch ({})",
+                        slo.max_batch, slo.min_batch
+                    ),
+                });
+            }
+        }
+        if self.interactive_weight == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "interactive_weight must allow at least one priority-first drain".into(),
             });
         }
         if self.max_stream_frames == 0 {
@@ -141,6 +251,17 @@ impl ServeConfig {
         Ok(())
     }
 
+    /// The largest batch any shard may form under this configuration: the
+    /// SLO controller's [`SloConfig::max_batch`] cap when one is active,
+    /// [`ServeConfig::max_batch`] otherwise.
+    #[must_use]
+    pub fn effective_max_batch(&self) -> usize {
+        match &self.slo {
+            Some(slo) => slo.max_batch.max(1),
+            None => self.max_batch.max(1),
+        }
+    }
+
     /// The configured backend id for a workload label, if any.
     #[must_use]
     pub fn backend_for(&self, label: &str) -> Option<&str> {
@@ -167,6 +288,21 @@ impl ServeConfig {
         write_line(&mut out, "serve.seed_stride", self.seed_stride);
         write_line(&mut out, "serve.max_stream_frames", self.max_stream_frames);
         write_line(&mut out, "serve.workers", self.workers);
+        write_line(&mut out, "serve.steal", self.steal);
+        write_line(
+            &mut out,
+            "serve.interactive_weight",
+            self.interactive_weight,
+        );
+        if let Some(slo) = &self.slo {
+            write_line(
+                &mut out,
+                "serve.slo.target_queue_wait_ns",
+                slo.target_queue_wait.ns(),
+            );
+            write_line(&mut out, "serve.slo.min_batch", slo.min_batch);
+            write_line(&mut out, "serve.slo.max_batch", slo.max_batch);
+        }
         for (label, backend) in &self.backends {
             write_line(&mut out, &format!("serve.backend.{label}"), backend);
         }
@@ -205,6 +341,24 @@ impl ServeConfig {
                     config.max_stream_frames = parse_usize(key, value)?;
                 }
                 "serve.workers" => config.workers = parse_usize(key, value)?,
+                "serve.steal" => config.steal = parse_bool(key, value)?,
+                "serve.interactive_weight" => {
+                    config.interactive_weight = parse_usize(key, value)?;
+                }
+                "serve.slo.target_queue_wait_ns" => {
+                    config
+                        .slo
+                        .get_or_insert_with(SloConfig::default)
+                        .target_queue_wait = Time::from_ns(parse_f64(key, value)?);
+                }
+                "serve.slo.min_batch" => {
+                    config.slo.get_or_insert_with(SloConfig::default).min_batch =
+                        parse_usize(key, value)?;
+                }
+                "serve.slo.max_batch" => {
+                    config.slo.get_or_insert_with(SloConfig::default).max_batch =
+                        parse_usize(key, value)?;
+                }
                 assignment if assignment.starts_with("serve.backend.") => {
                     let label = &assignment["serve.backend.".len()..];
                     if label.is_empty() || value.is_empty() {
@@ -253,10 +407,36 @@ mod tests {
             max_stream_frames: 48,
             workers: 2,
             backends: Vec::new(),
+            slo: Some(SloConfig {
+                target_queue_wait: Time::from_us(1.5),
+                min_batch: 2,
+                max_batch: 32,
+            }),
+            steal: false,
+            interactive_weight: 7,
         };
+        let text = config.to_text();
+        assert!(text.contains("serve.slo.target_queue_wait_ns = 1500"));
+        assert!(text.contains("serve.steal = false"));
+        assert!(text.contains("serve.interactive_weight = 7"));
+        assert_eq!(ServeConfig::from_text(&text).expect("parse"), config);
+    }
+
+    #[test]
+    fn a_single_slo_key_enables_the_controller_with_defaults() {
+        let parsed = ServeConfig::from_text("serve.slo.max_batch = 16\n").expect("parse");
+        let slo = parsed.slo.clone().expect("controller enabled");
+        assert_eq!(slo.max_batch, 16);
+        assert_eq!(slo.min_batch, SloConfig::default().min_batch);
         assert_eq!(
-            ServeConfig::from_text(&config.to_text()).expect("parse"),
-            config
+            slo.target_queue_wait,
+            SloConfig::default().target_queue_wait
+        );
+        assert_eq!(parsed.effective_max_batch(), 16);
+        // Without an SLO the fixed bound is the effective one.
+        assert_eq!(
+            ServeConfig::default().effective_max_batch(),
+            ServeConfig::default().max_batch
         );
     }
 
@@ -365,5 +545,81 @@ mod tests {
             .to_string()
             .contains("max_stream_frames"));
         assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_flush_deadlines_are_rejected_with_the_reason() {
+        let bad = ServeConfig {
+            flush_deadline: Time::from_ns(1e18),
+            ..ServeConfig::default()
+        };
+        let message = bad.validate().unwrap_err().to_string();
+        assert!(message.contains("2^53"), "got: {message}");
+        let bad = ServeConfig {
+            flush_deadline: Time::from_ns(f64::INFINITY),
+            ..ServeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        // The largest exactly-representable deadline passes.
+        let edge = ServeConfig {
+            flush_deadline: Time::from_ns(9_007_199_254_740_992.0),
+            ..ServeConfig::default()
+        };
+        assert!(edge.validate().is_ok());
+    }
+
+    #[test]
+    fn slo_validation_names_the_violated_constraint() {
+        let bad = ServeConfig {
+            slo: Some(SloConfig {
+                target_queue_wait: Time::from_ns(0.0),
+                ..SloConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("target_queue_wait"));
+        let bad = ServeConfig {
+            slo: Some(SloConfig {
+                min_batch: 0,
+                ..SloConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("slo.min_batch"));
+        let bad = ServeConfig {
+            slo: Some(SloConfig {
+                min_batch: 8,
+                max_batch: 4,
+                ..SloConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("slo.max_batch"));
+        let bad = ServeConfig {
+            interactive_weight: 0,
+            ..ServeConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("interactive_weight"));
+        let good = ServeConfig {
+            slo: Some(SloConfig::default()),
+            ..ServeConfig::default()
+        };
+        assert!(good.validate().is_ok());
     }
 }

@@ -15,7 +15,26 @@
 //! * a **dynamic micro-batcher** drains each group's bounded queue into
 //!   `run_batch` calls of up to `max_batch` frames (flush on deadline or
 //!   queue-empty), so the quantized MR weights are programmed once per
-//!   batch;
+//!   batch — batched frames after the first skip the weight-encode
+//!   stages entirely, which is the amortization the adaptive controller
+//!   harvests;
+//! * an optional **latency-SLO controller** ([`SloConfig`], AIMD): each
+//!   shard grows its batch limit and flush deadline while observed queue
+//!   wait sits under `target_queue_wait`, and backs the deadline off
+//!   multiplicatively on overshoot, trading batch amortization against
+//!   tail latency automatically;
+//! * **work stealing**: idle shards drain the fullest sibling sub-queue
+//!   in their `(workload, backend)` group ([`ServeConfig::steal`]),
+//!   keeping every virtual chip busy under skewed load without changing
+//!   a single report bit;
+//! * **priority lanes** ([`Priority::Interactive`] /
+//!   [`Priority::Batch`], [`Server::submit_with_priority`]): weighted
+//!   draining lets interactive requests overtake queued batch work,
+//!   bounded by [`ServeConfig::interactive_weight`];
+//! * an **open-loop soak harness** ([`load`]): seeded Poisson or bursty
+//!   arrival schedules on the simulated clock, mixed-kind traffic, and
+//!   exact `offered == admitted + dropped` accounting via
+//!   [`Server::submit_at`];
 //! * a **router** dispatches typed [`Request`]s to the matching workload
 //!   group (classify / acquire / image kernel / video stream — streams get
 //!   their own shard queue with weighted tickets, one frame index per
@@ -77,6 +96,7 @@
 
 pub mod config;
 pub mod error;
+pub mod load;
 pub mod metrics;
 pub mod request;
 pub mod server;
@@ -84,8 +104,9 @@ pub mod server;
 mod queue;
 mod shard;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, SloConfig};
 pub use error::{Result, ServeError};
+pub use load::{run_soak, ArrivalProcess, SoakConfig, SoakOutcome, TrafficMix};
 pub use metrics::{BackendSnapshot, MetricsSnapshot, ShardSnapshot, StageTotals};
-pub use request::{Pending, Request, Response};
+pub use request::{Pending, Priority, Request, Response};
 pub use server::{Server, ServerBuilder};

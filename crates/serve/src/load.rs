@@ -1,0 +1,635 @@
+//! Deterministic open-loop soak harness.
+//!
+//! Closed-loop benchmarks (clients that wait for a response before
+//! submitting again) self-throttle: when the server slows down, the
+//! offered load slows down with it, which hides queueing collapse. This
+//! module generates *open-loop* traffic instead — arrivals follow a
+//! seeded stochastic schedule on the **simulated** clock, independent of
+//! how fast the server drains them — and drives it through
+//! [`Server::submit_at`]. The same `(seed, config)` pair always produces
+//! the same arrival timestamps, the same request kinds, and the same
+//! priority lanes, so soak results are reproducible bit-for-bit across
+//! hosts and thread schedules.
+//!
+//! The harness never waits on responses (the [`Pending`](crate::Pending)
+//! handles are dropped on admission and drained by
+//! [`Server::shutdown`]); its own tallies count *offered* traffic, and
+//! the server's [`MetricsSnapshot`](crate::MetricsSnapshot) counts what
+//! was admitted, served, and dropped. Under the open-loop accounting
+//! contract, `offered == admitted + dropped` exactly.
+
+use lightator_core::platform::ImageKernel;
+use lightator_sensor::frame::RgbFrame;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Result, ServeError};
+use crate::request::{Priority, Request};
+use crate::server::Server;
+
+/// Nanoseconds per second, as the float used for rate conversions.
+const NS_PER_SEC: f64 = 1e9;
+
+/// The stochastic process generating inter-arrival gaps on the simulated
+/// clock. Both variants sample exponential gaps from a seeded generator,
+/// so the schedule is a deterministic function of the soak seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate: gaps are
+    /// exponentially distributed with mean `1 / mean_qps` seconds.
+    Poisson {
+        /// Mean offered load, requests per simulated second.
+        mean_qps: f64,
+    },
+    /// Square-wave load: every `cycle` requests, the first `burst_len`
+    /// arrive at `burst_qps` and the remainder at `calm_qps` (each phase
+    /// still sampling exponential gaps). Models diurnal or flash-crowd
+    /// traffic without losing determinism.
+    Bursty {
+        /// Offered load outside bursts, requests per simulated second.
+        calm_qps: f64,
+        /// Offered load inside bursts, requests per simulated second.
+        burst_qps: f64,
+        /// Requests per calm+burst cycle.
+        cycle: u64,
+        /// Requests at `burst_qps` at the start of each cycle
+        /// (`burst_len <= cycle`).
+        burst_len: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The mean rate in effect for request number `index` (0-based).
+    fn rate_qps(&self, index: u64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_qps } => mean_qps,
+            ArrivalProcess::Bursty {
+                calm_qps,
+                burst_qps,
+                cycle,
+                burst_len,
+            } => {
+                if index % cycle.max(1) < burst_len {
+                    burst_qps
+                } else {
+                    calm_qps
+                }
+            }
+        }
+    }
+
+    /// Samples the simulated-time gap (ns) before request `index`.
+    /// Exponential via inversion: `-ln(1 - u) / rate`, with `u` in
+    /// `[0, 1)` so the argument of `ln` never reaches zero. Gaps are
+    /// rounded up to at least 1 ns so arrival timestamps are strictly
+    /// increasing.
+    fn next_gap_ns(&self, index: u64, rng: &mut SmallRng) -> u64 {
+        let rate = self.rate_qps(index);
+        let u: f64 = rng.gen();
+        let gap_s = -(1.0 - u).ln() / rate;
+        ((gap_s * NS_PER_SEC).ceil() as u64).max(1)
+    }
+
+    /// Validates the process parameters.
+    fn validate(&self) -> Result<()> {
+        let bad = |reason: String| ServeError::InvalidConfig { reason };
+        match *self {
+            ArrivalProcess::Poisson { mean_qps } => {
+                if !mean_qps.is_finite() || mean_qps <= 0.0 {
+                    return Err(bad(format!(
+                        "arrival mean_qps must be finite and positive, got {mean_qps}"
+                    )));
+                }
+            }
+            ArrivalProcess::Bursty {
+                calm_qps,
+                burst_qps,
+                cycle,
+                burst_len,
+            } => {
+                for (name, qps) in [("calm_qps", calm_qps), ("burst_qps", burst_qps)] {
+                    if !qps.is_finite() || qps <= 0.0 {
+                        return Err(bad(format!(
+                            "arrival {name} must be finite and positive, got {qps}"
+                        )));
+                    }
+                }
+                if cycle == 0 || burst_len > cycle {
+                    return Err(bad(format!(
+                        "arrival cycle must be >= 1 and burst_len <= cycle, \
+                         got cycle {cycle}, burst_len {burst_len}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Relative weights of the request kinds in the offered traffic, plus the
+/// interactive-lane share. Weights need not sum to one; an arm with
+/// weight `0.0` is never offered (so its workload need not be registered
+/// on the server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMix {
+    /// Weight of [`Request::Classify`] traffic.
+    pub classify: f64,
+    /// Weight of [`Request::Acquire`] traffic.
+    pub acquire: f64,
+    /// Weight of [`Request::ImageKernel`] traffic (using
+    /// [`TrafficMix::kernel_filter`]).
+    pub kernel: f64,
+    /// Weight of [`Request::VideoStream`] traffic (using
+    /// [`TrafficMix::kernel_filter`], [`TrafficMix::stream_frames`]
+    /// frames per stream).
+    pub stream: f64,
+    /// The filter for the kernel and stream arms; a matching workload
+    /// must be registered when either weight is positive.
+    pub kernel_filter: ImageKernel,
+    /// Frames per video-stream request.
+    pub stream_frames: usize,
+    /// Probability in `[0, 1]` that a request rides the
+    /// [`Priority::Interactive`] lane; the rest are [`Priority::Batch`].
+    pub interactive_fraction: f64,
+}
+
+impl Default for TrafficMix {
+    /// Pure interactive classify traffic.
+    fn default() -> Self {
+        TrafficMix {
+            classify: 1.0,
+            acquire: 0.0,
+            kernel: 0.0,
+            stream: 0.0,
+            kernel_filter: ImageKernel::SobelX,
+            stream_frames: 4,
+            interactive_fraction: 1.0,
+        }
+    }
+}
+
+impl TrafficMix {
+    /// Validates the weights and lane fraction.
+    fn validate(&self) -> Result<()> {
+        let bad = |reason: String| ServeError::InvalidConfig { reason };
+        for (name, weight) in [
+            ("classify", self.classify),
+            ("acquire", self.acquire),
+            ("kernel", self.kernel),
+            ("stream", self.stream),
+        ] {
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(bad(format!(
+                    "traffic-mix weight {name} must be finite and >= 0, got {weight}"
+                )));
+            }
+        }
+        if self.classify + self.acquire + self.kernel + self.stream <= 0.0 {
+            return Err(bad(
+                "traffic mix must have at least one positive weight".to_string()
+            ));
+        }
+        if self.stream > 0.0 && self.stream_frames == 0 {
+            return Err(bad("stream traffic requires stream_frames >= 1".to_string()));
+        }
+        if !self.interactive_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.interactive_fraction)
+        {
+            return Err(bad(format!(
+                "interactive_fraction must be in [0, 1], got {}",
+                self.interactive_fraction
+            )));
+        }
+        Ok(())
+    }
+
+    /// Samples the request kind for one offered request.
+    fn sample_request(&self, frames: &FramePool, rng: &mut SmallRng) -> Request {
+        let total = self.classify + self.acquire + self.kernel + self.stream;
+        let mut draw = rng.gen::<f64>() * total;
+        draw -= self.classify;
+        if draw < 0.0 {
+            return Request::Classify {
+                frame: frames.next(rng),
+            };
+        }
+        draw -= self.acquire;
+        if draw < 0.0 {
+            return Request::Acquire {
+                frame: frames.next(rng),
+            };
+        }
+        draw -= self.kernel;
+        if draw < 0.0 {
+            return Request::ImageKernel {
+                kernel: self.kernel_filter,
+                frame: frames.next(rng),
+            };
+        }
+        Request::VideoStream {
+            kernel: self.kernel_filter,
+            frames: (0..self.stream_frames).map(|_| frames.next(rng)).collect(),
+        }
+    }
+
+    /// Samples the scheduling lane for one offered request.
+    fn sample_priority(&self, rng: &mut SmallRng) -> Priority {
+        if rng.gen_bool(self.interactive_fraction) {
+            Priority::Interactive
+        } else {
+            Priority::Batch
+        }
+    }
+}
+
+/// One soak run: how much traffic to offer, shaped how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// Seed for the whole run — schedule, mix, and lane draws all derive
+    /// from it, so equal seeds give bit-identical offered traffic.
+    pub seed: u64,
+    /// Total requests to offer.
+    pub requests: u64,
+    /// Sensor width of the generated frames (must match the platform).
+    pub width: usize,
+    /// Sensor height of the generated frames (must match the platform).
+    pub height: usize,
+    /// Distinct pre-generated frames cycled through the traffic; a small
+    /// pool keeps a multi-million-request soak allocation-light.
+    pub frame_pool: usize,
+    /// The inter-arrival process on the simulated clock.
+    pub arrivals: ArrivalProcess,
+    /// Request-kind and priority-lane composition.
+    pub mix: TrafficMix,
+}
+
+impl Default for SoakConfig {
+    /// 10k interactive classify requests at 1M sim-QPS on an 8x8 sensor.
+    fn default() -> Self {
+        SoakConfig {
+            seed: 7,
+            requests: 10_000,
+            width: 8,
+            height: 8,
+            frame_pool: 64,
+            arrivals: ArrivalProcess::Poisson { mean_qps: 1e6 },
+            mix: TrafficMix::default(),
+        }
+    }
+}
+
+impl SoakConfig {
+    /// Validates the run parameters.
+    fn validate(&self) -> Result<()> {
+        let bad = |reason: String| ServeError::InvalidConfig { reason };
+        if self.requests == 0 {
+            return Err(bad("soak requests must be >= 1".to_string()));
+        }
+        if self.width == 0 || self.height == 0 {
+            return Err(bad(format!(
+                "soak sensor must be non-empty, got {}x{}",
+                self.width, self.height
+            )));
+        }
+        if self.frame_pool == 0 {
+            return Err(bad("soak frame_pool must be >= 1".to_string()));
+        }
+        self.arrivals.validate()?;
+        self.mix.validate()
+    }
+}
+
+/// A small cycle of pre-generated scenes shared by all offered requests.
+struct FramePool {
+    frames: Vec<RgbFrame>,
+}
+
+impl FramePool {
+    /// Generates `count` uniformly random frames from `seed`.
+    fn new(count: usize, width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let frames = (0..count)
+            .map(|_| {
+                let data: Vec<f64> = (0..width * height * 3).map(|_| rng.gen()).collect();
+                // lightator: allow(no-unwrap) - dims validated non-empty.
+                RgbFrame::new(width, height, data).expect("soak frame")
+            })
+            .collect();
+        FramePool { frames }
+    }
+
+    /// A uniformly chosen frame (cheap clone; frames share no state).
+    fn next(&self, rng: &mut SmallRng) -> RgbFrame {
+        self.frames[rng.gen_range(0..self.frames.len())].clone()
+    }
+}
+
+/// What the harness offered and what the server did with it, in the
+/// harness's own tallies (the authoritative server-side view is the
+/// [`MetricsSnapshot`](crate::MetricsSnapshot) from
+/// [`Server::shutdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoakOutcome {
+    /// Requests offered on the interactive lane.
+    pub offered_interactive: u64,
+    /// Requests offered on the batch lane.
+    pub offered_batch: u64,
+    /// Interactive requests the server admitted.
+    pub admitted_interactive: u64,
+    /// Batch requests the server admitted.
+    pub admitted_batch: u64,
+    /// Interactive requests dropped with `Overloaded` at their arrival
+    /// time.
+    pub dropped_interactive: u64,
+    /// Batch requests dropped with `Overloaded` at their arrival time.
+    pub dropped_batch: u64,
+    /// Simulated timestamp (ns) of the last offered arrival.
+    pub last_arrival_ns: u64,
+}
+
+impl SoakOutcome {
+    /// Total requests offered.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered_interactive + self.offered_batch
+    }
+
+    /// Total requests admitted.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted_interactive + self.admitted_batch
+    }
+
+    /// Total requests dropped.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_interactive + self.dropped_batch
+    }
+
+    /// Dropped / offered, in `[0, 1]`.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered() == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.offered() as f64
+        }
+    }
+
+    /// Mean offered load over the generated schedule, requests per
+    /// simulated second.
+    #[must_use]
+    pub fn offered_qps(&self) -> f64 {
+        if self.last_arrival_ns == 0 {
+            0.0
+        } else {
+            self.offered() as f64 * NS_PER_SEC / self.last_arrival_ns as f64
+        }
+    }
+}
+
+/// Generates the seeded arrival schedule and offers it to `server`
+/// open-loop via [`Server::submit_at`]. Returns the harness tallies;
+/// call [`Server::shutdown`] afterwards for the server-side metrics
+/// (queue-wait quantiles, per-lane admitted/rejected, throughput).
+///
+/// The run upholds `offered == admitted + dropped` exactly: every
+/// request is counted once, at its simulated arrival time.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidConfig`] for malformed soak parameters, plus any
+/// non-`Overloaded` submission error (e.g.
+/// [`ServeError::UnknownWorkload`] when the mix offers a kind the server
+/// does not serve) — `Overloaded` is accounting, not failure.
+pub fn run_soak(server: &Server, config: &SoakConfig) -> Result<SoakOutcome> {
+    config.validate()?;
+    let frames = FramePool::new(
+        config.frame_pool,
+        config.width,
+        config.height,
+        config.seed ^ 0x5F0A_6B3D_9E1C_2487,
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut outcome = SoakOutcome::default();
+    let mut arrival_ns: u64 = 0;
+    for index in 0..config.requests {
+        arrival_ns = arrival_ns.saturating_add(config.arrivals.next_gap_ns(index, &mut rng));
+        let request = config.mix.sample_request(&frames, &mut rng);
+        let priority = config.mix.sample_priority(&mut rng);
+        match priority {
+            Priority::Interactive => outcome.offered_interactive += 1,
+            Priority::Batch => outcome.offered_batch += 1,
+        }
+        match server.submit_at(request, priority, arrival_ns) {
+            Ok(_pending) => match priority {
+                // Dropped handle: shutdown() drains in-flight work.
+                Priority::Interactive => outcome.admitted_interactive += 1,
+                Priority::Batch => outcome.admitted_batch += 1,
+            },
+            Err(ServeError::Overloaded { .. }) => match priority {
+                Priority::Interactive => outcome.dropped_interactive += 1,
+                Priority::Batch => outcome.dropped_batch += 1,
+            },
+            Err(err) => return Err(err),
+        }
+    }
+    outcome.last_arrival_ns = arrival_ns;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightator_core::ca::CaConfig;
+    use lightator_core::platform::{Platform, Workload};
+    use lightator_photonics::noise::NoiseConfig;
+
+    /// The schedule a config generates, without a server.
+    fn schedule(config: &SoakConfig) -> Vec<(u64, String, Priority)> {
+        let frames = FramePool::new(config.frame_pool, config.width, config.height, config.seed);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut arrival = 0u64;
+        (0..config.requests)
+            .map(|index| {
+                arrival += config.arrivals.next_gap_ns(index, &mut rng);
+                let request = config.mix.sample_request(&frames, &mut rng);
+                let priority = config.mix.sample_priority(&mut rng);
+                (arrival, request.label(), priority)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equal_seeds_generate_identical_schedules() {
+        let config = SoakConfig {
+            requests: 500,
+            mix: TrafficMix {
+                classify: 0.4,
+                acquire: 0.4,
+                kernel: 0.1,
+                stream: 0.1,
+                interactive_fraction: 0.5,
+                ..TrafficMix::default()
+            },
+            ..SoakConfig::default()
+        };
+        let first = schedule(&config);
+        let second = schedule(&config);
+        assert_eq!(first, second, "same seed must replay the same traffic");
+        let shifted = schedule(&SoakConfig {
+            seed: config.seed + 1,
+            ..config.clone()
+        });
+        assert_ne!(first, shifted, "a different seed must move the schedule");
+        let mut kinds: Vec<&str> = first.iter().map(|(_, label, _)| label.as_str()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert!(kinds.len() >= 3, "the mix should offer several kinds");
+        assert!(
+            first.windows(2).all(|w| w[0].0 < w[1].0),
+            "arrival timestamps must be strictly increasing"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_run_hotter_inside_the_burst() {
+        let process = ArrivalProcess::Bursty {
+            calm_qps: 1e3,
+            burst_qps: 1e6,
+            cycle: 100,
+            burst_len: 50,
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (mut burst_total, mut calm_total) = (0u64, 0u64);
+        for index in 0..10_000u64 {
+            let gap = process.next_gap_ns(index, &mut rng);
+            if index % 100 < 50 {
+                burst_total += gap;
+            } else {
+                calm_total += gap;
+            }
+        }
+        assert!(
+            calm_total > 100 * burst_total,
+            "calm gaps ({calm_total} ns) must dwarf burst gaps ({burst_total} ns)"
+        );
+    }
+
+    #[test]
+    fn malformed_soak_configs_are_rejected_with_the_reason() {
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .compressive_acquisition(CaConfig::default())
+            .noise(NoiseConfig::ideal())
+            .build()
+            .expect("platform");
+        let server = Server::builder(platform)
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        for (config, needle) in [
+            (
+                SoakConfig {
+                    requests: 0,
+                    ..SoakConfig::default()
+                },
+                "requests",
+            ),
+            (
+                SoakConfig {
+                    arrivals: ArrivalProcess::Poisson { mean_qps: 0.0 },
+                    ..SoakConfig::default()
+                },
+                "mean_qps",
+            ),
+            (
+                SoakConfig {
+                    arrivals: ArrivalProcess::Bursty {
+                        calm_qps: 1.0,
+                        burst_qps: 2.0,
+                        cycle: 4,
+                        burst_len: 9,
+                    },
+                    ..SoakConfig::default()
+                },
+                "burst_len",
+            ),
+            (
+                SoakConfig {
+                    mix: TrafficMix {
+                        classify: 0.0,
+                        ..TrafficMix::default()
+                    },
+                    ..SoakConfig::default()
+                },
+                "positive weight",
+            ),
+            (
+                SoakConfig {
+                    mix: TrafficMix {
+                        interactive_fraction: 1.5,
+                        ..TrafficMix::default()
+                    },
+                    ..SoakConfig::default()
+                },
+                "interactive_fraction",
+            ),
+        ] {
+            let err = run_soak(&server, &config).expect_err("config must be rejected");
+            let text = err.to_string();
+            assert!(
+                text.contains(needle),
+                "error for {needle} must name the constraint, got: {text}"
+            );
+        }
+        drop(server.shutdown());
+    }
+
+    #[test]
+    fn open_loop_accounting_matches_the_server_exactly() {
+        let platform = Platform::builder()
+            .sensor_resolution(8, 8)
+            .compressive_acquisition(CaConfig::default())
+            .noise(NoiseConfig::ideal())
+            .build()
+            .expect("platform");
+        // A tiny queue under a hot schedule forces genuine drops.
+        let server = Server::builder(platform)
+            .shards(2)
+            .max_batch(2)
+            .queue_depth(2)
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        let config = SoakConfig {
+            requests: 400,
+            arrivals: ArrivalProcess::Poisson { mean_qps: 5e7 },
+            mix: TrafficMix {
+                classify: 0.0,
+                acquire: 1.0,
+                interactive_fraction: 0.75,
+                ..TrafficMix::default()
+            },
+            ..SoakConfig::default()
+        };
+        let outcome = run_soak(&server, &config).expect("soak");
+        let snapshot = server.shutdown();
+        assert_eq!(outcome.offered(), config.requests);
+        assert_eq!(
+            outcome.offered(),
+            outcome.admitted() + outcome.dropped(),
+            "open-loop accounting must be exact"
+        );
+        assert_eq!(outcome.admitted_interactive, snapshot.admitted_interactive);
+        assert_eq!(outcome.admitted_batch, snapshot.admitted_batch);
+        assert_eq!(outcome.dropped_interactive, snapshot.rejected_interactive);
+        assert_eq!(outcome.dropped_batch, snapshot.rejected_batch);
+        assert_eq!(snapshot.completed, outcome.admitted());
+        assert!(
+            (outcome.drop_rate() - snapshot.drop_rate()).abs() < 1e-12,
+            "both sides must agree on the drop rate"
+        );
+        assert!(outcome.offered_qps() > 0.0);
+    }
+}

@@ -3,19 +3,28 @@
 //!
 //! All serving time is **simulated** time. Each shard models one Lightator
 //! chip with its own timeline: a batch of `B` frames occupies the shard for
-//! `B × frame_latency` of simulated time, starting no earlier than the
-//! newest request it contains arrived and no earlier than the shard's
-//! previous batch finished. A global virtual clock tracks the latest
-//! completion so arrivals are stamped causally. Measuring in simulated time
-//! keeps the figures meaningful for the accelerator (KFPS-scale latencies)
-//! and independent of how many host CPUs happen to run the simulation.
+//! `frame_latency + (B - 1) × resident_latency` of simulated time (the
+//! weights are programmed once per batch, so follow-on frames skip the
+//! weight-encode phase), starting no earlier than the newest request it
+//! contains arrived and no earlier than the shard's previous batch
+//! finished. A global virtual clock tracks the latest completion so
+//! arrivals are stamped causally. Measuring in simulated time keeps the
+//! figures meaningful for the accelerator (KFPS-scale latencies) and
+//! independent of how many host CPUs happen to run the simulation.
 
+use crate::request::Priority;
 use lightator_photonics::units::{Energy, Time};
 pub use lightator_telemetry::StageTotals;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two buckets in [`LatencyHistogram`].
-const BUCKETS: usize = 64;
+/// Linear sub-buckets per power of two in [`LatencyHistogram`]
+/// (HdrHistogram-style log-linear layout).
+const SUB_BUCKETS: usize = 32;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 5;
+/// Total buckets: values below `SUB_BUCKETS` get exact unit buckets, every
+/// higher power of two splits into `SUB_BUCKETS` linear sub-buckets.
+const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
 
 /// The server-wide simulated clock (nanoseconds).
 ///
@@ -42,27 +51,49 @@ impl VirtualClock {
     }
 }
 
-/// Lock-free fixed-bucket latency histogram over simulated nanoseconds.
+/// Lock-free log-linear latency histogram over simulated nanoseconds.
 ///
-/// Bucket `i` covers `[2^(i-1), 2^i)` ns (bucket 0 is exactly zero), so 64
-/// buckets span any `u64` latency with ≤ 2× quantile resolution — plenty
-/// for p50/p95/p99 queueing-latency tracking without allocation on the
+/// Values below [`SUB_BUCKETS`] ns get exact unit buckets; every higher
+/// power of two splits into [`SUB_BUCKETS`] linear sub-buckets, so the
+/// quantile error is bounded by `1/SUB_BUCKETS` (≈ 3%) instead of the 2×
+/// error of a plain log2 ladder — tight enough that p99.9 means something.
+/// Recording stays a single atomic increment with no allocation on the
 /// serving path.
 #[derive(Debug)]
 pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
+    buckets: Vec<AtomicU64>,
 }
 
 impl LatencyHistogram {
     pub(crate) fn new() -> Self {
         Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     fn bucket_of(ns: u64) -> usize {
-        // Bit width of the sample, saturated into the last bucket.
-        ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros(); // >= SUB_BITS here
+        let shift = msb - SUB_BITS;
+        let sub = ((ns >> shift) as usize) & (SUB_BUCKETS - 1);
+        SUB_BUCKETS + shift as usize * SUB_BUCKETS + sub
+    }
+
+    /// Largest value the bucket at `index` can hold (its inclusive upper
+    /// bound) — what [`LatencyHistogram::quantile`] reports.
+    fn bucket_upper(index: usize) -> u64 {
+        if index < 2 * SUB_BUCKETS {
+            // Unit-width buckets: exact values 0..2*SUB_BUCKETS.
+            return index as u64;
+        }
+        let shift = (index - SUB_BUCKETS) as u32 / SUB_BUCKETS as u32;
+        let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        let start = (SUB_BUCKETS as u64 + sub) << shift;
+        // Parenthesised so the top bucket (upper bound `u64::MAX`) does not
+        // overflow before the subtraction.
+        start + ((1u64 << shift) - 1)
     }
 
     /// Records one latency sample.
@@ -71,7 +102,8 @@ impl LatencyHistogram {
     }
 
     /// Upper bound of the bucket holding the `q`-quantile sample
-    /// (`0 < q <= 1`), or zero when the histogram is empty.
+    /// (`0 < q <= 1`), or zero when the histogram is empty. The bound
+    /// over-reports the true quantile by at most `1/SUB_BUCKETS`.
     pub(crate) fn quantile(&self, q: f64) -> Time {
         let counts: Vec<u64> = self
             .buckets
@@ -87,8 +119,7 @@ impl LatencyHistogram {
         for (i, count) in counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                let upper_ns = if i == 0 { 0u64 } else { 1u64 << i };
-                return Time::from_ns(upper_ns as f64);
+                return Time::from_ns(Self::bucket_upper(i) as f64);
             }
         }
         unreachable!("rank is bounded by the total sample count")
@@ -105,6 +136,15 @@ pub(crate) struct ShardMetrics {
     pub(crate) frames: AtomicU64,
     /// `batch_sizes[s - 1]` counts batches of exactly `s` frames.
     pub(crate) batch_sizes: Vec<AtomicU64>,
+    /// Batches this shard pulled from a sibling's sub-deque (work
+    /// stealing).
+    pub(crate) steals: AtomicU64,
+    /// The shard's current batch-size bound — a gauge; constant without an
+    /// SLO controller, adapted batch to batch with one.
+    pub(crate) batch_limit: AtomicU64,
+    /// The shard's current flush deadline in simulated ns — a gauge,
+    /// adapted by the SLO controller.
+    pub(crate) flush_deadline_ns: AtomicU64,
     /// Weight-encoding passes of the shard session's compiled plan — a
     /// healthy shard compiles once at spawn and stays at 1.
     pub(crate) plan_encodes: AtomicU64,
@@ -136,7 +176,12 @@ impl ShardMetrics {
 #[derive(Debug)]
 pub(crate) struct MetricsInner {
     pub(crate) completed: AtomicU64,
-    pub(crate) rejected: AtomicU64,
+    /// Admissions per scheduling lane.
+    pub(crate) admitted_interactive: AtomicU64,
+    pub(crate) admitted_batch: AtomicU64,
+    /// Admission-control rejections (queue full) per scheduling lane.
+    pub(crate) rejected_interactive: AtomicU64,
+    pub(crate) rejected_batch: AtomicU64,
     pub(crate) errored: AtomicU64,
     /// Frames served across all successful requests: one per frame
     /// request, the processed frame count per stream request. The
@@ -146,6 +191,9 @@ pub(crate) struct MetricsInner {
     pub(crate) stream_blocks_total: AtomicU64,
     pub(crate) stream_blocks_skipped: AtomicU64,
     pub(crate) queue_wait: LatencyHistogram,
+    /// Queue-wait histograms split by scheduling lane.
+    pub(crate) interactive_wait: LatencyHistogram,
+    pub(crate) batch_wait: LatencyHistogram,
     pub(crate) first_start_ns: AtomicU64,
     pub(crate) last_completion_ns: AtomicU64,
     pub(crate) shards: Vec<ShardMetrics>,
@@ -153,17 +201,23 @@ pub(crate) struct MetricsInner {
 
 impl MetricsInner {
     /// `shard_labels` pairs each shard's display label with the id of the
-    /// backend its session runs on.
+    /// backend its session runs on. `max_batch` is the *effective* bound
+    /// (the SLO controller's cap when one is configured).
     pub(crate) fn new(shard_labels: Vec<(String, String)>, max_batch: usize) -> Self {
         Self {
             completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            admitted_interactive: AtomicU64::new(0),
+            admitted_batch: AtomicU64::new(0),
+            rejected_interactive: AtomicU64::new(0),
+            rejected_batch: AtomicU64::new(0),
             errored: AtomicU64::new(0),
             served_frames: AtomicU64::new(0),
             stream_frames: AtomicU64::new(0),
             stream_blocks_total: AtomicU64::new(0),
             stream_blocks_skipped: AtomicU64::new(0),
             queue_wait: LatencyHistogram::new(),
+            interactive_wait: LatencyHistogram::new(),
+            batch_wait: LatencyHistogram::new(),
             first_start_ns: AtomicU64::new(u64::MAX),
             last_completion_ns: AtomicU64::new(0),
             shards: shard_labels
@@ -174,12 +228,42 @@ impl MetricsInner {
                     batches: AtomicU64::new(0),
                     frames: AtomicU64::new(0),
                     batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+                    steals: AtomicU64::new(0),
+                    batch_limit: AtomicU64::new(0),
+                    flush_deadline_ns: AtomicU64::new(0),
                     plan_encodes: AtomicU64::new(0),
                     plan_hits: AtomicU64::new(0),
                     energy_pj_bits: AtomicU64::new(0f64.to_bits()),
                 })
                 .collect(),
         }
+    }
+
+    /// Records one queue-wait sample on the combined and per-lane ladders.
+    pub(crate) fn record_wait(&self, priority: Priority, ns: u64) {
+        self.queue_wait.record(ns);
+        match priority {
+            Priority::Interactive => self.interactive_wait.record(ns),
+            Priority::Batch => self.batch_wait.record(ns),
+        }
+    }
+
+    /// Counts one admission on `priority`'s lane.
+    pub(crate) fn count_admitted(&self, priority: Priority) {
+        match priority {
+            Priority::Interactive => &self.admitted_interactive,
+            Priority::Batch => &self.admitted_batch,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one admission-control rejection on `priority`'s lane.
+    pub(crate) fn count_rejected(&self, priority: Priority) {
+        match priority {
+            Priority::Interactive => &self.rejected_interactive,
+            Priority::Batch => &self.rejected_batch,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self, queued: usize) -> MetricsSnapshot {
@@ -203,6 +287,9 @@ impl MetricsInner {
                     .iter()
                     .map(|c| c.load(Ordering::Relaxed))
                     .collect(),
+                steals: s.steals.load(Ordering::Relaxed),
+                batch_limit: s.batch_limit.load(Ordering::Relaxed),
+                flush_deadline: Time::from_ns(s.flush_deadline_ns.load(Ordering::Relaxed) as f64),
                 plan_encodes: s.plan_encodes.load(Ordering::Relaxed),
                 plan_hits: s.plan_hits.load(Ordering::Relaxed),
                 energy: s.energy(),
@@ -237,9 +324,15 @@ impl MetricsInner {
             entry.plan_encodes += shard.plan_encodes;
             entry.plan_hits += shard.plan_hits;
         }
+        let rejected_interactive = self.rejected_interactive.load(Ordering::Relaxed);
+        let rejected_batch = self.rejected_batch.load(Ordering::Relaxed);
         MetricsSnapshot {
             completed: self.completed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            admitted_interactive: self.admitted_interactive.load(Ordering::Relaxed),
+            admitted_batch: self.admitted_batch.load(Ordering::Relaxed),
+            rejected: rejected_interactive + rejected_batch,
+            rejected_interactive,
+            rejected_batch,
             errored: self.errored.load(Ordering::Relaxed),
             served_frames: self.served_frames.load(Ordering::Relaxed),
             stream_frames: self.stream_frames.load(Ordering::Relaxed),
@@ -250,6 +343,8 @@ impl MetricsInner {
             p95_queue_wait: self.queue_wait.quantile(0.95),
             p99_queue_wait: self.queue_wait.quantile(0.99),
             p99_9_queue_wait: self.queue_wait.quantile(0.999),
+            p99_interactive_wait: self.interactive_wait.quantile(0.99),
+            p99_batch_wait: self.batch_wait.quantile(0.99),
             simulated_span: Time::from_ns(span_ns),
             plan_encodes: shards.iter().map(|s| s.plan_encodes).sum(),
             plan_hits: shards.iter().map(|s| s.plan_hits).sum(),
@@ -265,8 +360,16 @@ impl MetricsInner {
 pub struct MetricsSnapshot {
     /// Requests served successfully (a whole video stream counts once).
     pub completed: u64,
-    /// Requests bounced by admission control (queue full).
+    /// Interactive-lane requests admitted into a queue.
+    pub admitted_interactive: u64,
+    /// Batch-lane requests admitted into a queue.
+    pub admitted_batch: u64,
+    /// Requests bounced by admission control (queue full), both lanes.
     pub rejected: u64,
+    /// Interactive-lane requests bounced by admission control.
+    pub rejected_interactive: u64,
+    /// Batch-lane requests bounced by admission control.
+    pub rejected_batch: u64,
     /// Requests whose execution returned an error.
     pub errored: u64,
     /// Frames served across all successful requests (one per frame
@@ -289,6 +392,11 @@ pub struct MetricsSnapshot {
     /// 99.9th-percentile simulated queueing latency — the tail that SLOs
     /// are written against.
     pub p99_9_queue_wait: Time,
+    /// 99th-percentile queueing latency of the interactive lane alone —
+    /// what priority draining protects under background soak.
+    pub p99_interactive_wait: Time,
+    /// 99th-percentile queueing latency of the batch lane alone.
+    pub p99_batch_wait: Time,
     /// Simulated time between the first batch start and the latest batch
     /// completion — the denominator of [`MetricsSnapshot::throughput_fps`].
     pub simulated_span: Time,
@@ -312,6 +420,24 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Requests admitted across both scheduling lanes.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted_interactive + self.admitted_batch
+    }
+
+    /// Fraction of offered requests bounced by admission control:
+    /// `rejected / (admitted + rejected)`, or zero before any request was
+    /// offered. The open-loop soak harness's drop rate.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.admitted() + self.rejected;
+        if offered == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / offered as f64
+    }
+
     /// Fraction of stream blocks served from the feedback path, or zero
     /// when no stream frames were served.
     #[must_use]
@@ -335,6 +461,15 @@ impl MetricsSnapshot {
         self.served_frames as f64 / self.simulated_span.seconds()
     }
 
+    /// Requests completed per simulated second of the serving span.
+    #[must_use]
+    pub fn sustained_qps(&self) -> f64 {
+        if self.simulated_span.seconds() == 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.simulated_span.seconds()
+    }
+
     /// Renders the snapshot as the metrics table printed by
     /// `examples/serving.rs`.
     #[must_use]
@@ -342,7 +477,25 @@ impl MetricsSnapshot {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "{:<26} {:>12}", "completed requests", self.completed);
-        let _ = writeln!(out, "{:<26} {:>12}", "rejected (overload)", self.rejected);
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12} ({} interactive, {} batch)",
+            "admitted",
+            self.admitted(),
+            self.admitted_interactive,
+            self.admitted_batch
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12} ({} interactive, {} batch)",
+            "rejected (overload)", self.rejected, self.rejected_interactive, self.rejected_batch
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>11.2}%",
+            "drop rate",
+            self.drop_rate() * 100.0
+        );
         let _ = writeln!(out, "{:<26} {:>12}", "errored", self.errored);
         let _ = writeln!(out, "{:<26} {:>12}", "stream frames", self.stream_frames);
         let _ = writeln!(
@@ -375,6 +528,18 @@ impl MetricsSnapshot {
             "{:<26} {:>9.3} us",
             "p99.9 queue wait",
             self.p99_9_queue_wait.us()
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9.3} us",
+            "p99 interactive wait",
+            self.p99_interactive_wait.us()
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9.3} us",
+            "p99 batch wait",
+            self.p99_batch_wait.us()
         );
         let _ = writeln!(
             out,
@@ -413,12 +578,14 @@ impl MetricsSnapshot {
             let _ = writeln!(
                 out,
                 "  {:<16} {:>5} frames in {:>4} batches (mean {:.2}) [{}] \
-                 plan: {} encode{}, {} hits",
+                 limit now {}, {} stolen, plan: {} encode{}, {} hits",
                 shard.shard,
                 shard.frames,
                 shard.batches,
                 shard.mean_batch_size(),
                 sizes.join(", "),
+                shard.batch_limit,
+                shard.steals,
                 shard.plan_encodes,
                 if shard.plan_encodes == 1 { "" } else { "s" },
                 shard.plan_hits,
@@ -516,6 +683,15 @@ pub struct ShardSnapshot {
     /// `batch_sizes[s - 1]` counts batches of exactly `s` frames — the
     /// micro-batcher's batch-size distribution.
     pub batch_sizes: Vec<u64>,
+    /// Batches this shard pulled from a sibling's sub-deque (work
+    /// stealing).
+    pub steals: u64,
+    /// The shard's batch-size bound at snapshot time (a gauge; the SLO
+    /// controller adapts it batch to batch).
+    pub batch_limit: u64,
+    /// The shard's flush deadline at snapshot time (a gauge under the SLO
+    /// controller).
+    pub flush_deadline: Time,
     /// Weight-encoding passes of this shard's compiled plan (1 in a
     /// healthy shard: compiled once at spawn, never re-encoded).
     pub plan_encodes: u64,
@@ -561,10 +737,61 @@ mod tests {
         let p99 = hist.quantile(0.99);
         assert!(p50.ns() <= p95.ns());
         assert!(p95.ns() <= p99.ns());
-        // p50 falls in the bucket of the 40 ns samples: (32, 64].
-        assert_eq!(p50.ns(), 64.0);
-        // p99 lands on the largest sample's bucket.
+        // Sub-bucket resolution: the p50 sample (40 ns) sits in a
+        // unit-width bucket, so the ladder reports it exactly.
+        assert_eq!(p50.ns(), 40.0);
+        // p99 lands in the largest sample's bucket, whose upper bound
+        // over-reports by at most 1/SUB_BUCKETS.
         assert!(p99.ns() >= 70_000.0);
+        assert!(p99.ns() <= 70_000.0 * (1.0 + 1.0 / SUB_BUCKETS as f64));
+    }
+
+    #[test]
+    fn log_linear_buckets_bound_the_quantile_error() {
+        // Every recorded value must be bracketed by its bucket's upper
+        // bound within 1/SUB_BUCKETS relative error — the satellite
+        // contract that makes p99.9 meaningful.
+        for value in [
+            1u64,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            1_000,
+            4_095,
+            4_096,
+            1_000_000,
+            123_456_789,
+            u64::MAX / 2,
+        ] {
+            let hist = LatencyHistogram::new();
+            hist.record(value);
+            let upper = hist.quantile(1.0).ns();
+            assert!(upper >= value as f64, "upper {upper} < value {value}");
+            assert!(
+                upper <= value as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0,
+                "upper {upper} over-reports value {value} by more than 1/{SUB_BUCKETS}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Adjacent values never map to decreasing buckets, and every
+        // bucket's upper bound is reachable by the value that defines it.
+        let mut previous = 0usize;
+        for ns in 0u64..10_000 {
+            let bucket = LatencyHistogram::bucket_of(ns);
+            assert!(bucket >= previous, "bucket order broke at {ns}");
+            assert!(LatencyHistogram::bucket_upper(bucket) >= ns);
+            previous = bucket;
+        }
+        // The largest representable sample stays in range.
+        let top = LatencyHistogram::bucket_of(u64::MAX);
+        assert!(top < BUCKETS);
+        assert_eq!(LatencyHistogram::bucket_upper(top), u64::MAX);
     }
 
     #[test]
@@ -596,10 +823,42 @@ mod tests {
         assert_eq!(snap.queued, 3);
         assert_eq!(snap.simulated_span.ns(), 1_000.0);
         assert!((snap.throughput_fps() - 7.0 / 1e-6).abs() < 1.0);
+        assert!((snap.sustained_qps() - 7.0 / 1e-6).abs() < 1.0);
         assert!((snap.shards[0].mean_batch_size() - 3.5).abs() < 1e-12);
         let table = snap.table();
         assert!(table.contains("classify/0"));
         assert!(table.contains("4: 1"));
+    }
+
+    #[test]
+    fn lane_counters_feed_the_drop_rate() {
+        let inner = MetricsInner::new(vec![("classify/0".into(), "photonic".into())], 2);
+        for _ in 0..6 {
+            inner.count_admitted(Priority::Interactive);
+        }
+        for _ in 0..2 {
+            inner.count_admitted(Priority::Batch);
+        }
+        inner.count_rejected(Priority::Interactive);
+        inner.count_rejected(Priority::Batch);
+        inner.record_wait(Priority::Interactive, 10);
+        inner.record_wait(Priority::Batch, 1_000);
+        let snap = inner.snapshot(0);
+        assert_eq!(snap.admitted_interactive, 6);
+        assert_eq!(snap.admitted_batch, 2);
+        assert_eq!(snap.admitted(), 8);
+        assert_eq!(snap.rejected_interactive, 1);
+        assert_eq!(snap.rejected_batch, 1);
+        assert_eq!(snap.rejected, 2);
+        assert!((snap.drop_rate() - 0.2).abs() < 1e-12);
+        // The lane ladders split the combined histogram.
+        assert_eq!(snap.p99_interactive_wait.ns(), 10.0);
+        assert!(snap.p99_batch_wait.ns() >= 1_000.0);
+        assert!(snap.p99_queue_wait.ns() >= 1_000.0);
+        let table = snap.table();
+        assert!(table.contains("drop rate"));
+        assert!(table.contains("p99 interactive wait"));
+        assert!(table.contains("6 interactive, 2 batch"));
     }
 
     #[test]
@@ -611,7 +870,8 @@ mod tests {
             hist.record(10);
         }
         hist.record(1_000_000);
-        assert_eq!(hist.quantile(0.99).ns(), 16.0);
+        // Unit-width sub-buckets report the fast samples exactly.
+        assert_eq!(hist.quantile(0.99).ns(), 10.0);
         assert!(hist.quantile(0.999).ns() >= 1_000_000.0);
 
         let inner = MetricsInner::new(vec![("acquire/0".into(), "photonic".into())], 1);

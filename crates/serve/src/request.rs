@@ -6,6 +6,39 @@ use lightator_core::stream::StreamReport;
 use lightator_sensor::frame::RgbFrame;
 use std::sync::{Condvar, Mutex};
 
+/// Scheduling lane of a submitted request.
+///
+/// The micro-batcher drains both lanes from one ticketed FIFO, but when a
+/// queue holds a mix, batch formation may *start* at the first
+/// [`Priority::Interactive`] request instead of the queue head, so
+/// interactive tail latency holds while [`Priority::Batch`] traffic soaks
+/// the leftover capacity. An interactive-credit scheme (see
+/// [`ServeConfig::interactive_weight`](crate::ServeConfig::interactive_weight))
+/// bounds how many consecutive drains may overtake the head, so batch-lane
+/// requests cannot starve. Lane choice never changes a request's ticket or
+/// its report bits — only the order batches form in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic; may overtake queued batch-lane requests
+    /// at batch-formation time. The default for [`crate::Server::submit`].
+    #[default]
+    Interactive,
+    /// Throughput traffic (background soak, offline scoring); drained with
+    /// the leftover capacity of each batch window.
+    Batch,
+}
+
+impl Priority {
+    /// Short display name (`interactive` / `batch`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
 /// One unit of work for the server, typed by the workload that should
 /// serve it. The router dispatches each request to the shard group opened
 /// for the matching [`Workload`]. The first three variants carry one frame

@@ -1,16 +1,15 @@
 //! The server: builder, router, shard pool and lifecycle.
 
-use crate::config::ServeConfig;
+use crate::config::{ServeConfig, SloConfig};
 use crate::error::{Result, ServeError};
 use crate::metrics::{MetricsInner, MetricsSnapshot, VirtualClock};
 use crate::queue::SharedQueue;
-use crate::request::{Pending, Request, RequestKind, ResponseSlot};
-use crate::shard::{self, ShardContext};
+use crate::request::{Pending, Priority, Request, RequestKind, ResponseSlot};
+use crate::shard::{self, Batcher, ShardContext};
 use lightator_core::backend::BackendId;
 use lightator_core::platform::{Platform, Workload};
 use lightator_photonics::units::Time;
 use lightator_telemetry::{TraceEvent, TraceRecorder, TraceSink};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -84,6 +83,32 @@ impl ServerBuilder {
     #[must_use]
     pub fn flush_deadline(mut self, deadline: Time) -> Self {
         self.config.flush_deadline = deadline;
+        self
+    }
+
+    /// Enables the per-shard latency-SLO controller: each shard adapts its
+    /// batch-size limit and flush deadline (AIMD) to hold
+    /// [`SloConfig::target_queue_wait`]. See [`ServeConfig::slo`].
+    #[must_use]
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.config.slo = Some(slo);
+        self
+    }
+
+    /// Enables or disables work stealing between a group's shards (on by
+    /// default; see [`ServeConfig::steal`]).
+    #[must_use]
+    pub fn steal(mut self, steal: bool) -> Self {
+        self.config.steal = steal;
+        self
+    }
+
+    /// Sets the interactive-lane credit: how many consecutive drains may
+    /// start at an interactive request past a batch-lane queue head (see
+    /// [`ServeConfig::interactive_weight`]).
+    #[must_use]
+    pub fn interactive_weight(mut self, weight: usize) -> Self {
+        self.config.interactive_weight = weight;
         self
     }
 
@@ -219,8 +244,21 @@ impl ServerBuilder {
         // an unknown / non-executing backend).
         let mut groups = Vec::new();
         let mut shard_labels = Vec::new();
-        let mut shard_plans: Vec<(lightator_core::platform::Session, Arc<SharedQueue>, String)> =
-            Vec::new();
+        let mut shard_plans: Vec<(
+            lightator_core::platform::Session,
+            Arc<SharedQueue>,
+            String,
+            usize,
+        )> = Vec::new();
+        // With work stealing each shard owns a sub-deque of its group's
+        // queue; admission routes runs of `effective_max_batch` consecutive
+        // tickets onto one sub-deque so drains stay ticket-contiguous.
+        let queue_slots = if self.config.steal {
+            self.config.shards
+        } else {
+            1
+        };
+        let run_length = self.config.effective_max_batch();
         for (workload, pinned) in &self.workloads {
             let kind = RequestKind::of_workload(workload);
             let label = workload.label();
@@ -232,7 +270,12 @@ impl ServerBuilder {
             } else {
                 format!("{label}@{backend}")
             };
-            let queue = Arc::new(SharedQueue::new(self.config.queue_depth));
+            let queue = Arc::new(SharedQueue::new(
+                self.config.queue_depth,
+                queue_slots,
+                run_length,
+                self.config.interactive_weight,
+            ));
             for index in 0..self.config.shards {
                 let seed =
                     base_seed.wrapping_add(self.config.seed_stride.wrapping_mul(index as u64));
@@ -244,7 +287,7 @@ impl ServerBuilder {
                 }
                 let shard_label = format!("{group_label}/{index}");
                 shard_labels.push((shard_label.clone(), backend.to_string()));
-                shard_plans.push((session, Arc::clone(&queue), shard_label));
+                shard_plans.push((session, Arc::clone(&queue), shard_label, index));
             }
             groups.push(Group {
                 kind,
@@ -254,18 +297,31 @@ impl ServerBuilder {
             });
         }
 
-        let metrics = Arc::new(MetricsInner::new(shard_labels, self.config.max_batch));
+        let metrics = Arc::new(MetricsInner::new(
+            shard_labels,
+            self.config.effective_max_batch(),
+        ));
+        // validate() bounded the deadline to finite, non-negative values no
+        // larger than 2^53 ns, so `ceil() as u64` is an exact conversion
+        // here — never the silent saturation it used to be for NaN or
+        // oversized inputs.
         let flush_deadline_ns = self.config.flush_deadline.ns().ceil() as u64;
         let mut handles = Vec::with_capacity(shard_plans.len());
-        for (shard_index, (session, queue, shard_label)) in shard_plans.into_iter().enumerate() {
+        for (shard_index, (session, queue, shard_label, slot_index)) in
+            shard_plans.into_iter().enumerate()
+        {
+            let batcher = match &self.config.slo {
+                Some(slo) => Batcher::adaptive(slo),
+                None => Batcher::fixed(self.config.max_batch, flush_deadline_ns),
+            };
             let ctx = ShardContext {
                 session,
                 queue,
                 clock: Arc::clone(&clock),
                 metrics: Arc::clone(&metrics),
                 shard_index,
-                max_batch: self.config.max_batch,
-                flush_deadline_ns,
+                slot_index,
+                batcher,
                 tracer: self.recorder.clone(),
             };
             let spawned = std::thread::Builder::new()
@@ -359,20 +415,82 @@ impl Server {
     ///
     /// See above; also [`ServeError::ShuttingDown`] during shutdown.
     pub fn submit(&self, request: Request) -> Result<Pending> {
+        self.submit_with_priority(request, Priority::Interactive)
+    }
+
+    /// Submits a request on an explicit scheduling lane.
+    /// [`Priority::Interactive`] requests may overtake queued
+    /// [`Priority::Batch`] requests at batch-formation time (bounded by
+    /// [`ServeConfig::interactive_weight`]); the lane never changes the
+    /// request's report bits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`].
+    pub fn submit_with_priority(&self, request: Request, priority: Priority) -> Result<Pending> {
         self.validate_request(&request)?;
+        let group = self.route(&request)?;
+        self.try_admit(group, request, priority, self.clock.now(), true)
+    }
+
+    /// Submits a request that *arrives* at simulated time `arrival_ns` —
+    /// the open-loop entry point used by the soak harness
+    /// ([`crate::load`]), where arrivals follow a generated schedule
+    /// instead of the server's own completions.
+    ///
+    /// The simulated clock only advances on admission (offered traffic
+    /// that is dropped never existed on the timeline). When the queue is
+    /// full but the simulated clock still lags `arrival_ns`, the call
+    /// waits in *wall-clock* time for the shards to catch up — in
+    /// simulated time the request arrives exactly once, at `arrival_ns`,
+    /// and is admitted or dropped there; it is never counted twice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`]; [`ServeError::Overloaded`] means the
+    /// queue was full when the simulated clock reached `arrival_ns`.
+    pub fn submit_at(
+        &self,
+        request: Request,
+        priority: Priority,
+        arrival_ns: u64,
+    ) -> Result<Pending> {
+        self.validate_request(&request)?;
+        let group = self.route(&request)?;
+        loop {
+            // Only account a rejection once the simulated clock reached the
+            // arrival: a full queue *before* then is a wall-clock artefact
+            // (the simulation lags the generated schedule), not a drop.
+            let arrived = self.clock.now() >= arrival_ns;
+            match self.try_admit(group, request.clone(), priority, arrival_ns, arrived) {
+                Err(ServeError::Overloaded { .. }) if !arrived => std::thread::yield_now(),
+                Ok(pending) => {
+                    self.clock.advance_to(arrival_ns);
+                    return Ok(pending);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The current simulated time of the serving timeline.
+    #[must_use]
+    pub fn sim_now(&self) -> Time {
+        Time::from_ns(self.clock.now() as f64)
+    }
+
+    /// Default route: the photonic group for this request's kind if one
+    /// exists, otherwise the first registered group (so a workload served
+    /// only by, say, an electronic backend still answers plain submits).
+    fn route(&self, request: &Request) -> Result<&Group> {
         let kind = request.kind();
-        // Default route: the photonic group for this kind if one exists,
-        // otherwise the first registered group (so a workload served only
-        // by, say, an electronic backend still answers plain submits).
-        let group = self
-            .groups
+        self.groups
             .iter()
             .find(|g| g.kind == kind && g.backend.is_photonic())
             .or_else(|| self.groups.iter().find(|g| g.kind == kind))
             .ok_or_else(|| ServeError::UnknownWorkload {
                 label: request.label(),
-            })?;
-        self.admit(group, request)
+            })
     }
 
     /// Submits a request to the group serving its workload on an explicit
@@ -392,7 +510,13 @@ impl Server {
             .ok_or_else(|| ServeError::UnknownWorkload {
                 label: format!("{}@{}", request.label(), backend),
             })?;
-        self.admit(group, request)
+        self.try_admit(
+            group,
+            request,
+            Priority::Interactive,
+            self.clock.now(),
+            true,
+        )
     }
 
     fn validate_request(&self, request: &Request) -> Result<()> {
@@ -416,30 +540,46 @@ impl Server {
         Ok(())
     }
 
-    fn admit(&self, group: &Group, request: Request) -> Result<Pending> {
+    /// Pushes `request` into `group`'s queue with the given lane and
+    /// simulated arrival stamp. `count_reject` gates the rejection
+    /// accounting: [`Server::submit_at`] retries uncounted attempts while
+    /// the simulated clock still lags the arrival, so every *returned*
+    /// [`ServeError::Overloaded`] is counted exactly once.
+    fn try_admit(
+        &self,
+        group: &Group,
+        request: Request,
+        priority: Priority,
+        arrival_ns: u64,
+        count_reject: bool,
+    ) -> Result<Pending> {
         let slot = Arc::new(ResponseSlot::new());
-        let arrival_ns = self.clock.now();
-        match group
-            .queue
-            .push(request.into_payload(), arrival_ns, Arc::clone(&slot))
-        {
+        match group.queue.push(
+            request.into_payload(),
+            priority,
+            arrival_ns,
+            Arc::clone(&slot),
+        ) {
             Ok(ticket) => {
+                self.metrics.count_admitted(priority);
                 if let Some(recorder) = &self.recorder {
                     recorder.record(
                         TraceEvent::instant("request", "admit", "router", arrival_ns as f64)
                             .with_arg("group", &group.label)
+                            .with_arg("lane", priority.name())
                             .with_arg("ticket", ticket),
                     );
                 }
                 Ok(Pending::new(slot))
             }
             Err(err) => {
-                if matches!(err, ServeError::Overloaded { .. }) {
-                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                if matches!(err, ServeError::Overloaded { .. }) && count_reject {
+                    self.metrics.count_rejected(priority);
                     if let Some(recorder) = &self.recorder {
                         recorder.record(
                             TraceEvent::instant("request", "reject", "router", arrival_ns as f64)
-                                .with_arg("group", &group.label),
+                                .with_arg("group", &group.label)
+                                .with_arg("lane", priority.name()),
                         );
                     }
                 }
@@ -1176,6 +1316,123 @@ mod tests {
         for pending in pendings {
             assert!(pending.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn sustained_overload_accounting_matches_the_returned_errors_per_lane() {
+        // Flood a tiny queue from both lanes and hold the overload for the
+        // whole burst: every returned `Overloaded` must be counted on the
+        // lane that suffered it, and admitted + rejected must equal the
+        // offered count exactly.
+        let server = Server::builder(small_platform())
+            .shards(1)
+            .max_batch(1)
+            .queue_depth(2)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .build()
+            .expect("server");
+        let mut offered = 0u64;
+        let mut admitted = [0u64; 2];
+        let mut rejected = [0u64; 2];
+        let mut pendings = Vec::new();
+        for i in 0..300 {
+            let priority = if i % 3 == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            };
+            let lane = usize::from(priority == Priority::Batch);
+            offered += 1;
+            match server.submit_with_priority(Request::Classify { frame: scene(i) }, priority) {
+                Ok(pending) => {
+                    admitted[lane] += 1;
+                    pendings.push(pending);
+                }
+                Err(ServeError::Overloaded { .. }) => rejected[lane] += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let snapshot = server.shutdown();
+        assert!(
+            snapshot.rejected > 0,
+            "a depth-2 queue must overload under a 300-request burst"
+        );
+        assert_eq!(snapshot.admitted_interactive, admitted[0]);
+        assert_eq!(snapshot.admitted_batch, admitted[1]);
+        assert_eq!(snapshot.rejected_interactive, rejected[0]);
+        assert_eq!(snapshot.rejected_batch, rejected[1]);
+        assert_eq!(snapshot.admitted() + snapshot.rejected, offered);
+        let expected = snapshot.rejected as f64 / offered as f64;
+        assert!((snapshot.drop_rate() - expected).abs() < 1e-12);
+        assert!(snapshot.table().contains("drop rate"));
+        for pending in pendings {
+            assert!(pending.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn open_loop_arrivals_advance_the_simulated_clock_on_admission_only() {
+        let server = Server::builder(small_platform())
+            .shards(1)
+            .queue_depth(8)
+            .workload(Workload::Acquire)
+            .build()
+            .expect("server");
+        assert_eq!(server.sim_now().ns(), 0.0);
+        let pending = server
+            .submit_at(Request::Acquire { frame: scene(0) }, Priority::Batch, 5_000)
+            .expect("admitted");
+        // Admission stamped the arrival on the timeline.
+        assert!(server.sim_now().ns() >= 5_000.0);
+        let report = pending.wait().expect("served");
+        assert_eq!(report.workload, "acquire");
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.admitted_batch, 1);
+        // The request waited from *its* arrival, not from time zero: queue
+        // wait is the batch start minus 5 µs, far under the 5 µs it would
+        // show if the stamp were wrong.
+        assert!(snapshot.p99_queue_wait.ns() < 5_000.0);
+    }
+
+    #[test]
+    fn slo_and_stealing_serve_the_same_reports_with_shard_gauges_published() {
+        use crate::config::SloConfig;
+        let server = Server::builder(small_platform())
+            .shards(2)
+            .queue_depth(64)
+            .slo(SloConfig {
+                target_queue_wait: Time::from_us(2.0),
+                min_batch: 1,
+                max_batch: 8,
+            })
+            .steal(true)
+            .workload(Workload::Classify {
+                model: tiny_model(),
+            })
+            .build()
+            .expect("server");
+        let pendings: Vec<_> = (0..24)
+            .map(|i| {
+                server
+                    .submit(Request::Classify { frame: scene(i) })
+                    .expect("admitted")
+            })
+            .collect();
+        for pending in pendings {
+            assert!(pending.wait().is_ok());
+        }
+        let snapshot = server.shutdown();
+        assert_eq!(snapshot.completed, 24);
+        assert_eq!(snapshot.errored, 0);
+        // The adaptive limit gauge is live (within the SLO bounds) and the
+        // batch-size histogram can hold batches up to the SLO cap.
+        for shard in &snapshot.shards {
+            assert!(shard.batch_limit >= 1 && shard.batch_limit <= 8);
+            assert_eq!(shard.batch_sizes.len(), 8);
+        }
+        assert!(snapshot.table().contains("limit now"));
     }
 
     #[test]

@@ -8,11 +8,33 @@
 //! through `run_stream`), fulfil the response slots and account the batch
 //! on the shard's simulated timeline. The loop exits once the queue shut
 //! down and ran dry, which is what makes server shutdown graceful.
+//!
+//! # Batch amortisation
+//!
+//! `run_batch` programs the plan's weights once per batch, so on the
+//! simulated timeline only the *first* frame of a batch pays the
+//! electronic weight-encode phase; every follow-on frame occupies the chip
+//! for the resident latency (MAC + readout) alone, and meters the resident
+//! energy alone. Batching therefore buys real simulated throughput on
+//! layered workloads — which is exactly what the adaptive [`Batcher`]
+//! trades against queue wait.
+//!
+//! # The SLO controller
+//!
+//! With an [`SloConfig`] the shard runs an AIMD loop around batch
+//! formation. After each batch it observes the worst queue wait the batch
+//! carried: at or under target, the batch limit grows by one and the flush
+//! deadline stretches additively (bigger batches while latency is cheap);
+//! over target, the deadline halves, and the limit halves too unless the
+//! batch was *full* — a full, late batch means arrival backlog, which only
+//! bigger batches (more amortisation) can drain, so the limit grows
+//! instead of collapsing to `min_batch` under sustained overload.
 
+use crate::config::SloConfig;
 use crate::error::ServeError;
 use crate::metrics::{MetricsInner, VirtualClock};
 use crate::queue::{QueuedRequest, SharedQueue};
-use crate::request::{Payload, Response, ResponseSlot};
+use crate::request::{Payload, Priority, Response, ResponseSlot};
 use lightator_core::platform::Session;
 use lightator_sensor::frame::RgbFrame;
 use lightator_telemetry::{TraceEvent, TraceRecorder, TraceSink};
@@ -20,8 +42,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Client-side bookkeeping of one batched request: its ticket, its
-/// simulated arrival time, and the slot awaiting the report.
-type RequestHandle = (u64, u64, Arc<ResponseSlot>);
+/// simulated arrival time, its scheduling lane, and the slot awaiting the
+/// report.
+type RequestHandle = (u64, u64, Priority, Arc<ResponseSlot>);
 
 /// Fulfils a batch's slots strictly in ticket order, and — if the worker
 /// unwinds mid-batch — fails whatever is left with
@@ -43,7 +66,7 @@ impl SlotGuard {
 
     /// Publishes the outcome of the next unfulfilled request.
     fn fulfil(&mut self, outcome: crate::error::Result<Response>) {
-        let (_, _, slot) = &self.handles[self.next];
+        let (_, _, _, slot) = &self.handles[self.next];
         slot.fulfil(outcome);
         self.next += 1;
     }
@@ -62,6 +85,81 @@ impl Drop for SlotGuard {
     }
 }
 
+/// The per-shard batch-formation policy: a batch-size limit and a flush
+/// deadline, either fixed (no SLO) or AIMD-adapted batch to batch.
+pub(crate) struct Batcher {
+    limit: usize,
+    deadline_ns: u64,
+    slo: Option<SloTargets>,
+}
+
+struct SloTargets {
+    target_ns: u64,
+    min: usize,
+    max: usize,
+}
+
+impl Batcher {
+    /// Fixed policy: today's `max_batch` / `flush_deadline` semantics.
+    pub(crate) fn fixed(max_batch: usize, flush_deadline_ns: u64) -> Self {
+        Self {
+            limit: max_batch.max(1),
+            deadline_ns: flush_deadline_ns,
+            slo: None,
+        }
+    }
+
+    /// Adaptive policy steering toward `slo.target_queue_wait`. Starts
+    /// conservative (smallest batches, shortest deadline) and grows while
+    /// latency stays cheap.
+    pub(crate) fn adaptive(slo: &SloConfig) -> Self {
+        let target_ns = slo.target_queue_wait.ns().ceil().max(1.0) as u64;
+        Self {
+            limit: slo.min_batch.max(1),
+            deadline_ns: (target_ns / 16).max(1),
+            slo: Some(SloTargets {
+                target_ns,
+                min: slo.min_batch.max(1),
+                max: slo.max_batch.max(1),
+            }),
+        }
+    }
+
+    pub(crate) fn limit(&self) -> usize {
+        self.limit
+    }
+
+    pub(crate) fn deadline_ns(&self) -> u64 {
+        self.deadline_ns
+    }
+
+    /// Feeds back one drained batch: its worst queue wait (simulated, over
+    /// every request it carried) and its size. No-op without an SLO.
+    pub(crate) fn observe(&mut self, max_wait_ns: u64, batch_len: usize) {
+        let Some(slo) = &self.slo else {
+            return;
+        };
+        let step = (slo.target_ns / 16).max(1);
+        if max_wait_ns <= slo.target_ns {
+            // Additive increase: latency is under budget, buy amortisation.
+            self.limit = (self.limit + 1).min(slo.max);
+            self.deadline_ns = (self.deadline_ns + step).min(slo.target_ns);
+        } else {
+            // Multiplicative decrease on the hold time. The batch limit
+            // only shrinks when the batch was *partial* — the wait came
+            // from holding the batch open. A full, late batch signals
+            // backlog, and shrinking the limit there would collapse
+            // throughput exactly when it is needed most.
+            self.deadline_ns /= 2;
+            if batch_len >= self.limit {
+                self.limit = (self.limit + 1).min(slo.max);
+            } else {
+                self.limit = (self.limit / 2).max(slo.min);
+            }
+        }
+    }
+}
+
 /// Everything one worker thread needs, moved into it at spawn.
 pub(crate) struct ShardContext {
     pub(crate) session: Session,
@@ -70,22 +168,75 @@ pub(crate) struct ShardContext {
     pub(crate) metrics: Arc<MetricsInner>,
     /// Index into `metrics.shards` (global across groups).
     pub(crate) shard_index: usize,
-    pub(crate) max_batch: usize,
-    pub(crate) flush_deadline_ns: u64,
+    /// This shard's sub-deque within its group's queue (0 when work
+    /// stealing is off and the group shares one deque).
+    pub(crate) slot_index: usize,
+    /// Batch-formation policy (fixed or SLO-adaptive).
+    pub(crate) batcher: Batcher,
     /// Optional trace sink shared by the whole pool; events land on this
     /// shard's `shard:<label>` track, timestamped on the serve timeline.
     pub(crate) tracer: Option<Arc<TraceRecorder>>,
 }
 
+/// Simulated cost model of one shard, derived once at spawn from the
+/// session's perf report.
+struct ShardCosts {
+    /// Full cost of the batch's first frame.
+    frame_latency_ns: u64,
+    frame_energy_pj: f64,
+    /// Cost of every follow-on frame in a batch: the weights are already
+    /// programmed, so the weight-encode phase is skipped.
+    resident_latency_ns: u64,
+    resident_energy_pj: f64,
+}
+
+impl ShardCosts {
+    fn of(session: &Session) -> Self {
+        let perf = session.perf();
+        let frame_latency_ns = perf.frame_latency.ns().ceil().max(1.0) as u64;
+        let frame_energy_pj = perf.frame_energy.pj();
+        // The weight-encode share of a frame, summed over layers. Workloads
+        // without one (acquire, opaque baselines) amortise nothing.
+        let (encode_ns, encode_pj) = lightator_core::frame_stages(perf)
+            .iter()
+            .filter(|stage| stage.stage == "weight_encode")
+            .fold((0.0f64, 0.0f64), |(ns, pj), stage| {
+                (ns + stage.latency.ns(), pj + stage.energy.pj())
+            });
+        let resident_latency_ns = (perf.frame_latency.ns() - encode_ns).ceil().max(1.0) as u64;
+        Self {
+            frame_latency_ns,
+            frame_energy_pj,
+            resident_latency_ns: resident_latency_ns.min(frame_latency_ns),
+            resident_energy_pj: (frame_energy_pj - encode_pj).max(0.0),
+        }
+    }
+
+    /// Simulated chip occupancy of a batch of `len` frames.
+    fn batch_latency_ns(&self, len: usize) -> u64 {
+        self.frame_latency_ns + (len as u64 - 1) * self.resident_latency_ns
+    }
+
+    /// Simulated energy of a batch of `len` completed frames.
+    fn batch_energy_pj(&self, len: usize) -> f64 {
+        self.frame_energy_pj + (len as f64 - 1.0) * self.resident_energy_pj
+    }
+
+    /// Simulated completion offset of frame `index` within a batch.
+    fn frame_end_ns(&self, index: usize) -> u64 {
+        self.frame_latency_ns + index as u64 * self.resident_latency_ns
+    }
+}
+
 /// The worker loop. Returns when the group's queue shut down and drained.
 pub(crate) fn run(mut ctx: ShardContext) {
     // One frame of this workload occupies the virtual chip for its
-    // simulated frame latency; a batch occupies it back to back. Stream
-    // requests instead occupy the chip for their gated `sim_time`. Both
-    // figures come from the session's backend, so an electronic shard
-    // runs (and meters) on the electronic cost model.
-    let frame_latency_ns = ctx.session.perf().frame_latency.ns().ceil().max(1.0) as u64;
-    let frame_energy_pj = ctx.session.perf().frame_energy.pj();
+    // simulated frame latency; follow-on frames of the same batch skip the
+    // weight-encode phase. Stream requests instead occupy the chip for
+    // their gated `sim_time`. All figures come from the session's backend,
+    // so an electronic shard runs (and meters) on the electronic cost
+    // model.
+    let costs = ShardCosts::of(&ctx.session);
     // Trace bookkeeping: the shard's Perfetto track and its per-frame stage
     // decomposition. Both are pure functions of the spawn-time perf model,
     // computed once so the serving path only replays them.
@@ -99,32 +250,55 @@ pub(crate) fn run(mut ctx: ShardContext) {
     // session opened (at spawn); publish the encode counter up front so an
     // idle shard still reports its compile.
     publish_plan_stats(&ctx);
-    while let Some(batch) = ctx
-        .queue
-        .wait_batch(ctx.max_batch, ctx.flush_deadline_ns, &ctx.clock)
-    {
+    loop {
+        // Publish the policy gauges before blocking so snapshots taken
+        // while the shard waits show its current posture.
+        {
+            let shard = &ctx.metrics.shards[ctx.shard_index];
+            shard
+                .batch_limit
+                .store(ctx.batcher.limit() as u64, Ordering::Relaxed);
+            shard
+                .flush_deadline_ns
+                .store(ctx.batcher.deadline_ns(), Ordering::Relaxed);
+        }
+        let Some(drained) = ctx.queue.wait_batch(
+            ctx.slot_index,
+            ctx.batcher.limit(),
+            ctx.batcher.deadline_ns(),
+            &ctx.clock,
+        ) else {
+            break;
+        };
+        let batch = drained.requests;
         if batch.is_empty() {
             continue;
         }
+        if drained.stolen {
+            ctx.metrics.shards[ctx.shard_index]
+                .steals
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let batch_len = batch.len();
         // A group's queue is homogeneous (the router keys on the workload),
         // so one stream payload means a stream batch.
-        if batch
+        let (next_busy, max_wait_ns) = if batch
             .iter()
             .any(|r| matches!(r.payload, Payload::Stream(_)))
         {
-            busy_until_ns =
-                run_stream_batch(&mut ctx, batch, frame_latency_ns, busy_until_ns, &track);
+            run_stream_batch(&mut ctx, batch, &costs, busy_until_ns, &track)
         } else {
-            busy_until_ns = run_frame_batch(
+            run_frame_batch(
                 &mut ctx,
                 batch,
-                frame_latency_ns,
-                frame_energy_pj,
+                &costs,
                 busy_until_ns,
                 &track,
                 stages.as_deref().unwrap_or(&[]),
-            );
-        }
+            )
+        };
+        busy_until_ns = next_busy;
+        ctx.batcher.observe(max_wait_ns, batch_len);
 
         // Every batch ran against the spawn-time plan: refresh the shard's
         // encode/hit counters from the session's cumulative stats.
@@ -149,23 +323,23 @@ fn publish_plan_stats(ctx: &ShardContext) {
     shard.plan_hits.store(stats.cache_hits, Ordering::Relaxed);
 }
 
-/// Executes one drained batch of single-frame requests.
+/// Executes one drained batch of single-frame requests. Returns the
+/// shard's new `busy_until` and the worst queue wait the batch carried.
 fn run_frame_batch(
     ctx: &mut ShardContext,
     batch: Vec<QueuedRequest>,
-    frame_latency_ns: u64,
-    frame_energy_pj: f64,
+    costs: &ShardCosts,
     busy_until_ns: u64,
     track: &str,
     stages: &[lightator_core::StageSpan],
-) -> u64 {
+) -> (u64, u64) {
     let first_ticket = batch[0].ticket;
     let newest_arrival_ns = batch.iter().map(|r| r.arrival_ns).max().unwrap_or(0);
     // The virtual chip starts the batch as soon as it is free and the
     // whole batch has arrived (its own timeline, not the global clock:
     // shards process in parallel in simulated time).
     let start_ns = busy_until_ns.max(newest_arrival_ns);
-    let completion_ns = start_ns + frame_latency_ns * batch.len() as u64;
+    let completion_ns = start_ns + costs.batch_latency_ns(batch.len());
 
     let (frames, handles): (Vec<RgbFrame>, Vec<RequestHandle>) = batch
         .into_iter()
@@ -174,7 +348,7 @@ fn run_frame_batch(
                 Payload::Frame(frame) => frame,
                 Payload::Stream(_) => unreachable!("frame batches carry frame payloads"),
             };
-            (frame, (r.ticket, r.arrival_ns, r.slot))
+            (frame, (r.ticket, r.arrival_ns, r.priority, r.slot))
         })
         .unzip();
     let mut guard = SlotGuard::new(handles);
@@ -186,7 +360,7 @@ fn run_frame_batch(
             stages,
             guard.handles(),
             start_ns,
-            frame_latency_ns,
+            costs,
         );
     }
 
@@ -200,10 +374,11 @@ fn run_frame_batch(
         .frames
         .fetch_add(frames.len() as u64, Ordering::Relaxed);
     shard.batch_sizes[frames.len() - 1].fetch_add(1, Ordering::Relaxed);
-    for (_, arrival_ns, _) in guard.handles() {
-        ctx.metrics
-            .queue_wait
-            .record(start_ns.saturating_sub(*arrival_ns));
+    let mut max_wait_ns = 0u64;
+    for (_, arrival_ns, priority, _) in guard.handles() {
+        let wait_ns = start_ns.saturating_sub(*arrival_ns);
+        max_wait_ns = max_wait_ns.max(wait_ns);
+        ctx.metrics.record_wait(*priority, wait_ns);
     }
     ctx.metrics
         .first_start_ns
@@ -226,7 +401,7 @@ fn run_frame_batch(
             session,
             metrics,
             shard_index,
-            frame_energy_pj,
+            costs,
             first_ticket,
             &frames,
             &mut guard,
@@ -238,7 +413,7 @@ fn run_frame_batch(
             .fetch_add(guard.remaining() as u64, Ordering::Relaxed);
     }
     drop(guard);
-    completion_ns
+    (completion_ns, max_wait_ns)
 }
 
 /// Replays one frame batch onto the trace: the request lifecycle (queue →
@@ -246,21 +421,24 @@ fn run_frame_batch(
 /// all timestamped on the shard's simulated timeline. Everything emitted
 /// here is derived from already-computed quantities (arrival/start times
 /// and the spawn-time perf model), so tracing never perturbs execution.
-/// The stage spans describe the chip occupancy of the whole batch; a frame
-/// that later errors still occupied its slot on the timeline.
+/// The stage spans describe the chip occupancy of the whole batch — the
+/// first frame carries the full stage list, follow-on frames skip the
+/// amortised `weight_encode` stages — so the stage totals still sum to the
+/// energy the batch meters. A frame that later errors still occupied its
+/// slot on the timeline.
 fn trace_frame_batch(
     tracer: &TraceRecorder,
     track: &str,
     stages: &[lightator_core::StageSpan],
     handles: &[RequestHandle],
     start_ns: u64,
-    frame_latency_ns: u64,
+    costs: &ShardCosts,
 ) {
     tracer.record(
         TraceEvent::instant("request", "batch-form", track, start_ns as f64)
             .with_arg("batch", handles.len()),
     );
-    for (ticket, arrival_ns, _) in handles {
+    for (ticket, arrival_ns, _, _) in handles {
         tracer.record(
             TraceEvent::span(
                 "request",
@@ -279,14 +457,24 @@ fn trace_frame_batch(
             "execute",
             track,
             start_ns as f64,
-            (frame_latency_ns * handles.len() as u64) as f64,
+            costs.batch_latency_ns(handles.len()) as f64,
             0.0,
         )
         .with_arg("frames", handles.len()),
     );
-    for (i, (ticket, _, _)) in handles.iter().enumerate() {
-        let mut cursor = (start_ns + i as u64 * frame_latency_ns) as f64;
+    for (i, (ticket, _, _, _)) in handles.iter().enumerate() {
+        // Frame 0 starts at the batch start; follow-on frame `i` starts
+        // where frame `i - 1` ended on the amortised timeline.
+        let mut cursor = if i == 0 {
+            start_ns as f64
+        } else {
+            (start_ns + costs.frame_end_ns(i - 1)) as f64
+        };
         for stage in stages {
+            if i > 0 && stage.stage == "weight_encode" {
+                // The weights were programmed by the batch's first frame.
+                continue;
+            }
             tracer.record(TraceEvent::span(
                 "stage",
                 stage.stage,
@@ -302,7 +490,7 @@ fn trace_frame_batch(
                 "request",
                 "respond",
                 track,
-                (start_ns + (i as u64 + 1) * frame_latency_ns) as f64,
+                (start_ns + costs.frame_end_ns(i)) as f64,
             )
             .with_arg("ticket", ticket),
         );
@@ -312,23 +500,26 @@ fn trace_frame_batch(
 /// Executes one drained batch of video-stream requests, one request at a
 /// time: each stream seeks to its ticket, runs under the delta gate, and
 /// occupies the virtual chip for its *gated* simulated time — the serving
-/// payoff of skipped blocks.
+/// payoff of skipped blocks. Returns the shard's new `busy_until` and the
+/// worst queue wait the batch carried.
 fn run_stream_batch(
     ctx: &mut ShardContext,
     batch: Vec<QueuedRequest>,
-    frame_latency_ns: u64,
+    costs: &ShardCosts,
     mut busy_until_ns: u64,
     track: &str,
-) -> u64 {
+) -> (u64, u64) {
     let shard = &ctx.metrics.shards[ctx.shard_index];
     shard.batches.fetch_add(1, Ordering::Relaxed);
     shard.batch_sizes[batch.len() - 1].fetch_add(1, Ordering::Relaxed);
+    let mut max_wait_ns = 0u64;
     for request in batch {
         let QueuedRequest {
             payload,
             ticket,
             weight,
             arrival_ns,
+            priority,
             slot,
         } = request;
         let frames = match payload {
@@ -336,15 +527,15 @@ fn run_stream_batch(
             Payload::Frame(_) => unreachable!("stream batches carry stream payloads"),
         };
         let start_ns = busy_until_ns.max(arrival_ns);
-        ctx.metrics
-            .queue_wait
-            .record(start_ns.saturating_sub(arrival_ns));
+        let wait_ns = start_ns.saturating_sub(arrival_ns);
+        max_wait_ns = max_wait_ns.max(wait_ns);
+        ctx.metrics.record_wait(priority, wait_ns);
         ctx.metrics
             .first_start_ns
             .fetch_min(start_ns, Ordering::Relaxed);
         shard.frames.fetch_add(weight, Ordering::Relaxed);
 
-        let mut guard = SlotGuard::new(vec![(ticket, arrival_ns, slot)]);
+        let mut guard = SlotGuard::new(vec![(ticket, arrival_ns, priority, slot)]);
         let session = &mut ctx.session;
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             session.seek_frame(ticket);
@@ -355,7 +546,7 @@ fn run_stream_batch(
             // A failed or panicked stream still occupied the chip for the
             // frames it consumed; charge a dense-cost upper bound so the
             // timeline never runs backwards.
-            _ => start_ns + weight * frame_latency_ns,
+            _ => start_ns + weight * costs.frame_latency_ns,
         };
         ctx.metrics
             .last_completion_ns
@@ -437,17 +628,18 @@ fn run_stream_batch(
         }
         drop(guard);
     }
-    busy_until_ns
+    (busy_until_ns, max_wait_ns)
 }
 
 /// Runs one drained batch and fulfils its slots in ticket order. Energy is
 /// charged to the shard per *completed* frame (rejected or errored frames
-/// never occupied the datapath).
+/// never occupied the datapath), amortised: the batch's first frame pays
+/// the full frame energy, follow-on frames the resident share.
 fn execute_batch(
     session: &mut Session,
     metrics: &MetricsInner,
     shard_index: usize,
-    frame_energy_pj: f64,
+    costs: &ShardCosts,
     first_ticket: u64,
     frames: &[RgbFrame],
     guard: &mut SlotGuard,
@@ -462,7 +654,7 @@ fn execute_batch(
             metrics
                 .served_frames
                 .fetch_add(reports.len() as u64, Ordering::Relaxed);
-            shard.add_energy_pj(frame_energy_pj * reports.len() as f64);
+            shard.add_energy_pj(costs.batch_energy_pj(reports.len()));
             for report in reports {
                 guard.fulfil(Ok(Response::Frame(report)));
             }
@@ -470,14 +662,16 @@ fn execute_batch(
         Err(_) => {
             // One bad frame fails the whole `run_batch` call; isolate it by
             // re-running each frame at its own ticket so only the offending
-            // request sees the error.
+            // request sees the error. Each isolated re-run programs the
+            // weights again, so it meters the full (unamortised) frame
+            // energy.
             for (offset, frame) in frames.iter().enumerate() {
                 session.seek_frame(first_ticket + offset as u64);
                 match session.run(frame) {
                     Ok(report) => {
                         metrics.completed.fetch_add(1, Ordering::Relaxed);
                         metrics.served_frames.fetch_add(1, Ordering::Relaxed);
-                        shard.add_energy_pj(frame_energy_pj);
+                        shard.add_energy_pj(costs.frame_energy_pj);
                         guard.fulfil(Ok(Response::Frame(report)));
                     }
                     Err(err) => {
@@ -493,6 +687,7 @@ fn execute_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lightator_photonics::units::Time;
 
     #[test]
     fn dropping_the_guard_fails_unfulfilled_slots_instead_of_stranding_them() {
@@ -500,7 +695,7 @@ mod tests {
         let handles: Vec<RequestHandle> = slots
             .iter()
             .enumerate()
-            .map(|(i, slot)| (i as u64, 0u64, Arc::clone(slot)))
+            .map(|(i, slot)| (i as u64, 0u64, Priority::Interactive, Arc::clone(slot)))
             .collect();
         let mut guard = SlotGuard::new(handles);
         guard.fulfil(Err(ServeError::ShuttingDown));
@@ -509,5 +704,62 @@ mod tests {
         assert_eq!(slots[0].take(), Err(ServeError::ShuttingDown));
         assert_eq!(slots[1].take(), Err(ServeError::WorkerPanicked));
         assert_eq!(slots[2].take(), Err(ServeError::WorkerPanicked));
+    }
+
+    #[test]
+    fn a_fixed_batcher_never_moves() {
+        let mut batcher = Batcher::fixed(4, 100);
+        batcher.observe(1_000_000, 4);
+        batcher.observe(0, 1);
+        assert_eq!(batcher.limit(), 4);
+        assert_eq!(batcher.deadline_ns(), 100);
+    }
+
+    fn slo(target_ns: f64, min: usize, max: usize) -> SloConfig {
+        SloConfig {
+            target_queue_wait: Time::from_ns(target_ns),
+            min_batch: min,
+            max_batch: max,
+        }
+    }
+
+    #[test]
+    fn the_controller_grows_while_wait_is_under_target() {
+        let mut batcher = Batcher::adaptive(&slo(1_600.0, 1, 8));
+        assert_eq!(batcher.limit(), 1);
+        for _ in 0..20 {
+            batcher.observe(100, batcher.limit());
+        }
+        assert_eq!(batcher.limit(), 8, "limit climbs to the SLO cap");
+        assert_eq!(
+            batcher.deadline_ns(),
+            1_600,
+            "deadline stretches to the target"
+        );
+    }
+
+    #[test]
+    fn a_partial_late_batch_shrinks_the_limit_and_deadline() {
+        let mut batcher = Batcher::adaptive(&slo(1_600.0, 1, 8));
+        for _ in 0..20 {
+            batcher.observe(100, batcher.limit());
+        }
+        // Overshoot with a half-full batch: the hold time was the problem.
+        batcher.observe(10_000, 3);
+        assert_eq!(batcher.limit(), 4, "multiplicative decrease");
+        assert_eq!(batcher.deadline_ns(), 800, "deadline halves");
+    }
+
+    #[test]
+    fn a_full_late_batch_grows_the_limit_instead_of_collapsing() {
+        // Sustained overload: every batch is full and every batch is late.
+        // The naive controller would pin the limit at min_batch (minimum
+        // amortisation at maximum load); the overload guard grows it.
+        let mut batcher = Batcher::adaptive(&slo(1_600.0, 1, 64));
+        for _ in 0..100 {
+            batcher.observe(1_000_000, batcher.limit());
+        }
+        assert_eq!(batcher.limit(), 64, "backlog drives the limit to the cap");
+        assert_eq!(batcher.deadline_ns(), 0, "but nothing is held open");
     }
 }

@@ -16,7 +16,7 @@ use lightator_nn::model::Sequential;
 use lightator_photonics::units::Time;
 use lightator_sensor::frame::RgbFrame;
 use lightator_sensor::video::{SyntheticVideo, SyntheticVideoConfig};
-use lightator_serve::{Request, Server};
+use lightator_serve::{Priority, Request, Server, SloConfig};
 use proptest::proptest;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -182,6 +182,64 @@ proptest! {
         assert_eq!(
             expected, got,
             "pooled serving with {workers} intra-session workers diverged"
+        );
+    }
+
+    /// The adaptive SLO controller, work stealing between shards, and the
+    /// priority lanes only move *when* work executes and on *which*
+    /// virtual chip — never what it computes. Tickets are assigned at
+    /// admission in submission order and the analog-noise stream keys on
+    /// the ticket, so any shard count × SLO configuration × lane mix must
+    /// reproduce the sequential reports bit-for-bit, analog noise on.
+    #[test]
+    fn slo_stealing_and_priority_lanes_never_change_report_bits(
+        shards in 1usize..=4,
+        target_us in 1u64..=50,
+        min_batch in 1usize..=3,
+        batch_headroom in 0usize..=6,
+        interactive_weight in 1usize..=6,
+        lane_seed in 0u64..=1024,
+        frame_count in 1usize..=12,
+    ) {
+        let frames = scenes(frame_count, 0x510 ^ frame_count as u64);
+        let expected = sequential_reports(
+            Workload::Classify { model: tiny_model() },
+            &frames,
+        );
+        let server = Server::builder(noisy_platform())
+            .shards(shards)
+            .steal(true)
+            .interactive_weight(interactive_weight)
+            .slo(SloConfig {
+                target_queue_wait: Time::from_us(target_us as f64),
+                min_batch,
+                max_batch: min_batch + batch_headroom,
+            })
+            .queue_depth(frames.len().max(1))
+            .workload(Workload::Classify { model: tiny_model() })
+            .build()
+            .expect("server");
+        let mut lanes = SmallRng::seed_from_u64(lane_seed);
+        let pendings: Vec<_> = frames
+            .iter()
+            .map(|frame| {
+                let lane = if lanes.gen_bool(0.5) {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                server
+                    .submit_with_priority(Request::Classify { frame: frame.clone() }, lane)
+                    .expect("admitted: queue_depth covers all frames")
+            })
+            .collect();
+        let got: Vec<Report> = pendings
+            .into_iter()
+            .map(|pending| pending.wait().expect("served"))
+            .collect();
+        assert_eq!(
+            expected, got,
+            "SLO batching / stealing / lanes changed a report bit"
         );
     }
 }

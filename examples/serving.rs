@@ -6,15 +6,19 @@
 //! ```
 //!
 //! Six client threads submit classify / acquire / Sobel-kernel requests in
-//! a closed loop against a 2-shard-per-workload pool, then the example
-//! prints the server's metrics table and the shard-scaling headline.
+//! a closed loop against a 2-shard-per-workload pool running the adaptive
+//! SLO batching controller, with work stealing on and requests split
+//! across the interactive and batch priority lanes. The example then
+//! prints the server's metrics table — per-lane admissions and p99 queue
+//! waits included — and emits the `BENCH_serve_metrics.json` artifact.
 
 use lightator_suite::bench::emit::{self, BenchMetric};
 use lightator_suite::core::ca::CaConfig;
 use lightator_suite::nn::layers::{Activation, Flatten, Linear};
 use lightator_suite::nn::model::Sequential;
+use lightator_suite::photonics::units::Time;
 use lightator_suite::sensor::frame::RgbFrame;
-use lightator_suite::serve::{Request, ServeError, Server};
+use lightator_suite::serve::{Priority, Request, ServeError, Server, SloConfig};
 use lightator_suite::{ImageKernel, Platform, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -53,7 +57,14 @@ fn main() -> Result<(), ServeError> {
         .build()?;
     let server = Server::builder(platform)
         .shards(SHARDS)
-        .max_batch(4)
+        // Adaptive batching: each shard grows its batch limit while the
+        // observed queue wait stays under the target (stealing defaults on).
+        .slo(SloConfig {
+            target_queue_wait: Time::from_us(20.0),
+            min_batch: 1,
+            max_batch: 8,
+        })
+        .interactive_weight(4)
         .queue_depth(4 * CLIENTS)
         .workload(Workload::Classify {
             model: classifier(),
@@ -77,8 +88,17 @@ fn main() -> Result<(), ServeError> {
                     let data: Vec<f64> =
                         (0..SENSOR * SENSOR * 3).map(|_| rng.gen::<f64>()).collect();
                     let frame = RgbFrame::new(SENSOR, SENSOR, data).expect("frame");
+                    // Odd clients ride the background batch lane.
+                    let lane = if client % 2 == 0 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Batch
+                    };
                     loop {
-                        match server.run(request_for(client, index, frame.clone())) {
+                        let submitted = server
+                            .submit_with_priority(request_for(client, index, frame.clone()), lane)
+                            .and_then(|pending| pending.wait());
+                        match submitted {
                             Ok(report) => {
                                 if index == 0 {
                                     println!(
@@ -104,6 +124,13 @@ fn main() -> Result<(), ServeError> {
     let metrics = server.shutdown();
     println!("\n== server metrics ==\n{}", metrics.table());
     println!(
+        "lanes: {} interactive + {} batch admitted, p99 queue wait {:.3} / {:.3} us",
+        metrics.admitted_interactive,
+        metrics.admitted_batch,
+        metrics.p99_interactive_wait.us(),
+        metrics.p99_batch_wait.us(),
+    );
+    println!(
         "sustained pooled throughput: {:.0} frames per simulated second",
         metrics.throughput_fps()
     );
@@ -125,6 +152,18 @@ fn main() -> Result<(), ServeError> {
             BenchMetric::new("throughput_fps", metrics.throughput_fps(), "frames/s"),
             BenchMetric::new("p50_queue_wait_us", metrics.p50_queue_wait.us(), "us"),
             BenchMetric::new("p99_queue_wait_us", metrics.p99_queue_wait.us(), "us"),
+            BenchMetric::new(
+                "admitted_interactive",
+                metrics.admitted_interactive as f64,
+                "requests",
+            ),
+            BenchMetric::new("admitted_batch", metrics.admitted_batch as f64, "requests"),
+            BenchMetric::new(
+                "p99_interactive_wait_us",
+                metrics.p99_interactive_wait.us(),
+                "us",
+            ),
+            BenchMetric::new("p99_batch_wait_us", metrics.p99_batch_wait.us(), "us"),
             BenchMetric::new("plan_encodes", metrics.plan_encodes as f64, "encodes"),
             BenchMetric::new("plan_cache_hits", metrics.plan_hits as f64, "hits"),
         ],

@@ -60,6 +60,7 @@ pub use lightator_sensor::video::{
     FrameSequence, MotionPattern, SyntheticVideo, SyntheticVideoConfig,
 };
 pub use lightator_serve::{
-    BackendSnapshot, MetricsSnapshot, Pending, Request, Response, ServeConfig, ServeError, Server,
-    ServerBuilder, ShardSnapshot,
+    run_soak, ArrivalProcess, BackendSnapshot, MetricsSnapshot, Pending, Priority, Request,
+    Response, ServeConfig, ServeError, Server, ServerBuilder, ShardSnapshot, SloConfig, SoakConfig,
+    SoakOutcome, TrafficMix,
 };
